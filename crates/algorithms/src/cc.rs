@@ -1,0 +1,86 @@
+use jetstream_graph::{Csr, VertexId};
+
+use crate::{Algorithm, EdgeCtx, UpdateKind, Value};
+
+/// Connected components via minimum-label propagation (selective).
+///
+/// Every vertex starts by receiving its own id as a label; `reduce` is
+/// `min`, and a vertex forwards its label unchanged over out-edges. At
+/// convergence each vertex holds `min(v, min id of vertices that reach v)`.
+/// Like BFS, clusters of vertices settle to the same value, so CC relies on
+/// DAP rather than VAP for delete pruning (§5.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectedComponents;
+
+impl ConnectedComponents {
+    /// Creates a CC query.
+    pub fn new() -> Self {
+        ConnectedComponents
+    }
+}
+
+impl Algorithm for ConnectedComponents {
+    fn name(&self) -> &'static str {
+        "CC"
+    }
+
+    fn kind(&self) -> UpdateKind {
+        UpdateKind::Selective
+    }
+
+    fn identity(&self) -> Value {
+        Value::INFINITY
+    }
+
+    fn reduce(&self, state: Value, delta: Value) -> Value {
+        state.min(delta)
+    }
+
+    fn propagate(&self, state: Value, _applied_delta: Value, _ctx: &EdgeCtx) -> Option<Value> {
+        if state.is_finite() {
+            Some(state)
+        } else {
+            None
+        }
+    }
+
+    fn initial_events(&self, graph: &Csr) -> Vec<(VertexId, Value)> {
+        (0..graph.num_vertices() as VertexId)
+            .map(|v| (v, Value::from(v)))
+            .collect()
+    }
+
+    fn initial_event(&self, v: VertexId) -> Option<Value> {
+        Some(Value::from(v))
+    }
+
+    fn more_progressed(&self, a: Value, b: Value) -> bool {
+        a < b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_forwarded_unchanged() {
+        let a = ConnectedComponents::new();
+        let c = EdgeCtx { weight: 9.0, out_degree: 3, weight_sum: 27.0 };
+        assert_eq!(a.propagate(2.0, 2.0, &c), Some(2.0));
+    }
+
+    #[test]
+    fn every_vertex_seeds_itself() {
+        let a = ConnectedComponents::new();
+        let g = Csr::empty(3);
+        assert_eq!(a.initial_events(&g), vec![(0, 0.0), (1, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn min_label_wins() {
+        let a = ConnectedComponents::new();
+        assert_eq!(a.reduce(5.0, 2.0), 2.0);
+        assert!(a.more_progressed(1.0, 4.0));
+    }
+}

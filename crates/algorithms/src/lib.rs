@@ -1,0 +1,302 @@
+//! Delta-accumulative (DAIC) graph algorithms for JetStream.
+//!
+//! The event-driven execution model of GraphPulse/JetStream is built on
+//! delta-accumulative incremental computation (Maiter, Zhang et al.): vertex
+//! state is computed by a [`reduce`](Algorithm::reduce) over independent,
+//! reorderable contributions (*deltas*) arriving over edges, and a
+//! [`propagate`](Algorithm::propagate) function derives the delta sent along
+//! each outgoing edge. Algorithms must satisfy the *Reordering* and
+//! *Simplification* properties of §3.1 of the paper.
+//!
+//! Two families are supported, matching the paper:
+//!
+//! * **Selective** (monotonic) algorithms — vertex state is a *selection*
+//!   over incoming contributions (`min`/`max`): SSSP, SSWP, BFS, Connected
+//!   Components. Deletion recovery uses impacted-vertex tagging (§3.4).
+//! * **Accumulative** algorithms — vertex state is a *sum* of incoming
+//!   contributions: incremental PageRank and Adsorption. Deletion recovery
+//!   sends the negated historical contribution (§3.3, Algorithm 3).
+//!
+//! The [`oracle`] module provides classical sequential implementations of
+//! every algorithm, used as ground truth in tests and benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use jetstream_algorithms::{Algorithm, Sssp, EdgeCtx};
+//!
+//! let sssp = Sssp::new(0);
+//! let identity = sssp.identity();
+//! assert_eq!(sssp.reduce(3.0, identity), 3.0); // identity never dominates
+//! let ctx = EdgeCtx { weight: 2.0, out_degree: 4, weight_sum: 10.0 };
+//! assert_eq!(sssp.propagate(3.0, 3.0, &ctx), Some(5.0)); // path extension
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adsorption;
+mod bfs;
+mod cc;
+mod pagerank;
+mod sssp;
+mod sswp;
+
+pub mod oracle;
+
+pub use adsorption::Adsorption;
+pub use bfs::Bfs;
+pub use cc::ConnectedComponents;
+pub use pagerank::PageRank;
+pub use sssp::Sssp;
+pub use sswp::Sswp;
+
+use jetstream_graph::{Csr, VertexId, Weight};
+
+/// Vertex state / event payload scalar.
+pub type Value = Weight;
+
+/// Whether an algorithm's vertex update is a selection or a sum (§3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateKind {
+    /// Monotonic selection (`min`/`max`) update: SSSP, SSWP, BFS, CC.
+    Selective,
+    /// Accumulative (`+`) update: PageRank, Adsorption.
+    Accumulative,
+}
+
+/// Per-edge context handed to [`Algorithm::propagate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeCtx {
+    /// Weight of the edge being propagated over.
+    pub weight: Weight,
+    /// Out-degree of the source vertex in the *current* graph version.
+    pub out_degree: usize,
+    /// Sum of the source vertex's out-edge weights (only meaningful when
+    /// [`Algorithm::needs_weight_sum`] is true).
+    pub weight_sum: Weight,
+}
+
+/// A delta-accumulative graph algorithm runnable on the JetStream engine.
+///
+/// Implementations must guarantee:
+///
+/// * `reduce(x, identity()) == x` for all `x` (the identity is non-dominant);
+/// * `reduce` is commutative and associative (*Reordering property*);
+/// * a vertex whose state is unchanged by a delta need not propagate
+///   (*Simplification property*).
+pub trait Algorithm: std::fmt::Debug + Send + Sync {
+    /// Human-readable name ("SSSP", "PageRank", ...).
+    fn name(&self) -> &'static str;
+
+    /// Selective or accumulative update family.
+    fn kind(&self) -> UpdateKind;
+
+    /// The initial vertex value; the non-dominant element of `reduce`.
+    fn identity(&self) -> Value;
+
+    /// Combines an incoming delta with the current vertex state.
+    fn reduce(&self, state: Value, delta: Value) -> Value;
+
+    /// Computes the delta sent over one outgoing edge, or `None` when the
+    /// contribution is not worth propagating (e.g. below the accumulative
+    /// convergence threshold).
+    ///
+    /// For **selective** algorithms the outgoing delta is derived from the
+    /// full vertex `state`. For **accumulative** algorithms it is derived
+    /// from the `applied_delta` that was just folded into the state
+    /// (Maiter-style delta forwarding).
+    fn propagate(&self, state: Value, applied_delta: Value, ctx: &EdgeCtx) -> Option<Value>;
+
+    /// The initial event set placed in the queue before static evaluation
+    /// (`InitialEvents()` in Algorithm 1).
+    fn initial_events(&self, graph: &Csr) -> Vec<(VertexId, Value)>;
+
+    /// The initial contribution vertex `v` receives from the initializer,
+    /// if any. The engine replays this for vertices reset during deletion
+    /// recovery: an impacted vertex whose converged value partly came from
+    /// the initializer (the SSSP/SSWP/BFS root, every vertex's self-label in
+    /// CC) cannot be re-approximated from neighbor requests alone.
+    fn initial_event(&self, v: VertexId) -> Option<Value>;
+
+    /// True if `a` is strictly *more progressed* (closer to convergence,
+    /// dominant under `reduce`) than `b`. Only meaningful for selective
+    /// algorithms; the default compares via `reduce`.
+    fn more_progressed(&self, a: Value, b: Value) -> bool {
+        self.kind() == UpdateKind::Selective && self.reduce(a, b) == a && a != b
+    }
+
+    /// True when applying `delta` to `state` actually changes the state
+    /// (i.e. the vertex must propagate). The default compares
+    /// `reduce(state, delta)` with `state` exactly; accumulative algorithms
+    /// override this with a tolerance.
+    fn changes_state(&self, state: Value, delta: Value) -> bool {
+        self.reduce(state, delta) != state
+    }
+
+    /// Total historical contribution this vertex sent over *one* of its
+    /// out-edges, inferred from its accumulated state (accumulative
+    /// algorithms only; used to build negative delete events, Algorithm 3).
+    ///
+    /// Returns `None` for selective algorithms.
+    fn cumulative_edge_contribution(&self, state: Value, ctx: &EdgeCtx) -> Option<Value> {
+        let _ = (state, ctx);
+        None
+    }
+
+    /// True if [`EdgeCtx::weight_sum`] must be populated (weight-normalized
+    /// propagation, e.g. Adsorption).
+    fn needs_weight_sum(&self) -> bool {
+        false
+    }
+
+    /// True if propagation depends on the source's out-degree or weight sum,
+    /// so that inserting/deleting *any* edge at a vertex perturbs the deltas
+    /// over *all* of its out-edges (PageRank, Adsorption). Such algorithms
+    /// use the sink-transform batch preparation of Fig. 5.
+    fn degree_sensitive(&self) -> bool {
+        self.kind() == UpdateKind::Accumulative
+    }
+}
+
+/// The six workloads evaluated in the paper (§6.1), as a closed enum for
+/// harness configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Workload {
+    /// Single-source shortest path.
+    Sssp,
+    /// Single-source widest path.
+    Sswp,
+    /// Breadth-first search (hop distance).
+    Bfs,
+    /// Connected components via minimum-label propagation.
+    Cc,
+    /// Incremental (delta-accumulative) PageRank.
+    PageRank,
+    /// Adsorption label propagation.
+    Adsorption,
+}
+
+impl Workload {
+    /// All workloads, in the paper's Table 3 order.
+    pub const ALL: [Workload; 6] = [
+        Workload::Sswp,
+        Workload::Sssp,
+        Workload::Bfs,
+        Workload::Cc,
+        Workload::PageRank,
+        Workload::Adsorption,
+    ];
+
+    /// The four selective workloads (Figs. 10, 12, 14).
+    pub const SELECTIVE: [Workload; 4] =
+        [Workload::Sswp, Workload::Sssp, Workload::Bfs, Workload::Cc];
+
+    /// Short name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Sssp => "SSSP",
+            Workload::Sswp => "SSWP",
+            Workload::Bfs => "BFS",
+            Workload::Cc => "CC",
+            Workload::PageRank => "PageRank",
+            Workload::Adsorption => "Adsorption",
+        }
+    }
+
+    /// Instantiates the algorithm. `root` seeds the single-source workloads
+    /// and is ignored by CC, PageRank, and Adsorption.
+    pub fn instantiate(self, root: VertexId) -> Box<dyn Algorithm> {
+        match self {
+            Workload::Sssp => Box::new(Sssp::new(root)),
+            Workload::Sswp => Box::new(Sswp::new(root)),
+            Workload::Bfs => Box::new(Bfs::new(root)),
+            Workload::Cc => Box::new(ConnectedComponents::new()),
+            Workload::PageRank => Box::new(PageRank::default()),
+            Workload::Adsorption => Box::new(Adsorption::default()),
+        }
+    }
+
+    /// Like [`instantiate`](Workload::instantiate), with an explicit
+    /// convergence threshold for the accumulative workloads (ignored by the
+    /// selective ones, which are exact).
+    ///
+    /// The threshold controls how deep incremental deltas propagate: the
+    /// paper's locality regime requires the propagation depth at `epsilon`
+    /// to stay below the graph's diameter, so scaled-down graphs call for a
+    /// proportionally coarser threshold.
+    pub fn instantiate_with_epsilon(self, root: VertexId, epsilon: Value) -> Box<dyn Algorithm> {
+        match self {
+            Workload::PageRank => Box::new(PageRank::with_epsilon(0.85, epsilon)),
+            Workload::Adsorption => Box::new(Adsorption::with_epsilon(0.85, epsilon)),
+            _ => self.instantiate(root),
+        }
+    }
+
+    /// The update family of this workload.
+    pub fn kind(self) -> UpdateKind {
+        match self {
+            Workload::Sssp | Workload::Sswp | Workload::Bfs | Workload::Cc => {
+                UpdateKind::Selective
+            }
+            Workload::PageRank | Workload::Adsorption => UpdateKind::Accumulative,
+        }
+    }
+}
+
+/// Runs the sequential reference oracle for `workload` on `graph`.
+///
+/// Produces one converged value per vertex, directly comparable (within
+/// [`oracle::VALUE_TOLERANCE`] for accumulative workloads) to engine output.
+pub fn oracle_values(workload: Workload, graph: &Csr, root: VertexId) -> Vec<Value> {
+    match workload {
+        Workload::Sssp => oracle::sssp(graph, root),
+        Workload::Sswp => oracle::sswp(graph, root),
+        Workload::Bfs => oracle::bfs(graph, root),
+        Workload::Cc => oracle::connected_components(graph),
+        Workload::PageRank => oracle::pagerank(graph, PageRank::default().damping()),
+        Workload::Adsorption => oracle::adsorption(graph, Adsorption::default().damping()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_names_unique() {
+        let names: std::collections::HashSet<_> =
+            Workload::ALL.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn instantiation_matches_kind() {
+        for w in Workload::ALL {
+            let a = w.instantiate(0);
+            assert_eq!(a.kind(), w.kind(), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn identity_is_non_dominant_for_all() {
+        for w in Workload::ALL {
+            let a = w.instantiate(0);
+            let id = a.identity();
+            for x in [0.5, 1.0, 7.0, 42.0] {
+                assert_eq!(a.reduce(x, id), x, "{} identity dominates {x}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_commutative_for_all() {
+        for w in Workload::ALL {
+            let a = w.instantiate(0);
+            for (x, y) in [(1.0, 2.0), (5.0, 3.0), (0.25, 0.125)] {
+                assert_eq!(a.reduce(x, y), a.reduce(y, x), "{}", w.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+use jetstream_graph::{Csr, VertexId};
+
+use crate::{Algorithm, EdgeCtx, UpdateKind, Value};
+
+/// Single-source widest path (selective / monotonic).
+///
+/// Vertex state is the bottleneck capacity of the widest known path from the
+/// root; `reduce` is `max`, the identity is `0`, and an edge propagates
+/// `min(state, weight)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sswp {
+    root: VertexId,
+}
+
+impl Sswp {
+    /// Creates an SSWP query rooted at `root`.
+    pub fn new(root: VertexId) -> Self {
+        Sswp { root }
+    }
+
+    /// The query root.
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+}
+
+impl Algorithm for Sswp {
+    fn name(&self) -> &'static str {
+        "SSWP"
+    }
+
+    fn kind(&self) -> UpdateKind {
+        UpdateKind::Selective
+    }
+
+    fn identity(&self) -> Value {
+        0.0
+    }
+
+    fn reduce(&self, state: Value, delta: Value) -> Value {
+        state.max(delta)
+    }
+
+    fn propagate(&self, state: Value, _applied_delta: Value, ctx: &EdgeCtx) -> Option<Value> {
+        if state > 0.0 {
+            Some(state.min(ctx.weight))
+        } else {
+            None
+        }
+    }
+
+    fn initial_events(&self, _graph: &Csr) -> Vec<(VertexId, Value)> {
+        // The root's own width is unbounded.
+        vec![(self.root, Value::INFINITY)]
+    }
+
+    fn initial_event(&self, v: VertexId) -> Option<Value> {
+        (v == self.root).then_some(Value::INFINITY)
+    }
+
+    fn more_progressed(&self, a: Value, b: Value) -> bool {
+        a > b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(weight: Value) -> EdgeCtx {
+        EdgeCtx { weight, out_degree: 1, weight_sum: weight }
+    }
+
+    #[test]
+    fn reduce_is_max() {
+        let a = Sswp::new(0);
+        assert_eq!(a.reduce(3.0, 5.0), 5.0);
+        assert_eq!(a.reduce(0.0, 4.0), 4.0);
+    }
+
+    #[test]
+    fn propagate_takes_bottleneck() {
+        let a = Sswp::new(0);
+        assert_eq!(a.propagate(5.0, 5.0, &ctx(3.0)), Some(3.0));
+        assert_eq!(a.propagate(2.0, 2.0, &ctx(3.0)), Some(2.0));
+    }
+
+    #[test]
+    fn identity_state_does_not_propagate() {
+        let a = Sswp::new(0);
+        assert_eq!(a.propagate(0.0, 0.0, &ctx(3.0)), None);
+    }
+
+    #[test]
+    fn root_starts_unbounded() {
+        let a = Sswp::new(2);
+        let g = Csr::empty(5);
+        assert_eq!(a.initial_events(&g), vec![(2, Value::INFINITY)]);
+    }
+
+    #[test]
+    fn wider_is_more_progressed() {
+        let a = Sswp::new(0);
+        assert!(a.more_progressed(5.0, 3.0));
+        assert!(!a.more_progressed(3.0, 5.0));
+        assert!(!a.more_progressed(3.0, 3.0));
+    }
+}

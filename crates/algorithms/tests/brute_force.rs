@@ -1,0 +1,161 @@
+//! Validates the oracles themselves against exhaustive path enumeration on
+//! tiny random graphs: Dijkstra vs all-simple-paths shortest, widest-path
+//! vs all-simple-paths bottleneck, CC vs reachability closure, and the
+//! Jacobi fixpoints against their defining equations.
+
+use jetstream_algorithms::{oracle, Adsorption};
+use jetstream_graph::{gen, Csr, VertexId};
+
+const N: usize = 7;
+
+/// All simple paths from `root`, folding edge weights with `f` and keeping
+/// the `better` of the folded values per destination.
+fn enumerate<F, B>(csr: &Csr, root: VertexId, init: f64, f: F, better: B) -> Vec<f64>
+where
+    F: Fn(f64, f64) -> f64 + Copy,
+    B: Fn(f64, f64) -> bool + Copy,
+{
+    fn dfs<F, B>(
+        csr: &Csr,
+        u: VertexId,
+        acc: f64,
+        visited: &mut [bool],
+        best: &mut [f64],
+        f: F,
+        better: B,
+    ) where
+        F: Fn(f64, f64) -> f64 + Copy,
+        B: Fn(f64, f64) -> bool + Copy,
+    {
+        visited[u as usize] = true;
+        for e in csr.neighbors(u) {
+            if visited[e.other as usize] {
+                continue;
+            }
+            let cand = f(acc, e.weight);
+            if better(cand, best[e.other as usize]) {
+                best[e.other as usize] = cand;
+            }
+            dfs(csr, e.other, cand, visited, best, f, better);
+        }
+        visited[u as usize] = false;
+    }
+
+    let n = csr.num_vertices();
+    let worst = if better(0.0, 1.0) { f64::INFINITY } else { 0.0 };
+    let mut best = vec![worst; n];
+    best[root as usize] = init;
+    let mut visited = vec![false; n];
+    dfs(csr, root, init, &mut visited, &mut best, f, better);
+    best
+}
+
+#[test]
+fn dijkstra_matches_exhaustive_shortest_paths() {
+    for seed in 0..30u64 {
+        let g = gen::erdos_renyi(N, 14, seed).snapshot();
+        let fast = oracle::sssp(&g, 0);
+        let slow = enumerate(&g, 0, 0.0, |acc, w| acc + w, |a, b| a < b);
+        for v in 0..N {
+            let (f, s) = (fast[v], slow[v]);
+            assert!(
+                (f.is_infinite() && s.is_infinite()) || (f - s).abs() < 1e-9,
+                "seed {seed} vertex {v}: dijkstra {f} vs brute force {s}"
+            );
+        }
+    }
+}
+
+#[test]
+fn widest_path_matches_exhaustive_bottlenecks() {
+    for seed in 0..30u64 {
+        let g = gen::erdos_renyi(N, 14, seed + 100).snapshot();
+        let fast = oracle::sswp(&g, 0);
+        let slow = enumerate(&g, 0, f64::INFINITY, |acc, w| acc.min(w), |a, b| a > b);
+        for v in 1..N {
+            let (f, s) = (fast[v], slow[v]);
+            assert!(
+                (f == 0.0 && s == 0.0) || (f - s).abs() < 1e-9,
+                "seed {seed} vertex {v}: sswp {f} vs brute force {s}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cc_matches_reachability_closure() {
+    for seed in 0..30u64 {
+        let g = gen::erdos_renyi(N, 12, seed + 200).snapshot();
+        let labels = oracle::connected_components(&g);
+        for v in 0..N as VertexId {
+            let mut expected = v;
+            for u in 0..N as VertexId {
+                if u < expected && reaches(&g, u, v) {
+                    expected = u;
+                }
+            }
+            assert_eq!(labels[v as usize], f64::from(expected), "seed {seed} vertex {v}");
+        }
+    }
+}
+
+fn reaches(csr: &Csr, from: VertexId, to: VertexId) -> bool {
+    let mut seen = vec![false; csr.num_vertices()];
+    let mut stack = vec![from];
+    while let Some(u) = stack.pop() {
+        if u == to {
+            return true;
+        }
+        if std::mem::replace(&mut seen[u as usize], true) {
+            continue;
+        }
+        stack.extend(csr.neighbors(u).map(|e| e.other));
+    }
+    false
+}
+
+#[test]
+fn pagerank_fixpoint_satisfies_its_equation() {
+    for seed in 0..10u64 {
+        let g = gen::erdos_renyi(12, 40, seed + 300).snapshot();
+        let x = oracle::pagerank(&g, 0.85);
+        let inc = g.transpose();
+        for v in 0..12u32 {
+            let mut rhs = 0.15;
+            for e in inc.neighbors(v) {
+                let d = g.degree(e.other);
+                if d > 0 {
+                    rhs += 0.85 * x[e.other as usize] / d as f64;
+                }
+            }
+            assert!(
+                (x[v as usize] - rhs).abs() < 1e-6,
+                "seed {seed} vertex {v}: {} vs {rhs}",
+                x[v as usize]
+            );
+        }
+    }
+}
+
+#[test]
+fn adsorption_fixpoint_satisfies_its_equation() {
+    for seed in 0..10u64 {
+        let g = gen::erdos_renyi(12, 40, seed + 400).snapshot();
+        let x = oracle::adsorption(&g, 0.85);
+        let inc = g.transpose();
+        for v in 0..12u32 {
+            let mut rhs = Adsorption::injection(v);
+            for e in inc.neighbors(v) {
+                let wsum: f64 = g.neighbors(e.other).map(|o| o.weight).sum();
+                if wsum > 0.0 {
+                    rhs += 0.85 * x[e.other as usize] * e.weight / wsum;
+                }
+            }
+            assert!(
+                (x[v as usize] - rhs).abs() < 1e-6,
+                "seed {seed} vertex {v}: {} vs {rhs}",
+                x[v as usize]
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+/// Operation counts for one baseline run, mirroring the engine's
+/// `RunStats` in `jetstream-core` where the notions coincide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoftwareStats {
+    /// Vertex state reads.
+    pub vertex_reads: u64,
+    /// Vertex state writes.
+    pub vertex_writes: u64,
+    /// Edges examined.
+    pub edge_reads: u64,
+    /// Vertices reset/invalidated by deletion handling (KickStarter tagging;
+    /// Fig. 10 of the paper).
+    pub resets: u64,
+    /// BSP iterations executed.
+    pub rounds: u64,
+}
+
+impl SoftwareStats {
+    /// Total vertex accesses.
+    pub fn vertex_accesses(&self) -> u64 {
+        self.vertex_reads + self.vertex_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accesses_sum() {
+        let s = SoftwareStats { vertex_reads: 2, vertex_writes: 3, ..Default::default() };
+        assert_eq!(s.vertex_accesses(), 5);
+    }
+}

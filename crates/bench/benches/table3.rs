@@ -1,0 +1,39 @@
+//! Criterion bench for Table 3's hot path: one streaming batch through the
+//! JetStream engine + cycle simulator versus a GraphPulse cold restart,
+//! on a small Facebook-profile instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jetstream_bench::harness::{run_graphpulse_cold, run_jetstream, Scenario};
+use jetstream_core::DeleteStrategy;
+use jetstream_graph::gen::DatasetProfile;
+use jetstream_algorithms::Workload;
+
+fn scenario(workload: Workload) -> Scenario {
+    Scenario {
+        workload,
+        profile: DatasetProfile::Facebook,
+        scale: 8000,
+        batch: 12,
+        insertion_fraction: 0.7,
+        strategy: DeleteStrategy::Dap,
+        seed: 11,
+        rounds: 1,
+    }
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for w in [Workload::Sssp, Workload::Cc, Workload::PageRank] {
+        group.bench_function(format!("jetstream/{}", w.name()), |b| {
+            b.iter(|| run_jetstream(&scenario(w)))
+        });
+        group.bench_function(format!("graphpulse-cold/{}", w.name()), |b| {
+            b.iter(|| run_graphpulse_cold(&scenario(w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,852 @@
+use std::collections::BTreeSet;
+
+use jetstream_algorithms::{Algorithm, EdgeCtx, UpdateKind, Value};
+use jetstream_graph::{AdjacencyGraph, CsrPair, GraphError, UpdateBatch, VertexId};
+
+use crate::event::Event;
+use crate::queue::{CoalescingQueue, QueueStats};
+use crate::stats::{Phase, RunStats};
+use crate::trace::{OpKind, Trace, TraceBuilder, TraceOp};
+
+/// Delete-propagation strategy (§3.4 base algorithm and the §5 optimizations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeleteStrategy {
+    /// Baseline tagging: every delete event resets its target (Algorithm 4).
+    Tag,
+    /// Value-aware propagation: a delete is discarded when the receiver's
+    /// state is strictly more progressed than the deleted contribution
+    /// (§5.1).
+    Vap,
+    /// Dependency-aware propagation: a delete only resets its target when
+    /// the target's recorded dependency matches the delete's source (§5.2).
+    /// This is JetStream's best configuration and the default.
+    #[default]
+    Dap,
+}
+
+impl DeleteStrategy {
+    /// All strategies in the paper's Fig. 12 order (Base, +VAP, +DAP).
+    pub const ALL: [DeleteStrategy; 3] =
+        [DeleteStrategy::Tag, DeleteStrategy::Vap, DeleteStrategy::Dap];
+
+    /// Label used in Fig. 12.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeleteStrategy::Tag => "Base",
+            DeleteStrategy::Vap => "+VAP",
+            DeleteStrategy::Dap => "+DAP",
+        }
+    }
+}
+
+/// How accumulative algorithms revert deleted contributions (§3.5,
+/// Algorithms 3 & 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccumulativeRecovery {
+    /// The paper's literal Algorithm 6: negative events converge on the
+    /// sink-transformed intermediate graph, then re-insertion events
+    /// converge on the new graph. Both waves carry full contribution
+    /// magnitudes, so kept edges are rolled back and replayed in separate
+    /// phases without cancelling.
+    TwoPhase,
+    /// Coalesced recovery (default): rollback (old-context) and replay
+    /// (new-context) events are queued together, so the `-old` and `+new`
+    /// contributions of every *kept* edge coalesce to a near-zero net
+    /// delta before processing, and one computation on the new graph
+    /// converges. Algebraically equivalent — the net seed plus incremental
+    /// forwarding telescopes to `V_final·d/deg_new − V_old·d/deg_old` per
+    /// edge — but the work scales with the batch instead of with the
+    /// touched vertices' total contribution mass.
+    #[default]
+    Coalesced,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// How deletions are propagated and pruned (selective algorithms).
+    pub delete_strategy: DeleteStrategy,
+    /// How deleted contributions are reverted (accumulative algorithms).
+    pub accumulative_recovery: AccumulativeRecovery,
+    /// Number of queue bins (16 in the modelled hardware).
+    pub num_bins: usize,
+    /// On-chip queue capacity in vertices. Graphs with more vertices are
+    /// processed in slices: the engine drains one slice's events at a
+    /// time, and events targeting an inactive slice are counted as spills
+    /// to off-chip memory (§4.7). `None` (the default) fits any graph.
+    pub queue_capacity: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            delete_strategy: DeleteStrategy::default(),
+            accumulative_recovery: AccumulativeRecovery::default(),
+            num_bins: 16,
+            queue_capacity: None,
+        }
+    }
+}
+
+/// The JetStream functional engine.
+///
+/// Runs any [`Algorithm`] with the event-driven execution model of
+/// GraphPulse (Algorithm 1) and supports streaming update batches with the
+/// JetStream recovery flows:
+///
+/// * selective algorithms: delete tagging → impacted reset → request-based
+///   re-approximation → insertion events → recompute (Algorithms 4 & 5);
+/// * accumulative algorithms: sink transform → negative deltas on the
+///   intermediate graph → re-insertion events → recompute (Algorithms 3 & 6,
+///   Fig. 5).
+///
+/// # Example
+///
+/// ```
+/// use jetstream_core::{StreamingEngine, EngineConfig};
+/// use jetstream_algorithms::Sssp;
+/// use jetstream_graph::{AdjacencyGraph, UpdateBatch};
+///
+/// # fn main() -> Result<(), jetstream_graph::GraphError> {
+/// let mut g = AdjacencyGraph::new(3);
+/// g.insert_edge(0, 1, 4.0)?;
+/// g.insert_edge(1, 2, 1.0)?;
+///
+/// let mut engine = StreamingEngine::new(Box::new(Sssp::new(0)), g, EngineConfig::default());
+/// engine.initial_compute();
+/// assert_eq!(engine.values()[2], 5.0);
+///
+/// let mut batch = UpdateBatch::new();
+/// batch.insert(0, 2, 2.0); // a shortcut appears
+/// engine.apply_update_batch(&batch)?;
+/// assert_eq!(engine.values()[2], 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StreamingEngine {
+    alg: Box<dyn Algorithm>,
+    host: AdjacencyGraph,
+    csr: CsrPair,
+    values: Vec<Value>,
+    dependency: Vec<Option<VertexId>>,
+    impacted: Vec<VertexId>,
+    queue: CoalescingQueue,
+    config: EngineConfig,
+    /// Slice currently being drained (`active_slice * capacity ..`),
+    /// meaningful only while the graph is partitioned (§4.7).
+    active_slice: usize,
+    stats: RunStats,
+    tracer: TraceBuilder,
+}
+
+impl StreamingEngine {
+    /// Creates an engine over `host` (the evolving graph) for `alg`.
+    pub fn new(alg: Box<dyn Algorithm>, host: AdjacencyGraph, config: EngineConfig) -> Self {
+        let csr = host.snapshot_pair();
+        let n = host.num_vertices();
+        let identity = alg.identity();
+        StreamingEngine {
+            queue: CoalescingQueue::new(n, config.num_bins),
+            values: vec![identity; n],
+            dependency: vec![None; n],
+            impacted: Vec::new(),
+            alg,
+            host,
+            csr,
+            config,
+            active_slice: 0,
+            stats: RunStats::default(),
+            tracer: TraceBuilder::default(),
+        }
+    }
+
+    /// Number of slices the graph is partitioned into (1 when it fits the
+    /// configured queue capacity).
+    pub fn num_slices(&self) -> usize {
+        match self.config.queue_capacity {
+            Some(cap) if cap > 0 => self.values.len().div_ceil(cap).max(1),
+            _ => 1,
+        }
+    }
+
+    /// The algorithm being evaluated.
+    pub fn algorithm(&self) -> &dyn Algorithm {
+        self.alg.as_ref()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Current converged (or in-progress) vertex values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The host-side evolving graph.
+    pub fn graph(&self) -> &AdjacencyGraph {
+        &self.host
+    }
+
+    /// The active CSR snapshot.
+    pub fn csr(&self) -> &CsrPair {
+        &self.csr
+    }
+
+    /// Vertices reset during the most recent streaming batch (Fig. 10).
+    pub fn last_impacted(&self) -> &[VertexId] {
+        &self.impacted
+    }
+
+    /// The recorded dependency (`Leads-To`) source of each vertex under DAP
+    /// (§5.2): the vertex whose contribution last changed this vertex's
+    /// state, or `None` for initializer-seeded or reset vertices.
+    pub fn dependencies(&self) -> &[Option<VertexId>] {
+        &self.dependency
+    }
+
+    /// Cumulative queue statistics.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// Enables or disables operation tracing (for the cycle simulator).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Takes the trace recorded since tracing was enabled (or the last take).
+    pub fn take_trace(&mut self) -> Trace {
+        self.tracer.take()
+    }
+
+    /// Runs the static (cold) evaluation from scratch on the current graph
+    /// version — the GraphPulse execution flow (§4.6.1).
+    pub fn initial_compute(&mut self) -> RunStats {
+        self.stats = RunStats::default();
+        let identity = self.alg.identity();
+        self.values.fill(identity);
+        self.dependency.fill(None);
+        self.tracer.begin_phase(Phase::Initial);
+        for (v, val) in self.alg.initial_events(&self.csr.out) {
+            let targets_start = self.tracer.targets_start();
+            self.emit(Event::regular(v, val));
+            self.tracer.push_target(v);
+            self.tracer.push_op(TraceOp {
+                vertex: v,
+                kind: OpKind::StreamRead,
+                changed: true,
+                edges_read: 0,
+                targets_start,
+                targets_len: 1,
+            });
+        }
+        self.tracer.end_round();
+        self.run_queue(Phase::Initial);
+        self.stats.events_coalesced = self.queue.stats().coalesced;
+        self.stats
+    }
+
+    /// Applies a streaming update batch and incrementally reevaluates the
+    /// query (the JetStream flow, §4.6.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] when the batch is invalid against the
+    /// current graph version (the graph and query state are unchanged).
+    pub fn apply_update_batch(&mut self, batch: &UpdateBatch) -> Result<RunStats, GraphError> {
+        self.stats = RunStats::default();
+        let coalesced_before = self.queue.stats().coalesced;
+        match self.alg.kind() {
+            UpdateKind::Selective => self.stream_selective(batch)?,
+            UpdateKind::Accumulative => self.stream_accumulative(batch)?,
+        }
+        self.stats.events_coalesced = self.queue.stats().coalesced - coalesced_before;
+        Ok(self.stats)
+    }
+
+    /// Applies the batch and recomputes from scratch — the GraphPulse
+    /// "cold-start" baseline the paper compares against.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] when the batch is invalid.
+    pub fn cold_restart(&mut self, batch: &UpdateBatch) -> Result<RunStats, GraphError> {
+        self.host.apply_batch(batch)?;
+        self.csr = self.host.snapshot_pair();
+        Ok(self.initial_compute())
+    }
+
+    // ------------------------------------------------------------------
+    // Event-loop machinery
+    // ------------------------------------------------------------------
+
+    fn emit(&mut self, event: Event) {
+        self.stats.events_generated += 1;
+        if let Some(cap) = self.config.queue_capacity {
+            if cap > 0 && (event.target as usize) / cap != self.active_slice {
+                self.stats.spilled_events += 1;
+            }
+        }
+        self.queue.insert(event, self.alg.as_ref());
+    }
+
+    /// Drains the queue round by round until empty (the scheduler loop,
+    /// §4.3: bins drain round-robin; a round completes when every bin has
+    /// been drained once and all processors idle).
+    fn run_queue(&mut self, phase: Phase) {
+        let slices = self.num_slices();
+        while !self.queue.is_empty() {
+            if slices == 1 {
+                for bin in 0..self.queue.num_bins() {
+                    let events = self.queue.take_bin(bin);
+                    for ev in events {
+                        self.process_event(ev);
+                    }
+                }
+            } else {
+                // Slice-by-slice draining (§4.7): one slice's events are
+                // on-chip at a time; events generated for other slices were
+                // counted as spills at emission and processed when their
+                // slice activates.
+                let cap = self.config.queue_capacity.expect("slices > 1 implies capacity");
+                for slice in 0..slices {
+                    self.active_slice = slice;
+                    let lo = slice * cap;
+                    let hi = ((slice + 1) * cap).min(self.values.len());
+                    let events = self.queue.take_range(lo, hi);
+                    for ev in events {
+                        self.process_event(ev);
+                    }
+                }
+                self.active_slice = 0;
+            }
+            // DAP recovery: uncoalesced delete events live in the overflow
+            // buffer; drain the ones present at the start of this pass.
+            let pending = self.queue.overflow_len();
+            for _ in 0..pending {
+                let ev = self.queue.pop_overflow().expect("overflow length checked");
+                self.process_event(ev);
+            }
+            self.stats.rounds += 1;
+            self.tracer.end_round();
+        }
+        let _ = phase;
+    }
+
+    fn process_event(&mut self, ev: Event) {
+        if ev.is_delete {
+            self.process_delete(ev);
+            return;
+        }
+        self.stats.events_processed += 1;
+        self.stats.vertex_reads += 1;
+        let t = ev.target as usize;
+        let old = self.values[t];
+        let new = self.alg.reduce(old, ev.payload);
+        let changed = match self.alg.kind() {
+            UpdateKind::Selective => new != old,
+            UpdateKind::Accumulative => self.alg.changes_state(old, ev.payload),
+        };
+        if changed {
+            self.values[t] = new;
+            self.stats.vertex_writes += 1;
+            if self.dap_active() {
+                self.dependency[t] = ev.source;
+            }
+        }
+        let must_propagate = changed || ev.request;
+        let targets_start = self.tracer.targets_start();
+        let (generated, edges_read) = if must_propagate {
+            self.propagate_regular(ev.target, ev.payload)
+        } else {
+            (0, 0)
+        };
+        self.tracer.push_op(TraceOp {
+            vertex: ev.target,
+            kind: OpKind::Apply,
+            changed: must_propagate,
+            edges_read,
+            targets_start,
+            targets_len: generated,
+        });
+    }
+
+    /// Propagates from `u` over the active graph's out-edges, generating
+    /// regular events. Returns `(events_generated, edges_read)`.
+    fn propagate_regular(&mut self, u: VertexId, applied_delta: Value) -> (u32, u32) {
+        let state = self.values[u as usize];
+        let deg = self.csr.out.degree(u);
+        self.stats.edge_reads += deg as u64;
+        let wsum = self.weight_sum(u);
+        let edges: Vec<_> = self.csr.out.neighbors(u).collect();
+        let mut generated = 0u32;
+        for e in edges {
+            let ctx = EdgeCtx { weight: e.weight, out_degree: deg, weight_sum: wsum };
+            if let Some(delta) = self.alg.propagate(state, applied_delta, &ctx) {
+                let event = if self.dap_active() {
+                    Event::regular_from(u, e.other, delta)
+                } else {
+                    Event::regular(e.other, delta)
+                };
+                self.emit(event);
+                self.tracer.push_target(e.other);
+                generated += 1;
+            }
+        }
+        (generated, deg as u32)
+    }
+
+    fn weight_sum(&self, u: VertexId) -> Value {
+        if self.alg.needs_weight_sum() {
+            self.csr.out.neighbors(u).map(|e| e.weight).sum()
+        } else {
+            0.0
+        }
+    }
+
+    fn dap_active(&self) -> bool {
+        self.config.delete_strategy == DeleteStrategy::Dap
+            && self.alg.kind() == UpdateKind::Selective
+    }
+
+    // ------------------------------------------------------------------
+    // Selective (monotonic) streaming flow — Algorithms 4 & 5
+    // ------------------------------------------------------------------
+
+    fn stream_selective(&mut self, batch: &UpdateBatch) -> Result<(), GraphError> {
+        // Capture deleted-edge weights before mutating, then validate and
+        // apply the batch to the host graph. The delete phase still runs on
+        // the old CSR (`self.csr` is only swapped after recovery).
+        let deleted: Vec<(VertexId, VertexId, Value)> = batch
+            .deletions()
+            .iter()
+            .map(|&(u, v)| {
+                self.host
+                    .edge_weight(u, v)
+                    .map(|w| (u, v, w))
+                    .ok_or(GraphError::MissingEdge { source: u, target: v })
+            })
+            .collect::<Result<_, _>>()?;
+        self.host.apply_batch(batch)?;
+        let new_csr = self.host.snapshot_pair();
+        self.impacted.clear();
+
+        // DAP must keep per-source delete events distinct from the very
+        // first event on: two deletions targeting the same vertex carry
+        // different source ids and must both be examined (§5.2).
+        self.queue
+            .set_coalesce_deletes(self.config.delete_strategy != DeleteStrategy::Dap);
+
+        // Phase 1 — stream deleted edges into delete events (Algorithm 4,
+        // ProcessDeletesSelective; §4.6.2 "Delete Setup and Preparation").
+        self.tracer.begin_phase(Phase::DeleteSetup);
+        for (u, v, w) in deleted {
+            self.stats.stream_reads += 1;
+            self.stats.vertex_reads += 1; // source state read
+            let targets_start = self.tracer.targets_start();
+            let event = match self.config.delete_strategy {
+                DeleteStrategy::Tag => Some(Event::delete(u, v, self.alg.identity())),
+                DeleteStrategy::Vap => {
+                    // Payload carries the contribution that flowed over the
+                    // deleted edge; if the source never propagated there is
+                    // nothing to revert.
+                    let state = self.values[u as usize];
+                    let deg = self.csr.out.degree(u);
+                    let wsum = self.weight_sum(u);
+                    let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
+                    self.alg
+                        .propagate(state, state, &ctx)
+                        .map(|payload| Event::delete(u, v, payload))
+                }
+                DeleteStrategy::Dap => Some(Event::delete(u, v, self.alg.identity())),
+            };
+            let emitted = event.is_some();
+            if let Some(ev) = event {
+                self.emit(ev);
+                self.tracer.push_target(v);
+            }
+            self.tracer.push_op(TraceOp {
+                vertex: u,
+                kind: OpKind::StreamRead,
+                changed: emitted,
+                edges_read: 0,
+                targets_start,
+                targets_len: emitted as u32,
+            });
+        }
+        self.tracer.end_round();
+
+        // Phase 2 — delete propagation on the *old* graph: tag and reset
+        // every potentially impacted vertex (Algorithm 4, ResetImpacted).
+        self.tracer.begin_phase(Phase::DeletePropagation);
+        self.run_queue(Phase::DeletePropagation);
+        self.queue.set_coalesce_deletes(true);
+
+        // Graph switches to the new version (§3.5).
+        self.csr = new_csr;
+
+        // Phase 3 — request events along each impacted vertex's incoming
+        // edges (Algorithm 4, Reapproximate).
+        self.tracer.begin_phase(Phase::RequestSetup);
+        let impacted = std::mem::take(&mut self.impacted);
+        let identity = self.alg.identity();
+        for &x in &impacted {
+            let in_deg = self.csr.inc.degree(x);
+            self.stats.edge_reads += in_deg as u64;
+            let targets_start = self.tracer.targets_start();
+            let sources: Vec<VertexId> = self.csr.inc.neighbors(x).map(|e| e.other).collect();
+            let mut count = sources.len() as u32;
+            for u in sources {
+                self.stats.request_events += 1;
+                self.emit(Event::request(u, identity));
+                self.tracer.push_target(u);
+            }
+            // Replay the initializer's contribution for the reset vertex:
+            // values seeded by InitialEvents() (the query root, CC
+            // self-labels) do not arrive over any edge, so neighbor
+            // requests alone cannot restore them.
+            if let Some(seed) = self.alg.initial_event(x) {
+                self.emit(Event::regular(x, seed));
+                self.tracer.push_target(x);
+                count += 1;
+            }
+            self.tracer.push_op(TraceOp {
+                vertex: x,
+                kind: OpKind::RequestSetup,
+                changed: count > 0,
+                edges_read: in_deg as u32,
+                targets_start,
+                targets_len: count,
+            });
+        }
+        self.impacted = impacted;
+        self.tracer.end_round();
+
+        // Phase 4 — stream inserted edges into regular events
+        // (Algorithm 2); they coalesce with pending request events.
+        self.stream_inserts(batch.insertions());
+
+        // Phase 5 — incremental reevaluation on the new graph.
+        self.tracer.begin_phase(Phase::Recompute);
+        self.run_queue(Phase::Recompute);
+        Ok(())
+    }
+
+    fn stream_inserts(&mut self, insertions: &[(VertexId, VertexId, Value)]) {
+        self.tracer.begin_phase(Phase::InsertSetup);
+        for &(u, v, w) in insertions {
+            self.stats.stream_reads += 1;
+            self.stats.vertex_reads += 1;
+            let state = self.values[u as usize];
+            let deg = self.csr.out.degree(u);
+            let wsum = self.weight_sum(u);
+            let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
+            let targets_start = self.tracer.targets_start();
+            let delta = self.alg.propagate(state, state, &ctx);
+            let emitted = delta.is_some();
+            if let Some(d) = delta {
+                let event = if self.dap_active() {
+                    Event::regular_from(u, v, d)
+                } else {
+                    Event::regular(v, d)
+                };
+                self.emit(event);
+                self.tracer.push_target(v);
+            }
+            self.tracer.push_op(TraceOp {
+                vertex: u,
+                kind: OpKind::StreamRead,
+                changed: emitted,
+                edges_read: 0,
+                targets_start,
+                targets_len: emitted as u32,
+            });
+        }
+        self.tracer.end_round();
+    }
+
+    /// Handles one delete event during recovery (Algorithm 4, lines 8–17,
+    /// refined by VAP/DAP).
+    fn process_delete(&mut self, ev: Event) {
+        self.stats.events_processed += 1;
+        self.stats.delete_events += 1;
+        self.stats.vertex_reads += 1;
+        let t = ev.target as usize;
+        let current = self.values[t];
+        let identity = self.alg.identity();
+        let targets_start = self.tracer.targets_start();
+
+        // A delete cycling back to an already tagged vertex never
+        // propagates again.
+        let should_reset = current != identity
+            && match self.config.delete_strategy {
+                DeleteStrategy::Tag => true,
+                DeleteStrategy::Vap => !self.alg.more_progressed(current, ev.payload),
+                DeleteStrategy::Dap => self.dependency[t] == ev.source,
+            };
+
+        let (generated, edges_read) = if should_reset {
+            let previous = current;
+            self.values[t] = identity;
+            self.dependency[t] = None;
+            self.stats.vertex_writes += 1;
+            self.stats.resets += 1;
+            self.impacted.push(ev.target);
+            self.propagate_deletes(ev.target, previous)
+        } else {
+            (0, 0)
+        };
+        self.tracer.push_op(TraceOp {
+            vertex: ev.target,
+            kind: OpKind::Delete,
+            changed: should_reset,
+            edges_read,
+            targets_start,
+            targets_len: generated,
+        });
+    }
+
+    /// Propagates delete events downstream from a freshly reset vertex,
+    /// carrying the contribution computed from its *previous* state (§5.1).
+    fn propagate_deletes(&mut self, u: VertexId, previous: Value) -> (u32, u32) {
+        let deg = self.csr.out.degree(u);
+        self.stats.edge_reads += deg as u64;
+        let wsum = self.weight_sum(u);
+        let edges: Vec<_> = self.csr.out.neighbors(u).collect();
+        let mut generated = 0u32;
+        for e in edges {
+            let event = match self.config.delete_strategy {
+                DeleteStrategy::Tag => Some(Event::delete(u, e.other, self.alg.identity())),
+                DeleteStrategy::Vap => {
+                    let ctx = EdgeCtx { weight: e.weight, out_degree: deg, weight_sum: wsum };
+                    self.alg
+                        .propagate(previous, previous, &ctx)
+                        .map(|payload| Event::delete(u, e.other, payload))
+                }
+                DeleteStrategy::Dap => Some(Event::delete(u, e.other, self.alg.identity())),
+            };
+            if let Some(ev) = event {
+                self.emit(ev);
+                self.tracer.push_target(e.other);
+                generated += 1;
+            }
+        }
+        (generated, deg as u32)
+    }
+
+    // ------------------------------------------------------------------
+    // Accumulative streaming flow — Algorithms 3 & 6, Fig. 5
+    // ------------------------------------------------------------------
+
+    fn stream_accumulative(&mut self, batch: &UpdateBatch) -> Result<(), GraphError> {
+        // `touched` vertices have an out-edge added or deleted: their
+        // per-edge contribution factor (1/deg or w/wsum) changes, so the
+        // sink transform of Fig. 5 removes *all* their out-edges first.
+        let old_host = self.host.clone();
+        self.host.apply_batch(batch)?;
+        let touched: BTreeSet<VertexId> = batch
+            .deletions()
+            .iter()
+            .map(|&(u, _)| u)
+            .chain(batch.insertions().iter().map(|&(u, _, _)| u))
+            .collect();
+        self.impacted.clear();
+        let new_csr = self.host.snapshot_pair();
+
+        // Phase 1 — negative events for every old out-edge of a touched
+        // vertex, using the old degree/weight-sum (Algorithm 3).
+        self.tracer.begin_phase(Phase::DeleteSetup);
+        let snapshot: Vec<Value> = touched
+            .iter()
+            .map(|&u| self.values[u as usize])
+            .collect();
+        for (&u, &state) in touched.iter().zip(snapshot.iter()) {
+            let deg = old_host.degree(u);
+            let wsum: Value = if self.alg.needs_weight_sum() {
+                old_host.neighbors(u).map(|(_, w)| w).sum()
+            } else {
+                0.0
+            };
+            self.stats.vertex_reads += 1;
+            let old_edges: Vec<(VertexId, Value)> = old_host.neighbors(u).collect();
+            let targets_start = self.tracer.targets_start();
+            let mut generated = 0u32;
+            for (v, w) in &old_edges {
+                self.stats.stream_reads += 1;
+                let ctx = EdgeCtx { weight: *w, out_degree: deg, weight_sum: wsum };
+                if let Some(c) = self.alg.cumulative_edge_contribution(state, &ctx) {
+                    if self.alg.changes_state(0.0, c) {
+                        self.emit(Event::regular(*v, -c));
+                        self.tracer.push_target(*v);
+                        generated += 1;
+                    }
+                }
+            }
+            self.tracer.push_op(TraceOp {
+                vertex: u,
+                kind: OpKind::StreamRead,
+                changed: generated > 0,
+                edges_read: deg as u32,
+                targets_start,
+                targets_len: generated,
+            });
+        }
+        self.tracer.end_round();
+
+        if self.config.accumulative_recovery == AccumulativeRecovery::TwoPhase {
+            // Compute on the intermediate graph: the old graph with all
+            // touched vertices turned into sinks, breaking every cyclic
+            // path through them (Fig. 5b).
+            let intermediate_edges: Vec<(VertexId, VertexId, Value)> = old_host
+                .iter_edges()
+                .filter(|(u, _, _)| !touched.contains(u))
+                .collect();
+            self.csr = CsrPair::new(jetstream_graph::Csr::from_edges(
+                old_host.num_vertices(),
+                &intermediate_edges,
+            ));
+            self.tracer.begin_phase(Phase::IntermediateCompute);
+            self.run_queue(Phase::IntermediateCompute);
+        }
+
+        // Phase 2 — re-insertion events for every *new* out-edge of a
+        // touched vertex, using the new degree/weight-sum (Fig. 5c). Under
+        // coalesced recovery these merge in the queue with the pending
+        // negative events, cancelling the rollback of kept edges.
+        self.tracer.begin_phase(Phase::InsertSetup);
+        for (&u, &old_state) in touched.iter().zip(snapshot.iter()) {
+            let deg = new_csr.out.degree(u);
+            let wsum: Value = if self.alg.needs_weight_sum() {
+                new_csr.out.neighbors(u).map(|e| e.weight).sum()
+            } else {
+                0.0
+            };
+            // Two-phase recovery replays whatever state the intermediate
+            // convergence left; coalesced recovery replays the same
+            // snapshot the rollback used.
+            let state = match self.config.accumulative_recovery {
+                AccumulativeRecovery::TwoPhase => self.values[u as usize],
+                AccumulativeRecovery::Coalesced => old_state,
+            };
+            self.stats.vertex_reads += 1;
+            let targets_start = self.tracer.targets_start();
+            let mut generated = 0u32;
+            let edges: Vec<_> = new_csr.out.neighbors(u).collect();
+            for e in edges {
+                self.stats.stream_reads += 1;
+                let ctx = EdgeCtx { weight: e.weight, out_degree: deg, weight_sum: wsum };
+                if let Some(c) = self.alg.cumulative_edge_contribution(state, &ctx) {
+                    if self.alg.changes_state(0.0, c) {
+                        self.emit(Event::regular(e.other, c));
+                        self.tracer.push_target(e.other);
+                        generated += 1;
+                    }
+                }
+            }
+            self.tracer.push_op(TraceOp {
+                vertex: u,
+                kind: OpKind::StreamRead,
+                changed: generated > 0,
+                edges_read: deg as u32,
+                targets_start,
+                targets_len: generated,
+            });
+        }
+        self.tracer.end_round();
+
+        // Phase 3 — recompute on the new graph version.
+        self.csr = new_csr;
+        self.tracer.begin_phase(Phase::Recompute);
+        self.run_queue(Phase::Recompute);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jetstream_algorithms::Sssp;
+
+    fn chain() -> AdjacencyGraph {
+        let mut g = AdjacencyGraph::new(4);
+        g.insert_edge(0, 1, 1.0).unwrap();
+        g.insert_edge(1, 2, 2.0).unwrap();
+        g.insert_edge(2, 3, 3.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn default_config_is_dap_coalesced_16_bins() {
+        let c = EngineConfig::default();
+        assert_eq!(c.delete_strategy, DeleteStrategy::Dap);
+        assert_eq!(c.accumulative_recovery, AccumulativeRecovery::Coalesced);
+        assert_eq!(c.num_bins, 16);
+    }
+
+    #[test]
+    fn strategy_labels_match_figure12() {
+        let labels: Vec<_> = DeleteStrategy::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["Base", "+VAP", "+DAP"]);
+    }
+
+    #[test]
+    fn initial_compute_on_chain() {
+        let mut e = StreamingEngine::new(
+            Box::new(Sssp::new(0)),
+            chain(),
+            EngineConfig::default(),
+        );
+        let stats = e.initial_compute();
+        assert_eq!(e.values(), &[0.0, 1.0, 3.0, 6.0]);
+        assert_eq!(stats.events_processed, 4);
+        assert_eq!(stats.vertex_writes, 4);
+    }
+
+    #[test]
+    fn initial_compute_is_idempotent() {
+        let mut e = StreamingEngine::new(
+            Box::new(Sssp::new(0)),
+            chain(),
+            EngineConfig::default(),
+        );
+        e.initial_compute();
+        let first = e.values().to_vec();
+        e.initial_compute();
+        assert_eq!(e.values(), &first[..]);
+    }
+
+    #[test]
+    fn accessors_expose_engine_state() {
+        let mut e = StreamingEngine::new(
+            Box::new(Sssp::new(0)),
+            chain(),
+            EngineConfig::default(),
+        );
+        assert_eq!(e.algorithm().name(), "SSSP");
+        assert_eq!(e.graph().num_edges(), 3);
+        assert_eq!(e.csr().num_edges(), 3);
+        assert_eq!(e.config().num_bins, 16);
+        e.initial_compute();
+        assert!(e.queue_stats().inserts > 0);
+        assert!(e.last_impacted().is_empty());
+        // Under DAP, each chain vertex depends on its predecessor.
+        assert_eq!(e.dependencies()[1], Some(0));
+        assert_eq!(e.dependencies()[2], Some(1));
+        assert_eq!(e.dependencies()[3], Some(2));
+        assert_eq!(e.dependencies()[0], None); // seeded by the initializer
+    }
+
+    #[test]
+    fn tracing_off_by_default_yields_empty_trace() {
+        let mut e = StreamingEngine::new(
+            Box::new(Sssp::new(0)),
+            chain(),
+            EngineConfig::default(),
+        );
+        e.initial_compute();
+        assert_eq!(e.take_trace().num_ops(), 0);
+    }
+}

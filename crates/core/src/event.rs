@@ -1,0 +1,71 @@
+use jetstream_algorithms::Value;
+use jetstream_graph::VertexId;
+
+/// A lightweight message triggering computation at its target vertex (§4.2).
+///
+/// GraphPulse events are `(target, payload)` tuples; JetStream extends the
+/// payload with flags for the new event types (§3.3–3.4) and, under
+/// dependency-aware propagation (DAP, §5.2), with the id of the vertex whose
+/// update produced the event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Destination vertex.
+    pub target: VertexId,
+    /// The delta carried to the target (for delete events under VAP: the
+    /// contribution that previously flowed over the deleted path).
+    pub payload: Value,
+    /// Delete flag: this event tags/resets impacted vertices during the
+    /// recovery phase (Algorithm 4).
+    pub is_delete: bool,
+    /// Request flag: the receiving vertex must propagate its state to all
+    /// outgoing neighbors even if its own state does not change (§3.4).
+    pub request: bool,
+    /// Source vertex that generated the event (DAP only; `None` otherwise
+    /// and for initial events).
+    pub source: Option<VertexId>,
+}
+
+impl Event {
+    /// A regular value-carrying event.
+    pub fn regular(target: VertexId, payload: Value) -> Self {
+        Event { target, payload, is_delete: false, request: false, source: None }
+    }
+
+    /// A regular event stamped with its source vertex (DAP).
+    pub fn regular_from(source: VertexId, target: VertexId, payload: Value) -> Self {
+        Event { target, payload, is_delete: false, request: false, source: Some(source) }
+    }
+
+    /// A request event: payload is the identity so it cannot perturb state.
+    pub fn request(target: VertexId, identity: Value) -> Self {
+        Event { target, payload: identity, is_delete: false, request: true, source: None }
+    }
+
+    /// A delete event carrying the (previously propagated) contribution
+    /// `payload` from `source`.
+    pub fn delete(source: VertexId, target: VertexId, payload: Value) -> Self {
+        Event { target, payload, is_delete: true, request: false, source: Some(source) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_flags() {
+        let r = Event::regular(3, 1.5);
+        assert!(!r.is_delete && !r.request && r.source.is_none());
+
+        let q = Event::request(3, f64::INFINITY);
+        assert!(q.request && !q.is_delete);
+        assert!(q.payload.is_infinite());
+
+        let d = Event::delete(1, 3, 9.0);
+        assert!(d.is_delete && !d.request);
+        assert_eq!(d.source, Some(1));
+
+        let s = Event::regular_from(7, 3, 2.0);
+        assert_eq!(s.source, Some(7));
+    }
+}

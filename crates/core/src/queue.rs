@@ -1,0 +1,357 @@
+use std::collections::VecDeque;
+
+use jetstream_algorithms::Algorithm;
+use jetstream_graph::VertexId;
+
+use crate::event::Event;
+
+/// Statistics collected by the queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events inserted (including coalesced ones).
+    pub inserts: u64,
+    /// Insertions that merged into an existing slot instead of occupying a
+    /// new one.
+    pub coalesced: u64,
+    /// Events spilled to the overflow buffer (DAP recovery, §5.2).
+    pub overflowed: u64,
+}
+
+/// The on-chip coalescing event queue (§4.2).
+///
+/// The hardware queue is a set of *bins*, each a direct-mapped grid holding
+/// at most one event per vertex; an insertion that hits an occupied cell is
+/// combined with the resident event by the application's `Reduce` (regular
+/// events) or by delete-event merging. Bins are drained one at a time in
+/// round-robin order, and events inside a bin drain in vertex-id order
+/// (giving the DRAM page locality the paper relies on).
+///
+/// This functional model maps vertex `v` to bin `v / bin_size` and keeps one
+/// slot per vertex. Under DAP the recovery phase must *not* coalesce delete
+/// events (each carries a distinct source id); those spill to an overflow
+/// buffer, modelling the off-chip overflow area of §5.2.
+#[derive(Debug)]
+pub struct CoalescingQueue {
+    slots: Vec<Option<Event>>,
+    bin_size: usize,
+    num_bins: usize,
+    bin_len: Vec<usize>,
+    len: usize,
+    overflow: VecDeque<Event>,
+    coalesce_deletes: bool,
+    stats: QueueStats,
+}
+
+impl CoalescingQueue {
+    /// Creates a queue for `num_vertices` vertices spread over `num_bins`
+    /// contiguous-range bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bins` is zero.
+    pub fn new(num_vertices: usize, num_bins: usize) -> Self {
+        assert!(num_bins > 0, "need at least one bin");
+        let bin_size = num_vertices.div_ceil(num_bins).max(1);
+        let num_bins = if num_vertices == 0 { 1 } else { num_vertices.div_ceil(bin_size) };
+        CoalescingQueue {
+            slots: vec![None; num_vertices],
+            bin_size,
+            num_bins,
+            bin_len: vec![0; num_bins],
+            len: 0,
+            overflow: VecDeque::new(),
+            coalesce_deletes: true,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Enables/disables delete-event coalescing. DAP recovery disables it so
+    /// that per-source delete events are preserved (§5.2).
+    pub fn set_coalesce_deletes(&mut self, coalesce: bool) {
+        self.coalesce_deletes = coalesce;
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.num_bins
+    }
+
+    /// Total queued events (slots + overflow).
+    pub fn len(&self) -> usize {
+        self.len + self.overflow.len()
+    }
+
+    /// True if no events are queued anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events currently in the overflow buffer.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Cumulative queue statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    fn bin_of(&self, v: VertexId) -> usize {
+        (v as usize / self.bin_size).min(self.num_bins - 1)
+    }
+
+    /// Inserts an event, coalescing with any resident event for the same
+    /// vertex using the algorithm's `Reduce` (§4.2).
+    ///
+    /// Coalescing rules:
+    /// * two regular events: payloads reduced, request flags OR-ed, and the
+    ///   source of the dominant payload retained (DAP, §5.2);
+    /// * two delete events: merged keeping the dominant payload when delete
+    ///   coalescing is enabled, spilled to overflow otherwise;
+    /// * a delete and a non-delete never share a slot (phases are disjoint);
+    ///   the newcomer spills to overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target vertex is out of range.
+    pub fn insert(&mut self, event: Event, alg: &dyn Algorithm) {
+        assert!(
+            (event.target as usize) < self.slots.len(),
+            "event target {} out of range",
+            event.target
+        );
+        self.stats.inserts += 1;
+        if event.is_delete && !self.coalesce_deletes {
+            self.stats.overflowed += 1;
+            self.overflow.push_back(event);
+            return;
+        }
+        let idx = event.target as usize;
+        match &mut self.slots[idx] {
+            None => {
+                let bin = self.bin_of(event.target);
+                self.slots[idx] = Some(event);
+                self.bin_len[bin] += 1;
+                self.len += 1;
+            }
+            Some(resident) => {
+                if resident.is_delete != event.is_delete {
+                    // Mixed kinds: preserve both; the newcomer overflows.
+                    self.stats.overflowed += 1;
+                    self.overflow.push_back(event);
+                    return;
+                }
+                let reduced = alg.reduce(resident.payload, event.payload);
+                // Retain the source of the event whose payload dominates.
+                if reduced != resident.payload {
+                    resident.source = event.source;
+                }
+                resident.payload = reduced;
+                resident.request |= event.request;
+                self.stats.coalesced += 1;
+            }
+        }
+    }
+
+    /// Removes and returns all events in `bin`, in ascending vertex order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= num_bins()`.
+    pub fn take_bin(&mut self, bin: usize) -> Vec<Event> {
+        assert!(bin < self.num_bins, "bin {bin} out of range");
+        if self.bin_len[bin] == 0 {
+            return Vec::new();
+        }
+        let lo = bin * self.bin_size;
+        let hi = ((bin + 1) * self.bin_size).min(self.slots.len());
+        let mut out = Vec::with_capacity(self.bin_len[bin]);
+        for slot in &mut self.slots[lo..hi] {
+            if let Some(ev) = slot.take() {
+                out.push(ev);
+            }
+        }
+        self.len -= out.len();
+        self.bin_len[bin] = 0;
+        out
+    }
+
+    /// Removes and returns all queued events whose target lies in
+    /// `lo..hi`, in ascending vertex order (used for slice-by-slice
+    /// draining when the graph exceeds the queue capacity, §4.7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the vertex count.
+    pub fn take_range(&mut self, lo: usize, hi: usize) -> Vec<Event> {
+        assert!(lo <= hi && hi <= self.slots.len(), "range {lo}..{hi} out of bounds");
+        let mut out = Vec::new();
+        for v in lo..hi {
+            if let Some(ev) = self.slots[v].take() {
+                let bin = self.bin_of(v as VertexId);
+                self.bin_len[bin] -= 1;
+                self.len -= 1;
+                out.push(ev);
+            }
+        }
+        out
+    }
+
+    /// Pops the oldest overflow event, if any.
+    pub fn pop_overflow(&mut self) -> Option<Event> {
+        self.overflow.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jetstream_algorithms::{Algorithm, PageRank, Sssp};
+
+    fn sssp() -> Sssp {
+        Sssp::new(0)
+    }
+
+    #[test]
+    fn insert_and_drain_in_vertex_order() {
+        let mut q = CoalescingQueue::new(10, 2);
+        let a = sssp();
+        q.insert(Event::regular(7, 1.0), &a);
+        q.insert(Event::regular(2, 2.0), &a);
+        q.insert(Event::regular(4, 3.0), &a);
+        assert_eq!(q.len(), 3);
+        let bin0 = q.take_bin(0);
+        assert_eq!(bin0.iter().map(|e| e.target).collect::<Vec<_>>(), vec![2, 4]);
+        let bin1 = q.take_bin(1);
+        assert_eq!(bin1[0].target, 7);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn regular_events_coalesce_with_reduce() {
+        let mut q = CoalescingQueue::new(4, 1);
+        let a = sssp();
+        q.insert(Event::regular(1, 5.0), &a);
+        q.insert(Event::regular(1, 3.0), &a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.stats().coalesced, 1);
+        let evs = q.take_bin(0);
+        assert_eq!(evs[0].payload, 3.0); // min for SSSP
+    }
+
+    #[test]
+    fn accumulative_coalescing_sums() {
+        let mut q = CoalescingQueue::new(4, 1);
+        let pr = PageRank::default();
+        q.insert(Event::regular(2, 0.25), &pr);
+        q.insert(Event::regular(2, 0.5), &pr);
+        let evs = q.take_bin(0);
+        assert_eq!(evs[0].payload, 0.75);
+    }
+
+    #[test]
+    fn dominant_source_survives_coalescing() {
+        let mut q = CoalescingQueue::new(4, 1);
+        let a = sssp();
+        q.insert(Event::regular_from(9, 1, 5.0), &a);
+        q.insert(Event::regular_from(8, 1, 3.0), &a);
+        let evs = q.take_bin(0);
+        assert_eq!(evs[0].source, Some(8)); // 3.0 dominates for min
+        // Now the losing order.
+        q.insert(Event::regular_from(8, 1, 3.0), &a);
+        q.insert(Event::regular_from(9, 1, 5.0), &a);
+        let evs = q.take_bin(0);
+        assert_eq!(evs[0].source, Some(8));
+    }
+
+    #[test]
+    fn request_flag_is_sticky() {
+        let mut q = CoalescingQueue::new(4, 1);
+        let a = sssp();
+        q.insert(Event::request(1, a.identity()), &a);
+        q.insert(Event::regular(1, 3.0), &a);
+        let evs = q.take_bin(0);
+        assert!(evs[0].request);
+        assert_eq!(evs[0].payload, 3.0);
+    }
+
+    #[test]
+    fn delete_events_coalesce_by_default() {
+        let mut q = CoalescingQueue::new(4, 1);
+        let a = sssp();
+        q.insert(Event::delete(0, 1, 5.0), &a);
+        q.insert(Event::delete(2, 1, 3.0), &a);
+        assert_eq!(q.len(), 1);
+        let evs = q.take_bin(0);
+        assert!(evs[0].is_delete);
+        assert_eq!(evs[0].payload, 3.0);
+        assert_eq!(evs[0].source, Some(2));
+    }
+
+    #[test]
+    fn dap_mode_spills_deletes_to_overflow() {
+        let mut q = CoalescingQueue::new(4, 1);
+        let a = sssp();
+        q.set_coalesce_deletes(false);
+        q.insert(Event::delete(0, 1, 5.0), &a);
+        q.insert(Event::delete(2, 1, 3.0), &a);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.overflow_len(), 2);
+        assert_eq!(q.pop_overflow().unwrap().source, Some(0));
+        assert_eq!(q.pop_overflow().unwrap().source, Some(2));
+        assert!(q.pop_overflow().is_none());
+    }
+
+    #[test]
+    fn mixed_kinds_never_share_a_slot() {
+        let mut q = CoalescingQueue::new(4, 1);
+        let a = sssp();
+        q.insert(Event::regular(1, 3.0), &a);
+        q.insert(Event::delete(0, 1, 5.0), &a);
+        assert_eq!(q.len(), 2);
+        let evs = q.take_bin(0);
+        assert_eq!(evs.len(), 1);
+        assert!(!evs[0].is_delete);
+        assert!(q.pop_overflow().unwrap().is_delete);
+    }
+
+
+    #[test]
+    fn take_range_drains_only_the_slice() {
+        let mut q = CoalescingQueue::new(10, 2);
+        let a = sssp();
+        for v in [1u32, 4, 7, 9] {
+            q.insert(Event::regular(v, 1.0), &a);
+        }
+        let first = q.take_range(0, 5);
+        assert_eq!(first.iter().map(|e| e.target).collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(q.len(), 2);
+        let second = q.take_range(5, 10);
+        assert_eq!(second.iter().map(|e| e.target).collect::<Vec<_>>(), vec![7, 9]);
+        assert!(q.is_empty());
+        // Bins stay consistent after range draining.
+        q.insert(Event::regular(2, 1.0), &a);
+        assert_eq!(q.take_bin(0).len(), 1);
+    }
+
+    #[test]
+    fn empty_bins_drain_empty() {
+        let mut q = CoalescingQueue::new(8, 4);
+        assert!(q.take_bin(3).is_empty());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_vertex_queue_is_usable() {
+        let q = CoalescingQueue::new(0, 4);
+        assert!(q.is_empty());
+        assert_eq!(q.num_bins(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let mut q = CoalescingQueue::new(2, 1);
+        q.insert(Event::regular(5, 1.0), &sssp());
+    }
+}

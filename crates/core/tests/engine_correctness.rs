@@ -1,0 +1,526 @@
+//! End-to-end correctness of the streaming engine: after any batch of
+//! insertions/deletions, incremental reevaluation must reach exactly the
+//! state a from-scratch evaluation of the mutated graph reaches. This is the
+//! paper's core correctness claim (recoverable approximations, §3.2).
+
+use jetstream_algorithms::{oracle, oracle_values, UpdateKind, Workload};
+use jetstream_core::{DeleteStrategy, EngineConfig, StreamingEngine};
+use jetstream_graph::{gen, AdjacencyGraph, UpdateBatch, VertexId};
+
+/// Comparison tolerance: selective values are exact; accumulative values
+/// converge within the algorithms' propagation epsilon (1e-5 by default).
+fn tolerance(workload: Workload) -> f64 {
+    match workload.kind() {
+        UpdateKind::Selective => oracle::VALUE_TOLERANCE,
+        UpdateKind::Accumulative => oracle::accumulative_tolerance(1e-5),
+    }
+}
+
+fn engine_for(
+    workload: Workload,
+    graph: AdjacencyGraph,
+    strategy: DeleteStrategy,
+    root: VertexId,
+) -> StreamingEngine {
+    let config = EngineConfig { delete_strategy: strategy, num_bins: 4, ..EngineConfig::default() };
+    StreamingEngine::new(workload.instantiate(root), graph, config)
+}
+
+fn check_initial(workload: Workload, graph: &AdjacencyGraph, root: VertexId) {
+    let mut engine = engine_for(workload, graph.clone(), DeleteStrategy::Tag, root);
+    engine.initial_compute();
+    let expected = oracle_values(workload, &graph.snapshot(), root);
+    assert!(
+        oracle::values_match_tol(engine.values(), &expected, tolerance(workload)),
+        "{} initial evaluation diverges from oracle",
+        workload.name()
+    );
+}
+
+fn check_streaming(
+    workload: Workload,
+    graph: &AdjacencyGraph,
+    batch: &UpdateBatch,
+    strategy: DeleteStrategy,
+    root: VertexId,
+) {
+    let mut engine = engine_for(workload, graph.clone(), strategy, root);
+    engine.initial_compute();
+    engine
+        .apply_update_batch(batch)
+        .unwrap_or_else(|e| panic!("{} batch failed: {e}", workload.name()));
+
+    let mut mutated = graph.clone();
+    mutated.apply_batch(batch).unwrap();
+    let expected = oracle_values(workload, &mutated.snapshot(), root);
+    assert!(
+        oracle::values_match_tol(engine.values(), &expected, tolerance(workload)),
+        "{} ({:?}) streaming diverges from oracle\n got: {:?}\n want: {:?}",
+        workload.name(),
+        strategy,
+        &engine.values()[..engine.values().len().min(20)],
+        &expected[..expected.len().min(20)]
+    );
+}
+
+/// The example graph of Fig. 4(a): A=0, B=1, C=2, D=3, E=4, F=5, G=6.
+fn figure4_graph() -> AdjacencyGraph {
+    let mut g = AdjacencyGraph::new(7);
+    for &(u, v, w) in &[
+        (0u32, 1u32, 8.0), // A -> B
+        (0, 2, 9.0),       // A -> C
+        (1, 3, 4.0),       // B -> D
+        (1, 4, 8.0),       // B -> E
+        (2, 4, 5.0),       // C -> E
+        (2, 5, 8.0),       // C -> F
+        (3, 4, 3.0),       // D -> E
+        (3, 6, 7.0),       // D -> G
+        (4, 5, 5.0),       // E -> F
+        (6, 4, 3.0),       // G -> E
+    ] {
+        g.insert_edge(u, v, w).unwrap();
+    }
+    g
+}
+
+#[test]
+fn figure4_sssp_insertion_then_deletion() {
+    // Reproduces the paper's running example: insert A->D, delete A->C.
+    let g = figure4_graph();
+    for strategy in DeleteStrategy::ALL {
+        let mut engine = engine_for(Workload::Sssp, g.clone(), strategy, 0);
+        engine.initial_compute();
+        // Converged distances on the original graph.
+        assert_eq!(engine.values()[2], 9.0); // C
+        assert_eq!(engine.values()[4], 14.0); // E via C
+
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 3, 8.0); // add A -> D (Fig. 4b)
+        batch.delete(0, 2); // delete A -> C (Fig. 4c)
+        engine.apply_update_batch(&batch).unwrap();
+
+        // Fig. 4(d): D=8 via the new edge, C unreachable, E=11 via D,
+        // F=16 via E, G=15 via D.
+        assert_eq!(engine.values()[3], 8.0, "{strategy:?} D");
+        assert!(engine.values()[2].is_infinite(), "{strategy:?} C");
+        assert_eq!(engine.values()[4], 11.0, "{strategy:?} E");
+        assert_eq!(engine.values()[5], 16.0, "{strategy:?} F");
+        assert_eq!(engine.values()[6], 15.0, "{strategy:?} G");
+    }
+}
+
+#[test]
+fn initial_evaluation_matches_oracles_on_all_workloads() {
+    let g = gen::rmat(256, 1500, gen::RmatParams::default(), 42);
+    for w in Workload::ALL {
+        check_initial(w, &g, 0);
+    }
+}
+
+#[test]
+fn initial_evaluation_on_narrow_graph() {
+    let g = gen::layered_narrow(30, 6, 500, 7);
+    for w in Workload::ALL {
+        check_initial(w, &g, 0);
+    }
+}
+
+#[test]
+fn insert_only_batches_match_oracle() {
+    let g = gen::rmat(200, 1000, gen::RmatParams::default(), 1);
+    let batch = gen::random_batch(&g, 40, 0, 99);
+    for w in Workload::ALL {
+        check_streaming(w, &g, &batch, DeleteStrategy::Tag, 0);
+    }
+}
+
+#[test]
+fn delete_only_batches_match_oracle_all_strategies() {
+    let g = gen::rmat(200, 1200, gen::RmatParams::default(), 2);
+    let batch = gen::random_batch(&g, 0, 40, 77);
+    for w in Workload::ALL {
+        for strategy in DeleteStrategy::ALL {
+            check_streaming(w, &g, &batch, strategy, 0);
+        }
+    }
+}
+
+#[test]
+fn mixed_batches_match_oracle_all_strategies() {
+    let g = gen::rmat(300, 1800, gen::RmatParams::default(), 3);
+    let batch = gen::batch_with_ratio(&g, 100, 0.7, 55);
+    for w in Workload::ALL {
+        for strategy in DeleteStrategy::ALL {
+            check_streaming(w, &g, &batch, strategy, 0);
+        }
+    }
+}
+
+#[test]
+fn repeated_batches_stay_correct() {
+    // Several consecutive batches: state must remain a valid starting
+    // approximation every time (Fig. 1's repeated incremental evaluation).
+    let g = gen::rmat(200, 1000, gen::RmatParams::default(), 4);
+    for w in Workload::ALL {
+        let mut engine = engine_for(w, g.clone(), DeleteStrategy::Dap, 0);
+        engine.initial_compute();
+        let mut reference = g.clone();
+        for round in 0..4 {
+            let batch = gen::batch_with_ratio(&reference, 30, 0.6, 1000 + round);
+            engine.apply_update_batch(&batch).unwrap();
+            reference.apply_batch(&batch).unwrap();
+            let expected = oracle_values(w, &reference.snapshot(), 0);
+            assert!(
+                oracle::values_match_tol(engine.values(), &expected, tolerance(w)),
+                "{} diverged at round {round}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn narrow_graph_streaming_matches_oracle() {
+    let g = gen::layered_narrow(25, 5, 400, 5);
+    let batch = gen::batch_with_ratio(&g, 50, 0.5, 31);
+    for w in Workload::ALL {
+        for strategy in DeleteStrategy::ALL {
+            check_streaming(w, &g, &batch, strategy, 0);
+        }
+    }
+}
+
+#[test]
+fn deleting_every_edge_resets_everything() {
+    let mut g = AdjacencyGraph::new(4);
+    g.insert_edge(0, 1, 1.0).unwrap();
+    g.insert_edge(1, 2, 1.0).unwrap();
+    g.insert_edge(2, 3, 1.0).unwrap();
+    let mut batch = UpdateBatch::new();
+    batch.delete(0, 1);
+    batch.delete(1, 2);
+    batch.delete(2, 3);
+    for strategy in DeleteStrategy::ALL {
+        let mut engine = engine_for(Workload::Sssp, g.clone(), strategy, 0);
+        engine.initial_compute();
+        engine.apply_update_batch(&batch).unwrap();
+        assert_eq!(engine.values()[0], 0.0, "{strategy:?}");
+        for v in 1..4 {
+            assert!(engine.values()[v].is_infinite(), "{strategy:?} vertex {v}");
+        }
+    }
+}
+
+#[test]
+fn empty_batch_is_a_no_op() {
+    let g = gen::rmat(100, 500, gen::RmatParams::default(), 6);
+    for w in Workload::ALL {
+        let mut engine = engine_for(w, g.clone(), DeleteStrategy::Dap, 0);
+        engine.initial_compute();
+        let before = engine.values().to_vec();
+        let stats = engine.apply_update_batch(&UpdateBatch::new()).unwrap();
+        assert_eq!(engine.values(), &before[..], "{}", w.name());
+        assert_eq!(stats.resets, 0);
+    }
+}
+
+#[test]
+fn cold_restart_matches_streaming_result() {
+    let g = gen::rmat(150, 900, gen::RmatParams::default(), 8);
+    let batch = gen::batch_with_ratio(&g, 60, 0.7, 12);
+    for w in Workload::ALL {
+        let mut streaming = engine_for(w, g.clone(), DeleteStrategy::Dap, 0);
+        streaming.initial_compute();
+        streaming.apply_update_batch(&batch).unwrap();
+
+        let mut cold = engine_for(w, g.clone(), DeleteStrategy::Dap, 0);
+        cold.initial_compute();
+        cold.cold_restart(&batch).unwrap();
+
+        assert!(
+            oracle::values_match_tol(streaming.values(), cold.values(), tolerance(w)),
+            "{} streaming vs cold restart mismatch",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn streaming_does_less_work_than_cold_restart() {
+    // Accumulative incrementality pays off when the rollback wavefront does
+    // not saturate the graph: use a larger, sparser instance and a small
+    // batch — the paper's regime (batch ≪ graph).
+    let selective_graph = gen::rmat(1024, 8192, gen::RmatParams::default(), 9);
+    let accumulative_graph = gen::rmat(16384, 65536, gen::RmatParams::default(), 9);
+    for w in Workload::ALL {
+        let (g, batch_size) = match w.kind() {
+            UpdateKind::Selective => (&selective_graph, 20),
+            UpdateKind::Accumulative => (&accumulative_graph, 8),
+        };
+        let batch = gen::batch_with_ratio(g, batch_size, 0.7, 13);
+        let mut streaming = engine_for(w, g.clone(), DeleteStrategy::Dap, 0);
+        streaming.initial_compute();
+        let inc = streaming.apply_update_batch(&batch).unwrap();
+
+        let mut cold = engine_for(w, g.clone(), DeleteStrategy::Dap, 0);
+        cold.initial_compute();
+        let full = cold.cold_restart(&batch).unwrap();
+
+        assert!(
+            inc.vertex_accesses() < full.vertex_accesses(),
+            "{}: streaming {} vs cold {} vertex accesses",
+            w.name(),
+            inc.vertex_accesses(),
+            full.vertex_accesses()
+        );
+    }
+}
+
+#[test]
+fn vap_and_dap_reset_fewer_vertices_than_base() {
+    let g = gen::rmat(512, 4096, gen::RmatParams::default(), 10);
+    let batch = gen::random_batch(&g, 0, 30, 14);
+    let resets: Vec<u64> = DeleteStrategy::ALL
+        .iter()
+        .map(|&s| {
+            let mut engine = engine_for(Workload::Sssp, g.clone(), s, 0);
+            engine.initial_compute();
+            engine.apply_update_batch(&batch).unwrap().resets
+        })
+        .collect();
+    let (base, vap, dap) = (resets[0], resets[1], resets[2]);
+    assert!(vap <= base, "VAP resets {vap} > base {base}");
+    assert!(dap <= base, "DAP resets {dap} > base {base}");
+}
+
+#[test]
+fn dap_prunes_bfs_where_vap_cannot() {
+    // BFS has many equal values, so VAP degenerates to Base while DAP
+    // prunes (the paper's motivation for DAP, §5.2).
+    let g = gen::rmat(512, 4096, gen::RmatParams::default(), 11);
+    let batch = gen::random_batch(&g, 0, 30, 15);
+    let mut resets = std::collections::HashMap::new();
+    for s in DeleteStrategy::ALL {
+        let mut engine = engine_for(Workload::Bfs, g.clone(), s, 0);
+        engine.initial_compute();
+        resets.insert(s, engine.apply_update_batch(&batch).unwrap().resets);
+    }
+    assert!(
+        resets[&DeleteStrategy::Dap] <= resets[&DeleteStrategy::Vap],
+        "DAP {} should not exceed VAP {} for BFS",
+        resets[&DeleteStrategy::Dap],
+        resets[&DeleteStrategy::Vap]
+    );
+}
+
+#[test]
+fn trace_round_trips_operation_counts() {
+    let g = gen::rmat(128, 700, gen::RmatParams::default(), 16);
+    let mut engine = engine_for(Workload::Sssp, g.clone(), DeleteStrategy::Dap, 0);
+    engine.set_tracing(true);
+    let stats = engine.initial_compute();
+    let trace = engine.take_trace();
+    let apply_ops: usize = trace
+        .phases
+        .iter()
+        .flat_map(|p| p.rounds.iter())
+        .flat_map(|r| r.ops.iter())
+        .filter(|op| matches!(op.kind, jetstream_core::trace::OpKind::Apply))
+        .count();
+    assert_eq!(apply_ops as u64, stats.events_processed);
+    let generated: u64 = trace
+        .phases
+        .iter()
+        .flat_map(|p| p.rounds.iter())
+        .flat_map(|r| r.ops.iter())
+        .map(|op| op.targets_len as u64)
+        .sum();
+    assert_eq!(generated, stats.events_generated);
+}
+
+#[test]
+fn batch_touching_isolated_vertices() {
+    // Insert edges to/from vertices that never had any.
+    let mut g = AdjacencyGraph::new(6);
+    g.insert_edge(0, 1, 2.0).unwrap();
+    let mut batch = UpdateBatch::new();
+    batch.insert(1, 5, 3.0);
+    batch.insert(5, 4, 1.0);
+    for w in Workload::ALL {
+        check_streaming(w, &g, &batch, DeleteStrategy::Dap, 0);
+    }
+}
+
+#[test]
+fn weight_change_via_delete_and_insert() {
+    let mut g = AdjacencyGraph::new(3);
+    g.insert_edge(0, 1, 10.0).unwrap();
+    g.insert_edge(1, 2, 10.0).unwrap();
+    let mut batch = UpdateBatch::new();
+    batch.delete(0, 1);
+    batch.insert(0, 1, 1.0); // same edge, cheaper
+    for w in Workload::ALL {
+        for s in DeleteStrategy::ALL {
+            check_streaming(w, &g, &batch, s, 0);
+        }
+    }
+}
+
+#[test]
+fn two_phase_accumulative_recovery_matches_oracle() {
+    // The paper's literal Algorithm 6 (intermediate-graph flow) must agree
+    // with both the oracle and the default coalesced recovery.
+    use jetstream_core::AccumulativeRecovery;
+    let g = gen::rmat(200, 1200, gen::RmatParams::default(), 61);
+    let batch = gen::batch_with_ratio(&g, 60, 0.7, 62);
+    for w in [Workload::PageRank, Workload::Adsorption] {
+        let mut results = Vec::new();
+        for recovery in [AccumulativeRecovery::TwoPhase, AccumulativeRecovery::Coalesced] {
+            let config = EngineConfig {
+                accumulative_recovery: recovery,
+                ..EngineConfig::default()
+            };
+            let mut engine = StreamingEngine::new(w.instantiate(0), g.clone(), config);
+            engine.initial_compute();
+            engine.apply_update_batch(&batch).unwrap();
+            results.push(engine.values().to_vec());
+        }
+        let mut mutated = g.clone();
+        mutated.apply_batch(&batch).unwrap();
+        let expected = oracle_values(w, &mutated.snapshot(), 0);
+        for (i, r) in results.iter().enumerate() {
+            assert!(
+                oracle::values_match_tol(r, &expected, tolerance(w)),
+                "{} recovery variant {i} diverged",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn coalesced_recovery_does_less_work_than_two_phase() {
+    use jetstream_core::AccumulativeRecovery;
+    let g = gen::rmat(2048, 16384, gen::RmatParams::default(), 63);
+    let batch = gen::batch_with_ratio(&g, 16, 0.7, 64);
+    let work = |recovery| {
+        let config = EngineConfig {
+            accumulative_recovery: recovery,
+            ..EngineConfig::default()
+        };
+        let mut engine =
+            StreamingEngine::new(Workload::PageRank.instantiate(0), g.clone(), config);
+        engine.initial_compute();
+        engine.apply_update_batch(&batch).unwrap().events_processed
+    };
+    let two_phase = work(AccumulativeRecovery::TwoPhase);
+    let coalesced = work(AccumulativeRecovery::Coalesced);
+    assert!(
+        coalesced * 2 < two_phase,
+        "coalesced {coalesced} vs two-phase {two_phase} events"
+    );
+}
+
+#[test]
+fn invalid_batches_leave_engine_untouched() {
+    // Failure injection: every class of invalid batch must error out
+    // without perturbing the graph version or the query state.
+    let g = gen::rmat(100, 600, gen::RmatParams::default(), 71);
+    for w in Workload::ALL {
+        let mut engine = engine_for(w, g.clone(), DeleteStrategy::Dap, 0);
+        engine.initial_compute();
+        let values_before = engine.values().to_vec();
+        let edges_before = engine.graph().num_edges();
+
+        let mut missing_delete = UpdateBatch::new();
+        missing_delete.delete(0, 99); // not an edge
+        assert!(engine.apply_update_batch(&missing_delete).is_err());
+
+        let mut dup_insert = UpdateBatch::new();
+        let (u, v, _) = g.iter_edges().next().unwrap();
+        dup_insert.insert(u, v, 1.0); // already present
+        assert!(engine.apply_update_batch(&dup_insert).is_err());
+
+        let mut out_of_range = UpdateBatch::new();
+        out_of_range.insert(0, 10_000, 1.0);
+        assert!(engine.apply_update_batch(&out_of_range).is_err());
+
+        let mut self_loop = UpdateBatch::new();
+        self_loop.insert(5, 5, 1.0);
+        assert!(engine.apply_update_batch(&self_loop).is_err());
+
+        assert_eq!(engine.values(), &values_before[..], "{}", w.name());
+        assert_eq!(engine.graph().num_edges(), edges_before, "{}", w.name());
+
+        // And the engine still works afterwards.
+        let batch = gen::batch_with_ratio(engine.graph(), 10, 0.5, 72);
+        engine.apply_update_batch(&batch).unwrap();
+        let mut reference = g.clone();
+        reference.apply_batch(&batch).unwrap();
+        let expected = oracle_values(w, &reference.snapshot(), 0);
+        assert!(
+            oracle::values_match_tol(engine.values(), &expected, tolerance(w)),
+            "{} diverged after recovering from errors",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let g = gen::rmat(256, 1500, gen::RmatParams::default(), 73);
+    let batch = gen::batch_with_ratio(&g, 40, 0.7, 74);
+    for w in Workload::ALL {
+        let mut engine = engine_for(w, g.clone(), DeleteStrategy::Dap, 0);
+        let init = engine.initial_compute();
+        assert!(init.vertex_writes <= init.vertex_reads, "{}", w.name());
+        assert!(init.events_processed <= init.events_generated);
+        assert!(init.rounds > 0);
+
+        let inc = engine.apply_update_batch(&batch).unwrap();
+        assert!(inc.vertex_writes <= inc.vertex_reads, "{}", w.name());
+        assert_eq!(inc.resets as usize, engine.last_impacted().len());
+        assert_eq!(
+            inc.stream_reads > 0,
+            true,
+            "{}: the stream reader must have consumed the batch",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn sliced_execution_matches_unsliced() {
+    // §4.7: graphs larger than the queue process slice by slice; the
+    // converged result must be identical, with spills accounted.
+    let g = gen::rmat(400, 2400, gen::RmatParams::default(), 81);
+    let batch = gen::batch_with_ratio(&g, 60, 0.7, 82);
+    for w in Workload::ALL {
+        for strategy in DeleteStrategy::ALL {
+            let mut unsliced = engine_for(w, g.clone(), strategy, 0);
+            unsliced.initial_compute();
+            unsliced.apply_update_batch(&batch).unwrap();
+
+            let config = EngineConfig {
+                delete_strategy: strategy,
+                queue_capacity: Some(64), // 400 vertices -> 7 slices
+                ..EngineConfig::default()
+            };
+            let mut sliced = StreamingEngine::new(w.instantiate(0), g.clone(), config);
+            assert_eq!(sliced.num_slices(), 7);
+            let init = sliced.initial_compute();
+            assert!(
+                init.spilled_events > 0,
+                "{} ({strategy:?}): cross-slice events must spill",
+                w.name()
+            );
+            sliced.apply_update_batch(&batch).unwrap();
+
+            assert!(
+                oracle::values_match_tol(sliced.values(), unsliced.values(), tolerance(w)),
+                "{} ({strategy:?}): sliced execution diverged",
+                w.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,296 @@
+use crate::{VertexId, Weight};
+
+/// A single edge as seen when iterating a CSR row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRef {
+    /// The other endpoint (the target for out-edges, the source for
+    /// in-edges).
+    pub other: VertexId,
+    /// The edge weight.
+    pub weight: Weight,
+}
+
+/// Compressed Sparse Row adjacency structure.
+///
+/// This is the on-device graph representation of GraphPulse and JetStream
+/// (§4.7): a row-pointer array of `num_vertices + 1` offsets plus contiguous
+/// target and weight arrays. Edges within a row are sorted by target id so
+/// lookups are `O(log degree)` and iteration order is deterministic.
+///
+/// A `Csr` is immutable; the host builds a fresh snapshot from an
+/// [`AdjacencyGraph`](crate::AdjacencyGraph) after every update batch and
+/// swaps the pointer, exactly as the paper assumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Vec<Weight>,
+}
+
+impl Csr {
+    /// Builds a CSR from an unsorted edge list.
+    ///
+    /// Duplicate `(source, target)` pairs are kept as parallel edges; use
+    /// [`AdjacencyGraph`](crate::AdjacencyGraph) if you need simple-graph
+    /// enforcement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_vertices`.
+    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId, Weight)]) -> Self {
+        let mut degree = vec![0usize; num_vertices];
+        for &(u, v, _) in edges {
+            assert!((u as usize) < num_vertices, "source {u} out of range");
+            assert!((v as usize) < num_vertices, "target {v} out of range");
+            degree[u as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_vertices + 1);
+        offsets.push(0);
+        for d in &degree {
+            let last = *offsets.last().expect("offsets is non-empty");
+            offsets.push(last + d);
+        }
+        let num_edges = edges.len();
+        let mut targets = vec![0 as VertexId; num_edges];
+        let mut weights = vec![0.0 as Weight; num_edges];
+        let mut cursor = offsets[..num_vertices].to_vec();
+        for &(u, v, w) in edges {
+            let at = cursor[u as usize];
+            targets[at] = v;
+            weights[at] = w;
+            cursor[u as usize] += 1;
+        }
+        let mut csr = Csr { offsets, targets, weights };
+        csr.sort_rows();
+        csr
+    }
+
+    /// Builds an empty graph with `num_vertices` vertices and no edges.
+    pub fn empty(num_vertices: usize) -> Self {
+        Csr {
+            offsets: vec![0; num_vertices + 1],
+            targets: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    fn sort_rows(&mut self) {
+        for v in 0..self.num_vertices() {
+            let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
+            let mut row: Vec<(VertexId, Weight)> = self.targets[lo..hi]
+                .iter()
+                .copied()
+                .zip(self.weights[lo..hi].iter().copied())
+                .collect();
+            row.sort_by_key(|&(t, _)| t);
+            for (i, (t, w)) in row.into_iter().enumerate() {
+                self.targets[lo + i] = t;
+                self.weights[lo + i] = w;
+            }
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v` (or in-degree, if this is an in-edge CSR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Iterates over the edges of vertex `v` in ascending target order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = EdgeRef> + '_ {
+        let v = v as usize;
+        let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
+        self.targets[lo..hi]
+            .iter()
+            .zip(self.weights[lo..hi].iter())
+            .map(|(&other, &weight)| EdgeRef { other, weight })
+    }
+
+    /// Returns the weight of edge `u -> v`, or `None` if absent.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        let ui = u as usize;
+        if ui + 1 >= self.offsets.len() {
+            return None;
+        }
+        let (lo, hi) = (self.offsets[ui], self.offsets[ui + 1]);
+        let row = &self.targets[lo..hi];
+        row.binary_search(&v).ok().map(|i| self.weights[lo + i])
+    }
+
+    /// True if the edge `u -> v` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+
+    /// The raw row-offset array (`num_vertices + 1` entries).
+    ///
+    /// Exposed so the hardware simulator can compute edge-pointer addresses
+    /// the way the real accelerator would.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Iterates all edges as `(source, target, weight)` triples.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        (0..self.num_vertices()).flat_map(move |u| {
+            self.neighbors(u as VertexId)
+                .map(move |e| (u as VertexId, e.other, e.weight))
+        })
+    }
+
+    /// Builds the transposed graph: an in-edge CSR where `neighbors(v)`
+    /// yields the *sources* of edges pointing at `v`.
+    pub fn transpose(&self) -> Csr {
+        let flipped: Vec<(VertexId, VertexId, Weight)> = self
+            .iter_edges()
+            .map(|(u, v, w)| (v, u, w))
+            .collect();
+        Csr::from_edges(self.num_vertices(), &flipped)
+    }
+}
+
+/// Out-edge and in-edge CSR snapshots of the same graph version.
+///
+/// JetStream reads outgoing edges during propagation and incoming edges when
+/// issuing *request* events in the re-approximation phase (§3.4), so the host
+/// maintains both structures (§4.7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrPair {
+    /// Outgoing-edge CSR.
+    pub out: Csr,
+    /// Incoming-edge CSR (the transpose of `out`).
+    pub inc: Csr,
+}
+
+impl CsrPair {
+    /// Builds both directions from an out-edge CSR.
+    pub fn new(out: Csr) -> Self {
+        let inc = out.transpose();
+        CsrPair { out, inc }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.out.num_vertices()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.out.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1 (1.0), 0 -> 2 (2.0), 1 -> 3 (3.0), 2 -> 3 (4.0)
+        Csr::from_edges(4, &[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 3.0), (2, 3, 4.0)])
+    }
+
+    #[test]
+    fn construction_counts() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_target() {
+        let g = Csr::from_edges(3, &[(0, 2, 1.0), (0, 1, 5.0)]);
+        let ns: Vec<_> = g.neighbors(0).map(|e| e.other).collect();
+        assert_eq!(ns, vec![1, 2]);
+    }
+
+    #[test]
+    fn edge_weight_lookup() {
+        let g = diamond();
+        assert_eq!(g.edge_weight(0, 2), Some(2.0));
+        assert_eq!(g.edge_weight(2, 0), None);
+        assert!(g.has_edge(1, 3));
+        assert!(!g.has_edge(3, 1));
+    }
+
+    #[test]
+    fn transpose_flips_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), 4);
+        let ins: Vec<_> = t.neighbors(3).map(|e| e.other).collect();
+        assert_eq!(ins, vec![1, 2]);
+        assert_eq!(t.edge_weight(3, 2), Some(4.0));
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let g = diamond();
+        assert_eq!(g.transpose().transpose(), g);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.neighbors(4).count(), 0);
+    }
+
+    #[test]
+    fn iter_edges_roundtrip() {
+        let edges = vec![(0, 1, 1.0), (0, 2, 2.0), (1, 3, 3.0), (2, 3, 4.0)];
+        let g = Csr::from_edges(4, &edges);
+        let collected: Vec<_> = g.iter_edges().collect();
+        assert_eq!(collected, edges);
+    }
+
+    #[test]
+    fn isolated_trailing_vertices() {
+        let g = Csr::from_edges(10, &[(0, 1, 1.0)]);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn parallel_edges_are_kept() {
+        let g = Csr::from_edges(2, &[(0, 1, 1.0), (0, 1, 2.0)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn csr_pair_directions_agree() {
+        let pair = CsrPair::new(diamond());
+        assert_eq!(pair.num_vertices(), 4);
+        assert_eq!(pair.num_edges(), 4);
+        for (u, v, w) in pair.out.iter_edges() {
+            assert_eq!(pair.inc.edge_weight(v, u), Some(w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Csr::from_edges(2, &[(0, 5, 1.0)]);
+    }
+}

@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::VertexId;
+
+/// Errors produced by graph construction and mutation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex id was outside `0..num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// An edge insertion targeted an edge that already exists.
+    ///
+    /// JetStream models simple directed graphs: at most one edge per
+    /// `(source, target)` pair. An edge-weight *modification* is modelled as a
+    /// deletion followed by an insertion, as §2.1 of the paper specifies.
+    DuplicateEdge {
+        /// Source of the duplicate edge.
+        source: VertexId,
+        /// Target of the duplicate edge.
+        target: VertexId,
+    },
+    /// An edge deletion targeted an edge that does not exist.
+    MissingEdge {
+        /// Source of the missing edge.
+        source: VertexId,
+        /// Target of the missing edge.
+        target: VertexId,
+    },
+    /// A self-loop was requested but the graph forbids them.
+    SelfLoop {
+        /// The vertex that would loop onto itself.
+        vertex: VertexId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range for graph with {num_vertices} vertices")
+            }
+            GraphError::DuplicateEdge { source, target } => {
+                write!(f, "edge {source} -> {target} already exists")
+            }
+            GraphError::MissingEdge { source, target } => {
+                write!(f, "edge {source} -> {target} does not exist")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = GraphError::DuplicateEdge { source: 1, target: 2 };
+        let s = e.to_string();
+        assert!(s.starts_with("edge"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

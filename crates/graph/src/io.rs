@@ -1,0 +1,362 @@
+//! Edge-list file I/O.
+//!
+//! The formats real streaming-graph systems consume:
+//!
+//! * **Graph files** — whitespace-separated edge lists, one `source target
+//!   [weight]` triple per line; `#` and `%` prefix comments (SNAP and
+//!   Matrix-Market-adjacent conventions). Missing weights default to `1`.
+//! * **Update files** — streaming batches, one update per line: `a source
+//!   target weight` adds an edge, `d source target` deletes one; blank
+//!   lines separate batches.
+//!
+//! Everything reads from generic [`BufRead`]/[`Write`] endpoints, so files,
+//! stdin, and in-memory buffers all work; pass `&mut reader` if you need
+//! the endpoint back.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use crate::{AdjacencyGraph, GraphError, UpdateBatch, VertexId, Weight};
+
+/// Errors produced while parsing graph or update files.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed edges violate simple-graph constraints.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "read failed: {e}"),
+            ParseError::Syntax { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            ParseError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            ParseError::Graph(e) => Some(e),
+            ParseError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+impl From<GraphError> for ParseError {
+    fn from(e: GraphError) -> Self {
+        ParseError::Graph(e)
+    }
+}
+
+fn is_comment(line: &str) -> bool {
+    let t = line.trim_start();
+    t.is_empty() || t.starts_with('#') || t.starts_with('%')
+}
+
+fn parse_vertex(tok: &str, line: usize) -> Result<VertexId, ParseError> {
+    tok.parse().map_err(|_| ParseError::Syntax {
+        line,
+        message: format!("invalid vertex id {tok:?}"),
+    })
+}
+
+fn parse_weight(tok: &str, line: usize) -> Result<Weight, ParseError> {
+    let w: Weight = tok.parse().map_err(|_| ParseError::Syntax {
+        line,
+        message: format!("invalid weight {tok:?}"),
+    })?;
+    if w.is_finite() {
+        Ok(w)
+    } else {
+        Err(ParseError::Syntax { line, message: format!("non-finite weight {tok:?}") })
+    }
+}
+
+/// Reads a whitespace-separated edge list into a graph.
+///
+/// The vertex count is `max id + 1` (or `min_vertices` if larger).
+/// Duplicate edges and self-loops are skipped, matching common loader
+/// behaviour for raw datasets.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on I/O failure or malformed lines.
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    min_vertices: usize,
+) -> Result<AdjacencyGraph, ParseError> {
+    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if is_comment(&line) {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut it = line.split_whitespace();
+        let u = parse_vertex(it.next().expect("non-comment line has a token"), lineno)?;
+        let v = it
+            .next()
+            .ok_or_else(|| ParseError::Syntax {
+                line: lineno,
+                message: "missing target vertex".into(),
+            })
+            .and_then(|t| parse_vertex(t, lineno))?;
+        let w = match it.next() {
+            Some(tok) => parse_weight(tok, lineno)?,
+            None => 1.0,
+        };
+        if let Some(extra) = it.next() {
+            return Err(ParseError::Syntax {
+                line: lineno,
+                message: format!("unexpected trailing token {extra:?}"),
+            });
+        }
+        max_id = max_id.max(u as u64).max(v as u64);
+        edges.push((u, v, w));
+    }
+    let n = ((max_id + 1) as usize).max(min_vertices).max(if edges.is_empty() {
+        min_vertices
+    } else {
+        0
+    });
+    Ok(AdjacencyGraph::from_edges(n, &edges))
+}
+
+/// Loads an edge-list file from `path`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on I/O failure or malformed lines.
+pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<AdjacencyGraph, ParseError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(BufReader::new(file), 0)
+}
+
+/// Writes a graph as a `source target weight` edge list.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_edge_list<W: Write>(graph: &AdjacencyGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    for (u, v, w) in graph.iter_edges() {
+        writeln!(writer, "{u} {v} {w}")?;
+    }
+    Ok(())
+}
+
+/// Reads streaming update batches: `a u v w` inserts, `d u v` deletes,
+/// blank lines separate batches. Comments are allowed anywhere.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on I/O failure or malformed lines.
+pub fn read_update_batches<R: BufRead>(reader: R) -> Result<Vec<UpdateBatch>, ParseError> {
+    let mut batches = Vec::new();
+    let mut current = UpdateBatch::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            if !current.is_empty() {
+                batches.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        if trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let op = it.next().expect("non-empty line has a token");
+        match op {
+            "a" | "A" => {
+                let u = it
+                    .next()
+                    .ok_or_else(|| ParseError::Syntax {
+                        line: lineno,
+                        message: "insertion missing source".into(),
+                    })
+                    .and_then(|t| parse_vertex(t, lineno))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError::Syntax {
+                        line: lineno,
+                        message: "insertion missing target".into(),
+                    })
+                    .and_then(|t| parse_vertex(t, lineno))?;
+                let w = match it.next() {
+                    Some(tok) => parse_weight(tok, lineno)?,
+                    None => 1.0,
+                };
+                current.insert(u, v, w);
+            }
+            "d" | "D" => {
+                let u = it
+                    .next()
+                    .ok_or_else(|| ParseError::Syntax {
+                        line: lineno,
+                        message: "deletion missing source".into(),
+                    })
+                    .and_then(|t| parse_vertex(t, lineno))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError::Syntax {
+                        line: lineno,
+                        message: "deletion missing target".into(),
+                    })
+                    .and_then(|t| parse_vertex(t, lineno))?;
+                current.delete(u, v);
+            }
+            other => {
+                return Err(ParseError::Syntax {
+                    line: lineno,
+                    message: format!("unknown update op {other:?} (expected 'a' or 'd')"),
+                });
+            }
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    Ok(batches)
+}
+
+/// Writes update batches in the format [`read_update_batches`] accepts.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_update_batches<W: Write>(
+    batches: &[UpdateBatch],
+    mut writer: W,
+) -> std::io::Result<()> {
+    for (i, batch) in batches.iter().enumerate() {
+        if i > 0 {
+            writeln!(writer)?;
+        }
+        for &(u, v, w) in batch.insertions() {
+            writeln!(writer, "a {u} {v} {w}")?;
+        }
+        for &(u, v) in batch.deletions() {
+            writeln!(writer, "d {u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_basic_edge_list() {
+        let text = "# a comment\n0 1 2.5\n1 2\n% another comment\n2 0 7\n";
+        let g = read_edge_list(Cursor::new(text), 0).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_weight(0, 1), Some(2.5));
+        assert_eq!(g.edge_weight(1, 2), Some(1.0)); // default weight
+    }
+
+    #[test]
+    fn min_vertices_pads_isolated_tail() {
+        let g = read_edge_list(Cursor::new("0 1\n"), 10).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list(Cursor::new("# nothing\n"), 5).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn bad_vertex_is_a_syntax_error_with_line_number() {
+        let err = read_edge_list(Cursor::new("0 1\nx 2\n"), 0).unwrap_err();
+        match err {
+            ParseError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(read_edge_list(Cursor::new("0 1 2 3\n"), 0).is_err());
+    }
+
+    #[test]
+    fn non_finite_weight_rejected() {
+        assert!(read_edge_list(Cursor::new("0 1 inf\n"), 0).is_err());
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let text = "0 1 2\n1 2 3\n2 0 4\n";
+        let g = read_edge_list(Cursor::new(text), 0).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf), 0).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn read_batches_with_separators() {
+        let text = "a 0 1 2.0\nd 1 2\n\na 3 4\n# comment\nd 0 1\n";
+        let batches = read_update_batches(Cursor::new(text)).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].insertions(), &[(0, 1, 2.0)]);
+        assert_eq!(batches[0].deletions(), &[(1, 2)]);
+        assert_eq!(batches[1].insertions(), &[(3, 4, 1.0)]);
+        assert_eq!(batches[1].deletions(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let err = read_update_batches(Cursor::new("x 0 1\n")).unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn batches_roundtrip() {
+        let mut b1 = UpdateBatch::new();
+        b1.insert(0, 1, 2.0).delete(3, 4);
+        let mut b2 = UpdateBatch::new();
+        b2.insert(5, 6, 1.5);
+        let batches = vec![b1, b2];
+        let mut buf = Vec::new();
+        write_update_batches(&batches, &mut buf).unwrap();
+        let back = read_update_batches(Cursor::new(buf)).unwrap();
+        assert_eq!(back, batches);
+    }
+
+    #[test]
+    fn load_graph_missing_file_is_io_error() {
+        let err = load_graph("/nonexistent/graph.txt").unwrap_err();
+        assert!(matches!(err, ParseError::Io(_)));
+    }
+}

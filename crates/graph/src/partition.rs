@@ -1,0 +1,190 @@
+//! Minimum-edge-cut graph slicing.
+//!
+//! GraphPulse's on-chip event queue holds one entry per vertex, so graphs
+//! larger than the queue are partitioned into slices processed one at a time
+//! (§4.7). The paper uses PuLP for edge-cut-based slicing; this module is the
+//! substitute: a greedy BFS-grow partitioner that fills one slice at a time
+//! with breadth-first neighborhoods, which keeps most edges internal for the
+//! community-structured graphs JetStream targets.
+
+use std::collections::VecDeque;
+
+use crate::{Csr, VertexId};
+
+/// A slicing of a graph into `num_slices` vertex-disjoint slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    slice_of: Vec<u32>,
+    num_slices: u32,
+}
+
+impl Partition {
+    /// Puts every vertex in slice 0 (the trivial partition used when the
+    /// whole graph fits in the event queue).
+    pub fn single(num_vertices: usize) -> Self {
+        Partition { slice_of: vec![0; num_vertices], num_slices: 1 }
+    }
+
+    /// Greedy BFS-grow edge-cut partitioning into `num_slices` balanced
+    /// slices (PuLP stand-in).
+    ///
+    /// Slices are grown one at a time from unassigned seed vertices by BFS,
+    /// with a per-slice capacity of `ceil(n / num_slices)`; spill-over
+    /// continues into the next slice. The result always assigns every vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_slices` is zero.
+    pub fn bfs_grow(graph: &Csr, num_slices: u32) -> Self {
+        assert!(num_slices > 0, "need at least one slice");
+        let n = graph.num_vertices();
+        if num_slices == 1 || n == 0 {
+            return Partition::single(n);
+        }
+        let capacity = n.div_ceil(num_slices as usize);
+        let mut slice_of = vec![u32::MAX; n];
+        let mut current = 0u32;
+        let mut filled = 0usize;
+        let mut queue: VecDeque<VertexId> = VecDeque::new();
+        let mut next_seed = 0usize;
+        let mut assigned = 0usize;
+        while assigned < n {
+            let v = match queue.pop_front() {
+                Some(v) if slice_of[v as usize] == u32::MAX => v,
+                Some(_) => continue,
+                None => {
+                    while next_seed < n && slice_of[next_seed] != u32::MAX {
+                        next_seed += 1;
+                    }
+                    next_seed as VertexId
+                }
+            };
+            slice_of[v as usize] = current;
+            assigned += 1;
+            filled += 1;
+            if filled >= capacity && current + 1 < num_slices {
+                current += 1;
+                filled = 0;
+                queue.clear();
+            } else {
+                for e in graph.neighbors(v) {
+                    if slice_of[e.other as usize] == u32::MAX {
+                        queue.push_back(e.other);
+                    }
+                }
+            }
+        }
+        Partition { slice_of, num_slices }
+    }
+
+    /// The slice holding vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn slice_of(&self, v: VertexId) -> u32 {
+        self.slice_of[v as usize]
+    }
+
+    /// Number of slices.
+    pub fn num_slices(&self) -> u32 {
+        self.num_slices
+    }
+
+    /// Number of vertices assigned to `slice`.
+    pub fn slice_len(&self, slice: u32) -> usize {
+        self.slice_of.iter().filter(|&&s| s == slice).count()
+    }
+
+    /// Fraction of edges whose endpoints land in different slices.
+    pub fn edge_cut_fraction(&self, graph: &Csr) -> f64 {
+        let m = graph.num_edges();
+        if m == 0 {
+            return 0.0;
+        }
+        let cut = graph
+            .iter_edges()
+            .filter(|&(u, v, _)| self.slice_of(u) != self.slice_of(v))
+            .count();
+        cut as f64 / m as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn single_partition_assigns_all_to_zero() {
+        let p = Partition::single(10);
+        assert_eq!(p.num_slices(), 1);
+        assert_eq!(p.slice_len(0), 10);
+        assert_eq!(p.slice_of(7), 0);
+    }
+
+    #[test]
+    fn bfs_grow_assigns_every_vertex() {
+        let g = gen::erdos_renyi(200, 600, 1).snapshot();
+        let p = Partition::bfs_grow(&g, 4);
+        for v in 0..200 {
+            assert!(p.slice_of(v) < 4);
+        }
+    }
+
+    #[test]
+    fn bfs_grow_balances_slices() {
+        let g = gen::erdos_renyi(400, 1600, 2).snapshot();
+        let p = Partition::bfs_grow(&g, 4);
+        for s in 0..4 {
+            let len = p.slice_len(s);
+            assert!(len >= 50 && len <= 150, "slice {s} has {len} vertices");
+        }
+    }
+
+    #[test]
+    fn bfs_grow_beats_random_cut_on_community_graph() {
+        // Two dense communities joined by one edge: BFS-grow should cut few.
+        let mut edges = Vec::new();
+        for i in 0..50u32 {
+            for j in 0..50u32 {
+                if i != j && (i + j) % 7 == 0 {
+                    edges.push((i, j, 1.0));
+                    edges.push((i + 50, j + 50, 1.0));
+                }
+            }
+        }
+        edges.push((0, 50, 1.0));
+        let g = Csr::from_edges(100, &edges);
+        let p = Partition::bfs_grow(&g, 2);
+        assert!(
+            p.edge_cut_fraction(&g) < 0.5,
+            "cut fraction {}",
+            p.edge_cut_fraction(&g)
+        );
+    }
+
+    #[test]
+    fn one_slice_is_trivial() {
+        let g = gen::erdos_renyi(50, 100, 3).snapshot();
+        let p = Partition::bfs_grow(&g, 1);
+        assert_eq!(p, Partition::single(50));
+        assert_eq!(p.edge_cut_fraction(&g), 0.0);
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = Csr::from_edges(10, &[(0, 1, 1.0), (8, 9, 1.0)]);
+        let p = Partition::bfs_grow(&g, 3);
+        for v in 0..10 {
+            assert!(p.slice_of(v) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn zero_slices_panics() {
+        let g = Csr::empty(4);
+        let _ = Partition::bfs_grow(&g, 0);
+    }
+}

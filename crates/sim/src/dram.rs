@@ -1,0 +1,178 @@
+//! Transaction-level DRAM model (the DRAMSim2 substitute).
+//!
+//! Each channel owns a set of banks with open-row state: an access to the
+//! open row pays the CAS latency only; a conflict pays precharge + activate
+//! + CAS. The channel data bus is occupied for a fixed number of cycles per
+//! 64-byte line, bounding sustained bandwidth at the paper's
+//! 17 GB/s/channel. Addresses interleave across channels at 4 KB page
+//! granularity so that the page-grouped accesses produced by the
+//! prefetchers (§4.4) land on one channel with row-buffer locality.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{SimConfig, LINE_BYTES};
+
+/// Aggregate DRAM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Line reads issued.
+    pub reads: u64,
+    /// Line writes issued.
+    pub writes: u64,
+    /// Accesses that hit an open row.
+    pub row_hits: u64,
+    /// Bytes moved over the channel buses.
+    pub bytes_transferred: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64,
+}
+
+#[derive(Debug)]
+struct Channel {
+    banks: Vec<Bank>,
+    bus_free: u64,
+}
+
+/// The multi-channel DRAM subsystem.
+#[derive(Debug)]
+pub struct Dram {
+    channels: Vec<Channel>,
+    row_hit_cycles: u64,
+    row_miss_cycles: u64,
+    line_transfer_cycles: u64,
+    stats: DramStats,
+}
+
+/// Page size used for channel interleaving.
+const PAGE_SHIFT: u64 = 12; // 4 KB
+/// Row-buffer size (8 KB) in address bits.
+const ROW_SHIFT: u64 = 13;
+
+impl Dram {
+    /// Builds the DRAM subsystem described by `config`.
+    pub fn new(config: &SimConfig) -> Self {
+        Dram {
+            channels: (0..config.dram_channels)
+                .map(|_| Channel {
+                    banks: vec![
+                        Bank { open_row: None, busy_until: 0 };
+                        config.banks_per_channel
+                    ],
+                    bus_free: 0,
+                })
+                .collect(),
+            row_hit_cycles: config.row_hit_cycles,
+            row_miss_cycles: config.row_miss_cycles,
+            line_transfer_cycles: config.line_transfer_cycles,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Issues a 64-byte line access at cycle `at`; returns the cycle the
+    /// data is available (read) or committed (write).
+    pub fn access(&mut self, addr: u64, at: u64, write: bool) -> u64 {
+        let num_channels = self.channels.len() as u64;
+        let channel = ((addr >> PAGE_SHIFT) % num_channels) as usize;
+        let ch = &mut self.channels[channel];
+        let num_banks = ch.banks.len() as u64;
+        let bank_idx = ((addr >> ROW_SHIFT) % num_banks) as usize;
+        let row = addr >> (ROW_SHIFT + 3);
+        let bank = &mut ch.banks[bank_idx];
+
+        let start = at.max(bank.busy_until).max(ch.bus_free);
+        let hit = bank.open_row == Some(row);
+        let latency = if hit { self.row_hit_cycles } else { self.row_miss_cycles };
+        let done = start + latency + self.line_transfer_cycles;
+        bank.open_row = Some(row);
+        bank.busy_until = start + latency;
+        ch.bus_free = start + latency + self.line_transfer_cycles;
+
+        if hit {
+            self.stats.row_hits += 1;
+        }
+        if write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.stats.bytes_transferred += LINE_BYTES;
+        done
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// The earliest cycle at which every channel is idle.
+    pub fn drain_cycle(&self) -> u64 {
+        self.channels.iter().map(|c| c.bus_free).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(&SimConfig::graphpulse())
+    }
+
+    #[test]
+    fn sequential_lines_hit_open_row() {
+        let mut d = dram();
+        let first = d.access(0x0, 0, false);
+        let second = d.access(0x40, first, false);
+        assert!(second > first);
+        assert_eq!(d.stats().row_hits, 1); // second access hits
+        assert_eq!(d.stats().reads, 2);
+    }
+
+    #[test]
+    fn row_conflict_is_slower_than_hit() {
+        let mut d = dram();
+        d.access(0x0, 0, false);
+        let t_hit_start = d.drain_cycle();
+        let hit_done = d.access(0x40, t_hit_start, false);
+        let hit_cost = hit_done - t_hit_start;
+        // Same channel+bank (within the same 8 KB window is the same bank;
+        // jump by banks*8KB to come back to bank 0 with a different row).
+        let conflict_addr = 8 * 8192 * 4; // different row, same bank 0 channel 0
+        let t0 = d.drain_cycle();
+        let miss_done = d.access(conflict_addr, t0, false);
+        assert!(miss_done - t0 > hit_cost, "miss {} vs hit {hit_cost}", miss_done - t0);
+    }
+
+    #[test]
+    fn channels_operate_in_parallel() {
+        let mut d = dram();
+        // Two accesses to different channels both start at 0.
+        let a = d.access(0x0, 0, false);
+        let b = d.access(0x1000, 0, false); // next 4 KB page -> next channel
+        // Both complete as row misses with no bus serialization between them.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_channel_serializes_on_bus() {
+        let mut d = dram();
+        let a = d.access(0x0, 0, false);
+        // Same page -> same channel; second access can't overlap the bus.
+        let b = d.access(0x200, 0, false);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn bytes_and_writes_counted() {
+        let mut d = dram();
+        d.access(0x0, 0, true);
+        d.access(0x40, 0, false);
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().bytes_transferred, 128);
+    }
+}

@@ -1,0 +1,34 @@
+//! Cycle-level simulator of the JetStream accelerator datapath.
+//!
+//! The paper evaluates JetStream on a cycle-accurate microarchitectural
+//! simulator built on the Structural Simulation Toolkit with DRAMSim2 for
+//! off-chip memory (§6). This crate is that substrate, built from scratch:
+//!
+//! * [`SimConfig`] — the hardware configuration of Table 1 (8 processing
+//!   engines @ 1 GHz, 16-bin on-chip queue, 16×16 crossbar, 4 DRAM
+//!   channels), with per-strategy event/vertex record sizes.
+//! * [`dram::Dram`] — a transaction-level multi-channel DRAM model with
+//!   per-bank open-row state and bus bandwidth limits (the DRAMSim2
+//!   substitute).
+//! * [`des`] — a component-based discrete-event simulation kernel (the
+//!   SST substitute), with [`crossbar`] as a cycle-accurate NoC model built
+//!   on it that validates the contention accounting of the trace replayer.
+//! * [`AcceleratorSim`] — replays the operation traces recorded by the
+//!   functional engine (`jetstream_core::trace`) through the datapath of
+//!   Fig. 7, producing cycle counts, per-phase timing, and off-chip traffic
+//!   statistics (Table 3, Figs. 11–14).
+//!
+//! Functional results never depend on this crate: the engine computes them;
+//! the simulator only assigns time and traffic to what the engine did.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod crossbar;
+pub mod des;
+pub mod dram;
+mod replay;
+
+pub use config::{SimConfig, CLOCK_HZ, LINE_BYTES};
+pub use replay::{AcceleratorSim, SimReport};

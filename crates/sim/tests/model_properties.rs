@@ -1,0 +1,102 @@
+//! Property-based tests on the timing substrate: conservation and
+//! monotonicity laws the DRAM model must satisfy for any access pattern,
+//! and determinism of the DES kernel under arbitrary seeding.
+
+use proptest::prelude::*;
+
+use jetstream_sim::crossbar::{run_crossbar, Flit};
+use jetstream_sim::dram::Dram;
+use jetstream_sim::{SimConfig, LINE_BYTES};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every access is counted once, bytes move in whole lines, and row
+    /// hits never exceed total accesses.
+    #[test]
+    fn dram_accounting_is_conserved(
+        addrs in proptest::collection::vec(0u64..(1 << 24), 1..200),
+        write_mask in proptest::collection::vec(any::<bool>(), 200),
+    ) {
+        let mut dram = Dram::new(&SimConfig::graphpulse());
+        let mut t = 0;
+        for (i, &addr) in addrs.iter().enumerate() {
+            let done = dram.access(addr & !(LINE_BYTES - 1), t, write_mask[i]);
+            prop_assert!(done > t, "completion must be after issue");
+            t = done.saturating_sub(10); // overlapping issue stream
+        }
+        let stats = dram.stats();
+        prop_assert_eq!(stats.reads + stats.writes, addrs.len() as u64);
+        prop_assert_eq!(stats.bytes_transferred, addrs.len() as u64 * LINE_BYTES);
+        prop_assert!(stats.row_hits <= stats.reads + stats.writes);
+    }
+
+    /// Completion times never precede the request time, and the channel
+    /// drain time bounds every completion.
+    #[test]
+    fn dram_time_is_monotone(
+        addrs in proptest::collection::vec(0u64..(1 << 20), 1..100),
+    ) {
+        let mut dram = Dram::new(&SimConfig::graphpulse());
+        let mut last_done = 0;
+        for (i, &addr) in addrs.iter().enumerate() {
+            let at = i as u64 * 2;
+            let done = dram.access(addr & !(LINE_BYTES - 1), at, false);
+            prop_assert!(done >= at);
+            last_done = last_done.max(done);
+        }
+        prop_assert!(dram.drain_cycle() >= last_done.saturating_sub(64));
+    }
+
+    /// Sequential streams are at least as fast as random ones of the same
+    /// length (row-buffer locality can only help).
+    #[test]
+    fn dram_sequential_not_slower_than_random(
+        seed_addrs in proptest::collection::vec(0u64..(1 << 24), 16..64),
+    ) {
+        let n = seed_addrs.len() as u64;
+        let mut seq = Dram::new(&SimConfig::graphpulse());
+        let mut t_seq = 0;
+        for i in 0..n {
+            t_seq = t_seq.max(seq.access(i * LINE_BYTES, 0, false));
+        }
+        let mut rnd = Dram::new(&SimConfig::graphpulse());
+        let mut t_rnd = 0;
+        for &a in &seed_addrs {
+            t_rnd = t_rnd.max(rnd.access(a & !(LINE_BYTES - 1), 0, false));
+        }
+        prop_assert!(
+            seq.stats().row_hits >= rnd.stats().row_hits
+                || t_seq <= t_rnd,
+            "sequential ({t_seq}) should exploit at least as much locality as random ({t_rnd})"
+        );
+    }
+
+    /// The crossbar delivers every flit exactly once, never finishes before
+    /// the per-port lower bounds, and is deterministic.
+    #[test]
+    fn crossbar_delivers_everything_deterministically(
+        pattern in proptest::collection::vec((0u64..20, 0usize..8, 0usize..8), 1..120),
+    ) {
+        let flits: Vec<(u64, Flit)> = pattern
+            .iter()
+            .map(|&(at, input, output)| (at, Flit { input, output }))
+            .collect();
+        let a = run_crossbar(8, &flits);
+        let b = run_crossbar(8, &flits);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.delivered, flits.len() as u64);
+        // Lower bound: the most loaded output port needs one cycle per
+        // flit after the earliest arrival.
+        let mut per_output = [0u64; 8];
+        for &(_, f) in &flits {
+            per_output[f.output] += 1;
+        }
+        let max_load = per_output.iter().copied().max().unwrap_or(0);
+        prop_assert!(
+            a.finish_time + 1 >= max_load,
+            "finish {} cannot beat the output-port bound {max_load}",
+            a.finish_time
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: evaluate a shortest-path query over a streaming graph.
+//!
+//! Builds a small road-like graph, converges SSSP on the accelerator
+//! engine, then streams a batch that deletes one edge and inserts another —
+//! the exact scenario of Fig. 4 in the JetStream paper — and prints the
+//! incrementally updated distances together with the work the engine did.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use jetstream::algorithms::Sssp;
+use jetstream::engine::{EngineConfig, StreamingEngine};
+use jetstream::graph::{AdjacencyGraph, GraphError, UpdateBatch};
+
+fn main() -> Result<(), GraphError> {
+    // The example graph of Fig. 4(a): vertices A..G as 0..6.
+    let mut g = AdjacencyGraph::new(7);
+    for &(u, v, w) in &[
+        (0u32, 1u32, 8.0), // A -> B
+        (0, 2, 9.0),       // A -> C
+        (1, 3, 4.0),       // B -> D
+        (1, 4, 8.0),       // B -> E
+        (2, 4, 5.0),       // C -> E
+        (2, 5, 8.0),       // C -> F
+        (3, 4, 3.0),       // D -> E
+        (3, 6, 7.0),       // D -> G
+        (4, 5, 5.0),       // E -> F
+        (6, 4, 3.0),       // G -> E
+    ] {
+        g.insert_edge(u, v, w)?;
+    }
+
+    let names = ["A", "B", "C", "D", "E", "F", "G"];
+    let mut engine =
+        StreamingEngine::new(Box::new(Sssp::new(0)), g, EngineConfig::default());
+
+    // Initial (static) evaluation — the GraphPulse flow.
+    let initial = engine.initial_compute();
+    println!("Initial shortest distances from A:");
+    for (name, d) in names.iter().zip(engine.values()) {
+        println!("  {name}: {d}");
+    }
+    println!(
+        "  ({} events processed, {} rounds)\n",
+        initial.events_processed, initial.rounds
+    );
+
+    // Stream a batch: add the shortcut A -> D and delete A -> C (Fig. 4b/c).
+    let mut batch = UpdateBatch::new();
+    batch.insert(0, 3, 8.0);
+    batch.delete(0, 2);
+    let stats = engine.apply_update_batch(&batch)?;
+
+    println!("After streaming {{+A->D (8), -A->C}}:");
+    for (name, d) in names.iter().zip(engine.values()) {
+        println!("  {name}: {d}");
+    }
+    println!(
+        "  ({} events processed, {} vertices reset and recovered, \
+         {} request events)",
+        stats.events_processed, stats.resets, stats.request_events
+    );
+    Ok(())
+}

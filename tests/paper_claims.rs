@@ -1,0 +1,214 @@
+//! Tests pinning the paper's quantitative claims on default-scenario
+//! workloads: the §6.2 claims about event counts and access ratios, phase
+//! structure of the streaming flows, and optimization orderings. These run
+//! on reduced instances, so thresholds are the claims' direction with slack
+//! rather than exact paper numbers.
+
+use jetstream::algorithms::Workload;
+use jetstream::engine::{
+    AccumulativeRecovery, DeleteStrategy, EngineConfig, Phase, StreamingEngine,
+};
+use jetstream::graph::gen::{DatasetProfile, EdgeStream};
+use jetstream::sim::{AcceleratorSim, SimConfig};
+
+/// §6.2 / Fig. 9: "JetStream limits the number of vertex accesses to less
+/// than 54% ... with less than 30% events generated."
+#[test]
+fn streaming_uses_a_fraction_of_cold_start_accesses() {
+    for w in Workload::ALL {
+        let full = DatasetProfile::LiveJournal.generate(8000);
+        let mut stream = EdgeStream::new(&full, 0.1, 4242);
+        let base = stream.graph().clone();
+        let root = (0..base.num_vertices() as u32)
+            .max_by_key(|&v| base.degree(v))
+            .unwrap_or(0);
+        let mut engine =
+            StreamingEngine::new(w.instantiate(root), base.clone(), EngineConfig::default());
+        engine.initial_compute();
+        let batch = stream.next_batch(12, 0.7);
+        let inc = engine.apply_update_batch(&batch).unwrap();
+        let mut cold_engine =
+            StreamingEngine::new(w.instantiate(root), base, EngineConfig::default());
+        cold_engine.initial_compute();
+        let full_stats = cold_engine.cold_restart(&batch).unwrap();
+        assert!(
+            (inc.vertex_accesses() as f64) < 0.54 * full_stats.vertex_accesses() as f64,
+            "{}: {} vs {} vertex accesses",
+            w.name(),
+            inc.vertex_accesses(),
+            full_stats.vertex_accesses()
+        );
+        assert!(
+            (inc.events_generated as f64) < 0.5 * full_stats.events_generated as f64,
+            "{}: {} vs {} events generated",
+            w.name(),
+            inc.events_generated,
+            full_stats.events_generated
+        );
+    }
+}
+
+/// The abstract's headline: streaming reduces computation time by ~90%
+/// versus cold start (i.e. at least a 2x margin holds even on reduced
+/// instances, for every workload).
+#[test]
+fn simulated_time_beats_cold_start_for_every_workload() {
+    for w in Workload::ALL {
+        let full = DatasetProfile::LiveJournal.generate(8000);
+        let mut stream = EdgeStream::new(&full, 0.1, 777);
+        let base = stream.graph().clone();
+        let root = (0..base.num_vertices() as u32)
+            .max_by_key(|&v| base.degree(v))
+            .unwrap_or(0);
+
+        let mut engine =
+            StreamingEngine::new(w.instantiate(root), base.clone(), EngineConfig::default());
+        engine.initial_compute();
+        let batch = stream.next_batch(12, 0.7);
+        engine.set_tracing(true);
+        engine.apply_update_batch(&batch).unwrap();
+        let trace = engine.take_trace();
+        let mut jet_sim = AcceleratorSim::new(SimConfig::jetstream(DeleteStrategy::Dap));
+        let jet = jet_sim.replay(&trace, engine.csr());
+
+        let mut cold =
+            StreamingEngine::new(w.instantiate(root), base, EngineConfig::default());
+        cold.initial_compute();
+        cold.set_tracing(true);
+        cold.cold_restart(&batch).unwrap();
+        let cold_trace = cold.take_trace();
+        let mut gp_sim = AcceleratorSim::new(SimConfig::graphpulse());
+        let gp = gp_sim.replay(&cold_trace, cold.csr());
+
+        assert!(
+            jet.cycles * 2 < gp.cycles,
+            "{}: streaming {} vs cold {} cycles",
+            w.name(),
+            jet.cycles,
+            gp.cycles
+        );
+    }
+}
+
+/// §3.5 phase structure: a selective streaming trace runs DeleteSetup →
+/// DeletePropagation → RequestSetup → InsertSetup → Recompute, in order.
+#[test]
+fn selective_streaming_trace_has_the_papers_phase_order() {
+    let full = DatasetProfile::Facebook.generate(10_000);
+    let mut stream = EdgeStream::new(&full, 0.1, 55);
+    let base = stream.graph().clone();
+    let mut engine = StreamingEngine::new(
+        Workload::Sssp.instantiate(0),
+        base,
+        EngineConfig::default(),
+    );
+    engine.initial_compute();
+    engine.set_tracing(true);
+    let batch = stream.next_batch(30, 0.5);
+    engine.apply_update_batch(&batch).unwrap();
+    let trace = engine.take_trace();
+    let phases: Vec<Phase> = trace.phases.iter().map(|p| p.phase).collect();
+    let expected_order = [
+        Phase::DeleteSetup,
+        Phase::DeletePropagation,
+        Phase::RequestSetup,
+        Phase::InsertSetup,
+        Phase::Recompute,
+    ];
+    // Every recorded phase must appear in the paper's order (phases with no
+    // work are omitted from traces).
+    let mut cursor = 0;
+    for phase in &phases {
+        let position = expected_order
+            .iter()
+            .position(|p| p == phase)
+            .unwrap_or_else(|| panic!("unexpected phase {phase:?} in selective flow"));
+        assert!(position >= cursor, "phase {phase:?} out of order in {phases:?}");
+        cursor = position;
+    }
+    assert!(phases.contains(&Phase::DeleteSetup));
+    assert!(phases.contains(&Phase::Recompute));
+}
+
+/// §3.5: the accumulative two-phase flow runs an IntermediateCompute phase;
+/// the coalesced flow does not.
+#[test]
+fn accumulative_recovery_flows_differ_in_phase_structure() {
+    let full = DatasetProfile::Facebook.generate(10_000);
+    for (recovery, expects_intermediate) in [
+        (AccumulativeRecovery::TwoPhase, true),
+        (AccumulativeRecovery::Coalesced, false),
+    ] {
+        let mut stream = EdgeStream::new(&full, 0.1, 66);
+        let base = stream.graph().clone();
+        let config = EngineConfig { accumulative_recovery: recovery, ..EngineConfig::default() };
+        let mut engine =
+            StreamingEngine::new(Workload::PageRank.instantiate(0), base, config);
+        engine.initial_compute();
+        engine.set_tracing(true);
+        let batch = stream.next_batch(20, 0.5);
+        engine.apply_update_batch(&batch).unwrap();
+        let trace = engine.take_trace();
+        let has_intermediate = trace
+            .phases
+            .iter()
+            .any(|p| p.phase == Phase::IntermediateCompute);
+        assert_eq!(
+            has_intermediate, expects_intermediate,
+            "{recovery:?} phase structure"
+        );
+    }
+}
+
+/// §5: the optimizations strictly order the work they leave behind —
+/// DAP ≤ VAP ≤ Base in events processed, for a deletion-heavy batch on a
+/// weighted selective workload.
+#[test]
+fn optimizations_monotonically_reduce_delete_work() {
+    let full = DatasetProfile::LiveJournal.generate(4000);
+    let mut events = Vec::new();
+    for strategy in DeleteStrategy::ALL {
+        let mut stream = EdgeStream::new(&full, 0.1, 88);
+        let base = stream.graph().clone();
+        let root = (0..base.num_vertices() as u32)
+            .max_by_key(|&v| base.degree(v))
+            .unwrap_or(0);
+        let config = EngineConfig { delete_strategy: strategy, ..EngineConfig::default() };
+        let mut engine = StreamingEngine::new(Workload::Sssp.instantiate(root), base, config);
+        engine.initial_compute();
+        let batch = stream.next_batch(40, 0.0); // deletions only
+        let stats = engine.apply_update_batch(&batch).unwrap();
+        events.push(stats.events_processed);
+    }
+    let (base, vap, dap) = (events[0], events[1], events[2]);
+    assert!(vap <= base, "VAP {vap} should not exceed Base {base}");
+    assert!(dap <= base, "DAP {dap} should not exceed Base {base}");
+}
+
+/// Accumulative workloads are insensitive to batch composition (§6.2,
+/// Fig. 14 discussion): insertion-only and deletion-only batches cost the
+/// same order of work because every touched vertex is rolled back and
+/// replayed either way.
+#[test]
+fn accumulative_work_is_composition_insensitive() {
+    let full = DatasetProfile::Facebook.generate(8000);
+    let mut costs = Vec::new();
+    for fraction in [1.0, 0.0] {
+        let mut stream = EdgeStream::new(&full, 0.1, 99);
+        let base = stream.graph().clone();
+        let mut engine = StreamingEngine::new(
+            Workload::PageRank.instantiate(0),
+            base,
+            EngineConfig::default(),
+        );
+        engine.initial_compute();
+        let batch = stream.next_batch(24, fraction);
+        let stats = engine.apply_update_batch(&batch).unwrap();
+        costs.push(stats.events_processed.max(1));
+    }
+    let ratio = costs[0] as f64 / costs[1] as f64;
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "insert-only vs delete-only PageRank work ratio {ratio}"
+    );
+}

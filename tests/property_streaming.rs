@@ -1,0 +1,226 @@
+//! Property-based tests: for random graphs and random update batches, the
+//! streaming engine's incremental result equals a from-scratch evaluation —
+//! the paper's recoverable-approximation guarantee (§3.2) — for every
+//! workload and every delete strategy. Plus structural invariants of the
+//! substrate (CSR round trips, queue coalescing, batch validity).
+
+use proptest::prelude::*;
+
+use jetstream::algorithms::{oracle, oracle_values, Algorithm, Sssp, UpdateKind, Workload};
+use jetstream::engine::{
+    CoalescingQueue, DeleteStrategy, EngineConfig, Event, StreamingEngine,
+};
+use jetstream::graph::{AdjacencyGraph, Csr, UpdateBatch};
+
+const N: usize = 24;
+
+/// A random simple directed graph on `N` vertices as an edge set.
+fn arb_graph() -> impl Strategy<Value = AdjacencyGraph> {
+    proptest::collection::vec(((0u32..N as u32), (0u32..N as u32), (1u32..=16u32)), 0..80)
+        .prop_map(|edges| {
+            let weighted: Vec<(u32, u32, f64)> = edges
+                .into_iter()
+                .map(|(u, v, w)| (u, v, f64::from(w)))
+                .collect();
+            AdjacencyGraph::from_edges(N, &weighted)
+        })
+}
+
+/// A random valid batch against `g`: deletions drawn from existing edges,
+/// insertions from absent pairs.
+fn arb_batch(g: &AdjacencyGraph, seed: u64) -> UpdateBatch {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut batch = UpdateBatch::new();
+    let edges: Vec<(u32, u32)> = g.iter_edges().map(|(u, v, _)| (u, v)).collect();
+    let mut deleted = std::collections::HashSet::new();
+    for _ in 0..rng.gen_range(0..8usize) {
+        if edges.is_empty() {
+            break;
+        }
+        let idx = rng.gen_range(0..edges.len());
+        if deleted.insert(idx) {
+            batch.delete(edges[idx].0, edges[idx].1);
+        }
+    }
+    let mut inserted = std::collections::HashSet::new();
+    for _ in 0..rng.gen_range(0..8usize) {
+        let u = rng.gen_range(0..N as u32);
+        let v = rng.gen_range(0..N as u32);
+        if u != v && !g.has_edge(u, v) && inserted.insert((u, v)) {
+            batch.insert(u, v, f64::from(rng.gen_range(1..=16u32)));
+        }
+    }
+    batch
+}
+
+fn tolerance(workload: Workload) -> f64 {
+    match workload.kind() {
+        UpdateKind::Selective => oracle::VALUE_TOLERANCE,
+        UpdateKind::Accumulative => oracle::accumulative_tolerance(1e-5),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline invariant: streaming == from-scratch, everywhere.
+    #[test]
+    fn streaming_equals_from_scratch(g in arb_graph(), seed in 0u64..1000) {
+        for w in Workload::ALL {
+            for strategy in DeleteStrategy::ALL {
+                let batch = arb_batch(&g, seed);
+                let config = EngineConfig { delete_strategy: strategy, num_bins: 4, ..EngineConfig::default() };
+                let mut engine = StreamingEngine::new(w.instantiate(0), g.clone(), config);
+                engine.initial_compute();
+                engine.apply_update_batch(&batch).unwrap();
+
+                let mut mutated = g.clone();
+                mutated.apply_batch(&batch).unwrap();
+                let expected = oracle_values(w, &mutated.snapshot(), 0);
+                prop_assert!(
+                    oracle::values_match_tol(engine.values(), &expected, tolerance(w)),
+                    "{} ({:?}) diverged: got {:?} want {:?}",
+                    w.name(), strategy, engine.values(), expected
+                );
+            }
+        }
+    }
+
+    /// Two consecutive random batches keep the state recoverable.
+    #[test]
+    fn two_batches_stay_recoverable(g in arb_graph(), seed in 0u64..500) {
+        for w in [Workload::Sssp, Workload::Cc, Workload::PageRank] {
+            let mut engine = StreamingEngine::new(
+                w.instantiate(0), g.clone(), EngineConfig::default());
+            engine.initial_compute();
+            let mut reference = g.clone();
+            for round in 0..2u64 {
+                let batch = arb_batch(&reference, seed.wrapping_mul(31).wrapping_add(round));
+                engine.apply_update_batch(&batch).unwrap();
+                reference.apply_batch(&batch).unwrap();
+            }
+            let expected = oracle_values(w, &reference.snapshot(), 0);
+            prop_assert!(
+                oracle::values_match_tol(engine.values(), &expected, tolerance(w)),
+                "{} diverged after two batches", w.name()
+            );
+        }
+    }
+
+    /// CSR construction round-trips any edge list.
+    #[test]
+    fn csr_roundtrips(g in arb_graph()) {
+        let csr = g.snapshot();
+        prop_assert_eq!(csr.num_edges(), g.num_edges());
+        for (u, v, w) in g.iter_edges() {
+            prop_assert_eq!(csr.edge_weight(u, v), Some(w));
+        }
+        let back: Vec<_> = csr.iter_edges().collect();
+        let orig: Vec<_> = g.iter_edges().collect();
+        prop_assert_eq!(back, orig);
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    /// Queue coalescing is insertion-order insensitive: any permutation of
+    /// the same events drains to the same per-vertex reduced payloads
+    /// (the Reordering property the hardware relies on, §3.1).
+    #[test]
+    fn queue_coalescing_is_order_insensitive(
+        payloads in proptest::collection::vec((0u32..16, 1u32..100), 1..40),
+        rotation in 0usize..40,
+    ) {
+        let alg = Sssp::new(0);
+        let drain = |events: &[(u32, u32)]| -> Vec<(u32, f64)> {
+            let mut q = CoalescingQueue::new(16, 4);
+            for &(v, p) in events {
+                q.insert(Event::regular(v, f64::from(p)), &alg);
+            }
+            let mut out = Vec::new();
+            for bin in 0..q.num_bins() {
+                out.extend(q.take_bin(bin).into_iter().map(|e| (e.target, e.payload)));
+            }
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        };
+        let mut rotated = payloads.clone();
+        rotated.rotate_left(rotation % payloads.len().max(1));
+        prop_assert_eq!(drain(&payloads), drain(&rotated));
+    }
+
+    /// Coalesced queue drains carry the reduce over all inserted payloads.
+    #[test]
+    fn queue_preserves_reduction(
+        payloads in proptest::collection::vec(1u32..100, 1..30),
+    ) {
+        let alg = Sssp::new(0);
+        let mut q = CoalescingQueue::new(4, 2);
+        for &p in &payloads {
+            q.insert(Event::regular(2, f64::from(p)), &alg);
+        }
+        let min = f64::from(*payloads.iter().min().unwrap());
+        let mut found = None;
+        for bin in 0..q.num_bins() {
+            for e in q.take_bin(bin) {
+                found = Some(e.payload);
+            }
+        }
+        prop_assert_eq!(found, Some(min));
+    }
+
+    /// Empty batches never change anything, for any graph.
+    #[test]
+    fn empty_batch_is_identity(g in arb_graph()) {
+        let mut engine = StreamingEngine::new(
+            Workload::Bfs.instantiate(0), g, EngineConfig::default());
+        engine.initial_compute();
+        let before = engine.values().to_vec();
+        let stats = engine.apply_update_batch(&UpdateBatch::new()).unwrap();
+        prop_assert_eq!(engine.values(), &before[..]);
+        prop_assert_eq!(stats.resets, 0);
+        prop_assert_eq!(stats.events_processed, 0);
+    }
+
+    /// Algorithm trait laws: identity never dominates, reduce is
+    /// commutative and idempotent-compatible for the selective workloads.
+    #[test]
+    fn algorithm_laws(x in 0.1f64..1000.0, y in 0.1f64..1000.0) {
+        for w in Workload::ALL {
+            let a = w.instantiate(0);
+            let id = a.identity();
+            prop_assert_eq!(a.reduce(x, id), x);
+            prop_assert_eq!(a.reduce(x, y), a.reduce(y, x));
+            if w.kind() == UpdateKind::Selective {
+                // Selection: reducing twice with the same value is stable.
+                let r = a.reduce(x, y);
+                prop_assert_eq!(a.reduce(r, y), r);
+            }
+        }
+    }
+}
+
+/// Deterministic regression: a dense cyclic graph with full teardown.
+#[test]
+fn cycle_teardown_regression() {
+    let mut g = AdjacencyGraph::new(4);
+    for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)] {
+        g.insert_edge(u, v, 1.0).unwrap();
+    }
+    let mut batch = UpdateBatch::new();
+    for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)] {
+        batch.delete(u, v);
+    }
+    for strategy in DeleteStrategy::ALL {
+        let mut engine = StreamingEngine::new(
+            Workload::Cc.instantiate(0),
+            g.clone(),
+            EngineConfig { delete_strategy: strategy, num_bins: 2, ..EngineConfig::default() },
+        );
+        engine.initial_compute();
+        engine.apply_update_batch(&batch).unwrap();
+        // Everything disconnected: every vertex is its own component.
+        let expected = oracle_values(Workload::Cc, &Csr::empty(4), 0);
+        assert!(oracle::values_match(engine.values(), &expected), "{strategy:?}");
+    }
+}

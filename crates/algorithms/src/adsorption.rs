@@ -41,10 +41,7 @@ impl Adsorption {
     ///
     /// Panics unless `0 < continuation < 1` and `epsilon > 0`.
     pub fn with_epsilon(continuation: Value, epsilon: Value) -> Self {
-        assert!(
-            continuation > 0.0 && continuation < 1.0,
-            "continuation must be in (0, 1)"
-        );
+        assert!(continuation > 0.0 && continuation < 1.0, "continuation must be in (0, 1)");
         assert!(epsilon > 0.0, "epsilon must be positive");
         Adsorption { continuation, epsilon }
     }
@@ -99,9 +96,7 @@ impl Algorithm for Adsorption {
     }
 
     fn initial_events(&self, graph: &Csr) -> Vec<(VertexId, Value)> {
-        (0..graph.num_vertices() as VertexId)
-            .map(|v| (v, Adsorption::injection(v)))
-            .collect()
+        (0..graph.num_vertices() as VertexId).map(|v| (v, Adsorption::injection(v))).collect()
     }
 
     fn initial_event(&self, v: VertexId) -> Option<Value> {
@@ -146,16 +141,15 @@ mod tests {
     fn injections_are_deterministic_and_bounded() {
         for v in 0..100 {
             let i = Adsorption::injection(v);
-            assert!(i >= 0.05 && i <= 0.2, "injection {i} out of range");
+            assert!((0.05..=0.2).contains(&i), "injection {i} out of range");
             assert_eq!(i, Adsorption::injection(v));
         }
     }
 
     #[test]
     fn injections_are_skewed() {
-        let distinct: std::collections::HashSet<u64> = (0..100)
-            .map(|v| (Adsorption::injection(v) * 1e9) as u64)
-            .collect();
+        let distinct: std::collections::HashSet<u64> =
+            (0..100).map(|v| (Adsorption::injection(v) * 1e9) as u64).collect();
         assert!(distinct.len() > 20, "injection should vary across vertices");
     }
 

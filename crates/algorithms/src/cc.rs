@@ -45,9 +45,7 @@ impl Algorithm for ConnectedComponents {
     }
 
     fn initial_events(&self, graph: &Csr) -> Vec<(VertexId, Value)> {
-        (0..graph.num_vertices() as VertexId)
-            .map(|v| (v, Value::from(v)))
-            .collect()
+        (0..graph.num_vertices() as VertexId).map(|v| (v, Value::from(v))).collect()
     }
 
     fn initial_event(&self, v: VertexId) -> Option<Value> {

@@ -237,9 +237,7 @@ impl Workload {
     /// The update family of this workload.
     pub fn kind(self) -> UpdateKind {
         match self {
-            Workload::Sssp | Workload::Sswp | Workload::Bfs | Workload::Cc => {
-                UpdateKind::Selective
-            }
+            Workload::Sssp | Workload::Sswp | Workload::Bfs | Workload::Cc => UpdateKind::Selective,
             Workload::PageRank | Workload::Adsorption => UpdateKind::Accumulative,
         }
     }
@@ -266,8 +264,7 @@ mod tests {
 
     #[test]
     fn workload_names_unique() {
-        let names: std::collections::HashSet<_> =
-            Workload::ALL.iter().map(|w| w.name()).collect();
+        let names: std::collections::HashSet<_> = Workload::ALL.iter().map(|w| w.name()).collect();
         assert_eq!(names.len(), 6);
     }
 

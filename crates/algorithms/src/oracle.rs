@@ -132,7 +132,7 @@ pub fn pagerank(graph: &Csr, damping: Value) -> Vec<Value> {
     let mut x = vec![teleport; n];
     for _ in 0..10_000 {
         let mut next = vec![teleport; n];
-        for v in 0..n {
+        for (v, slot) in next.iter_mut().enumerate() {
             let mut acc = 0.0;
             for e in inc.neighbors(v as VertexId) {
                 let u = e.other as usize;
@@ -140,13 +140,10 @@ pub fn pagerank(graph: &Csr, damping: Value) -> Vec<Value> {
                     acc += x[u] / deg[u] as Value;
                 }
             }
-            next[v] += damping * acc;
+            *slot += damping * acc;
         }
-        let diff: Value = next
-            .iter()
-            .zip(x.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, Value::max);
+        let diff: Value =
+            next.iter().zip(x.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, Value::max);
         x = next;
         if diff < VALUE_TOLERANCE / 10.0 {
             break;
@@ -160,14 +157,13 @@ pub fn pagerank(graph: &Csr, damping: Value) -> Vec<Value> {
 pub fn adsorption(graph: &Csr, continuation: Value) -> Vec<Value> {
     let n = graph.num_vertices();
     let inc = graph.transpose();
-    let wsum: Vec<Value> = (0..n as VertexId)
-        .map(|v| graph.neighbors(v).map(|e| e.weight).sum())
-        .collect();
+    let wsum: Vec<Value> =
+        (0..n as VertexId).map(|v| graph.neighbors(v).map(|e| e.weight).sum()).collect();
     let inj: Vec<Value> = (0..n as VertexId).map(Adsorption::injection).collect();
     let mut x = inj.clone();
     for _ in 0..10_000 {
         let mut next = inj.clone();
-        for v in 0..n {
+        for (v, slot) in next.iter_mut().enumerate() {
             let mut acc = 0.0;
             for e in inc.neighbors(v as VertexId) {
                 let u = e.other as usize;
@@ -175,13 +171,10 @@ pub fn adsorption(graph: &Csr, continuation: Value) -> Vec<Value> {
                     acc += x[u] * e.weight / wsum[u];
                 }
             }
-            next[v] += continuation * acc;
+            *slot += continuation * acc;
         }
-        let diff: Value = next
-            .iter()
-            .zip(x.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, Value::max);
+        let diff: Value =
+            next.iter().zip(x.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, Value::max);
         x = next;
         if diff < VALUE_TOLERANCE / 10.0 {
             break;
@@ -255,14 +248,14 @@ mod tests {
         Csr::from_edges(
             5,
             &[
-                (0, 1, 3.0),  // A -> B
-                (0, 2, 5.0),  // A -> C
-                (1, 2, 7.0),  // B -> C
-                (1, 3, 2.0),  // B -> D (3 + 2 = 5? paper shows D=5 via B)
-                (2, 3, 8.0),  // C -> D
-                (2, 4, 7.0),  // C -> E
-                (3, 4, 6.0),  // D -> E? keep reachable
-                (4, 0, 2.0),  // E -> A back edge
+                (0, 1, 3.0), // A -> B
+                (0, 2, 5.0), // A -> C
+                (1, 2, 7.0), // B -> C
+                (1, 3, 2.0), // B -> D (3 + 2 = 5? paper shows D=5 via B)
+                (2, 3, 8.0), // C -> D
+                (2, 4, 7.0), // C -> E
+                (3, 4, 6.0), // D -> E? keep reachable
+                (4, 0, 2.0), // E -> A back edge
             ],
         )
     }

@@ -101,9 +101,7 @@ impl Algorithm for PageRank {
 
     fn initial_events(&self, graph: &Csr) -> Vec<(VertexId, Value)> {
         let teleport = 1.0 - self.damping;
-        (0..graph.num_vertices() as VertexId)
-            .map(|v| (v, teleport))
-            .collect()
+        (0..graph.num_vertices() as VertexId).map(|v| (v, teleport)).collect()
     }
 
     fn initial_event(&self, _v: VertexId) -> Option<Value> {
@@ -177,10 +175,7 @@ mod tests {
         let pr = PageRank::new(0.85);
         let c = ctx(4);
         let deltas = [0.15, 0.2, 0.05];
-        let sent: Value = deltas
-            .iter()
-            .map(|&d| pr.propagate(0.0, d, &c).unwrap())
-            .sum();
+        let sent: Value = deltas.iter().map(|&d| pr.propagate(0.0, d, &c).unwrap()).sum();
         let state: Value = deltas.iter().sum();
         let inferred = pr.cumulative_edge_contribution(state, &c).unwrap();
         assert!((sent - inferred).abs() < 1e-12);

@@ -84,9 +84,8 @@ impl GraphBolt {
             host.iter_edges().map(|(u, v, w)| (v, u, w)).collect();
         let reverse = AdjacencyGraph::from_edges(n, &reversed);
         let degree = (0..n as VertexId).map(|v| host.degree(v)).collect();
-        let weight_sum = (0..n as VertexId)
-            .map(|v| host.neighbors(v).map(|(_, w)| w).sum())
-            .collect();
+        let weight_sum =
+            (0..n as VertexId).map(|v| host.neighbors(v).map(|(_, w)| w).sum()).collect();
         GraphBolt {
             alg,
             host,
@@ -158,9 +157,9 @@ impl GraphBolt {
         self.history = vec![seed.clone()];
         let threads = baseline_threads();
         let vertices: Vec<VertexId> = (0..n as VertexId).collect();
+        let mut prev = seed.clone();
         for _ in 0..MAX_ITERATIONS {
             self.stats.rounds += 1;
-            let prev = self.history.last().expect("history is non-empty").clone();
             // Data-parallel BSP round: every vertex pulls from the frozen
             // previous iteration (the 36-core execution of Table 1).
             let next: Vec<Value> =
@@ -174,7 +173,8 @@ impl GraphBolt {
             let edges = self.host.num_edges() as u64;
             self.stats.edge_reads += edges;
             self.stats.vertex_reads += edges;
-            self.history.push(next);
+            self.history.push(next.clone());
+            prev = next;
             if max_rel_delta < REFINE_EPSILON {
                 break;
             }
@@ -188,12 +188,10 @@ impl GraphBolt {
     ///
     /// Returns a [`GraphError`] when the batch is invalid against the
     /// current graph version.
+    #[allow(clippy::expect_used)] // invariant: the reversed batch mirrors the host graph
     pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<SoftwareStats, GraphError> {
         self.stats = SoftwareStats::default();
-        assert!(
-            !self.history.is_empty(),
-            "initial_compute must run before streaming batches"
-        );
+        assert!(!self.history.is_empty(), "initial_compute must run before streaming batches");
         self.host.apply_batch(batch)?;
         let mut reversed = UpdateBatch::new();
         for &(u, v, w) in batch.insertions() {
@@ -204,7 +202,7 @@ impl GraphBolt {
         }
         self.reverse
             .apply_batch(&reversed)
-            .expect("reverse mirrors the host graph");
+            .expect("invariant: the reversed batch mirrors the host graph");
         let n = self.host.num_vertices();
         let seed = self.seed_vector();
 
@@ -240,9 +238,11 @@ impl GraphBolt {
             self.stats.rounds += 1;
             if i >= self.history.len() {
                 // The refinement needs more iterations than the stored
-                // computation had: extend by replicating the converged tail.
-                let last = self.history.last().expect("history is non-empty").clone();
-                self.history.push(last);
+                // computation had: extend by replicating the converged tail
+                // (history is non-empty: apply_batch asserts it up front).
+                if let Some(last) = self.history.last().cloned() {
+                    self.history.push(last);
+                }
             }
             let prev = self.history[i - 1].clone();
             let mut next_frontier: BTreeSet<VertexId> = BTreeSet::new();
@@ -253,8 +253,7 @@ impl GraphBolt {
                 if (x - old).abs() > REFINE_EPSILON * old.abs().max(SCALE_FLOOR) {
                     self.history[i][v as usize] = x;
                     self.stats.vertex_writes += 1;
-                    let outs: Vec<VertexId> =
-                        self.host.neighbors(v).map(|(t, _)| t).collect();
+                    let outs: Vec<VertexId> = self.host.neighbors(v).map(|(t, _)| t).collect();
                     for t in outs {
                         next_frontier.insert(t);
                     }
@@ -301,11 +300,7 @@ mod tests {
             let mut gb = GraphBolt::new(w.instantiate(0), g.clone());
             gb.initial_compute();
             let expected = oracle_values(w, &g.snapshot(), 0);
-            assert!(
-                oracle::values_match_tol(gb.values(), &expected, TOL),
-                "{}",
-                w.name()
-            );
+            assert!(oracle::values_match_tol(gb.values(), &expected, TOL), "{}", w.name());
         }
     }
 

@@ -128,6 +128,7 @@ impl KickStarter {
     ///
     /// Returns a [`GraphError`] when the batch is invalid against the
     /// current graph version.
+    #[allow(clippy::expect_used)] // invariant: the reversed batch mirrors the host graph
     pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<SoftwareStats, GraphError> {
         self.stats = SoftwareStats::default();
         self.host.apply_batch(batch)?;
@@ -140,7 +141,7 @@ impl KickStarter {
         }
         self.reverse
             .apply_batch(&reversed)
-            .expect("reverse mirrors the host graph");
+            .expect("invariant: the reversed batch mirrors the host graph");
 
         // --- Tagging: direct targets whose dependency is the deleted
         // source, closed transitively over dependency-tree children.

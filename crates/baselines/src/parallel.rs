@@ -17,9 +17,7 @@ pub fn baseline_threads() -> usize {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
 /// Applies `f` to every item, in parallel over `threads` workers, returning
@@ -38,22 +36,21 @@ where
         return items.iter().map(&f).collect();
     }
     let chunk = items.len().div_ceil(threads);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
-    results.resize_with(items.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (in_chunk, out_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(|_| {
-                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|in_chunk| scope.spawn(|| in_chunk.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(chunk_results) => chunk_results,
+                // A worker panicked; surface the original panic payload
+                // instead of swallowing it.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     })
-    .expect("baseline worker panicked");
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot written"))
-        .collect()
 }
 
 #[cfg(test)]

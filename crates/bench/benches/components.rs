@@ -1,10 +1,10 @@
-//! Criterion benches for the substrate components behind Tables 1 and 4:
+//! Timing harnesses for the substrate components behind Tables 1 and 4:
 //! the coalescing queue, the DRAM timing model, the partitioner, and the
 //! analytic power/area estimator. These are the microbenchmarks a hardware
 //! study would use to validate simulator throughput.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use jetstream_algorithms::Sssp;
+use jetstream_bench::timing::{bench, consume};
 use jetstream_core::{CoalescingQueue, Event};
 use jetstream_graph::gen;
 use jetstream_graph::partition::Partition;
@@ -12,50 +12,37 @@ use jetstream_hwmodel::{estimate, HwConfig};
 use jetstream_sim::dram::Dram;
 use jetstream_sim::SimConfig;
 
-fn bench_queue(c: &mut Criterion) {
+fn main() {
     let alg = Sssp::new(0);
-    let mut group = c.benchmark_group("table1-components");
-    group.bench_function("queue/insert-coalesce-4k", |b| {
-        b.iter(|| {
-            let mut q = CoalescingQueue::new(1024, 16);
-            for i in 0..4096u32 {
-                q.insert(Event::regular(i % 1024, (i % 97) as f64), &alg);
-            }
-            let mut drained = 0;
-            for bin in 0..q.num_bins() {
-                drained += q.take_bin(bin).len();
-            }
-            black_box(drained)
-        })
+    bench("table1-components/queue/insert-coalesce-4k", 20, || {
+        let mut q = CoalescingQueue::new(1024, 16);
+        for i in 0..4096u32 {
+            q.insert(Event::regular(i % 1024, (i % 97) as f64), &alg);
+        }
+        let mut drained = 0;
+        for bin in 0..q.num_bins() {
+            drained += q.take_bin(bin).len();
+        }
+        consume(drained);
     });
-    group.bench_function("dram/sequential-stream-4k-lines", |b| {
-        b.iter(|| {
-            let mut dram = Dram::new(&SimConfig::graphpulse());
-            let mut t = 0;
-            for l in 0..4096u64 {
-                t = dram.access(l * 64, t, false);
-            }
-            black_box(t)
-        })
-    });
-    group.bench_function("partition/bfs-grow-8-slices", |b| {
-        let g = gen::rmat(4096, 32768, gen::RmatParams::default(), 5).snapshot();
-        b.iter(|| black_box(Partition::bfs_grow(&g, 8)))
-    });
-    group.finish();
-}
 
-fn bench_table4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table4");
-    group.bench_function("hwmodel/estimate-both-configs", |b| {
-        b.iter(|| {
-            let gp = estimate(&HwConfig::graphpulse());
-            let js = estimate(&HwConfig::jetstream_dap());
-            black_box((gp.total_mw(), js.total_area_mm2()))
-        })
+    bench("table1-components/dram/sequential-stream-4k-lines", 20, || {
+        let mut dram = Dram::new(&SimConfig::graphpulse());
+        let mut t = 0;
+        for l in 0..4096u64 {
+            t = dram.access(l * 64, t, false);
+        }
+        consume(t);
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_queue, bench_table4);
-criterion_main!(benches);
+    let g = gen::rmat(4096, 32768, gen::RmatParams::default(), 5).snapshot();
+    bench("table1-components/partition/bfs-grow-8-slices", 10, || {
+        consume(Partition::bfs_grow(&g, 8));
+    });
+
+    bench("table4/hwmodel/estimate-both-configs", 100, || {
+        let gp = estimate(&HwConfig::graphpulse());
+        let js = estimate(&HwConfig::jetstream_dap());
+        consume((gp.total_mw(), js.total_area_mm2()));
+    });
+}

@@ -1,15 +1,13 @@
-//! Criterion benches for the figure experiments (Figs. 9–14): each group
+//! Timing harnesses for the figure experiments (Figs. 9–14): each case
 //! exercises the hot path behind one figure on a small instance.
 //!
 //! The *reported* figure data comes from the `experiments` binary (which
 //! runs at the full 1/1000 scale and prints the paper-vs-measured tables);
 //! these benches track the performance of the machinery itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use jetstream_algorithms::Workload;
-use jetstream_bench::harness::{
-    run_graphpulse_initial, run_jetstream, run_kickstarter, Scenario,
-};
+use jetstream_bench::harness::{run_graphpulse_initial, run_jetstream, run_kickstarter, Scenario};
+use jetstream_bench::timing::{bench, check, consume};
 use jetstream_core::DeleteStrategy;
 use jetstream_graph::gen::DatasetProfile;
 
@@ -26,79 +24,46 @@ fn small(workload: Workload, strategy: DeleteStrategy) -> Scenario {
     }
 }
 
-/// Fig. 9 / Fig. 10: access counting & reset counting run through the same
-/// streaming path.
-fn bench_fig9_fig10(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9-fig10");
-    group.sample_size(10);
-    group.bench_function("jetstream-access-counts/SSSP", |b| {
-        b.iter(|| run_jetstream(&small(Workload::Sssp, DeleteStrategy::Dap)))
+fn main() {
+    // Fig. 9 / Fig. 10: access counting & reset counting run through the
+    // same streaming path.
+    bench("fig9-fig10/jetstream-access-counts/SSSP", 10, || {
+        consume(check(run_jetstream(&small(Workload::Sssp, DeleteStrategy::Dap))));
     });
-    group.bench_function("kickstarter-resets/SSSP", |b| {
-        b.iter(|| {
-            run_kickstarter(&Scenario {
-                insertion_fraction: 0.0,
-                ..small(Workload::Sssp, DeleteStrategy::Dap)
-            })
-        })
+    bench("fig9-fig10/kickstarter-resets/SSSP", 10, || {
+        consume(check(run_kickstarter(&Scenario {
+            insertion_fraction: 0.0,
+            ..small(Workload::Sssp, DeleteStrategy::Dap)
+        })));
     });
-    group.finish();
-}
 
-/// Fig. 11: utilization requires the full static-evaluation replay.
-fn bench_fig11(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11");
-    group.sample_size(10);
-    group.bench_function("graphpulse-initial-utilization/BFS", |b| {
-        b.iter(|| run_graphpulse_initial(&small(Workload::Bfs, DeleteStrategy::Dap)))
+    // Fig. 11: utilization requires the full static-evaluation replay.
+    bench("fig11/graphpulse-initial-utilization/BFS", 10, || {
+        consume(check(run_graphpulse_initial(&small(Workload::Bfs, DeleteStrategy::Dap))));
     });
-    group.finish();
-}
 
-/// Fig. 12: the three delete strategies on the same batch.
-fn bench_fig12(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig12");
-    group.sample_size(10);
+    // Fig. 12: the three delete strategies on the same batch.
     for strategy in DeleteStrategy::ALL {
-        group.bench_function(format!("strategy/{}", strategy.label()), |b| {
-            b.iter(|| run_jetstream(&small(Workload::Sssp, strategy)))
+        bench(&format!("fig12/strategy/{}", strategy.label()), 10, || {
+            consume(check(run_jetstream(&small(Workload::Sssp, strategy))));
         });
     }
-    group.finish();
-}
 
-/// Fig. 13 / Fig. 14: batch-size and composition sweeps.
-fn bench_fig13_fig14(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig13-fig14");
-    group.sample_size(10);
+    // Fig. 13 / Fig. 14: batch-size and composition sweeps.
     for batch in [4usize, 16] {
-        group.bench_function(format!("batch-size/{batch}"), |b| {
-            b.iter(|| {
-                run_jetstream(&Scenario {
-                    batch,
-                    ..small(Workload::Sssp, DeleteStrategy::Dap)
-                })
-            })
+        bench(&format!("fig13/batch-size/{batch}"), 10, || {
+            consume(check(run_jetstream(&Scenario {
+                batch,
+                ..small(Workload::Sssp, DeleteStrategy::Dap)
+            })));
         });
     }
     for (frac, label) in [(1.0, "100-0"), (0.0, "0-100")] {
-        group.bench_function(format!("composition/{label}"), |b| {
-            b.iter(|| {
-                run_jetstream(&Scenario {
-                    insertion_fraction: frac,
-                    ..small(Workload::Sssp, DeleteStrategy::Dap)
-                })
-            })
+        bench(&format!("fig14/composition/{label}"), 10, || {
+            consume(check(run_jetstream(&Scenario {
+                insertion_fraction: frac,
+                ..small(Workload::Sssp, DeleteStrategy::Dap)
+            })));
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_fig9_fig10,
-    bench_fig11,
-    bench_fig12,
-    bench_fig13_fig14
-);
-criterion_main!(benches);

@@ -1,12 +1,12 @@
-//! Criterion bench for Table 3's hot path: one streaming batch through the
+//! Timing harness for Table 3's hot path: one streaming batch through the
 //! JetStream engine + cycle simulator versus a GraphPulse cold restart,
 //! on a small Facebook-profile instance.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jetstream_algorithms::Workload;
 use jetstream_bench::harness::{run_graphpulse_cold, run_jetstream, Scenario};
+use jetstream_bench::timing::{bench, check, consume};
 use jetstream_core::DeleteStrategy;
 use jetstream_graph::gen::DatasetProfile;
-use jetstream_algorithms::Workload;
 
 fn scenario(workload: Workload) -> Scenario {
     Scenario {
@@ -21,19 +21,13 @@ fn scenario(workload: Workload) -> Scenario {
     }
 }
 
-fn bench_table3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3");
-    group.sample_size(10);
+fn main() {
     for w in [Workload::Sssp, Workload::Cc, Workload::PageRank] {
-        group.bench_function(format!("jetstream/{}", w.name()), |b| {
-            b.iter(|| run_jetstream(&scenario(w)))
+        bench(&format!("table3/jetstream/{}", w.name()), 10, || {
+            consume(check(run_jetstream(&scenario(w))));
         });
-        group.bench_function(format!("graphpulse-cold/{}", w.name()), |b| {
-            b.iter(|| run_graphpulse_cold(&scenario(w)))
+        bench(&format!("table3/graphpulse-cold/{}", w.name()), 10, || {
+            consume(check(run_graphpulse_cold(&scenario(w))));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

@@ -13,7 +13,7 @@ use jetstream_sim::SimConfig;
 
 use crate::harness::{
     dataset, run_graphpulse_cold, run_graphpulse_initial, run_jetstream, run_kickstarter,
-    run_software, Scenario,
+    run_software, HarnessError, Scenario,
 };
 
 /// Geometric mean of a non-empty slice.
@@ -97,7 +97,7 @@ fn paper_table3_gmeans(workload: Workload) -> (f64, f64) {
 
 /// Table 3: execution time per query and speedups over GraphPulse and the
 /// software frameworks, for 100 K-equivalent batches (70 % insertions).
-pub fn table3(scale: u32) -> String {
+pub fn table3(scale: u32) -> Result<String, HarnessError> {
     let mut out = String::from("## Table 3 — Time per query and speedups\n\n");
     out.push_str(
         "JetStream time is simulated ms @ 1 GHz; GP = GraphPulse cold-start \
@@ -115,9 +115,9 @@ pub fn table3(scale: u32) -> String {
         for p in DatasetProfile::ALL {
             eprintln!("[table3] {} on {} ...", w.name(), p.tag());
             let s = Scenario::paper_default(w, p, scale);
-            let jet = run_jetstream(&s);
-            let cold = run_graphpulse_cold(&s);
-            let soft = run_software(&s);
+            let jet = run_jetstream(&s)?;
+            let cold = run_graphpulse_cold(&s)?;
+            let soft = run_software(&s)?;
             jet_ms.push(jet.time_ms);
             gp_speedup.push(cold.time_ms / jet.time_ms);
             sw_speedup.push(soft.time_ms / jet.time_ms);
@@ -130,39 +130,28 @@ pub fn table3(scale: u32) -> String {
         out.push_str(&format!(
             "| {} | Jet (ms) | {} | | |\n",
             w.name(),
-            jet_ms
-                .iter()
-                .map(|v| format!("{v:.4}"))
-                .collect::<Vec<_>>()
-                .join(" | "),
+            jet_ms.iter().map(|v| format!("{v:.4}")).collect::<Vec<_>>().join(" | "),
         ));
         out.push_str(&format!(
             "| | GP× | {} | {:.1}× | {:.1}× |\n",
-            gp_speedup
-                .iter()
-                .map(|v| format!("{v:.1}×"))
-                .collect::<Vec<_>>()
-                .join(" | "),
+            gp_speedup.iter().map(|v| format!("{v:.1}×")).collect::<Vec<_>>().join(" | "),
             gmean(&gp_speedup),
             paper_gp
         ));
         out.push_str(&format!(
             "| | {sw_label}× | {} | {:.1}× | {:.1}× |\n",
-            sw_speedup
-                .iter()
-                .map(|v| format!("{v:.1}×"))
-                .collect::<Vec<_>>()
-                .join(" | "),
+            sw_speedup.iter().map(|v| format!("{v:.1}×")).collect::<Vec<_>>().join(" | "),
             gmean(&sw_speedup),
             paper_sw
         ));
     }
-    out
+    Ok(out)
 }
 
 /// Fig. 9: vertex and edge accesses of JetStream normalized to GraphPulse.
-pub fn fig9(scale: u32) -> String {
-    let workloads = [Workload::Sswp, Workload::Sssp, Workload::Bfs, Workload::Cc, Workload::PageRank];
+pub fn fig9(scale: u32) -> Result<String, HarnessError> {
+    let workloads =
+        [Workload::Sswp, Workload::Sssp, Workload::Bfs, Workload::Cc, Workload::PageRank];
     let profiles = [
         DatasetProfile::Facebook,
         DatasetProfile::Wikipedia,
@@ -179,8 +168,8 @@ pub fn fig9(scale: u32) -> String {
         for p in profiles {
             eprintln!("[fig9] {} on {} ...", w.name(), p.tag());
             let s = Scenario::paper_default(w, p, scale);
-            let jet = run_jetstream(&s);
-            let cold = run_graphpulse_cold(&s);
+            let jet = run_jetstream(&s)?;
+            let cold = run_graphpulse_cold(&s)?;
             out.push_str(&format!(
                 "| {} | {} | {:.3} | {:.3} |\n",
                 w.name(),
@@ -190,12 +179,12 @@ pub fn fig9(scale: u32) -> String {
             ));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Fig. 10: vertices reset by a 30 K-equivalent deletion-only batch,
 /// JetStream (DAP) vs KickStarter.
-pub fn fig10(scale: u32) -> String {
+pub fn fig10(scale: u32) -> Result<String, HarnessError> {
     let mut out = String::from("## Fig. 10 — Vertices reset by 30 K-equivalent deletions\n\n");
     out.push_str(
         "Paper: JetStream's source-based DAP usually resets fewer vertices \
@@ -210,8 +199,8 @@ pub fn fig10(scale: u32) -> String {
                 ..Scenario::paper_default(w, p, scale)
             };
             eprintln!("[fig10] {} on {} ...", w.name(), p.tag());
-            let jet = run_jetstream(&s);
-            let ks = run_kickstarter(&s);
+            let jet = run_jetstream(&s)?;
+            let ks = run_kickstarter(&s)?;
             out.push_str(&format!(
                 "| {} | {} | {} | {} |\n",
                 w.name(),
@@ -221,12 +210,13 @@ pub fn fig10(scale: u32) -> String {
             ));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Fig. 11: off-chip transfer utilization (bytes consumed / bytes moved).
-pub fn fig11(scale: u32) -> String {
-    let workloads = [Workload::PageRank, Workload::Sswp, Workload::Sssp, Workload::Bfs, Workload::Cc];
+pub fn fig11(scale: u32) -> Result<String, HarnessError> {
+    let workloads =
+        [Workload::PageRank, Workload::Sswp, Workload::Sssp, Workload::Bfs, Workload::Cc];
     let mut out = String::from("## Fig. 11 — Off-chip memory transfer utilization\n\n");
     out.push_str(
         "Paper: JetStream's sparse active set harvests less spatial \
@@ -237,8 +227,8 @@ pub fn fig11(scale: u32) -> String {
         for p in DatasetProfile::ALL {
             eprintln!("[fig11] {} on {} ...", w.name(), p.tag());
             let s = Scenario::paper_default(w, p, scale);
-            let jet = run_jetstream(&s);
-            let gp = run_graphpulse_initial(&s);
+            let jet = run_jetstream(&s)?;
+            let gp = run_graphpulse_initial(&s)?;
             out.push_str(&format!(
                 "| {} | {} | {:.3} | {:.3} |\n",
                 w.name(),
@@ -248,11 +238,11 @@ pub fn fig11(scale: u32) -> String {
             ));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Fig. 12: speedup over GraphPulse for Base, +VAP, and +DAP.
-pub fn fig12(scale: u32) -> String {
+pub fn fig12(scale: u32) -> Result<String, HarnessError> {
     let profiles = [DatasetProfile::LiveJournal, DatasetProfile::Uk2002];
     let mut out = String::from("## Fig. 12 — Base / +VAP / +DAP speedup over GraphPulse\n\n");
     out.push_str(
@@ -264,23 +254,15 @@ pub fn fig12(scale: u32) -> String {
         for w in Workload::SELECTIVE {
             let mut cells = Vec::new();
             for strategy in DeleteStrategy::ALL {
-                let s = Scenario {
-                    strategy,
-                    ..Scenario::paper_default(w, p, scale)
-                };
-                let jet = run_jetstream(&s);
-                let cold = run_graphpulse_cold(&s);
+                let s = Scenario { strategy, ..Scenario::paper_default(w, p, scale) };
+                let jet = run_jetstream(&s)?;
+                let cold = run_graphpulse_cold(&s)?;
                 cells.push(format!("{:.1}×", cold.time_ms / jet.time_ms));
             }
-            out.push_str(&format!(
-                "| {} | {} | {} |\n",
-                p.tag(),
-                w.name(),
-                cells.join(" | ")
-            ));
+            out.push_str(&format!("| {} | {} | {} |\n", p.tag(), w.name(), cells.join(" | ")));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Fig. 13: sensitivity to batch size (SSSP and PageRank on LiveJournal).
@@ -288,7 +270,7 @@ pub fn fig12(scale: u32) -> String {
 /// Scaled batch `B` corresponds to the paper batch `B × scale`; runtimes are
 /// reported as speedup over JetStream at the 100 K-equivalent batch, exactly
 /// as in the paper.
-pub fn fig13(scale: u32) -> String {
+pub fn fig13(scale: u32) -> Result<String, HarnessError> {
     let p = DatasetProfile::LiveJournal;
     let batches = [1usize, 3, 10, 30, 100];
     let mut out = String::from("## Fig. 13 — Sensitivity to batch size (LiveJournal)\n\n");
@@ -301,14 +283,14 @@ pub fn fig13(scale: u32) -> String {
     for w in [Workload::Sssp, Workload::PageRank] {
         let baseline = {
             let s = Scenario { batch: 100, ..Scenario::paper_default(w, p, scale) };
-            run_jetstream(&s).time_ms
+            run_jetstream(&s)?.time_ms
         };
         let mut jet_row = Vec::new();
         let mut sw_row = Vec::new();
         for &b in &batches {
             let s = Scenario { batch: b, ..Scenario::paper_default(w, p, scale) };
-            let jet = run_jetstream(&s);
-            let soft = run_software(&s);
+            let jet = run_jetstream(&s)?;
+            let soft = run_software(&s)?;
             jet_row.push(format!("{:.2}×", baseline / jet.time_ms));
             sw_row.push(format!("{:.4}×", baseline / soft.time_ms));
         }
@@ -316,20 +298,17 @@ pub fn fig13(scale: u32) -> String {
             UpdateKind::Selective => "KickStarter",
             UpdateKind::Accumulative => "GraphBolt",
         };
-        out.push_str(&format!(
-            "| {} | JetStream | {} |\n",
-            w.name(),
-            jet_row.join(" | ")
-        ));
+        out.push_str(&format!("| {} | JetStream | {} |\n", w.name(), jet_row.join(" | ")));
         out.push_str(&format!("| | {sw_label} | {} |\n", sw_row.join(" | ")));
     }
-    out
+    Ok(out)
 }
 
 /// Fig. 14: sensitivity to batch composition (SSSP and CC on LiveJournal).
-pub fn fig14(scale: u32) -> String {
+pub fn fig14(scale: u32) -> Result<String, HarnessError> {
     let p = DatasetProfile::LiveJournal;
-    let compositions = [(1.0, "100:0"), (0.75, "75:25"), (0.5, "50:50"), (0.25, "25:75"), (0.0, "0:100")];
+    let compositions =
+        [(1.0, "100:0"), (0.75, "75:25"), (0.5, "50:50"), (0.25, "25:75"), (0.0, "0:100")];
     let mut out = String::from("## Fig. 14 — Sensitivity to batch composition (LiveJournal)\n\n");
     out.push_str(
         "Run-time normalized to the 50:50 batch on JetStream; paper: \
@@ -344,7 +323,7 @@ pub fn fig14(scale: u32) -> String {
                 rounds: 8,
                 ..Scenario::paper_default(w, p, scale)
             };
-            run_jetstream(&s).time_ms
+            run_jetstream(&s)?.time_ms
         };
         let mut jet_row = Vec::new();
         let mut ks_row = Vec::new();
@@ -355,32 +334,30 @@ pub fn fig14(scale: u32) -> String {
                 rounds: 8,
                 ..Scenario::paper_default(w, p, scale)
             };
-            let jet = run_jetstream(&s);
-            let ks = run_kickstarter(&s);
+            let jet = run_jetstream(&s)?;
+            let ks = run_kickstarter(&s)?;
             jet_row.push(format!("{:.2}", jet.time_ms / norm));
             ks_row.push(format!("{:.2}", ks.time_ms / norm));
         }
-        out.push_str(&format!(
-            "| {} | JetStream | {} |\n",
-            w.name(),
-            jet_row.join(" | ")
-        ));
+        out.push_str(&format!("| {} | JetStream | {} |\n", w.name(), jet_row.join(" | ")));
         out.push_str(&format!("| | KickStarter | {} |\n", ks_row.join(" | ")));
     }
-    out
+    Ok(out)
 }
 
 /// Ablation: the accumulative-recovery design choice (DESIGN.md §3) —
 /// the paper's literal two-phase Algorithm 6 versus the default coalesced
 /// rollback+replay, measured as events processed and simulated time per
 /// batch.
-pub fn ablation_recovery(scale: u32) -> String {
+pub fn ablation_recovery(scale: u32) -> Result<String, HarnessError> {
     use crate::harness::{base_and_batches, root_for, ACCUMULATIVE_EPSILON};
     use jetstream_sim::{AcceleratorSim, SimConfig};
 
-    let mut out = String::from("## Ablation — accumulative recovery flow
+    let mut out = String::from(
+        "## Ablation — accumulative recovery flow
 
-");
+",
+    );
     out.push_str(
         "Two-phase is Algorithm 6 verbatim (rollback converges on the          intermediate graph before replay); coalesced queues rollback and          replay together so kept-edge contributions cancel in the queue.          Both produce identical results (tested); coalesced is the default.
 
@@ -393,13 +370,12 @@ pub fn ablation_recovery(scale: u32) -> String {
             eprintln!("[ablation] {} on {} ...", w.name(), p.tag());
             let scenario = Scenario { rounds: 1, ..Scenario::paper_default(w, p, scale) };
             let (base, batches) = base_and_batches(&scenario);
+            let first = batches.first().ok_or_else(|| scenario.no_batches())?;
             let root = root_for(&base);
             let mut cells = Vec::new();
             for recovery in [AccumulativeRecovery::TwoPhase, AccumulativeRecovery::Coalesced] {
-                let config = EngineConfig {
-                    accumulative_recovery: recovery,
-                    ..EngineConfig::default()
-                };
+                let config =
+                    EngineConfig { accumulative_recovery: recovery, ..EngineConfig::default() };
                 let mut engine = StreamingEngine::new(
                     w.instantiate_with_epsilon(root, ACCUMULATIVE_EPSILON),
                     base.clone(),
@@ -407,7 +383,8 @@ pub fn ablation_recovery(scale: u32) -> String {
                 );
                 engine.initial_compute();
                 engine.set_tracing(true);
-                let stats = engine.apply_update_batch(&batches[0]).expect("valid batch");
+                let stats =
+                    engine.apply_update_batch(first).map_err(|e| scenario.graph_error(e))?;
                 let trace = engine.take_trace();
                 let mut sim = AcceleratorSim::new(SimConfig::jetstream(DeleteStrategy::Dap));
                 let report = sim.replay(&trace, engine.csr());
@@ -425,7 +402,7 @@ pub fn ablation_recovery(scale: u32) -> String {
             ));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Ablation: queue capacity and graph slicing (§4.7) — how partitioning a
@@ -434,9 +411,11 @@ pub fn ablation_recovery(scale: u32) -> String {
 pub fn ablation_slicing(scale: u32) -> String {
     use crate::harness::{base_and_batches, root_for};
 
-    let mut out = String::from("## Ablation — queue capacity and slicing
+    let mut out = String::from(
+        "## Ablation — queue capacity and slicing
 
-");
+",
+    );
     out.push_str(
         "Cold SSSP evaluation of the scaled Twitter graph with the          functional engine's slice-by-slice draining (§4.7): smaller queues          mean more slices and more cross-slice event spills.
 
@@ -453,11 +432,8 @@ pub fn ablation_slicing(scale: u32) -> String {
     let n = base.num_vertices();
     for capacity in [None, Some(n.div_ceil(2)), Some(n.div_ceil(4)), Some(n.div_ceil(8))] {
         let config = EngineConfig { queue_capacity: capacity, ..EngineConfig::default() };
-        let mut engine = StreamingEngine::new(
-            Workload::Sssp.instantiate(root),
-            base.clone(),
-            config,
-        );
+        let mut engine =
+            StreamingEngine::new(Workload::Sssp.instantiate(root), base.clone(), config);
         let stats = engine.initial_compute();
         out.push_str(&format!(
             "| {} | {} | {} | {} | {:.3} |

@@ -4,20 +4,21 @@
 //! dataset, a batch recipe, and a system (JetStream, GraphPulse cold-start,
 //! KickStarter, or GraphBolt). [`Scenario`] captures the combination;
 //! the `run_*` functions execute it and return timing plus operation
-//! statistics. Accelerator time is *simulated* cycles at 1 GHz
-//! (`jetstream-sim`); software time is wall-clock of the single-threaded
-//! Rust baselines.
+//! statistics, or a [`HarnessError`] tagged with the scenario when a
+//! generated batch fails to apply. Accelerator time is *simulated* cycles
+//! at 1 GHz (`jetstream-sim`); software time is wall-clock of the
+//! single-threaded Rust baselines.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
 use std::time::Instant;
-
-use parking_lot::Mutex;
 
 use jetstream_algorithms::{UpdateKind, Workload};
 use jetstream_baselines::{GraphBolt, KickStarter, SoftwareStats};
 use jetstream_core::{DeleteStrategy, EngineConfig, RunStats, StreamingEngine};
 use jetstream_graph::gen::{DatasetProfile, EdgeStream};
-use jetstream_graph::{AdjacencyGraph, UpdateBatch, VertexId};
+use jetstream_graph::{AdjacencyGraph, GraphError, UpdateBatch, VertexId};
 use jetstream_sim::{AcceleratorSim, SimConfig, SimReport};
 
 /// One experiment configuration.
@@ -57,6 +58,63 @@ impl Scenario {
             rounds: 3,
         }
     }
+
+    pub(crate) fn graph_error(&self, source: GraphError) -> HarnessError {
+        HarnessError {
+            workload: self.workload.name(),
+            profile: self.profile.tag(),
+            kind: HarnessErrorKind::Graph(source),
+        }
+    }
+
+    pub(crate) fn no_batches(&self) -> HarnessError {
+        HarnessError {
+            workload: self.workload.name(),
+            profile: self.profile.tag(),
+            kind: HarnessErrorKind::NoBatches,
+        }
+    }
+}
+
+/// A harness run failed; carries the scenario context so batch-generation
+/// bugs report *which* experiment broke instead of panicking mid-table.
+#[derive(Debug)]
+pub struct HarnessError {
+    /// Workload name of the failing scenario.
+    pub workload: &'static str,
+    /// Dataset tag of the failing scenario.
+    pub profile: &'static str,
+    /// Underlying failure.
+    pub kind: HarnessErrorKind,
+}
+
+/// What went wrong inside a harness run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HarnessErrorKind {
+    /// A generated update batch failed to apply to the engine's graph.
+    Graph(GraphError),
+    /// The scenario produced no batches, so there is nothing to measure.
+    NoBatches,
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario {} on {}: ", self.workload, self.profile)?;
+        match &self.kind {
+            HarnessErrorKind::Graph(e) => write!(f, "update batch failed to apply: {e}"),
+            HarnessErrorKind::NoBatches => write!(f, "no batches to measure"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            HarnessErrorKind::Graph(e) => Some(e),
+            HarnessErrorKind::NoBatches => None,
+        }
+    }
 }
 
 /// Result of an accelerator run (JetStream or GraphPulse cold-start).
@@ -87,18 +145,17 @@ pub struct SoftwareRun {
 pub fn dataset(profile: DatasetProfile, scale: u32) -> &'static AdjacencyGraph {
     static CACHE: Mutex<Option<HashMap<(DatasetProfile, u32), &'static AdjacencyGraph>>> =
         Mutex::new(None);
-    let mut guard = CACHE.lock();
+    // A poisoned lock only means another test thread panicked mid-insert;
+    // the map of leaked pointers is still structurally sound.
+    let mut guard = CACHE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let map = guard.get_or_insert_with(HashMap::new);
-    map.entry((profile, scale))
-        .or_insert_with(|| Box::leak(Box::new(profile.generate(scale))))
+    map.entry((profile, scale)).or_insert_with(|| Box::leak(Box::new(profile.generate(scale))))
 }
 
 /// Deterministic query root: the highest-out-degree vertex, so
 /// single-source queries reach a large part of the graph.
 pub fn root_for(graph: &AdjacencyGraph) -> VertexId {
-    (0..graph.num_vertices() as VertexId)
-        .max_by_key(|&v| graph.degree(v))
-        .unwrap_or(0)
+    (0..graph.num_vertices() as VertexId).max_by_key(|&v| graph.degree(v)).unwrap_or(0)
 }
 
 /// The base graph and successive update batches a scenario uses, built
@@ -121,20 +178,22 @@ pub fn base_and_batches(scenario: &Scenario) -> (AdjacencyGraph, Vec<UpdateBatch
 pub const ACCUMULATIVE_EPSILON: f64 = 1e-5;
 
 fn algorithm_for(scenario: &Scenario, root: VertexId) -> Box<dyn jetstream_algorithms::Algorithm> {
-    scenario
-        .workload
-        .instantiate_with_epsilon(root, ACCUMULATIVE_EPSILON)
+    scenario.workload.instantiate_with_epsilon(root, ACCUMULATIVE_EPSILON)
 }
 
 fn engine_for(scenario: &Scenario, base: AdjacencyGraph) -> StreamingEngine {
     let root = root_for(&base);
-    let config = EngineConfig { delete_strategy: scenario.strategy, num_bins: 16, ..EngineConfig::default() };
+    let config = EngineConfig {
+        delete_strategy: scenario.strategy,
+        num_bins: 16,
+        ..EngineConfig::default()
+    };
     StreamingEngine::new(algorithm_for(scenario, root), base, config)
 }
 
 /// JetStream: converge the initial query, then stream the scenario's
 /// batches incrementally; returns the mean simulated cost per batch.
-pub fn run_jetstream(scenario: &Scenario) -> AcceleratorRun {
+pub fn run_jetstream(scenario: &Scenario) -> Result<AcceleratorRun, HarnessError> {
     let (base, batches) = base_and_batches(scenario);
     let mut engine = engine_for(scenario, base);
     engine.initial_compute();
@@ -143,9 +202,7 @@ pub fn run_jetstream(scenario: &Scenario) -> AcceleratorRun {
     let mut report: Option<SimReport> = None;
     for batch in &batches {
         engine.set_tracing(true);
-        stats += engine
-            .apply_update_batch(batch)
-            .expect("scenario batches are valid by construction");
+        stats += engine.apply_update_batch(batch).map_err(|e| scenario.graph_error(e))?;
         let trace = engine.take_trace();
         let r = sim.replay(&trace, engine.csr());
         report = Some(match report.take() {
@@ -154,11 +211,11 @@ pub fn run_jetstream(scenario: &Scenario) -> AcceleratorRun {
         });
     }
     let n = batches.len() as u64;
-    let mut sim_report = report.expect("at least one batch");
+    let mut sim_report = report.ok_or_else(|| scenario.no_batches())?;
     sim_report.cycles /= n;
     divide_stats(&mut stats, n);
     let time_ms = sim_report.time_ms(sim.config());
-    AcceleratorRun { sim: sim_report, stats, time_ms }
+    Ok(AcceleratorRun { sim: sim_report, stats, time_ms })
 }
 
 fn merge_reports(mut acc: SimReport, r: SimReport) -> SimReport {
@@ -190,26 +247,25 @@ fn divide_stats(stats: &mut RunStats, n: u64) {
 
 /// GraphPulse cold-start: apply the batch, then recompute the query from
 /// scratch on the accelerator (the hardware baseline of Table 3).
-pub fn run_graphpulse_cold(scenario: &Scenario) -> AcceleratorRun {
+pub fn run_graphpulse_cold(scenario: &Scenario) -> Result<AcceleratorRun, HarnessError> {
     // Cold-start cost is batch-independent (the whole graph is recomputed
     // either way), so one restart on the first batch suffices.
     let (base, batches) = base_and_batches(scenario);
+    let first = batches.first().ok_or_else(|| scenario.no_batches())?;
     let mut engine = engine_for(scenario, base);
     engine.initial_compute();
     let mut sim = AcceleratorSim::new(SimConfig::graphpulse());
     engine.set_tracing(true);
-    let stats = engine
-        .cold_restart(&batches[0])
-        .expect("scenario batches are valid by construction");
+    let stats = engine.cold_restart(first).map_err(|e| scenario.graph_error(e))?;
     let trace = engine.take_trace();
     let sim_report = sim.replay(&trace, engine.csr());
     let time_ms = sim_report.time_ms(sim.config());
-    AcceleratorRun { sim: sim_report, stats, time_ms }
+    Ok(AcceleratorRun { sim: sim_report, stats, time_ms })
 }
 
 /// The GraphPulse *initial* (static) evaluation on the scenario's graph —
 /// the reference for Fig. 11's utilization comparison.
-pub fn run_graphpulse_initial(scenario: &Scenario) -> AcceleratorRun {
+pub fn run_graphpulse_initial(scenario: &Scenario) -> Result<AcceleratorRun, HarnessError> {
     let (base, _) = base_and_batches(scenario);
     let mut engine = engine_for(scenario, base);
     engine.set_tracing(true);
@@ -218,7 +274,7 @@ pub fn run_graphpulse_initial(scenario: &Scenario) -> AcceleratorRun {
     let mut sim = AcceleratorSim::new(SimConfig::graphpulse());
     let sim_report = sim.replay(&trace, engine.csr());
     let time_ms = sim_report.time_ms(sim.config());
-    AcceleratorRun { sim: sim_report, stats, time_ms }
+    Ok(AcceleratorRun { sim: sim_report, stats, time_ms })
 }
 
 /// KickStarter software baseline (selective workloads): converge, then
@@ -227,7 +283,7 @@ pub fn run_graphpulse_initial(scenario: &Scenario) -> AcceleratorRun {
 /// # Panics
 ///
 /// Panics for accumulative workloads.
-pub fn run_kickstarter(scenario: &Scenario) -> SoftwareRun {
+pub fn run_kickstarter(scenario: &Scenario) -> Result<SoftwareRun, HarnessError> {
     assert_eq!(scenario.workload.kind(), UpdateKind::Selective);
     let (base, batches) = base_and_batches(scenario);
     let root = root_for(&base);
@@ -236,7 +292,7 @@ pub fn run_kickstarter(scenario: &Scenario) -> SoftwareRun {
     let mut stats = SoftwareStats::default();
     let start = Instant::now();
     for batch in &batches {
-        let s = ks.apply_batch(batch).expect("valid batch");
+        let s = ks.apply_batch(batch).map_err(|e| scenario.graph_error(e))?;
         stats.vertex_reads += s.vertex_reads;
         stats.vertex_writes += s.vertex_writes;
         stats.edge_reads += s.edge_reads;
@@ -246,7 +302,7 @@ pub fn run_kickstarter(scenario: &Scenario) -> SoftwareRun {
     let n = batches.len() as u64;
     let time_ms = start.elapsed().as_secs_f64() * 1e3 / n as f64;
     stats.resets /= n;
-    SoftwareRun { stats, time_ms }
+    Ok(SoftwareRun { stats, time_ms })
 }
 
 /// GraphBolt software baseline (accumulative workloads).
@@ -254,7 +310,7 @@ pub fn run_kickstarter(scenario: &Scenario) -> SoftwareRun {
 /// # Panics
 ///
 /// Panics for selective workloads.
-pub fn run_graphbolt(scenario: &Scenario) -> SoftwareRun {
+pub fn run_graphbolt(scenario: &Scenario) -> Result<SoftwareRun, HarnessError> {
     assert_eq!(scenario.workload.kind(), UpdateKind::Accumulative);
     let (base, batches) = base_and_batches(scenario);
     let root = root_for(&base);
@@ -263,7 +319,7 @@ pub fn run_graphbolt(scenario: &Scenario) -> SoftwareRun {
     let mut stats = SoftwareStats::default();
     let start = Instant::now();
     for batch in &batches {
-        let s = gb.apply_batch(batch).expect("valid batch");
+        let s = gb.apply_batch(batch).map_err(|e| scenario.graph_error(e))?;
         stats.vertex_reads += s.vertex_reads;
         stats.vertex_writes += s.vertex_writes;
         stats.edge_reads += s.edge_reads;
@@ -273,12 +329,12 @@ pub fn run_graphbolt(scenario: &Scenario) -> SoftwareRun {
     let n = batches.len() as u64;
     let time_ms = start.elapsed().as_secs_f64() * 1e3 / n as f64;
     stats.resets /= n;
-    SoftwareRun { stats, time_ms }
+    Ok(SoftwareRun { stats, time_ms })
 }
 
 /// The matching software framework for a workload (KickStarter for
 /// selective, GraphBolt for accumulative), as in Table 3.
-pub fn run_software(scenario: &Scenario) -> SoftwareRun {
+pub fn run_software(scenario: &Scenario) -> Result<SoftwareRun, HarnessError> {
     match scenario.workload.kind() {
         UpdateKind::Selective => run_kickstarter(scenario),
         UpdateKind::Accumulative => run_graphbolt(scenario),
@@ -313,8 +369,8 @@ mod tests {
     #[test]
     fn jetstream_beats_cold_start_on_default_scenario() {
         let s = tiny(Workload::Sssp);
-        let jet = run_jetstream(&s);
-        let cold = run_graphpulse_cold(&s);
+        let jet = run_jetstream(&s).unwrap();
+        let cold = run_graphpulse_cold(&s).unwrap();
         assert!(jet.time_ms < cold.time_ms);
         assert!(jet.stats.vertex_accesses() < cold.stats.vertex_accesses());
     }
@@ -323,19 +379,27 @@ mod tests {
     fn software_baselines_run_all_workloads() {
         for w in Workload::ALL {
             let s = tiny(w);
-            let run = run_software(&s);
+            let run = run_software(&s).unwrap();
             assert!(run.time_ms >= 0.0, "{}", w.name());
         }
+    }
+
+    #[test]
+    fn harness_error_renders_context() {
+        let s = tiny(Workload::Sssp);
+        let err = s.graph_error(GraphError::SelfLoop { vertex: 3 });
+        let text = err.to_string();
+        assert!(text.contains("SSSP"), "{text}");
+        assert!(text.contains("FB"), "{text}");
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(s.no_batches().to_string().contains("no batches"));
     }
 
     #[test]
     fn root_is_a_hub() {
         let g = dataset(DatasetProfile::Facebook, 20_000);
         let root = root_for(g);
-        let max_deg = (0..g.num_vertices() as VertexId)
-            .map(|v| g.degree(v))
-            .max()
-            .unwrap();
+        let max_deg = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).max().unwrap();
         assert_eq!(g.degree(root), max_deg);
     }
 }

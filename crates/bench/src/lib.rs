@@ -12,11 +12,12 @@
 //! root when invoked there), or name an individual artifact:
 //! `experiments table3`, `experiments fig12`, …
 //!
-//! Criterion benches (`cargo bench`) exercise each experiment's hot path on
-//! small instances for performance tracking.
+//! Plain timing harnesses (`cargo bench`) exercise each experiment's hot
+//! path on small instances for performance tracking; see [`timing`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod harness;
+pub mod timing;

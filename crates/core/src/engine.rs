@@ -246,6 +246,8 @@ impl StreamingEngine {
         self.tracer.end_round();
         self.run_queue(Phase::Initial);
         self.stats.events_coalesced = self.queue.stats().coalesced;
+        #[cfg(feature = "strict-invariants")]
+        debug_assert_eq!(self.validate_converged(), Ok(()), "post-compute invariant violated");
         self.stats
     }
 
@@ -264,7 +266,75 @@ impl StreamingEngine {
             UpdateKind::Accumulative => self.stream_accumulative(batch)?,
         }
         self.stats.events_coalesced = self.queue.stats().coalesced - coalesced_before;
+        #[cfg(feature = "strict-invariants")]
+        debug_assert_eq!(self.validate_converged(), Ok(()), "post-batch invariant violated");
         Ok(self.stats)
+    }
+
+    /// Checks the engine's cross-structure invariants after a completed
+    /// computation, returning a description of the first violation found:
+    ///
+    /// * the event queue is fully drained and internally consistent;
+    /// * the active CSR pair is structurally valid and direction-symmetric;
+    /// * under DAP, every recorded `Leads-To` dependency (§5.2) is an edge
+    ///   of the active graph — a dangling dependency means a deleted edge's
+    ///   contribution survived recovery (the recoverable-approximation
+    ///   property of §3.4 would be broken);
+    /// * selective algorithms: the values are a fixed point — no edge can
+    ///   still improve its target, i.e. for every edge `u -> v` the
+    ///   contribution `u` currently sends over it reduces into `v`'s value
+    ///   without changing it;
+    /// * accumulative algorithms: every value is finite (the rollback and
+    ///   replay waves of Fig. 5 must cancel, never diverge).
+    ///
+    /// Always compiled; `apply_update_batch` and `initial_compute` wire it
+    /// into a debug assertion under the `strict-invariants` feature.
+    pub fn validate_converged(&self) -> Result<(), String> {
+        if !self.queue.is_empty() {
+            return Err(format!("queue still holds {} events", self.queue.len()));
+        }
+        self.queue.validate().map_err(|e| format!("queue: {e}"))?;
+        self.csr.validate().map_err(|e| format!("csr: {e}"))?;
+        if self.dap_active() {
+            for (v, dep) in self.dependency.iter().enumerate() {
+                if let Some(u) = dep {
+                    if !self.csr.out.has_edge(*u, v as VertexId) {
+                        return Err(format!(
+                            "dangling dependency: vertex {v} leads-to {u}, but edge \
+                             {u} -> {v} is not in the active graph"
+                        ));
+                    }
+                }
+            }
+        }
+        match self.alg.kind() {
+            UpdateKind::Selective => {
+                for (u, v, w) in self.csr.out.iter_edges() {
+                    let state = self.values[u as usize];
+                    let deg = self.csr.out.degree(u);
+                    let wsum = self.weight_sum(u);
+                    let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
+                    if let Some(delta) = self.alg.propagate(state, state, &ctx) {
+                        let target = self.values[v as usize];
+                        if self.alg.reduce(target, delta) != target {
+                            return Err(format!(
+                                "not a fixed point: edge {u} -> {v} still improves \
+                                 {target} with contribution {delta}"
+                            ));
+                        }
+                    }
+                }
+            }
+            UpdateKind::Accumulative => {
+                if let Some(v) = self.values.iter().position(|x| !x.is_finite()) {
+                    return Err(format!(
+                        "non-finite value {} at vertex {v} after recovery",
+                        self.values[v]
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Applies the batch and recomputes from scratch — the GraphPulse
@@ -298,40 +368,47 @@ impl StreamingEngine {
     /// been drained once and all processors idle).
     fn run_queue(&mut self, phase: Phase) {
         let slices = self.num_slices();
+        // `num_slices() > 1` only when a positive capacity is configured, so
+        // the partitioned path always has its slice width.
+        let slice_cap = if slices > 1 { self.config.queue_capacity } else { None };
         while !self.queue.is_empty() {
-            if slices == 1 {
-                for bin in 0..self.queue.num_bins() {
-                    let events = self.queue.take_bin(bin);
-                    for ev in events {
-                        self.process_event(ev);
+            match slice_cap {
+                None => {
+                    for bin in 0..self.queue.num_bins() {
+                        let events = self.queue.take_bin(bin);
+                        for ev in events {
+                            self.process_event(ev);
+                        }
                     }
                 }
-            } else {
-                // Slice-by-slice draining (§4.7): one slice's events are
-                // on-chip at a time; events generated for other slices were
-                // counted as spills at emission and processed when their
-                // slice activates.
-                let cap = self.config.queue_capacity.expect("slices > 1 implies capacity");
-                for slice in 0..slices {
-                    self.active_slice = slice;
-                    let lo = slice * cap;
-                    let hi = ((slice + 1) * cap).min(self.values.len());
-                    let events = self.queue.take_range(lo, hi);
-                    for ev in events {
-                        self.process_event(ev);
+                Some(cap) => {
+                    // Slice-by-slice draining (§4.7): one slice's events are
+                    // on-chip at a time; events generated for other slices were
+                    // counted as spills at emission and processed when their
+                    // slice activates.
+                    for slice in 0..slices {
+                        self.active_slice = slice;
+                        let lo = slice * cap;
+                        let hi = ((slice + 1) * cap).min(self.values.len());
+                        let events = self.queue.take_range(lo, hi);
+                        for ev in events {
+                            self.process_event(ev);
+                        }
                     }
+                    self.active_slice = 0;
                 }
-                self.active_slice = 0;
             }
             // DAP recovery: uncoalesced delete events live in the overflow
             // buffer; drain the ones present at the start of this pass.
             let pending = self.queue.overflow_len();
             for _ in 0..pending {
-                let ev = self.queue.pop_overflow().expect("overflow length checked");
+                let Some(ev) = self.queue.pop_overflow() else { break };
                 self.process_event(ev);
             }
             self.stats.rounds += 1;
             self.tracer.end_round();
+            #[cfg(feature = "strict-invariants")]
+            self.queue.debug_validate();
         }
         let _ = phase;
     }
@@ -359,11 +436,8 @@ impl StreamingEngine {
         }
         let must_propagate = changed || ev.request;
         let targets_start = self.tracer.targets_start();
-        let (generated, edges_read) = if must_propagate {
-            self.propagate_regular(ev.target, ev.payload)
-        } else {
-            (0, 0)
-        };
+        let (generated, edges_read) =
+            if must_propagate { self.propagate_regular(ev.target, ev.payload) } else { (0, 0) };
         self.tracer.push_op(TraceOp {
             vertex: ev.target,
             kind: OpKind::Apply,
@@ -437,8 +511,7 @@ impl StreamingEngine {
         // DAP must keep per-source delete events distinct from the very
         // first event on: two deletions targeting the same vertex carry
         // different source ids and must both be examined (§5.2).
-        self.queue
-            .set_coalesce_deletes(self.config.delete_strategy != DeleteStrategy::Dap);
+        self.queue.set_coalesce_deletes(self.config.delete_strategy != DeleteStrategy::Dap);
 
         // Phase 1 — stream deleted edges into delete events (Algorithm 4,
         // ProcessDeletesSelective; §4.6.2 "Delete Setup and Preparation").
@@ -659,10 +732,7 @@ impl StreamingEngine {
         // Phase 1 — negative events for every old out-edge of a touched
         // vertex, using the old degree/weight-sum (Algorithm 3).
         self.tracer.begin_phase(Phase::DeleteSetup);
-        let snapshot: Vec<Value> = touched
-            .iter()
-            .map(|&u| self.values[u as usize])
-            .collect();
+        let snapshot: Vec<Value> = touched.iter().map(|&u| self.values[u as usize]).collect();
         for (&u, &state) in touched.iter().zip(snapshot.iter()) {
             let deg = old_host.degree(u);
             let wsum: Value = if self.alg.needs_weight_sum() {
@@ -700,10 +770,8 @@ impl StreamingEngine {
             // Compute on the intermediate graph: the old graph with all
             // touched vertices turned into sinks, breaking every cyclic
             // path through them (Fig. 5b).
-            let intermediate_edges: Vec<(VertexId, VertexId, Value)> = old_host
-                .iter_edges()
-                .filter(|(u, _, _)| !touched.contains(u))
-                .collect();
+            let intermediate_edges: Vec<(VertexId, VertexId, Value)> =
+                old_host.iter_edges().filter(|(u, _, _)| !touched.contains(u)).collect();
             self.csr = CsrPair::new(jetstream_graph::Csr::from_edges(
                 old_host.num_vertices(),
                 &intermediate_edges,
@@ -794,11 +862,7 @@ mod tests {
 
     #[test]
     fn initial_compute_on_chain() {
-        let mut e = StreamingEngine::new(
-            Box::new(Sssp::new(0)),
-            chain(),
-            EngineConfig::default(),
-        );
+        let mut e = StreamingEngine::new(Box::new(Sssp::new(0)), chain(), EngineConfig::default());
         let stats = e.initial_compute();
         assert_eq!(e.values(), &[0.0, 1.0, 3.0, 6.0]);
         assert_eq!(stats.events_processed, 4);
@@ -807,11 +871,7 @@ mod tests {
 
     #[test]
     fn initial_compute_is_idempotent() {
-        let mut e = StreamingEngine::new(
-            Box::new(Sssp::new(0)),
-            chain(),
-            EngineConfig::default(),
-        );
+        let mut e = StreamingEngine::new(Box::new(Sssp::new(0)), chain(), EngineConfig::default());
         e.initial_compute();
         let first = e.values().to_vec();
         e.initial_compute();
@@ -820,11 +880,7 @@ mod tests {
 
     #[test]
     fn accessors_expose_engine_state() {
-        let mut e = StreamingEngine::new(
-            Box::new(Sssp::new(0)),
-            chain(),
-            EngineConfig::default(),
-        );
+        let mut e = StreamingEngine::new(Box::new(Sssp::new(0)), chain(), EngineConfig::default());
         assert_eq!(e.algorithm().name(), "SSSP");
         assert_eq!(e.graph().num_edges(), 3);
         assert_eq!(e.csr().num_edges(), 3);
@@ -841,11 +897,7 @@ mod tests {
 
     #[test]
     fn tracing_off_by_default_yields_empty_trace() {
-        let mut e = StreamingEngine::new(
-            Box::new(Sssp::new(0)),
-            chain(),
-            EngineConfig::default(),
-        );
+        let mut e = StreamingEngine::new(Box::new(Sssp::new(0)), chain(), EngineConfig::default());
         e.initial_compute();
         assert_eq!(e.take_trace().num_ops(), 0);
     }

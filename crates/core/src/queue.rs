@@ -15,6 +15,10 @@ pub struct QueueStats {
     pub coalesced: u64,
     /// Events spilled to the overflow buffer (DAP recovery, §5.2).
     pub overflowed: u64,
+    /// Events handed back to the engine by [`CoalescingQueue::take_bin`],
+    /// [`CoalescingQueue::take_range`], or
+    /// [`CoalescingQueue::pop_overflow`].
+    pub drained: u64,
 }
 
 /// The on-chip coalescing event queue (§4.2).
@@ -67,8 +71,29 @@ impl CoalescingQueue {
 
     /// Enables/disables delete-event coalescing. DAP recovery disables it so
     /// that per-source delete events are preserved (§5.2).
+    ///
+    /// Disabling the mode evicts any resident delete events to the overflow
+    /// buffer: a coalesced delete sitting in a slot has already lost its
+    /// per-source identity for merging purposes, but keeping deletes out of
+    /// the direct-mapped grid while the mode is off is the invariant
+    /// [`validate`](CoalescingQueue::validate) checks and the engine's DAP
+    /// recovery relies on.
     pub fn set_coalesce_deletes(&mut self, coalesce: bool) {
         self.coalesce_deletes = coalesce;
+        if coalesce {
+            return;
+        }
+        for idx in 0..self.slots.len() {
+            if !self.slots[idx].as_ref().is_some_and(|e| e.is_delete) {
+                continue;
+            }
+            let Some(ev) = self.slots[idx].take() else { continue };
+            let bin = (idx / self.bin_size).min(self.num_bins - 1);
+            self.bin_len[bin] -= 1;
+            self.len -= 1;
+            self.stats.overflowed += 1;
+            self.overflow.push_back(ev);
+        }
     }
 
     /// Number of bins.
@@ -173,6 +198,7 @@ impl CoalescingQueue {
         }
         self.len -= out.len();
         self.bin_len[bin] = 0;
+        self.stats.drained += out.len() as u64;
         out
     }
 
@@ -194,12 +220,83 @@ impl CoalescingQueue {
                 out.push(ev);
             }
         }
+        self.stats.drained += out.len() as u64;
         out
     }
 
     /// Pops the oldest overflow event, if any.
     pub fn pop_overflow(&mut self) -> Option<Event> {
-        self.overflow.pop_front()
+        let ev = self.overflow.pop_front();
+        if ev.is_some() {
+            self.stats.drained += 1;
+        }
+        ev
+    }
+
+    /// Checks the queue's structural invariants, returning a description of
+    /// the first violation found:
+    ///
+    /// * the occupied-slot count equals the resident length;
+    /// * per-bin lengths match a recount and sum to the resident length;
+    /// * while delete coalescing is off, no delete event occupies a slot
+    ///   (DAP recovery keeps per-source deletes in the overflow buffer,
+    ///   §5.2);
+    /// * event conservation: every insert is still resident (in a slot or
+    ///   the overflow buffer), was coalesced away, or has been drained
+    ///   (`inserts == coalesced + drained + len()`; [`len`] counts both
+    ///   slots and overflow).
+    ///
+    /// [`len`]: CoalescingQueue::len
+    ///
+    /// Always compiled; the engine wires it into the drain loop as a debug
+    /// assertion under the `strict-invariants` feature.
+    pub fn validate(&self) -> Result<(), String> {
+        let occupied = self.slots.iter().filter(|s| s.is_some()).count();
+        if occupied != self.len {
+            return Err(format!("{occupied} occupied slots but len = {}", self.len));
+        }
+        let mut bin_total = 0;
+        for bin in 0..self.num_bins {
+            let lo = bin * self.bin_size;
+            let hi = ((bin + 1) * self.bin_size).min(self.slots.len());
+            let count = self.slots[lo..hi].iter().filter(|s| s.is_some()).count();
+            if count != self.bin_len[bin] {
+                return Err(format!(
+                    "bin {bin} holds {count} events but bin_len says {}",
+                    self.bin_len[bin]
+                ));
+            }
+            bin_total += count;
+        }
+        if bin_total != self.len {
+            return Err(format!("bin lengths sum to {bin_total} but len = {}", self.len));
+        }
+        if !self.coalesce_deletes {
+            if let Some(v) = self.slots.iter().position(|s| s.as_ref().is_some_and(|e| e.is_delete))
+            {
+                return Err(format!(
+                    "delete event resident in slot {v} while delete coalescing is off"
+                ));
+            }
+        }
+        let accounted = self.stats.coalesced + self.stats.drained + self.len() as u64;
+        if self.stats.inserts != accounted {
+            return Err(format!(
+                "event conservation broken: {} inserts != {} coalesced + {} drained + \
+                 {} resident (slots + overflow)",
+                self.stats.inserts,
+                self.stats.coalesced,
+                self.stats.drained,
+                self.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Debug-assertion wrapper around [`validate`](CoalescingQueue::validate)
+    /// — a no-op in release builds.
+    pub fn debug_validate(&self) {
+        debug_assert_eq!(self.validate(), Ok(()), "queue invariant violated");
     }
 }
 
@@ -257,7 +354,7 @@ mod tests {
         q.insert(Event::regular_from(8, 1, 3.0), &a);
         let evs = q.take_bin(0);
         assert_eq!(evs[0].source, Some(8)); // 3.0 dominates for min
-        // Now the losing order.
+                                            // Now the losing order.
         q.insert(Event::regular_from(8, 1, 3.0), &a);
         q.insert(Event::regular_from(9, 1, 5.0), &a);
         let evs = q.take_bin(0);
@@ -314,7 +411,6 @@ mod tests {
         assert!(!evs[0].is_delete);
         assert!(q.pop_overflow().unwrap().is_delete);
     }
-
 
     #[test]
     fn take_range_drains_only_the_slice() {

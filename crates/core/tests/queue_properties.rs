@@ -1,0 +1,157 @@
+//! Property tests for [`CoalescingQueue`]: random insert/drain
+//! interleavings — with `coalesce_deletes` toggled mid-sequence — must
+//! preserve the structural invariants checked by `validate()` and the
+//! `QueueStats` conservation law (`inserts == coalesced + drained +
+//! len()`, where `len()` counts slot residents and overflow together).
+
+use jetstream_algorithms::Sssp;
+use jetstream_core::{CoalescingQueue, Event};
+use jetstream_testkit::{run_cases, DetRng};
+
+fn alg() -> Sssp {
+    Sssp::new(0)
+}
+
+/// A random event targeting one of `num_vertices` vertices; ~25% are
+/// delete events (with a source id), ~15% carry the request flag.
+fn arb_event(rng: &mut DetRng, num_vertices: usize) -> Event {
+    let target = rng.gen_index(num_vertices) as u32;
+    let payload = rng.gen_f64() * 10.0;
+    if rng.gen_bool(0.25) {
+        Event::delete(rng.gen_index(num_vertices) as u32, target, payload)
+    } else if rng.gen_bool(0.15) {
+        Event::request(target, payload)
+    } else {
+        Event::regular(target, payload)
+    }
+}
+
+/// Applies a random operation to `queue`, returning how many events the
+/// operation handed back to the caller (drains only).
+fn arb_op(rng: &mut DetRng, queue: &mut CoalescingQueue, num_vertices: usize) -> usize {
+    match rng.gen_index(10) {
+        // Inserting dominates so queues actually fill up.
+        0..=5 => {
+            queue.insert(arb_event(rng, num_vertices), &alg());
+            0
+        }
+        6 => queue.take_bin(rng.gen_index(queue.num_bins())).len(),
+        7 => {
+            let lo = rng.gen_index(num_vertices + 1);
+            let hi = lo + rng.gen_index(num_vertices + 1 - lo);
+            queue.take_range(lo, hi).len()
+        }
+        8 => usize::from(queue.pop_overflow().is_some()),
+        _ => {
+            // Toggle delete coalescing mid-sequence (the engine does this
+            // when entering/leaving DAP recovery).
+            queue.set_coalesce_deletes(rng.gen_bool(0.5));
+            0
+        }
+    }
+}
+
+#[test]
+fn random_interleavings_preserve_invariants() {
+    run_cases("queue: random interleavings preserve invariants", 128, |rng| {
+        let num_vertices = 1 + rng.gen_index(64);
+        let num_bins = 1 + rng.gen_index(8);
+        let mut queue = CoalescingQueue::new(num_vertices, num_bins);
+        let ops = rng.gen_index(120);
+        for _ in 0..ops {
+            arb_op(rng, &mut queue, num_vertices);
+            queue.validate().unwrap_or_else(|why| panic!("{why}"));
+        }
+    });
+}
+
+#[test]
+fn stats_account_for_every_event() {
+    run_cases("queue: stats account for every event", 128, |rng| {
+        let num_vertices = 1 + rng.gen_index(48);
+        let mut queue = CoalescingQueue::new(num_vertices, 1 + rng.gen_index(6));
+        let mut inserted = 0u64;
+        let mut received = 0u64;
+        for _ in 0..rng.gen_index(150) {
+            if rng.gen_bool(0.6) {
+                queue.insert(arb_event(rng, num_vertices), &alg());
+                inserted += 1;
+            } else {
+                received += match rng.gen_index(4) {
+                    0 => queue.take_bin(rng.gen_index(queue.num_bins())).len(),
+                    1 => {
+                        let lo = rng.gen_index(num_vertices + 1);
+                        let hi = lo + rng.gen_index(num_vertices + 1 - lo);
+                        queue.take_range(lo, hi).len()
+                    }
+                    2 => usize::from(queue.pop_overflow().is_some()),
+                    _ => {
+                        queue.set_coalesce_deletes(rng.gen_bool(0.5));
+                        0
+                    }
+                } as u64;
+            }
+        }
+        let stats = queue.stats();
+        assert_eq!(stats.inserts, inserted, "insert counter");
+        assert_eq!(stats.drained, received, "drain counter");
+        // `len()` counts slot residents and overflow together.
+        assert_eq!(
+            stats.inserts,
+            stats.coalesced + stats.drained + queue.len() as u64,
+            "conservation: {stats:?} with {} resident ({} in overflow)",
+            queue.len(),
+            queue.overflow_len()
+        );
+    });
+}
+
+#[test]
+fn disabling_delete_coalescing_evicts_resident_deletes() {
+    run_cases("queue: disabling delete coalescing evicts deletes", 64, |rng| {
+        let num_vertices = 1 + rng.gen_index(32);
+        let mut queue = CoalescingQueue::new(num_vertices, 1 + rng.gen_index(4));
+        for _ in 0..rng.gen_index(60) {
+            queue.insert(arb_event(rng, num_vertices), &alg());
+        }
+        let before = queue.len();
+        let overflow_before = queue.overflow_len();
+        queue.set_coalesce_deletes(false);
+        queue.validate().unwrap_or_else(|why| panic!("{why}"));
+        // Eviction moves events from slots to the overflow buffer without
+        // losing any (`len()` counts both).
+        assert_eq!(queue.len(), before);
+        assert!(queue.overflow_len() >= overflow_before);
+        // A delete inserted now must bypass the slots entirely.
+        let overflow_before = queue.overflow_len();
+        queue.insert(Event::delete(0, 0, 1.0), &alg());
+        assert_eq!(queue.overflow_len(), overflow_before + 1);
+        queue.validate().unwrap_or_else(|why| panic!("{why}"));
+    });
+}
+
+#[test]
+fn full_drain_empties_the_queue_exactly_once() {
+    run_cases("queue: full drain empties exactly once", 64, |rng| {
+        let num_vertices = 1 + rng.gen_index(48);
+        let mut queue = CoalescingQueue::new(num_vertices, 1 + rng.gen_index(6));
+        for _ in 0..rng.gen_index(100) {
+            queue.insert(arb_event(rng, num_vertices), &alg());
+        }
+        let resident = queue.len();
+        let mut drained = 0;
+        for bin in 0..queue.num_bins() {
+            let events = queue.take_bin(bin);
+            // Bin drains come out in ascending vertex order (§4.2).
+            assert!(events.windows(2).all(|w| w[0].target < w[1].target));
+            drained += events.len();
+        }
+        while queue.pop_overflow().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, resident, "drained everything exactly once");
+        assert!(queue.is_empty());
+        assert_eq!(queue.overflow_len(), 0);
+        queue.validate().unwrap_or_else(|why| panic!("{why}"));
+    });
+}

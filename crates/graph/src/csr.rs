@@ -46,9 +46,10 @@ impl Csr {
         }
         let mut offsets = Vec::with_capacity(num_vertices + 1);
         offsets.push(0);
+        let mut total = 0usize;
         for d in &degree {
-            let last = *offsets.last().expect("offsets is non-empty");
-            offsets.push(last + d);
+            total += d;
+            offsets.push(total);
         }
         let num_edges = edges.len();
         let mut targets = vec![0 as VertexId; num_edges];
@@ -67,11 +68,7 @@ impl Csr {
 
     /// Builds an empty graph with `num_vertices` vertices and no edges.
     pub fn empty(num_vertices: usize) -> Self {
-        Csr {
-            offsets: vec![0; num_vertices + 1],
-            targets: Vec::new(),
-            weights: Vec::new(),
-        }
+        Csr { offsets: vec![0; num_vertices + 1], targets: Vec::new(), weights: Vec::new() }
     }
 
     fn sort_rows(&mut self) {
@@ -151,18 +148,65 @@ impl Csr {
     /// Iterates all edges as `(source, target, weight)` triples.
     pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
         (0..self.num_vertices()).flat_map(move |u| {
-            self.neighbors(u as VertexId)
-                .map(move |e| (u as VertexId, e.other, e.weight))
+            self.neighbors(u as VertexId).map(move |e| (u as VertexId, e.other, e.weight))
         })
+    }
+
+    /// Checks the CSR's structural invariants, returning a description of
+    /// the first violation found:
+    ///
+    /// * the offset array starts at 0, is monotonically non-decreasing, and
+    ///   ends at the edge count;
+    /// * target and weight arrays have the same length;
+    /// * every target id is in range;
+    /// * every row is sorted by target id (the deterministic-iteration
+    ///   guarantee lookups and the simulator's address streams rely on).
+    ///
+    /// Always compiled; callers wire it into debug assertions under the
+    /// `strict-invariants` feature.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.first() != Some(&0) {
+            return Err("offset array must start at 0".into());
+        }
+        if let Some(w) = self.offsets.windows(2).position(|w| w[0] > w[1]) {
+            return Err(format!(
+                "offsets decrease at vertex {w}: {} > {}",
+                self.offsets[w],
+                self.offsets[w + 1]
+            ));
+        }
+        if self.offsets.last() != Some(&self.targets.len()) {
+            return Err(format!(
+                "final offset {:?} != edge count {}",
+                self.offsets.last(),
+                self.targets.len()
+            ));
+        }
+        if self.targets.len() != self.weights.len() {
+            return Err(format!(
+                "{} targets but {} weights",
+                self.targets.len(),
+                self.weights.len()
+            ));
+        }
+        let n = self.num_vertices() as u64;
+        if let Some(i) = self.targets.iter().position(|&t| t as u64 >= n) {
+            return Err(format!("target {} at edge {i} out of range (n = {n})", self.targets[i]));
+        }
+        for v in 0..self.num_vertices() {
+            let row = &self.targets[self.offsets[v]..self.offsets[v + 1]];
+            if !row.is_sorted() {
+                return Err(format!("row of vertex {v} is not sorted by target"));
+            }
+        }
+        Ok(())
     }
 
     /// Builds the transposed graph: an in-edge CSR where `neighbors(v)`
     /// yields the *sources* of edges pointing at `v`.
     pub fn transpose(&self) -> Csr {
-        let flipped: Vec<(VertexId, VertexId, Weight)> = self
-            .iter_edges()
-            .map(|(u, v, w)| (v, u, w))
-            .collect();
+        let flipped: Vec<(VertexId, VertexId, Weight)> =
+            self.iter_edges().map(|(u, v, w)| (v, u, w)).collect();
         Csr::from_edges(self.num_vertices(), &flipped)
     }
 }
@@ -195,6 +239,40 @@ impl CsrPair {
     /// Number of directed edges.
     pub fn num_edges(&self) -> usize {
         self.out.num_edges()
+    }
+
+    /// Checks both directions with [`Csr::validate`] and verifies they
+    /// describe the same edge multiset: every `u -> v` out-edge must appear
+    /// as a `v <- u` in-edge with the same weight, and vice versa.
+    pub fn validate(&self) -> Result<(), String> {
+        self.out.validate().map_err(|e| format!("out-CSR: {e}"))?;
+        self.inc.validate().map_err(|e| format!("in-CSR: {e}"))?;
+        if self.out.num_vertices() != self.inc.num_vertices() {
+            return Err(format!(
+                "vertex counts differ: out {} vs in {}",
+                self.out.num_vertices(),
+                self.inc.num_vertices()
+            ));
+        }
+        let key = |a: &(VertexId, VertexId, Weight), b: &(VertexId, VertexId, Weight)| {
+            (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2))
+        };
+        let mut forward: Vec<_> = self.out.iter_edges().collect();
+        let mut backward: Vec<_> = self.inc.iter_edges().map(|(v, u, w)| (u, v, w)).collect();
+        forward.sort_by(key);
+        backward.sort_by(key);
+        if forward != backward {
+            let mismatch = forward
+                .iter()
+                .zip(backward.iter())
+                .find(|(f, b)| f != b)
+                .map(|(f, b)| format!("out has {f:?} where in implies {b:?}"))
+                .unwrap_or_else(|| {
+                    format!("edge counts differ: out {} vs in {}", forward.len(), backward.len())
+                });
+            return Err(format!("out/in asymmetry: {mismatch}"));
+        }
+        Ok(())
     }
 }
 

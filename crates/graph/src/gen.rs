@@ -17,10 +17,7 @@
 //! factor (see [`DatasetProfile::scaled_batch`]) so batch-to-graph ratios
 //! match the paper's.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
+use crate::rng::DetRng;
 use crate::{AdjacencyGraph, UpdateBatch, VertexId, Weight};
 
 /// Default scale divisor applied to the paper's dataset sizes.
@@ -65,7 +62,7 @@ pub fn rmat(
 ) -> AdjacencyGraph {
     let sum = params.a + params.b + params.c + params.d;
     assert!((sum - 1.0).abs() < 1e-9, "rmat probabilities must sum to 1, got {sum}");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let scale = (num_vertices as f64).log2().ceil() as u32;
     let side = 1usize << scale;
     let mut g = AdjacencyGraph::new(num_vertices);
@@ -76,7 +73,7 @@ pub fn rmat(
         let (mut x0, mut x1) = (0usize, side);
         let (mut y0, mut y1) = (0usize, side);
         while x1 - x0 > 1 {
-            let r: f64 = rng.gen();
+            let r = rng.gen_f64();
             let (dx, dy) = if r < params.a {
                 (0, 0)
             } else if r < params.a + params.b {
@@ -113,22 +110,17 @@ pub fn rmat(
 /// `width` vertices with mostly-forward edges and a few skip edges,
 /// mimicking the long-diameter structure of web crawls (UK-2002) and
 /// page-link graphs (Wikipedia).
-pub fn layered_narrow(
-    layers: usize,
-    width: usize,
-    num_edges: usize,
-    seed: u64,
-) -> AdjacencyGraph {
+pub fn layered_narrow(layers: usize, width: usize, num_edges: usize, seed: u64) -> AdjacencyGraph {
     assert!(layers >= 2, "need at least two layers");
     assert!(width >= 1, "need at least one vertex per layer");
     let n = layers * width;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut g = AdjacencyGraph::new(n);
     // Backbone: connect each layer to the next so long paths exist.
     for l in 0..layers - 1 {
         for i in 0..width {
             let u = (l * width + i) as VertexId;
-            let v = ((l + 1) * width + rng.gen_range(0..width)) as VertexId;
+            let v = ((l + 1) * width + rng.gen_index(width)) as VertexId;
             if u != v {
                 let w = random_weight(&mut rng);
                 let _ = g.insert_edge(u, v, w);
@@ -144,18 +136,18 @@ pub fn layered_narrow(
     let max_attempts = num_edges * 20;
     while g.num_edges() < num_edges && attempts < max_attempts {
         attempts += 1;
-        let l = rng.gen_range(0..layers);
+        let l = rng.gen_index(layers);
         let hop: i64 = if rng.gen_bool(0.9) {
-            rng.gen_range(1..=3)
+            rng.gen_range_inclusive(1, 3) as i64
         } else {
-            -(rng.gen_range(1..=2))
+            -(rng.gen_range_inclusive(1, 2) as i64)
         };
         let l2 = l as i64 + hop;
         if l2 < 0 || l2 >= layers as i64 {
             continue;
         }
-        let u = (l * width + rng.gen_range(0..width)) as VertexId;
-        let skew: f64 = rng.gen::<f64>();
+        let u = (l * width + rng.gen_index(width)) as VertexId;
+        let skew = rng.gen_f64();
         let target_idx = ((skew * skew) * width as f64) as usize;
         let v = (l2 as usize * width + target_idx.min(width - 1)) as VertexId;
         if u == v {
@@ -169,14 +161,14 @@ pub fn layered_narrow(
 
 /// Generates a uniform Erdős–Rényi style random directed graph.
 pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> AdjacencyGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut g = AdjacencyGraph::new(num_vertices);
     let mut attempts = 0usize;
     let max_attempts = num_edges * 20;
     while g.num_edges() < num_edges && attempts < max_attempts {
         attempts += 1;
-        let u = rng.gen_range(0..num_vertices) as VertexId;
-        let v = rng.gen_range(0..num_vertices) as VertexId;
+        let u = rng.gen_index(num_vertices) as VertexId;
+        let v = rng.gen_index(num_vertices) as VertexId;
         if u == v {
             continue;
         }
@@ -186,15 +178,15 @@ pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> Adjacenc
     g
 }
 
-fn random_weight(rng: &mut StdRng) -> Weight {
+fn random_weight(rng: &mut DetRng) -> Weight {
     // Integer weights 1..=64 as f64: wide spread of distinct values so
     // value-aware propagation (VAP, §5.1) has distinct states to compare,
     // while staying exactly representable.
-    rng.gen_range(1..=64) as Weight
+    rng.gen_range_inclusive(1, 64) as Weight
 }
 
 /// The five input graphs of Table 2, reproduced as scaled synthetic profiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum DatasetProfile {
     /// Wikipedia page links (WK): 3.56 M nodes, 45.03 M edges; narrow/long.
@@ -306,7 +298,6 @@ impl DatasetProfile {
     }
 }
 
-
 /// A continuous source of structure-respecting streaming updates.
 ///
 /// Streaming-graph evaluations (KickStarter, GraphBolt, and this paper)
@@ -333,7 +324,7 @@ impl DatasetProfile {
 pub struct EdgeStream {
     graph: AdjacencyGraph,
     pool: Vec<(VertexId, VertexId, Weight)>,
-    rng: StdRng,
+    rng: DetRng,
 }
 
 impl EdgeStream {
@@ -348,22 +339,18 @@ impl EdgeStream {
             holdout_fraction > 0.0 && holdout_fraction < 1.0,
             "holdout fraction must be in (0, 1)"
         );
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let mut edges: Vec<(VertexId, VertexId, Weight)> = full.iter_edges().collect();
         // Fisher-Yates the tail into the holdout pool.
         let holdout = ((edges.len() as f64 * holdout_fraction) as usize).max(1);
         let n = edges.len();
         for i in 0..holdout.min(n) {
-            let j = rng.gen_range(i..n);
+            let j = rng.gen_range(i, n);
             edges.swap(i, j);
         }
         let pool: Vec<_> = edges[..holdout.min(n)].to_vec();
         let base: Vec<_> = edges[holdout.min(n)..].to_vec();
-        EdgeStream {
-            graph: AdjacencyGraph::from_edges(full.num_vertices(), &base),
-            pool,
-            rng,
-        }
+        EdgeStream { graph: AdjacencyGraph::from_edges(full.num_vertices(), &base), pool, rng }
     }
 
     /// The current base graph (already reflects every produced batch).
@@ -380,6 +367,7 @@ impl EdgeStream {
     /// fraction, applies it to the internal base graph, and returns it.
     /// Deleted edges re-enter the pool. Requests are clamped to what the
     /// pool / current edge set can supply.
+    #[allow(clippy::expect_used)] // invariant: the batch is built against self.graph
     pub fn next_batch(&mut self, size: usize, insertion_fraction: f64) -> UpdateBatch {
         assert!(
             (0.0..=1.0).contains(&insertion_fraction),
@@ -392,7 +380,7 @@ impl EdgeStream {
         // Insertions: draw without replacement from the pool.
         let ins = want_ins.min(self.pool.len());
         for _ in 0..ins {
-            let idx = self.rng.gen_range(0..self.pool.len());
+            let idx = self.rng.gen_index(self.pool.len());
             let (u, v, w) = self.pool.swap_remove(idx);
             // The same pair may have been re-inserted by an earlier batch.
             if self.graph.has_edge(u, v) {
@@ -412,7 +400,7 @@ impl EdgeStream {
         let mut attempts = 0;
         while chosen.len() < del && attempts < del * 50 + 100 {
             attempts += 1;
-            let idx = self.rng.gen_range(0..current.len());
+            let idx = self.rng.gen_index(current.len());
             let (u, v, w) = current[idx];
             if inserted.contains(&(u, v)) || !chosen.insert(idx) {
                 continue;
@@ -423,7 +411,7 @@ impl EdgeStream {
 
         self.graph
             .apply_batch(&batch)
-            .expect("stream batches are valid by construction");
+            .expect("invariant: stream batches are valid by construction");
         batch
     }
 }
@@ -441,16 +429,15 @@ pub fn random_batch(
     deletions: usize,
     seed: u64,
 ) -> UpdateBatch {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut batch = UpdateBatch::new();
 
     // Sample deletions from the existing edges.
-    let all_edges: Vec<(VertexId, VertexId)> =
-        g.iter_edges().map(|(u, v, _)| (u, v)).collect();
+    let all_edges: Vec<(VertexId, VertexId)> = g.iter_edges().map(|(u, v, _)| (u, v)).collect();
     let del_count = deletions.min(all_edges.len());
     let mut chosen = std::collections::HashSet::new();
     while chosen.len() < del_count {
-        let idx = rng.gen_range(0..all_edges.len());
+        let idx = rng.gen_index(all_edges.len());
         if chosen.insert(idx) {
             let (u, v) = all_edges[idx];
             batch.delete(u, v);
@@ -465,12 +452,12 @@ pub fn random_batch(
     let max_attempts = insertions * 100 + 1000;
     while added < insertions && attempts < max_attempts {
         attempts += 1;
-        let u = rng.gen_range(0..n) as VertexId;
-        let v = rng.gen_range(0..n) as VertexId;
+        let u = rng.gen_index(n) as VertexId;
+        let v = rng.gen_index(n) as VertexId;
         if u == v || g.has_edge(u, v) || !pending.insert((u, v)) {
             continue;
         }
-        let w = rng.gen_range(1..=64) as Weight;
+        let w = random_weight(&mut rng);
         batch.insert(u, v, w);
         added += 1;
     }
@@ -485,10 +472,7 @@ pub fn batch_with_ratio(
     insertion_fraction: f64,
     seed: u64,
 ) -> UpdateBatch {
-    assert!(
-        (0.0..=1.0).contains(&insertion_fraction),
-        "insertion fraction must be within [0, 1]"
-    );
+    assert!((0.0..=1.0).contains(&insertion_fraction), "insertion fraction must be within [0, 1]");
     let ins = (size as f64 * insertion_fraction).round() as usize;
     let del = size - ins;
     random_batch(g, ins, del, seed)
@@ -517,10 +501,7 @@ mod tests {
         let g = rmat(1024, 8192, RmatParams::default(), 3);
         let max_deg = (0..1024).map(|v| g.degree(v)).max().unwrap();
         let avg = g.num_edges() as f64 / 1024.0;
-        assert!(
-            max_deg as f64 > 4.0 * avg,
-            "expected power-law skew: max {max_deg} vs avg {avg}"
-        );
+        assert!(max_deg as f64 > 4.0 * avg, "expected power-law skew: max {max_deg} vs avg {avg}");
     }
 
     #[test]
@@ -576,7 +557,6 @@ mod tests {
             DatasetProfile::ALL.iter().map(|p| p.tag()).collect();
         assert_eq!(tags.len(), 5);
     }
-
 
     #[test]
     fn edge_stream_holds_out_and_replays_real_edges() {

@@ -75,17 +75,14 @@ fn is_comment(line: &str) -> bool {
 }
 
 fn parse_vertex(tok: &str, line: usize) -> Result<VertexId, ParseError> {
-    tok.parse().map_err(|_| ParseError::Syntax {
-        line,
-        message: format!("invalid vertex id {tok:?}"),
-    })
+    tok.parse()
+        .map_err(|_| ParseError::Syntax { line, message: format!("invalid vertex id {tok:?}") })
 }
 
 fn parse_weight(tok: &str, line: usize) -> Result<Weight, ParseError> {
-    let w: Weight = tok.parse().map_err(|_| ParseError::Syntax {
-        line,
-        message: format!("invalid weight {tok:?}"),
-    })?;
+    let w: Weight = tok
+        .parse()
+        .map_err(|_| ParseError::Syntax { line, message: format!("invalid weight {tok:?}") })?;
     if w.is_finite() {
         Ok(w)
     } else {
@@ -115,7 +112,10 @@ pub fn read_edge_list<R: BufRead>(
         }
         let lineno = idx + 1;
         let mut it = line.split_whitespace();
-        let u = parse_vertex(it.next().expect("non-comment line has a token"), lineno)?;
+        // `is_comment` treats blank lines as comments, but re-check rather
+        // than rely on that coupling: a token-less line is simply skipped.
+        let Some(first) = it.next() else { continue };
+        let u = parse_vertex(first, lineno)?;
         let v = it
             .next()
             .ok_or_else(|| ParseError::Syntax {
@@ -190,7 +190,7 @@ pub fn read_update_batches<R: BufRead>(reader: R) -> Result<Vec<UpdateBatch>, Pa
             continue;
         }
         let mut it = trimmed.split_whitespace();
-        let op = it.next().expect("non-empty line has a token");
+        let Some(op) = it.next() else { continue };
         match op {
             "a" | "A" => {
                 let u = it

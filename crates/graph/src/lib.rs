@@ -55,6 +55,7 @@ mod update;
 pub mod gen;
 pub mod io;
 pub mod partition;
+pub mod rng;
 pub mod versioned;
 
 pub use csr::{Csr, CsrPair, EdgeRef};

@@ -33,11 +33,7 @@ impl PartialEq for AdjacencyGraph {
 impl AdjacencyGraph {
     /// Creates a graph with `num_vertices` vertices and no edges.
     pub fn new(num_vertices: usize) -> Self {
-        AdjacencyGraph {
-            rows: vec![BTreeMap::new(); num_vertices],
-            num_edges: 0,
-            version: 0,
-        }
+        AdjacencyGraph { rows: vec![BTreeMap::new(); num_vertices], num_edges: 0, version: 0 }
     }
 
     /// Builds a graph from an edge list, ignoring duplicate edges and
@@ -256,10 +252,7 @@ mod tests {
     #[test]
     fn missing_delete_rejected() {
         let mut g = AdjacencyGraph::new(3);
-        assert_eq!(
-            g.delete_edge(0, 2),
-            Err(GraphError::MissingEdge { source: 0, target: 2 })
-        );
+        assert_eq!(g.delete_edge(0, 2), Err(GraphError::MissingEdge { source: 0, target: 2 }));
     }
 
     #[test]

@@ -102,10 +102,8 @@ impl Partition {
         if m == 0 {
             return 0.0;
         }
-        let cut = graph
-            .iter_edges()
-            .filter(|&(u, v, _)| self.slice_of(u) != self.slice_of(v))
-            .count();
+        let cut =
+            graph.iter_edges().filter(|&(u, v, _)| self.slice_of(u) != self.slice_of(v)).count();
         cut as f64 / m as f64
     }
 }
@@ -138,7 +136,7 @@ mod tests {
         let p = Partition::bfs_grow(&g, 4);
         for s in 0..4 {
             let len = p.slice_len(s);
-            assert!(len >= 50 && len <= 150, "slice {s} has {len} vertices");
+            assert!((50..=150).contains(&len), "slice {s} has {len} vertices");
         }
     }
 
@@ -157,11 +155,7 @@ mod tests {
         edges.push((0, 50, 1.0));
         let g = Csr::from_edges(100, &edges);
         let p = Partition::bfs_grow(&g, 2);
-        assert!(
-            p.edge_cut_fraction(&g) < 0.5,
-            "cut fraction {}",
-            p.edge_cut_fraction(&g)
-        );
+        assert!(p.edge_cut_fraction(&g) < 0.5, "cut fraction {}", p.edge_cut_fraction(&g));
     }
 
     #[test]

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{VertexId, Weight};
 
 /// A single streaming graph mutation.
@@ -7,7 +5,7 @@ use crate::{VertexId, Weight};
 /// §2.1 of the paper: graph updates consist of edge additions and deletions.
 /// Vertex additions are modelled by the first edge touching the vertex;
 /// weight changes are a delete followed by an insert.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EdgeUpdate {
     /// Add edge `source -> target` with `weight`.
     Insert {
@@ -54,7 +52,7 @@ impl EdgeUpdate {
 /// Fig. 1 of the paper) and applied once evaluation completes. The batch
 /// keeps insertions and deletions separately because JetStream processes all
 /// deletions (recovery phase) before any insertions (§3.5).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct UpdateBatch {
     insertions: Vec<(VertexId, VertexId, Weight)>,
     deletions: Vec<(VertexId, VertexId)>,

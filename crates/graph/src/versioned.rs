@@ -114,11 +114,7 @@ impl VersionedGraph {
         });
         // Evict the oldest materialized snapshots beyond the retention
         // window; their deltas stay for provenance.
-        let materialized = self
-            .history
-            .iter()
-            .filter(|r| r.snapshot.is_some())
-            .count();
+        let materialized = self.history.iter().filter(|r| r.snapshot.is_some()).count();
         if materialized > self.retain {
             let mut to_unmaterialize = materialized - self.retain;
             for record in self.history.iter_mut() {
@@ -136,10 +132,7 @@ impl VersionedGraph {
 
     /// The materialized snapshot of `version`, if still retained.
     pub fn snapshot_at(&self, version: u64) -> Option<Arc<CsrPair>> {
-        self.history
-            .iter()
-            .find(|r| r.version == version)
-            .and_then(|r| r.snapshot.clone())
+        self.history.iter().find(|r| r.version == version).and_then(|r| r.snapshot.clone())
     }
 
     /// The delta that produced `version` (empty for the base version), if
@@ -151,16 +144,13 @@ impl VersionedGraph {
     /// Ids of versions whose snapshots are currently materialized,
     /// ascending.
     pub fn materialized_versions(&self) -> Vec<u64> {
-        self.history
-            .iter()
-            .filter(|r| r.snapshot.is_some())
-            .map(|r| r.version)
-            .collect()
+        self.history.iter().filter(|r| r.snapshot.is_some()).map(|r| r.version).collect()
     }
 
     /// Reconstructs the adjacency of any known `version` by replaying the
     /// delta chain from the oldest known version (Version-Traveler style
     /// time travel). `None` if the version is unknown.
+    #[allow(clippy::expect_used)] // invariant: retained deltas replayed on their own lineage
     pub fn reconstruct(&self, version: u64) -> Option<AdjacencyGraph> {
         let newest_known = self.history.front()?.version;
         if version < newest_known || version > self.version {
@@ -169,19 +159,19 @@ impl VersionedGraph {
         // Start from the oldest *materialized* snapshot at or before the
         // requested version, if any; otherwise rebuild forward is not
         // possible (the base rolled out of the window).
-        let start = self
+        let (start_version, start_snapshot) = self
             .history
             .iter()
-            .filter(|r| r.snapshot.is_some() && r.version <= version)
-            .next_back()?;
-        let mut graph = rebuild_adjacency(start.snapshot.as_ref().expect("filtered"));
-        for record in self.history.iter().filter(|r| r.version > start.version) {
+            .filter_map(|r| r.snapshot.as_ref().map(|s| (r.version, s)))
+            .rfind(|&(v, _)| v <= version)?;
+        let mut graph = rebuild_adjacency(start_snapshot);
+        for record in self.history.iter().filter(|r| r.version > start_version) {
             if record.version > version {
                 break;
             }
-            graph
-                .apply_batch(&record.delta)
-                .expect("retained deltas replay cleanly");
+            // Each retained delta was applied to this lineage once already,
+            // so replay cannot fail unless the history itself is corrupt.
+            graph.apply_batch(&record.delta).expect("invariant: retained deltas replay cleanly");
         }
         Some(graph)
     }
@@ -276,10 +266,7 @@ mod tests {
         let _ = s.commit(&bad);
         // Either it errored (version unchanged) or the edge existed; check
         // consistency between version counter and history.
-        assert_eq!(
-            s.version(),
-            s.materialized_versions().last().copied().unwrap_or(version)
-        );
+        assert_eq!(s.version(), s.materialized_versions().last().copied().unwrap_or(version));
     }
 
     #[test]

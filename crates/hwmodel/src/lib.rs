@@ -29,11 +29,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
-
-
 /// Hardware structure description for the estimator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HwConfig {
     /// On-chip queue memory in 1 MB eDRAM banks (Table 1: 64 MB).
     pub queue_banks: u32,
@@ -66,25 +63,17 @@ impl HwConfig {
 
     /// JetStream with base/VAP events (80-bit payloads with flags).
     pub fn jetstream_vap() -> Self {
-        HwConfig {
-            event_bits: 80,
-            streaming_extensions: true,
-            ..HwConfig::graphpulse()
-        }
+        HwConfig { event_bits: 80, streaming_extensions: true, ..HwConfig::graphpulse() }
     }
 
     /// JetStream with DAP events (112-bit payloads carrying source ids).
     pub fn jetstream_dap() -> Self {
-        HwConfig {
-            event_bits: 112,
-            streaming_extensions: true,
-            ..HwConfig::graphpulse()
-        }
+        HwConfig { event_bits: 112, streaming_extensions: true, ..HwConfig::graphpulse() }
     }
 }
 
 /// Estimate for one accelerator component (one row of Table 4).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComponentEstimate {
     /// Component name ("Queue", "Scratchpad", "Network", "Proc. Logic").
     pub name: &'static str,
@@ -106,7 +95,7 @@ impl ComponentEstimate {
 }
 
 /// A full power/area estimate (Table 4).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HwReport {
     /// Per-component rows.
     pub components: Vec<ComponentEstimate>,
@@ -269,10 +258,7 @@ mod tests {
         let gp_net = gp.component("Network").unwrap();
         let js_net = js.component("Network").unwrap();
         let static_growth = js_net.static_mw / gp_net.static_mw - 1.0;
-        assert!(
-            (0.6..0.9).contains(&static_growth),
-            "network static +{static_growth:.2}"
-        );
+        assert!((0.6..0.9).contains(&static_growth), "network static +{static_growth:.2}");
     }
 
     #[test]

@@ -71,6 +71,7 @@ impl Switch {
 }
 
 impl Component<Msg> for Switch {
+    #[allow(clippy::expect_used)] // invariant: Switch/Deliver are only scheduled with a queued flit
     fn handle(&mut self, message: Msg, now: Time, scheduler: &mut Scheduler<Msg>) {
         match message {
             Msg::Arrive(flit) => {
@@ -81,7 +82,7 @@ impl Component<Msg> for Switch {
                 self.input_busy[input] = false;
                 let flit = self.inputs[input]
                     .pop_front()
-                    .expect("switch scheduled with a queued flit");
+                    .expect("invariant: switch scheduled with a queued flit");
                 self.outputs[flit.output].push_back(flit);
                 self.try_deliver(flit.output, now, scheduler);
                 self.try_switch(input, now, scheduler);
@@ -90,7 +91,7 @@ impl Component<Msg> for Switch {
                 self.output_busy[output] = false;
                 self.outputs[output]
                     .pop_front()
-                    .expect("delivery scheduled with a queued flit");
+                    .expect("invariant: delivery scheduled with a queued flit");
                 self.delivered += 1;
                 self.last_delivery = now;
                 self.try_deliver(output, now, scheduler);
@@ -157,10 +158,7 @@ pub fn run_crossbar(ports: usize, flits: &[(Time, Flit)]) -> CrossbarReport {
         sim.seed(me, at, Msg::Arrive(flit));
     }
     sim.run(flits.len() as u64 * 8 + 16);
-    let report = CrossbarReport {
-        delivered: *delivered.borrow(),
-        finish_time: *finish.borrow(),
-    };
+    let report = CrossbarReport { delivered: *delivered.borrow(), finish_time: *finish.borrow() };
     report
 }
 

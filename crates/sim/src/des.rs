@@ -147,9 +147,10 @@ impl<M> Simulation<M> {
             debug_assert!(pending.at >= self.scheduler.now, "time went backwards");
             self.scheduler.now = pending.at;
             self.delivered += 1;
-            if self.delivered > max_events {
-                panic!("simulation exceeded {max_events} deliveries (runaway?)");
-            }
+            assert!(
+                self.delivered <= max_events,
+                "simulation exceeded {max_events} deliveries (runaway?)"
+            );
             self.components[pending.to.0].handle(pending.message, pending.at, &mut self.scheduler);
         }
         self.scheduler.now

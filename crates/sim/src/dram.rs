@@ -1,19 +1,17 @@
 //! Transaction-level DRAM model (the DRAMSim2 substitute).
 //!
 //! Each channel owns a set of banks with open-row state: an access to the
-//! open row pays the CAS latency only; a conflict pays precharge + activate
-//! + CAS. The channel data bus is occupied for a fixed number of cycles per
-//! 64-byte line, bounding sustained bandwidth at the paper's
+//! open row pays the CAS latency only; a conflict pays precharge +
+//! activate + CAS. The channel data bus is occupied for a fixed number of
+//! cycles per 64-byte line, bounding sustained bandwidth at the paper's
 //! 17 GB/s/channel. Addresses interleave across channels at 4 KB page
 //! granularity so that the page-grouped accesses produced by the
 //! prefetchers (§4.4) land on one channel with row-buffer locality.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::{SimConfig, LINE_BYTES};
 
 /// Aggregate DRAM statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Line reads issued.
     pub reads: u64,
@@ -58,10 +56,7 @@ impl Dram {
         Dram {
             channels: (0..config.dram_channels)
                 .map(|_| Channel {
-                    banks: vec![
-                        Bank { open_row: None, busy_until: 0 };
-                        config.banks_per_channel
-                    ],
+                    banks: vec![Bank { open_row: None, busy_until: 0 }; config.banks_per_channel],
                     bus_free: 0,
                 })
                 .collect(),
@@ -153,7 +148,7 @@ mod tests {
         // Two accesses to different channels both start at 0.
         let a = d.access(0x0, 0, false);
         let b = d.access(0x1000, 0, false); // next 4 KB page -> next channel
-        // Both complete as row misses with no bus serialization between them.
+                                            // Both complete as row misses with no bus serialization between them.
         assert_eq!(a, b);
     }
 

@@ -10,7 +10,7 @@
 //! [`Dram`](crate::dram::Dram). For graphs larger than the on-chip queue it
 //! adds the slice-partitioning spill traffic of §4.7.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use jetstream_core::trace::{OpKind, Trace, TraceOp};
 use jetstream_core::Phase;
@@ -156,7 +156,7 @@ impl AcceleratorSim {
         };
         let bins = self.config.num_bins;
         let bin_size = n.div_ceil(bins).max(1);
-        let bin_of = |v: u32| ((v as usize / bin_size).min(bins - 1)) as usize;
+        let bin_of = |v: u32| (v as usize / bin_size).min(bins - 1);
 
         let mut state = ReplayState {
             cycle: 0,
@@ -176,13 +176,7 @@ impl AcceleratorSim {
             let phase_start = state.cycle;
             for round in &phase.rounds {
                 self.replay_round(
-                    &round.ops,
-                    trace,
-                    &mem,
-                    &mut dram,
-                    &mut state,
-                    &partition,
-                    &bin_of,
+                    &round.ops, trace, &mem, &mut dram, &mut state, &partition, &bin_of,
                 );
             }
             phase_cycles.push((phase.phase, state.cycle - phase_start));
@@ -228,16 +222,14 @@ impl AcceleratorSim {
             // row share DRAM pages by construction. The vertex record
             // carries ⟨value, edge pointer, edge count⟩, so propagation
             // needs no separate pointer fetch.
-            let mut line_ready: HashMap<u64, u64> = HashMap::new();
+            let mut line_ready: BTreeMap<u64, u64> = BTreeMap::new();
             for op in chunk {
                 let (base, rec) = match op.kind {
                     OpKind::RequestSetup => (mem.in_offsets_base, OFFSET_BYTES),
                     _ => (mem.vertex_base, cfg.vertex_bytes),
                 };
                 let line = (base + op.vertex as u64 * rec) / LINE_BYTES;
-                line_ready
-                    .entry(line)
-                    .or_insert_with(|| dram.access(line * LINE_BYTES, t0, false));
+                line_ready.entry(line).or_insert_with(|| dram.access(line * LINE_BYTES, t0, false));
             }
 
             // Two decoupled pipelines per processor (§4.4): the Apply unit
@@ -283,8 +275,7 @@ impl AcceleratorSim {
                     // locality for neighboring vertices without tracking
                     // every graph version's CSR.
                     let edge_addr = edge_base + op.vertex as u64 * spread * EDGE_BYTES;
-                    let edge_lines =
-                        (op.edges_read as u64 * EDGE_BYTES).div_ceil(LINE_BYTES);
+                    let edge_lines = (op.edges_read as u64 * EDGE_BYTES).div_ceil(LINE_BYTES);
                     for l in 0..edge_lines {
                         edges_ready = dram.access(edge_addr + l * LINE_BYTES, apply_t, false);
                     }
@@ -327,8 +318,7 @@ impl AcceleratorSim {
                 // (posted; does not stall the pipeline).
                 if op.changed && op.kind != OpKind::StreamRead {
                     dram.access(
-                        (mem.vertex_base + op.vertex as u64 * cfg.vertex_bytes)
-                            & !(LINE_BYTES - 1),
+                        (mem.vertex_base + op.vertex as u64 * cfg.vertex_bytes) & !(LINE_BYTES - 1),
                         apply_t,
                         true,
                     );
@@ -355,7 +345,6 @@ impl AcceleratorSim {
         }
         state.cycle = round_end + cfg.round_barrier_cycles;
     }
-
 }
 
 #[derive(Debug)]
@@ -386,8 +375,7 @@ mod tests {
         seed: u64,
     ) -> (Trace, jetstream_graph::CsrPair) {
         let g = gen::rmat(n, m, gen::RmatParams::default(), seed);
-        let mut engine =
-            StreamingEngine::new(workload.instantiate(0), g, EngineConfig::default());
+        let mut engine = StreamingEngine::new(workload.instantiate(0), g, EngineConfig::default());
         engine.set_tracing(true);
         engine.initial_compute();
         (engine.take_trace(), engine.csr().clone())
@@ -429,12 +417,8 @@ mod tests {
         let (trace, csr) = traced_initial(Workload::Cc, 150, 800, 4);
         let mut sim = AcceleratorSim::new(SimConfig::graphpulse());
         let report = sim.replay(&trace, &csr);
-        let ops: u64 = trace
-            .phases
-            .iter()
-            .flat_map(|p| p.rounds.iter())
-            .map(|r| r.ops.len() as u64)
-            .sum();
+        let ops: u64 =
+            trace.phases.iter().flat_map(|p| p.rounds.iter()).map(|r| r.ops.len() as u64).sum();
         assert_eq!(report.events_processed, ops);
         assert_eq!(report.events_generated, trace.targets.len() as u64);
     }
@@ -457,16 +441,14 @@ mod tests {
         let batch = gen::batch_with_ratio(&g, 20, 0.7, 7);
 
         let config = EngineConfig::default();
-        let mut engine =
-            StreamingEngine::new(Workload::Sssp.instantiate(0), g.clone(), config);
+        let mut engine = StreamingEngine::new(Workload::Sssp.instantiate(0), g.clone(), config);
         engine.initial_compute();
         engine.set_tracing(true);
         engine.apply_update_batch(&batch).unwrap();
         let streaming_trace = engine.take_trace();
         let csr = engine.csr().clone();
 
-        let mut cold =
-            StreamingEngine::new(Workload::Sssp.instantiate(0), g, config);
+        let mut cold = StreamingEngine::new(Workload::Sssp.instantiate(0), g, config);
         cold.initial_compute();
         cold.set_tracing(true);
         cold.cold_restart(&batch).unwrap();

@@ -2,58 +2,62 @@
 //! monotonicity laws the DRAM model must satisfy for any access pattern,
 //! and determinism of the DES kernel under arbitrary seeding.
 
-use proptest::prelude::*;
-
 use jetstream_sim::crossbar::{run_crossbar, Flit};
 use jetstream_sim::dram::Dram;
 use jetstream_sim::{SimConfig, LINE_BYTES};
+use jetstream_testkit::{run_cases, DetRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_addrs(rng: &mut DetRng, max_len: usize, bits: u32) -> Vec<u64> {
+    let n = rng.gen_range(1, max_len);
+    (0..n).map(|_| rng.gen_range(0, 1usize << bits) as u64).collect()
+}
 
-    /// Every access is counted once, bytes move in whole lines, and row
-    /// hits never exceed total accesses.
-    #[test]
-    fn dram_accounting_is_conserved(
-        addrs in proptest::collection::vec(0u64..(1 << 24), 1..200),
-        write_mask in proptest::collection::vec(any::<bool>(), 200),
-    ) {
+/// Every access is counted once, bytes move in whole lines, and row
+/// hits never exceed total accesses.
+#[test]
+fn dram_accounting_is_conserved() {
+    run_cases("dram_accounting_is_conserved", 64, |rng| {
+        let addrs = arb_addrs(rng, 200, 24);
+        let write_mask: Vec<bool> = (0..addrs.len()).map(|_| rng.gen_bool(0.5)).collect();
         let mut dram = Dram::new(&SimConfig::graphpulse());
         let mut t = 0;
         for (i, &addr) in addrs.iter().enumerate() {
             let done = dram.access(addr & !(LINE_BYTES - 1), t, write_mask[i]);
-            prop_assert!(done > t, "completion must be after issue");
+            assert!(done > t, "completion must be after issue");
             t = done.saturating_sub(10); // overlapping issue stream
         }
         let stats = dram.stats();
-        prop_assert_eq!(stats.reads + stats.writes, addrs.len() as u64);
-        prop_assert_eq!(stats.bytes_transferred, addrs.len() as u64 * LINE_BYTES);
-        prop_assert!(stats.row_hits <= stats.reads + stats.writes);
-    }
+        assert_eq!(stats.reads + stats.writes, addrs.len() as u64);
+        assert_eq!(stats.bytes_transferred, addrs.len() as u64 * LINE_BYTES);
+        assert!(stats.row_hits <= stats.reads + stats.writes);
+    });
+}
 
-    /// Completion times never precede the request time, and the channel
-    /// drain time bounds every completion.
-    #[test]
-    fn dram_time_is_monotone(
-        addrs in proptest::collection::vec(0u64..(1 << 20), 1..100),
-    ) {
+/// Completion times never precede the request time, and the channel
+/// drain time bounds every completion.
+#[test]
+fn dram_time_is_monotone() {
+    run_cases("dram_time_is_monotone", 64, |rng| {
+        let addrs = arb_addrs(rng, 100, 20);
         let mut dram = Dram::new(&SimConfig::graphpulse());
         let mut last_done = 0;
         for (i, &addr) in addrs.iter().enumerate() {
             let at = i as u64 * 2;
             let done = dram.access(addr & !(LINE_BYTES - 1), at, false);
-            prop_assert!(done >= at);
+            assert!(done >= at);
             last_done = last_done.max(done);
         }
-        prop_assert!(dram.drain_cycle() >= last_done.saturating_sub(64));
-    }
+        assert!(dram.drain_cycle() >= last_done.saturating_sub(64));
+    });
+}
 
-    /// Sequential streams are at least as fast as random ones of the same
-    /// length (row-buffer locality can only help).
-    #[test]
-    fn dram_sequential_not_slower_than_random(
-        seed_addrs in proptest::collection::vec(0u64..(1 << 24), 16..64),
-    ) {
+/// Sequential streams are at least as fast as random ones of the same
+/// length (row-buffer locality can only help).
+#[test]
+fn dram_sequential_not_slower_than_random() {
+    run_cases("dram_sequential_not_slower_than_random", 64, |rng| {
+        let seed_addrs: Vec<u64> =
+            (0..rng.gen_range(16, 64)).map(|_| rng.gen_range(0, 1 << 24) as u64).collect();
         let n = seed_addrs.len() as u64;
         let mut seq = Dram::new(&SimConfig::graphpulse());
         let mut t_seq = 0;
@@ -65,27 +69,31 @@ proptest! {
         for &a in &seed_addrs {
             t_rnd = t_rnd.max(rnd.access(a & !(LINE_BYTES - 1), 0, false));
         }
-        prop_assert!(
-            seq.stats().row_hits >= rnd.stats().row_hits
-                || t_seq <= t_rnd,
+        assert!(
+            seq.stats().row_hits >= rnd.stats().row_hits || t_seq <= t_rnd,
             "sequential ({t_seq}) should exploit at least as much locality as random ({t_rnd})"
         );
-    }
+    });
+}
 
-    /// The crossbar delivers every flit exactly once, never finishes before
-    /// the per-port lower bounds, and is deterministic.
-    #[test]
-    fn crossbar_delivers_everything_deterministically(
-        pattern in proptest::collection::vec((0u64..20, 0usize..8, 0usize..8), 1..120),
-    ) {
-        let flits: Vec<(u64, Flit)> = pattern
-            .iter()
-            .map(|&(at, input, output)| (at, Flit { input, output }))
+/// The crossbar delivers every flit exactly once, never finishes before
+/// the per-port lower bounds, and is deterministic.
+#[test]
+fn crossbar_delivers_everything_deterministically() {
+    run_cases("crossbar_delivers_everything_deterministically", 64, |rng| {
+        let n = rng.gen_range(1, 120);
+        let flits: Vec<(u64, Flit)> = (0..n)
+            .map(|_| {
+                let at = rng.gen_range(0, 20) as u64;
+                let input = rng.gen_range(0, 8);
+                let output = rng.gen_range(0, 8);
+                (at, Flit { input, output })
+            })
             .collect();
         let a = run_crossbar(8, &flits);
         let b = run_crossbar(8, &flits);
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(a.delivered, flits.len() as u64);
+        assert_eq!(a, b);
+        assert_eq!(a.delivered, flits.len() as u64);
         // Lower bound: the most loaded output port needs one cycle per
         // flit after the earliest arrival.
         let mut per_output = [0u64; 8];
@@ -93,10 +101,10 @@ proptest! {
             per_output[f.output] += 1;
         }
         let max_load = per_output.iter().copied().max().unwrap_or(0);
-        prop_assert!(
+        assert!(
             a.finish_time + 1 >= max_load,
             "finish {} cannot beat the output-port bound {max_load}",
             a.finish_time
         );
-    }
+    });
 }

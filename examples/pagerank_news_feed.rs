@@ -10,6 +10,9 @@
 //!
 //! Run with: `cargo run --release --example pagerank_news_feed`
 
+// Demo/test code: aborting on setup failure is the right behavior here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jetstream::algorithms::PageRank;
 use jetstream::engine::{DeleteStrategy, EngineConfig, StreamingEngine};
 use jetstream::graph::gen::{DatasetProfile, EdgeStream};
@@ -24,11 +27,7 @@ fn top_accounts(values: &[f64], k: usize) -> Vec<(usize, f64)> {
 
 fn main() {
     let full = DatasetProfile::Twitter.generate(4000);
-    println!(
-        "follower graph: {} accounts, {} follows",
-        full.num_vertices(),
-        full.num_edges()
-    );
+    println!("follower graph: {} accounts, {} follows", full.num_vertices(), full.num_edges());
 
     let mut stream = EdgeStream::new(&full, 0.1, 99);
     let base = stream.graph().clone();

@@ -30,8 +30,7 @@ fn main() -> Result<(), GraphError> {
     }
 
     let names = ["A", "B", "C", "D", "E", "F", "G"];
-    let mut engine =
-        StreamingEngine::new(Box::new(Sssp::new(0)), g, EngineConfig::default());
+    let mut engine = StreamingEngine::new(Box::new(Sssp::new(0)), g, EngineConfig::default());
 
     // Initial (static) evaluation — the GraphPulse flow.
     let initial = engine.initial_compute();
@@ -39,10 +38,7 @@ fn main() -> Result<(), GraphError> {
     for (name, d) in names.iter().zip(engine.values()) {
         println!("  {name}: {d}");
     }
-    println!(
-        "  ({} events processed, {} rounds)\n",
-        initial.events_processed, initial.rounds
-    );
+    println!("  ({} events processed, {} rounds)\n", initial.events_processed, initial.rounds);
 
     // Stream a batch: add the shortcut A -> D and delete A -> C (Fig. 4b/c).
     let mut batch = UpdateBatch::new();

@@ -11,6 +11,9 @@
 //!
 //! Run with: `cargo run --release --example road_network_incidents`
 
+// Demo/test code: aborting on setup failure is the right behavior here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jetstream::algorithms::{oracle, Sssp};
 use jetstream::engine::{DeleteStrategy, EngineConfig, StreamingEngine};
 use jetstream::graph::{AdjacencyGraph, UpdateBatch, VertexId};
@@ -56,11 +59,7 @@ fn main() {
 
     for strategy in [DeleteStrategy::Vap, DeleteStrategy::Dap] {
         let config = EngineConfig { delete_strategy: strategy, ..EngineConfig::default() };
-        let mut engine = StreamingEngine::new(
-            Box::new(Sssp::new(depot)),
-            network.clone(),
-            config,
-        );
+        let mut engine = StreamingEngine::new(Box::new(Sssp::new(depot)), network.clone(), config);
         engine.initial_compute();
         let before = engine.values()[airport as usize];
 

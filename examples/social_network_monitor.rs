@@ -14,6 +14,9 @@
 //!
 //! Run with: `cargo run --release --example social_network_monitor`
 
+// Demo/test code: aborting on setup failure is the right behavior here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jetstream::algorithms::{oracle, ConnectedComponents};
 use jetstream::baselines::KickStarter;
 use jetstream::engine::{EngineConfig, StreamingEngine};
@@ -29,11 +32,7 @@ fn count_components(values: &[f64]) -> usize {
 fn main() {
     // A scaled-down Facebook-shaped graph (Table 2).
     let full = DatasetProfile::Facebook.generate(4000);
-    println!(
-        "social graph: {} members, {} relationships",
-        full.num_vertices(),
-        full.num_edges()
-    );
+    println!("social graph: {} members, {} relationships", full.num_vertices(), full.num_edges());
 
     let mut stream = EdgeStream::new(&full, 0.1, 2024);
     let base = stream.graph().clone();
@@ -50,16 +49,13 @@ fn main() {
         initial.events_processed
     );
 
-    let mut kickstarter =
-        KickStarter::new(Box::new(ConnectedComponents::new()), base);
+    let mut kickstarter = KickStarter::new(Box::new(ConnectedComponents::new()), base);
     kickstarter.initial_compute();
 
     for round in 1..=5 {
         // 70 % follows / 30 % unfollows, the paper's default composition.
         let batch = stream.next_batch(60, 0.7);
-        let inc = engine
-            .apply_update_batch(&batch)
-            .expect("stream batches are valid");
+        let inc = engine.apply_update_batch(&batch).expect("stream batches are valid");
         kickstarter.apply_batch(&batch).expect("stream batches are valid");
 
         assert!(

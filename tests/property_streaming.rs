@@ -4,52 +4,48 @@
 //! workload and every delete strategy. Plus structural invariants of the
 //! substrate (CSR round trips, queue coalescing, batch validity).
 
-use proptest::prelude::*;
-
-use jetstream::algorithms::{oracle, oracle_values, Algorithm, Sssp, UpdateKind, Workload};
-use jetstream::engine::{
-    CoalescingQueue, DeleteStrategy, EngineConfig, Event, StreamingEngine,
-};
+use jetstream::algorithms::{oracle, oracle_values, Sssp, UpdateKind, Workload};
+use jetstream::engine::{CoalescingQueue, DeleteStrategy, EngineConfig, Event, StreamingEngine};
 use jetstream::graph::{AdjacencyGraph, Csr, UpdateBatch};
+use jetstream_testkit::{run_cases, DetRng};
 
 const N: usize = 24;
 
 /// A random simple directed graph on `N` vertices as an edge set.
-fn arb_graph() -> impl Strategy<Value = AdjacencyGraph> {
-    proptest::collection::vec(((0u32..N as u32), (0u32..N as u32), (1u32..=16u32)), 0..80)
-        .prop_map(|edges| {
-            let weighted: Vec<(u32, u32, f64)> = edges
-                .into_iter()
-                .map(|(u, v, w)| (u, v, f64::from(w)))
-                .collect();
-            AdjacencyGraph::from_edges(N, &weighted)
+fn arb_graph(rng: &mut DetRng) -> AdjacencyGraph {
+    let num_edges = rng.gen_range(0, 80);
+    let edges: Vec<(u32, u32, f64)> = (0..num_edges)
+        .map(|_| {
+            let u = rng.gen_range(0, N) as u32;
+            let v = rng.gen_range(0, N) as u32;
+            let w = rng.gen_range_inclusive(1, 16) as f64;
+            (u, v, w)
         })
+        .collect();
+    AdjacencyGraph::from_edges(N, &edges)
 }
 
 /// A random valid batch against `g`: deletions drawn from existing edges,
 /// insertions from absent pairs.
-fn arb_batch(g: &AdjacencyGraph, seed: u64) -> UpdateBatch {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+fn arb_batch(g: &AdjacencyGraph, rng: &mut DetRng) -> UpdateBatch {
     let mut batch = UpdateBatch::new();
     let edges: Vec<(u32, u32)> = g.iter_edges().map(|(u, v, _)| (u, v)).collect();
-    let mut deleted = std::collections::HashSet::new();
-    for _ in 0..rng.gen_range(0..8usize) {
+    let mut deleted = std::collections::BTreeSet::new();
+    for _ in 0..rng.gen_range(0, 8) {
         if edges.is_empty() {
             break;
         }
-        let idx = rng.gen_range(0..edges.len());
+        let idx = rng.gen_index(edges.len());
         if deleted.insert(idx) {
             batch.delete(edges[idx].0, edges[idx].1);
         }
     }
-    let mut inserted = std::collections::HashSet::new();
-    for _ in 0..rng.gen_range(0..8usize) {
-        let u = rng.gen_range(0..N as u32);
-        let v = rng.gen_range(0..N as u32);
+    let mut inserted = std::collections::BTreeSet::new();
+    for _ in 0..rng.gen_range(0, 8) {
+        let u = rng.gen_range(0, N) as u32;
+        let v = rng.gen_range(0, N) as u32;
         if u != v && !g.has_edge(u, v) && inserted.insert((u, v)) {
-            batch.insert(u, v, f64::from(rng.gen_range(1..=16u32)));
+            batch.insert(u, v, rng.gen_range_inclusive(1, 16) as f64);
         }
     }
     batch
@@ -62,98 +58,120 @@ fn tolerance(workload: Workload) -> f64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The headline invariant: streaming == from-scratch, everywhere.
-    #[test]
-    fn streaming_equals_from_scratch(g in arb_graph(), seed in 0u64..1000) {
+/// The headline invariant: streaming == from-scratch, everywhere.
+#[test]
+fn streaming_equals_from_scratch() {
+    run_cases("streaming_equals_from_scratch", 48, |rng| {
+        let g = arb_graph(rng);
         for w in Workload::ALL {
             for strategy in DeleteStrategy::ALL {
-                let batch = arb_batch(&g, seed);
-                let config = EngineConfig { delete_strategy: strategy, num_bins: 4, ..EngineConfig::default() };
+                let batch = arb_batch(&g, rng);
+                let config = EngineConfig {
+                    delete_strategy: strategy,
+                    num_bins: 4,
+                    ..EngineConfig::default()
+                };
                 let mut engine = StreamingEngine::new(w.instantiate(0), g.clone(), config);
                 engine.initial_compute();
                 engine.apply_update_batch(&batch).unwrap();
+                assert_eq!(engine.validate_converged(), Ok(()), "{} ({strategy:?})", w.name());
 
                 let mut mutated = g.clone();
                 mutated.apply_batch(&batch).unwrap();
                 let expected = oracle_values(w, &mutated.snapshot(), 0);
-                prop_assert!(
+                assert!(
                     oracle::values_match_tol(engine.values(), &expected, tolerance(w)),
                     "{} ({:?}) diverged: got {:?} want {:?}",
-                    w.name(), strategy, engine.values(), expected
+                    w.name(),
+                    strategy,
+                    engine.values(),
+                    expected
                 );
             }
         }
-    }
+    });
+}
 
-    /// Two consecutive random batches keep the state recoverable.
-    #[test]
-    fn two_batches_stay_recoverable(g in arb_graph(), seed in 0u64..500) {
+/// Two consecutive random batches keep the state recoverable.
+#[test]
+fn two_batches_stay_recoverable() {
+    run_cases("two_batches_stay_recoverable", 32, |rng| {
+        let g = arb_graph(rng);
         for w in [Workload::Sssp, Workload::Cc, Workload::PageRank] {
-            let mut engine = StreamingEngine::new(
-                w.instantiate(0), g.clone(), EngineConfig::default());
+            let mut engine =
+                StreamingEngine::new(w.instantiate(0), g.clone(), EngineConfig::default());
             engine.initial_compute();
             let mut reference = g.clone();
-            for round in 0..2u64 {
-                let batch = arb_batch(&reference, seed.wrapping_mul(31).wrapping_add(round));
+            for _ in 0..2 {
+                let batch = arb_batch(&reference, rng);
                 engine.apply_update_batch(&batch).unwrap();
                 reference.apply_batch(&batch).unwrap();
             }
             let expected = oracle_values(w, &reference.snapshot(), 0);
-            prop_assert!(
+            assert!(
                 oracle::values_match_tol(engine.values(), &expected, tolerance(w)),
-                "{} diverged after two batches", w.name()
+                "{} diverged after two batches",
+                w.name()
             );
         }
-    }
+    });
+}
 
-    /// CSR construction round-trips any edge list.
-    #[test]
-    fn csr_roundtrips(g in arb_graph()) {
+/// CSR construction round-trips any edge list and stays structurally valid.
+#[test]
+fn csr_roundtrips() {
+    run_cases("csr_roundtrips", 64, |rng| {
+        let g = arb_graph(rng);
         let csr = g.snapshot();
-        prop_assert_eq!(csr.num_edges(), g.num_edges());
+        assert_eq!(csr.validate(), Ok(()));
+        assert_eq!(csr.num_edges(), g.num_edges());
         for (u, v, w) in g.iter_edges() {
-            prop_assert_eq!(csr.edge_weight(u, v), Some(w));
+            assert_eq!(csr.edge_weight(u, v), Some(w));
         }
         let back: Vec<_> = csr.iter_edges().collect();
         let orig: Vec<_> = g.iter_edges().collect();
-        prop_assert_eq!(back, orig);
-        prop_assert_eq!(csr.transpose().transpose(), csr);
-    }
+        assert_eq!(back, orig);
+        assert_eq!(csr.transpose().transpose(), csr);
+        assert_eq!(g.snapshot_pair().validate(), Ok(()));
+    });
+}
 
-    /// Queue coalescing is insertion-order insensitive: any permutation of
-    /// the same events drains to the same per-vertex reduced payloads
-    /// (the Reordering property the hardware relies on, §3.1).
-    #[test]
-    fn queue_coalescing_is_order_insensitive(
-        payloads in proptest::collection::vec((0u32..16, 1u32..100), 1..40),
-        rotation in 0usize..40,
-    ) {
+/// Queue coalescing is insertion-order insensitive: any permutation of
+/// the same events drains to the same per-vertex reduced payloads
+/// (the Reordering property the hardware relies on, §3.1).
+#[test]
+fn queue_coalescing_is_order_insensitive() {
+    run_cases("queue_coalescing_is_order_insensitive", 64, |rng| {
+        let n = rng.gen_range(1, 40);
+        let payloads: Vec<(u32, u32)> =
+            (0..n).map(|_| (rng.gen_range(0, 16) as u32, rng.gen_range(1, 100) as u32)).collect();
+        let rotation = rng.gen_index(payloads.len());
         let alg = Sssp::new(0);
         let drain = |events: &[(u32, u32)]| -> Vec<(u32, f64)> {
             let mut q = CoalescingQueue::new(16, 4);
             for &(v, p) in events {
                 q.insert(Event::regular(v, f64::from(p)), &alg);
             }
+            q.validate().unwrap();
             let mut out = Vec::new();
             for bin in 0..q.num_bins() {
                 out.extend(q.take_bin(bin).into_iter().map(|e| (e.target, e.payload)));
             }
-            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out.sort_by_key(|&(target, _)| target);
             out
         };
         let mut rotated = payloads.clone();
-        rotated.rotate_left(rotation % payloads.len().max(1));
-        prop_assert_eq!(drain(&payloads), drain(&rotated));
-    }
+        rotated.rotate_left(rotation);
+        assert_eq!(drain(&payloads), drain(&rotated));
+    });
+}
 
-    /// Coalesced queue drains carry the reduce over all inserted payloads.
-    #[test]
-    fn queue_preserves_reduction(
-        payloads in proptest::collection::vec(1u32..100, 1..30),
-    ) {
+/// Coalesced queue drains carry the reduce over all inserted payloads.
+#[test]
+fn queue_preserves_reduction() {
+    run_cases("queue_preserves_reduction", 64, |rng| {
+        let payloads: Vec<u32> =
+            (0..rng.gen_range(1, 30)).map(|_| rng.gen_range(1, 100) as u32).collect();
         let alg = Sssp::new(0);
         let mut q = CoalescingQueue::new(4, 2);
         for &p in &payloads {
@@ -166,38 +184,45 @@ proptest! {
                 found = Some(e.payload);
             }
         }
-        prop_assert_eq!(found, Some(min));
-    }
+        assert_eq!(found, Some(min));
+    });
+}
 
-    /// Empty batches never change anything, for any graph.
-    #[test]
-    fn empty_batch_is_identity(g in arb_graph()) {
-        let mut engine = StreamingEngine::new(
-            Workload::Bfs.instantiate(0), g, EngineConfig::default());
+/// Empty batches never change anything, for any graph.
+#[test]
+fn empty_batch_is_identity() {
+    run_cases("empty_batch_is_identity", 48, |rng| {
+        let g = arb_graph(rng);
+        let mut engine =
+            StreamingEngine::new(Workload::Bfs.instantiate(0), g, EngineConfig::default());
         engine.initial_compute();
         let before = engine.values().to_vec();
         let stats = engine.apply_update_batch(&UpdateBatch::new()).unwrap();
-        prop_assert_eq!(engine.values(), &before[..]);
-        prop_assert_eq!(stats.resets, 0);
-        prop_assert_eq!(stats.events_processed, 0);
-    }
+        assert_eq!(engine.values(), &before[..]);
+        assert_eq!(stats.resets, 0);
+        assert_eq!(stats.events_processed, 0);
+    });
+}
 
-    /// Algorithm trait laws: identity never dominates, reduce is
-    /// commutative and idempotent-compatible for the selective workloads.
-    #[test]
-    fn algorithm_laws(x in 0.1f64..1000.0, y in 0.1f64..1000.0) {
+/// Algorithm trait laws: identity never dominates, reduce is
+/// commutative and idempotent-compatible for the selective workloads.
+#[test]
+fn algorithm_laws() {
+    run_cases("algorithm_laws", 64, |rng| {
+        let x = 0.1 + rng.gen_f64() * 999.9;
+        let y = 0.1 + rng.gen_f64() * 999.9;
         for w in Workload::ALL {
             let a = w.instantiate(0);
             let id = a.identity();
-            prop_assert_eq!(a.reduce(x, id), x);
-            prop_assert_eq!(a.reduce(x, y), a.reduce(y, x));
+            assert_eq!(a.reduce(x, id), x);
+            assert_eq!(a.reduce(x, y), a.reduce(y, x));
             if w.kind() == UpdateKind::Selective {
                 // Selection: reducing twice with the same value is stable.
                 let r = a.reduce(x, y);
-                prop_assert_eq!(a.reduce(r, y), r);
+                assert_eq!(a.reduce(r, y), r);
             }
         }
-    }
+    });
 }
 
 /// Deterministic regression: a dense cyclic graph with full teardown.

@@ -1,0 +1,7 @@
+//! Test files may unwrap and panic freely.
+
+#[test]
+fn panics_allowed_here() {
+    let v: Option<u32> = Some(3);
+    assert_eq!(v.unwrap(), 3);
+}

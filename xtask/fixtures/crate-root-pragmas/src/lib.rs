@@ -1,0 +1,6 @@
+//! Fixture: a crate root without the required pragmas.
+
+/// Adds one.
+pub fn succ(x: u32) -> u32 {
+    x + 1
+}

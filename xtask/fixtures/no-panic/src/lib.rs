@@ -1,0 +1,9 @@
+//! Fixture: library code that panics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Parses a number the lazy way.
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap()
+}

@@ -1,0 +1,15 @@
+//! Fixture: an unordered map inside the simulator core.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// Counts occurrences (in nondeterministic iteration order!).
+pub fn count(items: &[u32]) -> HashMap<u32, usize> {
+    let mut m = HashMap::new();
+    for &i in items {
+        *m.entry(i).or_insert(0) += 1;
+    }
+    m
+}

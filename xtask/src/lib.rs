@@ -1,0 +1,682 @@
+//! Repo-native static analysis for the JetStream workspace.
+//!
+//! `cargo xtask check` walks every Rust source file in the repository and
+//! enforces the policies that `rustc`/`clippy` cannot express for us:
+//!
+//! * **no-panic** — no `.unwrap()`, `.expect(..)`, or `panic!(..)` in
+//!   non-test library code. `.expect("invariant: ...")` is permitted: it
+//!   documents a structural invariant whose violation must crash loudly.
+//! * **crate-root-pragmas** — every crate root carries
+//!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+//! * **unordered-collections** — no `HashMap`/`HashSet` in the simulator
+//!   core (`crates/sim`, `crates/core`): iteration order feeds simulated
+//!   event order, so unordered collections silently break run-to-run
+//!   determinism. A `// lint: allow-unordered` comment on (or right above)
+//!   the line waives a use that provably never iterates.
+//! * **paper-ref** — every `§x.y` section reference in source text must
+//!   exist in `PAPER.md` or `DESIGN.md`, so paper citations cannot rot.
+//!
+//! Test code (`#[cfg(test)]` modules and files under `tests/`, `benches/`,
+//! or `examples/` directories) is exempt from the panic and collection
+//! lints: tests *should* unwrap.
+//!
+//! The scanner is deliberately textual — it strips comments and string
+//! literals with a small lexer instead of parsing Rust — so it stays
+//! dependency-free and fast, at the cost of not chasing macro expansions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The individual policies `cargo xtask check` enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lint {
+    /// `.unwrap()` / `.expect(..)` / `panic!(..)` in non-test library code.
+    NoPanic,
+    /// A crate root missing `#![forbid(unsafe_code)]` or
+    /// `#![warn(missing_docs)]`.
+    CrateRootPragmas,
+    /// `HashMap`/`HashSet` in the determinism-critical simulator crates.
+    UnorderedCollections,
+    /// A `§x.y` reference that is in neither `PAPER.md` nor `DESIGN.md`.
+    PaperRef,
+}
+
+impl Lint {
+    /// Stable identifier used in report lines and fixture expectations.
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::NoPanic => "no-panic",
+            Lint::CrateRootPragmas => "crate-root-pragmas",
+            Lint::UnorderedCollections => "unordered-collections",
+            Lint::PaperRef => "paper-ref",
+        }
+    }
+
+    /// Parses a lint id (as spelled in a fixture's `expect.txt`).
+    pub fn from_id(id: &str) -> Option<Lint> {
+        match id {
+            "no-panic" => Some(Lint::NoPanic),
+            "crate-root-pragmas" => Some(Lint::CrateRootPragmas),
+            "unordered-collections" => Some(Lint::UnorderedCollections),
+            "paper-ref" => Some(Lint::PaperRef),
+            _ => None,
+        }
+    }
+}
+
+/// One policy violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which policy fired.
+    pub lint: Lint,
+    /// File the violation is in, relative to the checked root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.lint.id(), self.message)
+    }
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", "fixtures", ".git", ".github"];
+
+/// Path components marking test-like code exempt from panic/collection
+/// lints.
+const TEST_DIRS: [&str; 3] = ["tests", "benches", "examples"];
+
+/// Runs every lint over the workspace rooted at `root` and returns the
+/// findings, ordered by file path.
+///
+/// # Errors
+///
+/// Returns any I/O error raised while walking the tree or reading files.
+pub fn run_check(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rust_files(root, root, &mut files)?;
+    files.sort();
+
+    let sections = known_sections(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let raw = fs::read_to_string(root.join(rel))?;
+        check_file(rel, &raw, &sections, &mut findings);
+    }
+    Ok(findings)
+}
+
+fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rust_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Section ids (e.g. `§4.6.1`) present in PAPER.md / DESIGN.md.
+fn known_sections(root: &Path) -> io::Result<Vec<String>> {
+    let mut sections = Vec::new();
+    for doc in ["PAPER.md", "DESIGN.md"] {
+        let path = root.join(doc);
+        if !path.exists() {
+            continue;
+        }
+        let text = fs::read_to_string(path)?;
+        for (_, sec) in section_refs(&text) {
+            if !sections.contains(&sec) {
+                sections.push(sec);
+            }
+        }
+    }
+    Ok(sections)
+}
+
+/// Extracts `§x[.y[.z]]` tokens with their 1-based line numbers.
+fn section_refs(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find('§') {
+            let after = &rest[pos + '§'.len_utf8()..];
+            let digits: String =
+                after.chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+            let digits = digits.trim_end_matches('.');
+            if !digits.is_empty() && digits.starts_with(|c: char| c.is_ascii_digit()) {
+                out.push((lineno + 1, format!("§{digits}")));
+            }
+            rest = after;
+        }
+    }
+    out
+}
+
+fn is_test_path(rel: &Path) -> bool {
+    rel.components().any(|c| c.as_os_str().to_str().is_some_and(|s| TEST_DIRS.contains(&s)))
+}
+
+fn is_crate_root(rel: &Path) -> bool {
+    let Some(name) = rel.file_name().and_then(|n| n.to_str()) else {
+        return false;
+    };
+    let in_src = rel.parent().and_then(|p| p.file_name()).and_then(|n| n.to_str()) == Some("src");
+    in_src && (name == "lib.rs" || name == "main.rs")
+}
+
+/// True for files inside the determinism-critical simulator crates.
+fn is_determinism_path(rel: &Path) -> bool {
+    let s = rel.to_string_lossy();
+    s.starts_with("crates/sim/src") || s.starts_with("crates/core/src")
+}
+
+fn check_file(rel: &Path, raw: &str, sections: &[String], findings: &mut Vec<Finding>) {
+    let views = sanitize(raw);
+
+    if is_crate_root(rel) {
+        for pragma in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
+            if !raw.contains(pragma) {
+                findings.push(Finding {
+                    lint: Lint::CrateRootPragmas,
+                    file: rel.to_path_buf(),
+                    line: 1,
+                    message: format!("crate root is missing `{pragma}`"),
+                });
+            }
+        }
+    }
+
+    for (lineno, sec) in section_refs(raw) {
+        if !sections.iter().any(|s| s == &sec) {
+            findings.push(Finding {
+                lint: Lint::PaperRef,
+                file: rel.to_path_buf(),
+                line: lineno,
+                message: format!(
+                    "{sec} is referenced here but defined in neither PAPER.md nor DESIGN.md"
+                ),
+            });
+        }
+    }
+
+    if is_test_path(rel) {
+        return;
+    }
+
+    check_panics(rel, &views, findings);
+    if is_determinism_path(rel) {
+        check_unordered(rel, raw, &views, findings);
+    }
+}
+
+fn check_panics(rel: &Path, views: &Views, findings: &mut Vec<Finding>) {
+    let mut report = |lint: Lint, offset: usize, message: String| {
+        findings.push(Finding {
+            lint,
+            file: rel.to_path_buf(),
+            line: views.line_of(offset),
+            message,
+        });
+    };
+    for offset in find_all(&views.code, ".unwrap()") {
+        report(
+            Lint::NoPanic,
+            offset,
+            "`.unwrap()` in library code — propagate the error or use `.expect(\"invariant: ...\")`"
+                .into(),
+        );
+    }
+    for offset in find_all(&views.code, ".expect(") {
+        let call_start = offset + ".expect(".len();
+        if views.strings[call_start..].starts_with("\"invariant: ") {
+            continue;
+        }
+        report(
+            Lint::NoPanic,
+            offset,
+            "`.expect(..)` in library code — propagate the error, or document a structural \
+             invariant with an `\"invariant: ...\"` message"
+                .into(),
+        );
+    }
+    for offset in find_all(&views.code, "panic!(") {
+        // `assert!`-family macros are fine; a bare `panic!` is not.
+        report(
+            Lint::NoPanic,
+            offset,
+            "`panic!(..)` in library code — return an error or use an `assert!` with a message"
+                .into(),
+        );
+    }
+}
+
+fn check_unordered(rel: &Path, raw: &str, views: &Views, findings: &mut Vec<Finding>) {
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    for token in ["HashMap", "HashSet"] {
+        for offset in find_all(&views.code, token) {
+            // Token boundaries: reject identifiers merely containing the name.
+            let bytes = views.code.as_bytes();
+            let before_ok = offset == 0
+                || !(bytes[offset - 1].is_ascii_alphanumeric() || bytes[offset - 1] == b'_');
+            let end = offset + token.len();
+            let after_ok =
+                end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+            if !(before_ok && after_ok) {
+                continue;
+            }
+            let line = views.line_of(offset);
+            let waived = [line, line.saturating_sub(1)]
+                .iter()
+                .filter_map(|&l| raw_lines.get(l.wrapping_sub(1)))
+                .any(|l| l.contains("// lint: allow-unordered"));
+            if waived {
+                continue;
+            }
+            findings.push(Finding {
+                lint: Lint::UnorderedCollections,
+                file: rel.to_path_buf(),
+                line,
+                message: format!(
+                    "`{token}` in a determinism-critical crate — use BTreeMap/BTreeSet or \
+                     waive with `// lint: allow-unordered`"
+                ),
+            });
+        }
+    }
+}
+
+fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        out.push(from + pos);
+        from += pos + needle.len();
+    }
+    out
+}
+
+/// Offset-preserving sanitized views of a source file.
+struct Views {
+    /// Comments and string/char literals blanked.
+    code: String,
+    /// Comments blanked, string literals kept (for `"invariant: "` checks).
+    strings: String,
+}
+
+impl Views {
+    fn line_of(&self, offset: usize) -> usize {
+        self.code[..offset].bytes().filter(|&b| b == b'\n').count() + 1
+    }
+}
+
+/// Strips comments and literals while preserving byte offsets (every
+/// stripped byte becomes a space; newlines survive), then blanks
+/// `#[cfg(test)]` items so test modules are invisible to the code lints.
+fn sanitize(raw: &str) -> Views {
+    let src = raw.as_bytes();
+    let mut code = raw.as_bytes().to_vec();
+    let mut strings = raw.as_bytes().to_vec();
+    let mut i = 0;
+
+    let blank = |buf: &mut Vec<u8>, lo: usize, hi: usize| {
+        for b in &mut buf[lo..hi] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+
+    while i < src.len() {
+        match src[i] {
+            b'/' if src.get(i + 1) == Some(&b'/') => {
+                let end = memchr_newline(src, i);
+                blank(&mut code, i, end);
+                blank(&mut strings, i, end);
+                i = end;
+            }
+            b'/' if src.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < src.len() && depth > 0 {
+                    if src[j] == b'/' && src.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if src[j] == b'*' && src.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut code, i, j);
+                blank(&mut strings, i, j);
+                i = j;
+            }
+            b'"' => {
+                let end = skip_string(src, i);
+                blank(&mut code, i + 1, end.saturating_sub(1));
+                i = end;
+            }
+            b'r' | b'b' if starts_raw_string(src, i) => {
+                let (start, end, resume) = raw_string_span(src, i);
+                blank(&mut code, start, end);
+                i = resume;
+            }
+            b'\'' => {
+                // Char literal or lifetime. A closing quote within 3 bytes
+                // (or after an escape) means a char literal.
+                if let Some(end) = char_literal_end(src, i) {
+                    blank(&mut code, i + 1, end - 1);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    // String-handling only blanked `code`; now blank cfg(test) items in both.
+    let code_str = String::from_utf8_lossy(&code).into_owned();
+    let mut masked_code = code;
+    let mut masked_strings = strings;
+    let marker = "#[cfg(test)]";
+    let mut from = 0;
+    while let Some(pos) = code_str[from..].find(marker) {
+        let start = from + pos;
+        if let Some(end) = item_end(code_str.as_bytes(), start + marker.len()) {
+            blank(&mut masked_code, start, end);
+            blank(&mut masked_strings, start, end);
+            from = end;
+        } else {
+            from = start + marker.len();
+        }
+    }
+
+    Views {
+        code: String::from_utf8_lossy(&masked_code).into_owned(),
+        strings: String::from_utf8_lossy(&masked_strings).into_owned(),
+    }
+}
+
+fn memchr_newline(src: &[u8], from: usize) -> usize {
+    src[from..].iter().position(|&b| b == b'\n').map_or(src.len(), |p| from + p)
+}
+
+fn skip_string(src: &[u8], open: usize) -> usize {
+    let mut j = open + 1;
+    while j < src.len() {
+        match src[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    src.len()
+}
+
+fn starts_raw_string(src: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if src[j] == b'b' {
+        j += 1;
+    }
+    if src.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while src.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    src.get(j) == Some(&b'"')
+}
+
+/// Returns `(blank_from, blank_to, resume_at)` for a raw string literal:
+/// the content span to blank and the offset just past the closing
+/// delimiter.
+fn raw_string_span(src: &[u8], i: usize) -> (usize, usize, usize) {
+    let mut j = i;
+    if src[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0;
+    while src.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    let content_start = j + 1; // past the opening quote
+    let mut k = content_start;
+    while k < src.len() {
+        if src[k] == b'"' {
+            let tail = &src[k + 1..];
+            if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                return (content_start, k, k + 1 + hashes);
+            }
+        }
+        k += 1;
+    }
+    (content_start, src.len(), src.len())
+}
+
+fn char_literal_end(src: &[u8], open: usize) -> Option<usize> {
+    match src.get(open + 1)? {
+        b'\\' => {
+            // Escapes: \n, \', \u{...}, \x7f — scan to the closing quote.
+            let mut j = open + 2;
+            while j < src.len() && j < open + 12 {
+                if src[j] == b'\'' {
+                    return Some(j + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => {
+            // `'a'` is a char literal; `'a` (no close) is a lifetime.
+            // Multi-byte chars: find the quote within the next few bytes.
+            (open + 2..=(open + 5).min(src.len().saturating_sub(1)))
+                .find(|&j| src.get(j) == Some(&b'\''))
+                .map(|j| j + 1)
+        }
+    }
+}
+
+/// Given the offset just past an attribute, returns the end of the item it
+/// decorates: the matching `}` of its first brace block, or the first `;`
+/// if one comes sooner (e.g. `mod tests;`).
+fn item_end(src: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    // Skip whitespace and any further attributes.
+    loop {
+        while i < src.len() && (src[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if src.get(i) == Some(&b'#') && src.get(i + 1) == Some(&b'[') {
+            let mut depth = 0;
+            while i < src.len() {
+                match src[i] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let mut depth = 0;
+    while i < src.len() {
+        match src[i] {
+            b';' if depth == 0 => return Some(i + 1),
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Outcome of one fixture in `--self-test` mode.
+#[derive(Debug)]
+pub struct FixtureResult {
+    /// Fixture directory name.
+    pub name: String,
+    /// `Ok(())` when the fixture behaved as its `expect.txt` demands.
+    pub outcome: Result<(), String>,
+}
+
+/// Runs every fixture under `fixtures_dir`. A fixture is a directory with
+/// an `expect.txt` naming the single lint that must fire (or `clean` for
+/// zero findings); the check must also report nothing *but* that lint.
+///
+/// # Errors
+///
+/// Returns any I/O error raised while reading fixtures.
+pub fn run_self_test(fixtures_dir: &Path) -> io::Result<Vec<FixtureResult>> {
+    let mut results = Vec::new();
+    let mut dirs: Vec<PathBuf> = fs::read_dir(fixtures_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let name = dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        let expect = fs::read_to_string(dir.join("expect.txt"))?;
+        let expect = expect.trim();
+        let findings = run_check(&dir)?;
+        let outcome = judge_fixture(expect, &findings);
+        results.push(FixtureResult { name, outcome });
+    }
+    Ok(results)
+}
+
+fn judge_fixture(expect: &str, findings: &[Finding]) -> Result<(), String> {
+    if expect == "clean" {
+        return if findings.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected no findings, got {}: {}",
+                findings.len(),
+                findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("; ")
+            ))
+        };
+    }
+    let Some(lint) = Lint::from_id(expect) else {
+        return Err(format!("unknown lint id {expect:?} in expect.txt"));
+    };
+    if findings.is_empty() {
+        return Err(format!("expected [{}] to fire, but the check passed", lint.id()));
+    }
+    if let Some(stray) = findings.iter().find(|f| f.lint != lint) {
+        return Err(format!("unexpected extra finding: {stray}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(src: &str) -> Views {
+        sanitize(src)
+    }
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let v = views("let x = \"panic!(\"; // .unwrap()\nlet y = 1;");
+        assert!(!v.code.contains("panic!("));
+        assert!(!v.code.contains(".unwrap()"));
+        assert!(v.code.contains("let y = 1;"));
+        // The strings view keeps literals but drops comments.
+        assert!(v.strings.contains("panic!("));
+        assert!(!v.strings.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_invisible() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\n";
+        let v = views(src);
+        assert!(!v.code.contains("unwrap"));
+        assert!(v.code.contains("fn a()"));
+    }
+
+    #[test]
+    fn invariant_expects_are_allowed() {
+        let mut findings = Vec::new();
+        let src = "fn f() { g().expect(\"invariant: always\"); }\n";
+        check_panics(Path::new("x.rs"), &sanitize(src), &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+
+        let src = "fn f() { g().expect(\"oops\"); }\n";
+        check_panics(Path::new("x.rs"), &sanitize(src), &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, Lint::NoPanic);
+    }
+
+    #[test]
+    fn section_refs_are_parsed() {
+        let refs = section_refs("see §4.6.1 and §5, not §x");
+        let secs: Vec<&str> = refs.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(secs, vec!["§4.6.1", "§5"]);
+    }
+
+    #[test]
+    fn raw_strings_do_not_confuse_the_lexer() {
+        let v = views("let s = r#\"a \" .unwrap() \"#; let t = 1;");
+        assert!(!v.code.contains(".unwrap()"));
+        assert!(v.code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let v = views("fn f<'a>(x: &'a str) -> &'a str { x }\n// '\nlet c = 'x';");
+        assert!(v.code.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn hashmap_waiver_is_honoured() {
+        let mut findings = Vec::new();
+        let src = "use std::collections::HashMap; // lint: allow-unordered\n";
+        check_unordered(Path::new("crates/sim/src/x.rs"), src, &sanitize(src), &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+
+        let src = "use std::collections::HashMap;\n";
+        check_unordered(Path::new("crates/sim/src/x.rs"), src, &sanitize(src), &mut findings);
+        assert_eq!(findings.len(), 1);
+    }
+}

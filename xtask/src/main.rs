@@ -1,0 +1,94 @@
+//! `cargo xtask` — repository task runner.
+//!
+//! ```text
+//! cargo xtask check              # lint the workspace, non-zero on findings
+//! cargo xtask check --root DIR   # lint another tree (used by fixtures)
+//! cargo xtask check --self-test  # verify each lint against its fixtures
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{run_check, run_self_test};
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR is xtask/; the workspace root is its parent.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().map(PathBuf::from).unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut words = args.iter();
+    if words.next().map(String::as_str) != Some("check") {
+        eprintln!("usage: cargo xtask check [--root DIR] [--self-test]");
+        return ExitCode::from(2);
+    }
+    let mut root = workspace_root();
+    let mut self_test = false;
+    while let Some(arg) = words.next() {
+        match arg.as_str() {
+            "--root" => match words.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--self-test" => self_test = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if self_test {
+        let fixtures = workspace_root().join("xtask").join("fixtures");
+        return match run_self_test(&fixtures) {
+            Ok(results) => {
+                let mut failed = 0;
+                for r in &results {
+                    match &r.outcome {
+                        Ok(()) => println!("fixture {}: ok", r.name),
+                        Err(why) => {
+                            failed += 1;
+                            println!("fixture {}: FAILED — {why}", r.name);
+                        }
+                    }
+                }
+                println!("{} fixtures, {failed} failed", results.len());
+                if failed == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("self-test failed to run: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match run_check(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask check: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("xtask check: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask check failed to run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

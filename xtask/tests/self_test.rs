@@ -1,0 +1,58 @@
+//! Regression tests for the lint engine: every fixture must behave exactly
+//! as its `expect.txt` demands, and the real workspace must be clean.
+
+use std::path::{Path, PathBuf};
+
+use xtask::{run_check, run_self_test, Lint};
+
+fn xtask_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn every_fixture_behaves_as_expected() {
+    let results = run_self_test(&xtask_dir().join("fixtures")).unwrap();
+    assert!(!results.is_empty(), "no fixtures found");
+    let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+    for lint in ["no-panic", "crate-root-pragmas", "unordered-collections", "paper-ref", "clean"] {
+        assert!(names.contains(&lint), "missing fixture {lint}");
+    }
+    for r in &results {
+        assert!(r.outcome.is_ok(), "fixture {}: {:?}", r.name, r.outcome);
+    }
+}
+
+#[test]
+fn each_fixture_fires_its_own_lint() {
+    for (dir, lint) in [
+        ("no-panic", Lint::NoPanic),
+        ("crate-root-pragmas", Lint::CrateRootPragmas),
+        ("unordered-collections", Lint::UnorderedCollections),
+        ("paper-ref", Lint::PaperRef),
+    ] {
+        let findings = run_check(&xtask_dir().join("fixtures").join(dir)).unwrap();
+        assert!(!findings.is_empty(), "{dir} produced no findings");
+        assert!(
+            findings.iter().all(|f| f.lint == lint),
+            "{dir} produced findings of another lint: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let findings = run_check(&xtask_dir().join("fixtures").join("clean")).unwrap();
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let root = xtask_dir();
+    let root: &Path = root.parent().unwrap();
+    let findings = run_check(root).unwrap();
+    assert!(
+        findings.is_empty(),
+        "`cargo xtask check` fails on the workspace:\n{}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -140,6 +140,50 @@ pub struct StreamingEngine {
     tracer: TraceBuilder,
 }
 
+/// Why restored checkpoint state cannot be mounted on a graph.
+///
+/// Produced by [`StreamingEngine::from_checkpoint`]; the durable-store crate
+/// maps this into its own error type when recovering from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// A state vector's length does not match the graph's vertex count.
+    LengthMismatch {
+        /// Which vector mismatched (`"values"` or `"dependency"`).
+        what: &'static str,
+        /// Length of the supplied vector.
+        found: usize,
+        /// Vertex count of the supplied graph.
+        num_vertices: usize,
+    },
+    /// A recorded Leads-To dependence refers to an edge absent from the
+    /// graph — state and graph are from different moments in the stream.
+    DanglingDependency {
+        /// The vertex whose dependence is dangling.
+        vertex: VertexId,
+        /// The recorded source it claims to depend on.
+        leads_to: VertexId,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::LengthMismatch { what, found, num_vertices } => write!(
+                f,
+                "{what} vector has length {found} but the graph has {num_vertices} vertices"
+            ),
+            CheckpointError::DanglingDependency { vertex, leads_to } => write!(
+                f,
+                "vertex {vertex} leads-to {leads_to}, but edge {leads_to} -> {vertex} \
+                 is not in the graph"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
 impl StreamingEngine {
     /// Creates an engine over `host` (the evolving graph) for `alg`.
     pub fn new(alg: Box<dyn Algorithm>, host: AdjacencyGraph, config: EngineConfig) -> Self {
@@ -159,6 +203,71 @@ impl StreamingEngine {
             stats: RunStats::default(),
             tracer: TraceBuilder::default(),
         }
+    }
+
+    /// Warm-starts an engine from previously converged state — the durable
+    /// counterpart of the recoverable approximation of §3.4.
+    ///
+    /// `values` and `dependency` must be the `values()` / `dependencies()`
+    /// of an engine that had converged over `host` with the same algorithm.
+    /// No recomputation happens: the event queue starts empty and the next
+    /// `apply_update_batch` proceeds incrementally from the restored state,
+    /// exactly as it would have on the original engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when the restored state cannot belong to
+    /// `host`: mismatched lengths, or a dependence edge that does not exist
+    /// in the graph. Value-level convergence is *not* re-derived here (that
+    /// would be a cold start); callers wanting the full check can run
+    /// [`validate_converged`](StreamingEngine::validate_converged) on the
+    /// returned engine.
+    pub fn from_checkpoint(
+        alg: Box<dyn Algorithm>,
+        host: AdjacencyGraph,
+        values: Vec<Value>,
+        dependency: Vec<Option<VertexId>>,
+        config: EngineConfig,
+    ) -> Result<Self, CheckpointError> {
+        let n = host.num_vertices();
+        if values.len() != n {
+            return Err(CheckpointError::LengthMismatch {
+                what: "values",
+                found: values.len(),
+                num_vertices: n,
+            });
+        }
+        if dependency.len() != n {
+            return Err(CheckpointError::LengthMismatch {
+                what: "dependency",
+                found: dependency.len(),
+                num_vertices: n,
+            });
+        }
+        for (v, dep) in dependency.iter().enumerate() {
+            if let Some(u) = dep {
+                if !host.has_edge(*u, v as VertexId) {
+                    return Err(CheckpointError::DanglingDependency {
+                        vertex: v as VertexId,
+                        leads_to: *u,
+                    });
+                }
+            }
+        }
+        let csr = host.snapshot_pair();
+        Ok(StreamingEngine {
+            queue: CoalescingQueue::new(n, config.num_bins),
+            values,
+            dependency,
+            impacted: Vec::new(),
+            alg,
+            host,
+            csr,
+            config,
+            active_slice: 0,
+            stats: RunStats::default(),
+            tracer: TraceBuilder::default(),
+        })
     }
 
     /// Number of slices the graph is partitioned into (1 when it fits the

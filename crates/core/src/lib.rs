@@ -52,7 +52,9 @@ mod stats;
 
 pub mod trace;
 
-pub use engine::{AccumulativeRecovery, DeleteStrategy, EngineConfig, StreamingEngine};
+pub use engine::{
+    AccumulativeRecovery, CheckpointError, DeleteStrategy, EngineConfig, StreamingEngine,
+};
 pub use event::Event;
 pub use queue::{CoalescingQueue, QueueStats};
 pub use stats::{Phase, RunStats};

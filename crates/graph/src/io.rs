@@ -28,6 +28,11 @@ pub enum ParseError {
     Syntax {
         /// 1-based line number.
         line: usize,
+        /// Byte offset of the start of the offending line within the
+        /// input — what a text editor's "go to byte" or `dd`/`xxd` can
+        /// seek to directly, complementing the line number for inputs
+        /// with very long lines.
+        byte: u64,
         /// What went wrong.
         message: String,
     },
@@ -39,8 +44,8 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::Io(e) => write!(f, "read failed: {e}"),
-            ParseError::Syntax { line, message } => {
-                write!(f, "parse error on line {line}: {message}")
+            ParseError::Syntax { line, byte, message } => {
+                write!(f, "parse error on line {line} (byte {byte}): {message}")
             }
             ParseError::Graph(e) => write!(f, "invalid graph: {e}"),
         }
@@ -74,19 +79,52 @@ fn is_comment(line: &str) -> bool {
     t.is_empty() || t.starts_with('#') || t.starts_with('%')
 }
 
-fn parse_vertex(tok: &str, line: usize) -> Result<VertexId, ParseError> {
-    tok.parse()
-        .map_err(|_| ParseError::Syntax { line, message: format!("invalid vertex id {tok:?}") })
+/// Position of the line being parsed: 1-based line number plus the byte
+/// offset of the line's first byte within the input.
+#[derive(Debug, Clone, Copy)]
+struct Loc {
+    line: usize,
+    byte: u64,
 }
 
-fn parse_weight(tok: &str, line: usize) -> Result<Weight, ParseError> {
-    let w: Weight = tok
-        .parse()
-        .map_err(|_| ParseError::Syntax { line, message: format!("invalid weight {tok:?}") })?;
+impl Loc {
+    fn syntax(self, message: impl Into<String>) -> ParseError {
+        ParseError::Syntax { line: self.line, byte: self.byte, message: message.into() }
+    }
+}
+
+/// Drives `body` over each line of `reader`, tracking line numbers and byte
+/// offsets (including the line terminator bytes `lines()` would hide).
+fn for_each_line<R: BufRead>(
+    mut reader: R,
+    mut body: impl FnMut(&str, Loc) -> Result<(), ParseError>,
+) -> Result<(), ParseError> {
+    let mut buf = String::new();
+    let mut line = 0usize;
+    let mut byte = 0u64;
+    loop {
+        buf.clear();
+        let n = reader.read_line(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        line += 1;
+        let loc = Loc { line, byte };
+        byte += n as u64;
+        body(buf.trim_end_matches(['\n', '\r']), loc)?;
+    }
+}
+
+fn parse_vertex(tok: &str, at: Loc) -> Result<VertexId, ParseError> {
+    tok.parse().map_err(|_| at.syntax(format!("invalid vertex id {tok:?}")))
+}
+
+fn parse_weight(tok: &str, at: Loc) -> Result<Weight, ParseError> {
+    let w: Weight = tok.parse().map_err(|_| at.syntax(format!("invalid weight {tok:?}")))?;
     if w.is_finite() {
         Ok(w)
     } else {
-        Err(ParseError::Syntax { line, message: format!("non-finite weight {tok:?}") })
+        Err(at.syntax(format!("non-finite weight {tok:?}")))
     }
 }
 
@@ -105,37 +143,30 @@ pub fn read_edge_list<R: BufRead>(
 ) -> Result<AdjacencyGraph, ParseError> {
     let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::new();
     let mut max_id: u64 = 0;
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        if is_comment(&line) {
-            continue;
+    for_each_line(reader, |line, at| {
+        if is_comment(line) {
+            return Ok(());
         }
-        let lineno = idx + 1;
         let mut it = line.split_whitespace();
         // `is_comment` treats blank lines as comments, but re-check rather
         // than rely on that coupling: a token-less line is simply skipped.
-        let Some(first) = it.next() else { continue };
-        let u = parse_vertex(first, lineno)?;
+        let Some(first) = it.next() else { return Ok(()) };
+        let u = parse_vertex(first, at)?;
         let v = it
             .next()
-            .ok_or_else(|| ParseError::Syntax {
-                line: lineno,
-                message: "missing target vertex".into(),
-            })
-            .and_then(|t| parse_vertex(t, lineno))?;
+            .ok_or_else(|| at.syntax("missing target vertex"))
+            .and_then(|t| parse_vertex(t, at))?;
         let w = match it.next() {
-            Some(tok) => parse_weight(tok, lineno)?,
+            Some(tok) => parse_weight(tok, at)?,
             None => 1.0,
         };
         if let Some(extra) = it.next() {
-            return Err(ParseError::Syntax {
-                line: lineno,
-                message: format!("unexpected trailing token {extra:?}"),
-            });
+            return Err(at.syntax(format!("unexpected trailing token {extra:?}")));
         }
         max_id = max_id.max(u as u64).max(v as u64);
         edges.push((u, v, w));
-    }
+        Ok(())
+    })?;
     let n = ((max_id + 1) as usize).max(min_vertices).max(if edges.is_empty() {
         min_vertices
     } else {
@@ -176,39 +207,31 @@ pub fn write_edge_list<W: Write>(graph: &AdjacencyGraph, mut writer: W) -> std::
 pub fn read_update_batches<R: BufRead>(reader: R) -> Result<Vec<UpdateBatch>, ParseError> {
     let mut batches = Vec::new();
     let mut current = UpdateBatch::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
+    for_each_line(reader, |line, at| {
         let trimmed = line.trim();
         if trimmed.is_empty() {
             if !current.is_empty() {
                 batches.push(std::mem::take(&mut current));
             }
-            continue;
+            return Ok(());
         }
         if trimmed.starts_with('#') || trimmed.starts_with('%') {
-            continue;
+            return Ok(());
         }
         let mut it = trimmed.split_whitespace();
-        let Some(op) = it.next() else { continue };
+        let Some(op) = it.next() else { return Ok(()) };
         match op {
             "a" | "A" => {
                 let u = it
                     .next()
-                    .ok_or_else(|| ParseError::Syntax {
-                        line: lineno,
-                        message: "insertion missing source".into(),
-                    })
-                    .and_then(|t| parse_vertex(t, lineno))?;
+                    .ok_or_else(|| at.syntax("insertion missing source"))
+                    .and_then(|t| parse_vertex(t, at))?;
                 let v = it
                     .next()
-                    .ok_or_else(|| ParseError::Syntax {
-                        line: lineno,
-                        message: "insertion missing target".into(),
-                    })
-                    .and_then(|t| parse_vertex(t, lineno))?;
+                    .ok_or_else(|| at.syntax("insertion missing target"))
+                    .and_then(|t| parse_vertex(t, at))?;
                 let w = match it.next() {
-                    Some(tok) => parse_weight(tok, lineno)?,
+                    Some(tok) => parse_weight(tok, at)?,
                     None => 1.0,
                 };
                 current.insert(u, v, w);
@@ -216,28 +239,20 @@ pub fn read_update_batches<R: BufRead>(reader: R) -> Result<Vec<UpdateBatch>, Pa
             "d" | "D" => {
                 let u = it
                     .next()
-                    .ok_or_else(|| ParseError::Syntax {
-                        line: lineno,
-                        message: "deletion missing source".into(),
-                    })
-                    .and_then(|t| parse_vertex(t, lineno))?;
+                    .ok_or_else(|| at.syntax("deletion missing source"))
+                    .and_then(|t| parse_vertex(t, at))?;
                 let v = it
                     .next()
-                    .ok_or_else(|| ParseError::Syntax {
-                        line: lineno,
-                        message: "deletion missing target".into(),
-                    })
-                    .and_then(|t| parse_vertex(t, lineno))?;
+                    .ok_or_else(|| at.syntax("deletion missing target"))
+                    .and_then(|t| parse_vertex(t, at))?;
                 current.delete(u, v);
             }
             other => {
-                return Err(ParseError::Syntax {
-                    line: lineno,
-                    message: format!("unknown update op {other:?} (expected 'a' or 'd')"),
-                });
+                return Err(at.syntax(format!("unknown update op {other:?} (expected 'a' or 'd')")));
             }
         }
-    }
+        Ok(())
+    })?;
     if !current.is_empty() {
         batches.push(current);
     }
@@ -246,18 +261,38 @@ pub fn read_update_batches<R: BufRead>(reader: R) -> Result<Vec<UpdateBatch>, Pa
 
 /// Writes update batches in the format [`read_update_batches`] accepts.
 ///
+/// The text format cannot represent an *empty* batch (a blank line is a
+/// separator, and consecutive separators collapse), so empty batches are
+/// skipped: reading the output back yields exactly the input with empty
+/// batches removed. Callers that need empty batches round-tripped should
+/// use the binary WAL format of the `jetstream-store` crate instead.
+///
 /// # Errors
 ///
-/// Returns any I/O error from the writer.
+/// Returns any I/O error from the writer. A non-finite insertion weight is
+/// reported as [`std::io::ErrorKind::InvalidInput`] rather than written:
+/// [`read_update_batches`] would reject it, so writing it would produce a
+/// file that cannot be read back.
 pub fn write_update_batches<W: Write>(
     batches: &[UpdateBatch],
     mut writer: W,
 ) -> std::io::Result<()> {
-    for (i, batch) in batches.iter().enumerate() {
-        if i > 0 {
+    let mut wrote_any = false;
+    for batch in batches {
+        if batch.is_empty() {
+            continue;
+        }
+        if wrote_any {
             writeln!(writer)?;
         }
+        wrote_any = true;
         for &(u, v, w) in batch.insertions() {
+            if !w.is_finite() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("non-finite weight {w} on insertion {u} -> {v}"),
+                ));
+            }
             writeln!(writer, "a {u} {v} {w}")?;
         }
         for &(u, v) in batch.deletions() {
@@ -358,5 +393,92 @@ mod tests {
     fn load_graph_missing_file_is_io_error() {
         let err = load_graph("/nonexistent/graph.txt").unwrap_err();
         assert!(matches!(err, ParseError::Io(_)));
+    }
+
+    #[test]
+    fn syntax_errors_carry_the_line_start_byte_offset() {
+        // "# header\n" is 9 bytes, "0 1\n" is 4: the bad line starts at 13.
+        let err = read_edge_list(Cursor::new("# header\n0 1\nx 2\n"), 0).unwrap_err();
+        match err {
+            ParseError::Syntax { line, byte, .. } => {
+                assert_eq!(line, 3);
+                assert_eq!(byte, 13);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Same for the update parser: "a 0 1\n" is 6 bytes, "\n" is 1.
+        let err = read_update_batches(Cursor::new("a 0 1\n\nz 1 2\n")).unwrap_err();
+        match err {
+            ParseError::Syntax { line, byte, message } => {
+                assert_eq!(line, 3);
+                assert_eq!(byte, 7);
+                assert!(message.contains('z'), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The offset survives into the rendered message.
+        let err = read_edge_list(Cursor::new("0 1\nbad\n"), 0).unwrap_err();
+        assert!(err.to_string().contains("(byte 4)"), "{err}");
+    }
+
+    #[test]
+    fn empty_batches_are_skipped_by_the_writer() {
+        let mut b1 = UpdateBatch::new();
+        b1.insert(0, 1, 2.0);
+        let mut b2 = UpdateBatch::new();
+        b2.delete(1, 2);
+        let batches = vec![
+            UpdateBatch::new(),
+            b1.clone(),
+            UpdateBatch::new(),
+            b2.clone(),
+            UpdateBatch::new(),
+        ];
+        let mut buf = Vec::new();
+        write_update_batches(&batches, &mut buf).unwrap();
+        let back = read_update_batches(Cursor::new(buf)).unwrap();
+        assert_eq!(back, vec![b1, b2]);
+    }
+
+    #[test]
+    fn non_finite_insertion_weight_is_rejected_by_the_writer() {
+        let mut b = UpdateBatch::new();
+        b.insert(0, 1, f64::NAN);
+        let err = write_update_batches(&[b], Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn update_batches_roundtrip_property() {
+        use jetstream_testkit::run_cases;
+        run_cases("io: update batches round-trip through text", 96, |rng| {
+            let n_batches = rng.gen_index(6);
+            let mut batches = Vec::new();
+            for _ in 0..n_batches {
+                let mut b = UpdateBatch::new();
+                // Deliberately includes empty and deletion-only batches.
+                let n_ins = rng.gen_index(4);
+                let n_del = rng.gen_index(4);
+                for _ in 0..n_ins {
+                    let u = rng.gen_index(1000) as VertexId;
+                    let v = rng.gen_index(1000) as VertexId;
+                    // Finite weights with varied magnitude and sign.
+                    let w = (rng.gen_f64() - 0.5) * 10f64.powi(rng.gen_index(7) as i32 - 3);
+                    b.insert(u, v, w);
+                }
+                for _ in 0..n_del {
+                    let u = rng.gen_index(1000) as VertexId;
+                    let v = rng.gen_index(1000) as VertexId;
+                    b.delete(u, v);
+                }
+                batches.push(b);
+            }
+            let mut buf = Vec::new();
+            write_update_batches(&batches, &mut buf).unwrap();
+            let back = read_update_batches(Cursor::new(buf)).unwrap();
+            let expected: Vec<UpdateBatch> =
+                batches.into_iter().filter(|b| !b.is_empty()).collect();
+            assert_eq!(back, expected);
+        });
     }
 }

@@ -28,7 +28,54 @@ struct VersionRecord {
     snapshot: Option<Arc<CsrPair>>,
 }
 
+/// Error from [`VersionedGraph::commit_with`]: either the commit itself
+/// failed (store unchanged) or the post-commit hook did (commit retained).
+#[derive(Debug)]
+pub enum CommitError<E> {
+    /// The batch was invalid against the head version; nothing was
+    /// committed.
+    Graph(GraphError),
+    /// The batch committed, but the durability hook failed. The in-memory
+    /// store holds the new version; the caller decides whether to retry
+    /// persistence or surface the error.
+    Hook(E),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for CommitError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitError::Graph(e) => write!(f, "commit rejected: {e}"),
+            CommitError::Hook(e) => write!(f, "commit hook failed: {e}"),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for CommitError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommitError::Graph(e) => Some(e),
+            CommitError::Hook(e) => Some(e),
+        }
+    }
+}
+
 /// Multi-version graph store with O(1) snapshot activation.
+///
+/// # Retention contract
+///
+/// The store retains at most `retain` *materialized* snapshots — always the
+/// newest ones, so the active version is always materialized. Committing
+/// version `N` with the window full evicts the snapshot of the oldest
+/// materialized version. Deltas are never evicted: [`delta_of`] answers for
+/// every version ever committed, and [`reconstruct`] can rebuild any version
+/// at or after the oldest *materialized* one by replaying deltas forward
+/// from it. Versions older than every materialized snapshot are beyond
+/// reconstruction (their base rolled out of the window): [`snapshot_at`] and
+/// [`reconstruct`] return `None` for them, never an approximation.
+///
+/// [`delta_of`]: VersionedGraph::delta_of
+/// [`reconstruct`]: VersionedGraph::reconstruct
+/// [`snapshot_at`]: VersionedGraph::snapshot_at
 ///
 /// # Example
 ///
@@ -130,6 +177,25 @@ impl VersionedGraph {
         Ok(self.version)
     }
 
+    /// Commits a batch and runs `hook` with the new version id and the
+    /// batch once the commit has succeeded — the integration point for
+    /// durability (e.g. appending the delta to a write-ahead log before
+    /// acknowledging the version).
+    ///
+    /// # Errors
+    ///
+    /// [`CommitError::Graph`] when the batch is invalid (store unchanged);
+    /// [`CommitError::Hook`] when the hook fails (the version *is*
+    /// committed in memory — see [`CommitError::Hook`] for the contract).
+    pub fn commit_with<E, F>(&mut self, batch: &UpdateBatch, hook: F) -> Result<u64, CommitError<E>>
+    where
+        F: FnOnce(u64, &UpdateBatch) -> Result<(), E>,
+    {
+        let version = self.commit(batch).map_err(CommitError::Graph)?;
+        hook(version, batch).map_err(CommitError::Hook)?;
+        Ok(version)
+    }
+
     /// The materialized snapshot of `version`, if still retained.
     pub fn snapshot_at(&self, version: u64) -> Option<Arc<CsrPair>> {
         self.history.iter().find(|r| r.version == version).and_then(|r| r.snapshot.clone())
@@ -148,12 +214,14 @@ impl VersionedGraph {
     }
 
     /// Reconstructs the adjacency of any known `version` by replaying the
-    /// delta chain from the oldest known version (Version-Traveler style
-    /// time travel). `None` if the version is unknown.
+    /// delta chain forward from the oldest materialized snapshot at or
+    /// before it (Version-Traveler style time travel). `None` if the
+    /// version is unknown or predates every materialized snapshot (see the
+    /// retention contract on [`VersionedGraph`]).
     #[allow(clippy::expect_used)] // invariant: retained deltas replayed on their own lineage
     pub fn reconstruct(&self, version: u64) -> Option<AdjacencyGraph> {
-        let newest_known = self.history.front()?.version;
-        if version < newest_known || version > self.version {
+        let oldest_known = self.history.front()?.version;
+        if version < oldest_known || version > self.version {
             return None;
         }
         // Start from the oldest *materialized* snapshot at or before the
@@ -275,5 +343,97 @@ mod tests {
         assert!(s.snapshot_at(99).is_none());
         assert!(s.reconstruct(99).is_none());
         assert!(s.delta_of(99).is_none());
+    }
+
+    #[test]
+    fn reconstruct_at_the_retain_window_boundary() {
+        // retain = 3, 6 commits → materialized {4, 5, 6}.
+        let mut s = store();
+        let mut shadows = vec![s.head().clone()];
+        for i in 0..6u64 {
+            let batch = gen::random_batch(s.head(), 3, 1, 40 + i);
+            s.commit(&batch).unwrap();
+            shadows.push(s.head().clone());
+        }
+        assert_eq!(s.materialized_versions(), vec![4, 5, 6]);
+        // Exactly at the boundary: the oldest materialized version.
+        assert_eq!(s.reconstruct(4).unwrap(), shadows[4]);
+        // Just below it: unreachable, and explicitly None rather than wrong.
+        assert!(s.reconstruct(3).is_none());
+        assert!(s.snapshot_at(3).is_none());
+        // Deltas survive for every version, including unreachable ones.
+        for v in 0..=6u64 {
+            assert!(s.delta_of(v).is_some(), "delta of version {v}");
+        }
+        // The whole retained range reconstructs exactly.
+        for v in 4..=6u64 {
+            assert_eq!(s.reconstruct(v).unwrap(), shadows[v as usize], "version {v}");
+        }
+    }
+
+    #[test]
+    fn retain_one_keeps_only_the_active_version() {
+        let base = gen::erdos_renyi(20, 60, 5);
+        let mut s = VersionedGraph::new(base, 1);
+        for i in 0..3u64 {
+            let batch = gen::random_batch(s.head(), 2, 0, i);
+            s.commit(&batch).unwrap();
+        }
+        assert_eq!(s.materialized_versions(), vec![3]);
+        assert_eq!(s.reconstruct(3).unwrap(), *s.head());
+        assert!(s.reconstruct(2).is_none());
+        // retain = 0 is clamped to 1: the active version never disappears.
+        let clamped = VersionedGraph::new(gen::erdos_renyi(10, 20, 6), 0);
+        assert_eq!(clamped.materialized_versions(), vec![0]);
+    }
+
+    #[test]
+    fn snapshot_at_matches_reconstruct_for_materialized_versions() {
+        let mut s = store();
+        for i in 0..5u64 {
+            let batch = gen::random_batch(s.head(), 4, 2, 60 + i);
+            s.commit(&batch).unwrap();
+        }
+        for v in s.materialized_versions() {
+            let snap = s.snapshot_at(v).unwrap();
+            let rebuilt = s.reconstruct(v).unwrap().snapshot_pair();
+            assert_eq!(
+                snap.out.iter_edges().collect::<Vec<_>>(),
+                rebuilt.out.iter_edges().collect::<Vec<_>>(),
+                "version {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn commit_with_runs_the_hook_on_success_only() {
+        let mut s = store();
+        let batch = gen::random_batch(s.head(), 3, 0, 70);
+        let mut seen = None;
+        let v = s
+            .commit_with::<std::io::Error, _>(&batch, |version, b| {
+                seen = Some((version, b.len()));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(seen, Some((v, batch.len())));
+
+        // A rejected batch never reaches the hook.
+        let mut bad = UpdateBatch::new();
+        bad.insert(0, 0, 1.0); // self-loop
+        let mut called = false;
+        let err = s.commit_with::<std::io::Error, _>(&bad, |_, _| {
+            called = true;
+            Ok(())
+        });
+        assert!(matches!(err, Err(CommitError::Graph(_))));
+        assert!(!called);
+        assert_eq!(s.version(), v);
+
+        // A failing hook surfaces as Hook but the version is committed.
+        let batch2 = gen::random_batch(s.head(), 2, 0, 71);
+        let err = s.commit_with(&batch2, |_, _| Err(std::io::Error::other("disk full")));
+        assert!(matches!(err, Err(CommitError::Hook(_))));
+        assert_eq!(s.version(), v + 1);
     }
 }

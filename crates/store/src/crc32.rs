@@ -1,0 +1,120 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`), hand-rolled.
+//!
+//! The container this workspace builds in has no crate-registry access, so —
+//! as PR 1 did for RNG and property testing — the checksum used by the
+//! snapshot and WAL formats is implemented here on `std` alone. The variant
+//! is the ubiquitous zlib/PNG/Ethernet CRC-32 so files can be checked with
+//! standard external tooling.
+
+/// The reflected IEEE 802.3 generator polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Byte-at-a-time lookup table, built at compile time.
+static TABLE: [u32; 256] = build_table();
+
+/// Streaming CRC-32 hasher.
+///
+/// # Example
+///
+/// ```
+/// use jetstream_store::crc32::Crc32;
+/// let mut h = Crc32::new();
+/// h.update(b"1234");
+/// h.update(b"56789");
+/// assert_eq!(h.finish(), 0xCBF4_3926); // the standard check value
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut s = self.state;
+        for &b in data {
+            s = TABLE[((s ^ b as u32) & 0xFF) as usize] ^ (s >> 8);
+        }
+        self.state = s;
+    }
+
+    /// The checksum of everything fed so far (the hasher stays usable).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        // The universal CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0u16..1024).map(|i| (i % 251) as u8).collect();
+        let mut h = Crc32::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = b"jetstream durable state store".to_vec();
+        let reference = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

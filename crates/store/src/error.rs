@@ -1,0 +1,166 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use jetstream_graph::GraphError;
+
+/// Errors produced by the durable store.
+///
+/// Every variant that refers to on-disk state carries the file (or
+/// directory) it refers to, and corruption variants carry the byte offset of
+/// the first bad byte, so reports from a damaged store are actionable.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// File or directory the operation targeted.
+        path: PathBuf,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// A file's contents are structurally invalid.
+    Corrupt {
+        /// The damaged file.
+        path: PathBuf,
+        /// Byte offset of the first invalid byte.
+        offset: u64,
+        /// What was expected there.
+        detail: String,
+    },
+    /// A CRC-32 check failed.
+    Checksum {
+        /// The damaged file.
+        path: PathBuf,
+        /// Byte offset of the stored checksum.
+        offset: u64,
+        /// Checksum stored in the file.
+        expected: u32,
+        /// Checksum computed over the file's contents.
+        found: u32,
+    },
+    /// The log skips a sequence number: a segment or record is missing, so
+    /// the surviving records cannot be replayed without silently diverging.
+    SequenceGap {
+        /// Segment in which the gap was detected.
+        path: PathBuf,
+        /// The sequence number replay needed next.
+        expected: u64,
+        /// The sequence number actually found.
+        found: u64,
+    },
+    /// No intact snapshot exists, so there is nothing to recover from.
+    NoSnapshot {
+        /// The store directory that was searched.
+        dir: PathBuf,
+    },
+    /// A graph mutation failed while replaying the log; the log is
+    /// inconsistent with the snapshot it follows.
+    Graph(GraphError),
+    /// Recovered state failed checkpoint validation (length mismatch or a
+    /// broken convergence invariant).
+    Checkpoint(String),
+}
+
+impl StoreError {
+    /// Tags an I/O error with the path it occurred on.
+    pub(crate) fn io_at(path: &Path, source: io::Error) -> StoreError {
+        StoreError::Io { path: path.to_path_buf(), source }
+    }
+
+    /// Builds a [`StoreError::Corrupt`] for `path`.
+    pub(crate) fn corrupt(path: &Path, offset: u64, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt { path: path.to_path_buf(), offset, detail: detail.into() }
+    }
+
+    /// True for the variants recovery may *skip past* when a fallback
+    /// exists (an older snapshot): damaged file contents. I/O errors,
+    /// sequence gaps, and replay failures are never skippable.
+    pub(crate) fn is_corruption(&self) -> bool {
+        matches!(self, StoreError::Corrupt { .. } | StoreError::Checksum { .. })
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "{}: i/o error: {source}", path.display())
+            }
+            StoreError::Corrupt { path, offset, detail } => {
+                write!(f, "{}: corrupt at byte {offset}: {detail}", path.display())
+            }
+            StoreError::Checksum { path, offset, expected, found } => write!(
+                f,
+                "{}: checksum mismatch at byte {offset}: stored {expected:#010x}, \
+                 computed {found:#010x}",
+                path.display()
+            ),
+            StoreError::SequenceGap { path, expected, found } => write!(
+                f,
+                "{}: sequence gap: expected batch {expected}, found {found}",
+                path.display()
+            ),
+            StoreError::NoSnapshot { dir } => {
+                write!(f, "{}: no intact snapshot to recover from", dir.display())
+            }
+            StoreError::Graph(e) => write!(f, "log replay failed: {e}"),
+            StoreError::Checkpoint(why) => write!(f, "checkpoint state invalid: {why}"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for StoreError {
+    fn from(e: GraphError) -> Self {
+        StoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_path_and_offset() {
+        let e = StoreError::corrupt(Path::new("/x/wal-0.jsl"), 42, "bad magic");
+        let text = e.to_string();
+        assert!(text.contains("wal-0.jsl"), "{text}");
+        assert!(text.contains("byte 42"), "{text}");
+
+        let e = StoreError::Checksum {
+            path: PathBuf::from("/x/snap.jss"),
+            offset: 100,
+            expected: 0xDEAD_BEEF,
+            found: 0,
+        };
+        assert!(e.to_string().contains("0xdeadbeef"), "{e}");
+    }
+
+    #[test]
+    fn corruption_classification() {
+        assert!(StoreError::corrupt(Path::new("x"), 0, "d").is_corruption());
+        assert!(StoreError::Checksum { path: PathBuf::new(), offset: 0, expected: 1, found: 2 }
+            .is_corruption());
+        assert!(!StoreError::NoSnapshot { dir: PathBuf::new() }.is_corruption());
+        assert!(!StoreError::io_at(Path::new("x"), io::Error::other("boom")).is_corruption());
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        let e = StoreError::io_at(Path::new("x"), io::Error::other("boom"));
+        assert!(e.source().is_some());
+        let e = StoreError::from(GraphError::SelfLoop { vertex: 1 });
+        assert!(e.source().is_some());
+    }
+}

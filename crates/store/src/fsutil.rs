@@ -1,0 +1,71 @@
+//! Filesystem primitives the durability story rests on: atomic file
+//! publication and explicit fsync points.
+//!
+//! A file is *published* by writing to a temporary sibling, fsyncing it,
+//! renaming it into place, and fsyncing the directory so the rename itself is
+//! durable. Readers therefore never observe a partially written snapshot or
+//! manifest — a crash leaves either the old file or the new one.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+
+/// Fsyncs `dir` so a completed rename/create/remove within it is durable.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    let d = File::open(dir).map_err(|e| StoreError::io_at(dir, e))?;
+    d.sync_all().map_err(|e| StoreError::io_at(dir, e))
+}
+
+/// Atomically publishes `bytes` at `path` (tmp + fsync + rename + dir fsync).
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let dir = parent_of(path)?;
+    let tmp = path.with_extension("tmp");
+    let mut f = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| StoreError::io_at(&tmp, e))?;
+    f.write_all(bytes).map_err(|e| StoreError::io_at(&tmp, e))?;
+    f.sync_all().map_err(|e| StoreError::io_at(&tmp, e))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| StoreError::io_at(path, e))?;
+    sync_dir(&dir)
+}
+
+/// The containing directory of `path` (defined for every path the store
+/// constructs, since all store files live inside the store directory).
+pub(crate) fn parent_of(path: &Path) -> Result<PathBuf, StoreError> {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => Ok(p.to_path_buf()),
+        _ => Ok(PathBuf::from(".")),
+    }
+}
+
+/// Reads a whole file, tagging errors with the path.
+pub(crate) fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
+    fs::read(path).map_err(|e| StoreError::io_at(path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!(
+            "jss-fsutil-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("MANIFEST");
+        write_atomic(&path, b"one").unwrap();
+        write_atomic(&path, b"two").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"two");
+        assert!(!path.with_extension("tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

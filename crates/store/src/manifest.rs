@@ -1,0 +1,124 @@
+//! The store manifest: a tiny checksummed root pointer.
+//!
+//! Directory scanning alone cannot distinguish "the newest WAL segment was
+//! never created" from "the newest WAL segment was lost": both look like a
+//! directory whose last segment simply ends earlier. The manifest closes
+//! that hole — it records which snapshot and which active segment the store
+//! most recently committed, and is republished (atomically) at every
+//! checkpoint. Recovery cross-checks the directory against it and fails
+//! loudly on any mismatch instead of silently recovering a shorter history.
+//!
+//! Layout (`MANIFEST`, little-endian): magic `"JSMANI01"` (8 bytes),
+//! `snapshot_sequence` u64, `wal_base` u64, CRC-32 of the preceding 24 bytes.
+
+use std::path::{Path, PathBuf};
+
+use crate::codec::{put_u32, put_u64, Reader};
+use crate::crc32::crc32;
+use crate::error::StoreError;
+use crate::fsutil;
+
+const MAGIC: &[u8; 8] = b"JSMANI01";
+
+/// File name of the manifest inside a store directory.
+pub(crate) const FILE_NAME: &str = "MANIFEST";
+
+/// The store's committed root pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Manifest {
+    /// Sequence number of the newest committed snapshot.
+    pub(crate) snapshot_sequence: u64,
+    /// Base sequence of the active WAL segment.
+    pub(crate) wal_base: u64,
+}
+
+pub(crate) fn path_in(dir: &Path) -> PathBuf {
+    dir.join(FILE_NAME)
+}
+
+/// Atomically publishes `m` as the store's manifest.
+pub(crate) fn write(dir: &Path, m: Manifest) -> Result<(), StoreError> {
+    let mut buf = Vec::with_capacity(28);
+    buf.extend_from_slice(MAGIC);
+    put_u64(&mut buf, m.snapshot_sequence);
+    put_u64(&mut buf, m.wal_base);
+    let crc = crc32(&buf);
+    put_u32(&mut buf, crc);
+    fsutil::write_atomic(&path_in(dir), &buf)
+}
+
+/// Reads and validates the manifest in `dir`.
+///
+/// A missing, truncated, or checksum-failing manifest is a loud error: the
+/// root pointer is the one file recovery cannot guess around.
+pub(crate) fn read(dir: &Path) -> Result<Manifest, StoreError> {
+    let path = path_in(dir);
+    let bytes = fsutil::read_file(&path)?;
+    if bytes.len() != 28 {
+        return Err(StoreError::corrupt(
+            &path,
+            0,
+            format!("manifest must be 28 bytes, found {}", bytes.len()),
+        ));
+    }
+    let (body, crc_bytes) = bytes.split_at(24);
+    let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(StoreError::Checksum { path, offset: 24, expected: stored, found: computed });
+    }
+    if &body[..8] != MAGIC {
+        return Err(StoreError::corrupt(&path, 0, "bad manifest magic"));
+    }
+    let mut r = Reader::new(&body[8..], 8);
+    let snapshot_sequence = r.u64(&path, "snapshot sequence")?;
+    let wal_base = r.u64(&path, "wal base")?;
+    Ok(Manifest { snapshot_sequence, wal_base })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("jss-mani-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_and_overwrite() {
+        let dir = tmpdir("roundtrip");
+        let a = Manifest { snapshot_sequence: 3, wal_base: 3 };
+        write(&dir, a).unwrap();
+        assert_eq!(read(&dir).unwrap(), a);
+        let b = Manifest { snapshot_sequence: 6, wal_base: 6 };
+        write(&dir, b).unwrap();
+        assert_eq!(read(&dir).unwrap(), b);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_byte_flip_is_detected() {
+        let dir = tmpdir("flip");
+        write(&dir, Manifest { snapshot_sequence: 9, wal_base: 12 }).unwrap();
+        let path = path_in(&dir);
+        let original = fs::read(&path).unwrap();
+        for i in 0..original.len() {
+            let mut bad = original.clone();
+            bad[i] ^= 0x10;
+            fs::write(&path, &bad).unwrap();
+            assert!(read(&dir).is_err(), "flip at byte {i} went undetected");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_an_io_error() {
+        let dir = tmpdir("missing");
+        assert!(matches!(read(&dir).unwrap_err(), StoreError::Io { .. }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

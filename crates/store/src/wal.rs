@@ -1,0 +1,540 @@
+//! Segmented write-ahead log of update batches.
+//!
+//! Between checkpoints, every [`UpdateBatch`] the engine applies is appended
+//! to the active WAL segment; recovery replays the log on top of the newest
+//! intact snapshot. Segments rotate at each checkpoint, so compaction is a
+//! file deletion, never a rewrite.
+//!
+//! ## On-disk layout (`wal-{base:020}.jsl`, little-endian)
+//!
+//! ```text
+//! header          20 bytes
+//!   magic          8 bytes  "JSWAL001"
+//!   base_sequence  u64      batches ≤ base are NOT in this segment
+//!   header_crc     u32      CRC-32 of the first 16 header bytes
+//! records, each:
+//!   len            u32      payload length in bytes
+//!   payload_crc    u32      CRC-32 of the payload
+//!   payload
+//!     sequence     u64      strictly base+1, base+2, … within a segment
+//!     n_ins        u64
+//!     insertions   n_ins × (src u32, dst u32, weight f64)
+//!     n_del        u64
+//!     deletions    n_del × (src u32, dst u32)
+//! ```
+//!
+//! A record is durable once [`Writer::sync`] returns. A crash mid-append
+//! leaves a *torn tail*: reading the active segment with `repair` enabled
+//! truncates the file back to the last intact record. Damage anywhere except
+//! the tail — a failed CRC followed by more data, a sequence gap, a bad
+//! header — is never repaired silently; it surfaces as a loud error.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use jetstream_graph::UpdateBatch;
+
+use crate::codec::{put_f64, put_u32, put_u64, Reader};
+use crate::crc32::crc32;
+use crate::error::StoreError;
+use crate::fsutil;
+
+/// Magic bytes opening every WAL segment; the trailing digits version the
+/// format.
+pub const MAGIC: &[u8; 8] = b"JSWAL001";
+
+/// File-name extension used by WAL segments.
+pub const EXTENSION: &str = "jsl";
+
+/// Size of the fixed segment header in bytes.
+pub const HEADER_LEN: u64 = 20;
+
+/// Canonical file name for the segment whose first record is
+/// `base_sequence + 1`.
+pub fn file_name(base_sequence: u64) -> String {
+    format!("wal-{base_sequence:020}.{EXTENSION}")
+}
+
+/// Parses a segment file name back into its base sequence number.
+pub fn parse_file_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("wal-")?;
+    let digits = rest.strip_suffix(&format!(".{EXTENSION}"))?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn encode_header(base_sequence: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN as usize);
+    buf.extend_from_slice(MAGIC);
+    put_u64(&mut buf, base_sequence);
+    let crc = crc32(&buf);
+    put_u32(&mut buf, crc);
+    buf
+}
+
+fn encode_payload(sequence: u64, batch: &UpdateBatch) -> Vec<u8> {
+    let mut buf =
+        Vec::with_capacity(24 + batch.insertions().len() * 16 + batch.deletions().len() * 8);
+    put_u64(&mut buf, sequence);
+    put_u64(&mut buf, batch.insertions().len() as u64);
+    for &(src, dst, w) in batch.insertions() {
+        put_u32(&mut buf, src);
+        put_u32(&mut buf, dst);
+        put_f64(&mut buf, w);
+    }
+    put_u64(&mut buf, batch.deletions().len() as u64);
+    for &(src, dst) in batch.deletions() {
+        put_u32(&mut buf, src);
+        put_u32(&mut buf, dst);
+    }
+    buf
+}
+
+fn decode_payload(
+    payload: &[u8],
+    file_offset: u64,
+    path: &Path,
+) -> Result<(u64, UpdateBatch), StoreError> {
+    let mut r = Reader::new(payload, file_offset);
+    let sequence = r.u64(path, "record sequence")?;
+    let n_ins = r.count(16, path, "insertion")?;
+    let mut batch = UpdateBatch::new();
+    for _ in 0..n_ins {
+        let src = r.u32(path, "insertion source")?;
+        let dst = r.u32(path, "insertion target")?;
+        let w = r.f64(path, "insertion weight")?;
+        batch.insert(src, dst, w);
+    }
+    let n_del = r.count(8, path, "deletion")?;
+    for _ in 0..n_del {
+        let src = r.u32(path, "deletion source")?;
+        let dst = r.u32(path, "deletion target")?;
+        batch.delete(src, dst);
+    }
+    r.expect_end(path, "record payload")?;
+    Ok((sequence, batch))
+}
+
+/// Appender over the active WAL segment.
+#[derive(Debug)]
+pub struct Writer {
+    file: File,
+    path: PathBuf,
+    base_sequence: u64,
+    next_sequence: u64,
+}
+
+impl Writer {
+    /// Creates a fresh segment in `dir` whose first record will carry
+    /// sequence `base_sequence + 1`. The header is fsynced (file and
+    /// directory) before returning, so the segment's existence and identity
+    /// are durable before any reference to it is published.
+    pub fn create(dir: &Path, base_sequence: u64) -> Result<Writer, StoreError> {
+        let path = dir.join(file_name(base_sequence));
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| StoreError::io_at(&path, e))?;
+        file.write_all(&encode_header(base_sequence)).map_err(|e| StoreError::io_at(&path, e))?;
+        file.sync_all().map_err(|e| StoreError::io_at(&path, e))?;
+        fsutil::sync_dir(dir)?;
+        Ok(Writer { file, path, base_sequence, next_sequence: base_sequence + 1 })
+    }
+
+    /// Reopens an existing, already-validated segment for appending.
+    ///
+    /// Used after recovery: the recovery pass has read (and possibly
+    /// truncated) the segment, so the caller knows the next sequence number.
+    pub fn open_at_end(path: &Path, next_sequence: u64) -> Result<Writer, StoreError> {
+        let base_sequence = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(parse_file_name)
+            .ok_or_else(|| StoreError::corrupt(path, 0, "not a WAL segment file name"))?;
+        let file =
+            OpenOptions::new().append(true).open(path).map_err(|e| StoreError::io_at(path, e))?;
+        Ok(Writer { file, path: path.to_path_buf(), base_sequence, next_sequence })
+    }
+
+    /// Path of the segment being appended to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Base sequence of the segment being appended to.
+    pub fn base_sequence(&self) -> u64 {
+        self.base_sequence
+    }
+
+    /// Sequence number the next appended batch will receive.
+    pub fn next_sequence(&self) -> u64 {
+        self.next_sequence
+    }
+
+    /// Appends one batch and returns the sequence number it was assigned.
+    ///
+    /// The record reaches the OS, not necessarily the disk: call [`sync`]
+    /// (or append with a `Store` configured to sync per batch) to make it
+    /// durable.
+    ///
+    /// [`sync`]: Writer::sync
+    pub fn append(&mut self, batch: &UpdateBatch) -> Result<u64, StoreError> {
+        let sequence = self.next_sequence;
+        let payload = encode_payload(sequence, batch);
+        let mut record = Vec::with_capacity(8 + payload.len());
+        put_u32(&mut record, payload.len() as u32);
+        put_u32(&mut record, crc32(&payload));
+        record.extend_from_slice(&payload);
+        self.file.write_all(&record).map_err(|e| StoreError::io_at(&self.path, e))?;
+        self.next_sequence += 1;
+        Ok(sequence)
+    }
+
+    /// Fsyncs the segment: every record appended so far is durable once this
+    /// returns.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_all().map_err(|e| StoreError::io_at(&self.path, e))
+    }
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone)]
+pub struct SegmentRecord {
+    /// Global sequence number of the batch.
+    pub sequence: u64,
+    /// The batch itself.
+    pub batch: UpdateBatch,
+}
+
+/// A fully read WAL segment.
+#[derive(Debug)]
+pub struct Segment {
+    /// The segment's base: its records carry `base_sequence + 1` onwards.
+    pub base_sequence: u64,
+    /// Intact records, in sequence order.
+    pub records: Vec<SegmentRecord>,
+    /// When repair truncated a torn tail: byte length the file was cut to.
+    pub truncated_to: Option<u64>,
+}
+
+/// Reads a WAL segment.
+///
+/// With `repair == false` any damage — bad header, failed record CRC,
+/// truncated record, trailing garbage — is a loud error. With
+/// `repair == true` (correct only for the *active* segment, whose tail may
+/// legitimately be torn by a crash mid-append), damage at the tail truncates
+/// the file back to the last intact record and reading succeeds with
+/// [`Segment::truncated_to`] set. A sequence gap between *intact* records is
+/// never repaired: valid checksums with missing sequence numbers mean lost
+/// records, and replaying across the gap would silently diverge.
+pub fn read_segment(path: &Path, repair: bool) -> Result<Segment, StoreError> {
+    let bytes = fsutil::read_file(path)?;
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(StoreError::corrupt(
+            path,
+            0,
+            format!("file too short for a segment header ({} bytes)", bytes.len()),
+        ));
+    }
+    let header = &bytes[..HEADER_LEN as usize];
+    let stored = u32::from_le_bytes([header[16], header[17], header[18], header[19]]);
+    let computed = crc32(&header[..16]);
+    if stored != computed {
+        return Err(StoreError::Checksum {
+            path: path.to_path_buf(),
+            offset: 16,
+            expected: stored,
+            found: computed,
+        });
+    }
+    if &header[..8] != MAGIC {
+        return Err(StoreError::corrupt(path, 0, "bad WAL segment magic"));
+    }
+    let base_sequence = u64::from_le_bytes([
+        header[8], header[9], header[10], header[11], header[12], header[13], header[14],
+        header[15],
+    ]);
+
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    let mut expected_seq = base_sequence + 1;
+    let mut torn: Option<(u64, StoreError)> = None;
+
+    while pos < bytes.len() {
+        match read_record(&bytes, pos, path) {
+            Ok((payload, consumed)) => {
+                let (sequence, batch) = match decode_payload(payload, pos as u64 + 8, path) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        // The CRC passed but the payload is malformed:
+                        // structural damage, not a torn write. Loud.
+                        return Err(e);
+                    }
+                };
+                if sequence != expected_seq {
+                    return Err(StoreError::SequenceGap {
+                        path: path.to_path_buf(),
+                        expected: expected_seq,
+                        found: sequence,
+                    });
+                }
+                expected_seq += 1;
+                records.push(SegmentRecord { sequence, batch });
+                pos += consumed;
+            }
+            Err(e) => {
+                torn = Some((pos as u64, e));
+                break;
+            }
+        }
+    }
+
+    let truncated_to = match torn {
+        None => None,
+        Some((valid_len, cause)) => {
+            if !repair {
+                return Err(cause);
+            }
+            let f = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| StoreError::io_at(path, e))?;
+            f.set_len(valid_len).map_err(|e| StoreError::io_at(path, e))?;
+            f.sync_all().map_err(|e| StoreError::io_at(path, e))?;
+            Some(valid_len)
+        }
+    };
+
+    Ok(Segment { base_sequence, records, truncated_to })
+}
+
+/// Validates the record framing at `pos`; returns the payload slice and the
+/// total bytes the record occupies.
+fn read_record<'a>(
+    bytes: &'a [u8],
+    pos: usize,
+    path: &Path,
+) -> Result<(&'a [u8], usize), StoreError> {
+    let avail = bytes.len() - pos;
+    if avail < 8 {
+        return Err(StoreError::corrupt(
+            path,
+            pos as u64,
+            format!("torn record frame: {avail} bytes where ≥ 8 needed"),
+        ));
+    }
+    let len =
+        u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]) as usize;
+    let stored =
+        u32::from_le_bytes([bytes[pos + 4], bytes[pos + 5], bytes[pos + 6], bytes[pos + 7]]);
+    if avail - 8 < len {
+        return Err(StoreError::corrupt(
+            path,
+            pos as u64,
+            format!("torn record: {len}-byte payload, {} bytes left", avail - 8),
+        ));
+    }
+    let payload = &bytes[pos + 8..pos + 8 + len];
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(StoreError::Checksum {
+            path: path.to_path_buf(),
+            offset: pos as u64 + 4,
+            expected: stored,
+            found: computed,
+        });
+    }
+    Ok((payload, 8 + len))
+}
+
+/// Lists the WAL segments in `dir`, ascending by base sequence.
+pub fn list(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut out = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| StoreError::io_at(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io_at(dir, e))?;
+        if let Some(name) = entry.file_name().to_str() {
+            if let Some(base) = parse_file_name(name) {
+                out.push((base, entry.path()));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|(base, _)| *base);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("jss-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn batch(i: u32) -> UpdateBatch {
+        let mut b = UpdateBatch::new();
+        b.insert(i, i + 1, f64::from(i) + 0.5);
+        if i.is_multiple_of(2) {
+            b.delete(i + 1, i + 2);
+        }
+        b
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let mut w = Writer::create(&dir, 10).unwrap();
+        for i in 0..5 {
+            assert_eq!(w.append(&batch(i)).unwrap(), 11 + u64::from(i));
+        }
+        w.sync().unwrap();
+        let seg = read_segment(w.path(), false).unwrap();
+        assert_eq!(seg.base_sequence, 10);
+        assert_eq!(seg.records.len(), 5);
+        assert!(seg.truncated_to.is_none());
+        for (i, rec) in seg.records.iter().enumerate() {
+            assert_eq!(rec.sequence, 11 + i as u64);
+            let expect = batch(i as u32);
+            assert_eq!(rec.batch.insertions(), expect.insertions());
+            assert_eq!(rec.batch.deletions(), expect.deletions());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_batches_are_representable() {
+        let dir = tmpdir("empty");
+        let mut w = Writer::create(&dir, 0).unwrap();
+        w.append(&UpdateBatch::new()).unwrap();
+        w.sync().unwrap();
+        let seg = read_segment(w.path(), false).unwrap();
+        assert_eq!(seg.records.len(), 1);
+        assert!(seg.records[0].batch.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_requires_repair_and_truncates() {
+        let dir = tmpdir("torn");
+        let mut w = Writer::create(&dir, 0).unwrap();
+        w.append(&batch(0)).unwrap();
+        w.append(&batch(1)).unwrap();
+        w.sync().unwrap();
+        let path = w.path().to_path_buf();
+        drop(w);
+        let full = fs::read(&path).unwrap();
+        // Cut into the middle of the second record.
+        let cut = full.len() - 5;
+        fs::write(&path, &full[..cut]).unwrap();
+
+        // Without repair: loud.
+        assert!(read_segment(&path, false).is_err());
+        // With repair: one intact record survives and the file is truncated.
+        let seg = read_segment(&path, true).unwrap();
+        assert_eq!(seg.records.len(), 1);
+        let truncated_to = seg.truncated_to.unwrap();
+        assert_eq!(fs::metadata(&path).unwrap().len(), truncated_to);
+        // A second read sees a clean segment.
+        let again = read_segment(&path, false).unwrap();
+        assert_eq!(again.records.len(), 1);
+        assert!(again.truncated_to.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_payload_detected_and_repair_drops_the_tail() {
+        let dir = tmpdir("flip");
+        let mut w = Writer::create(&dir, 0).unwrap();
+        for i in 0..3 {
+            w.append(&batch(i)).unwrap();
+        }
+        w.sync().unwrap();
+        let path = w.path().to_path_buf();
+        drop(w);
+        let full = fs::read(&path).unwrap();
+        // Flip a byte inside the second record's payload.
+        let seg = read_segment(&path, false).unwrap();
+        assert_eq!(seg.records.len(), 3);
+        let rec1_start = HEADER_LEN as usize + 8 + encode_payload(1, &batch(0)).len();
+        let mut bad = full.clone();
+        bad[rec1_start + 8 + 4] ^= 0x01;
+        fs::write(&path, &bad).unwrap();
+
+        assert!(read_segment(&path, false).is_err());
+        let repaired = read_segment(&path, true).unwrap();
+        // Records 2 and 3 are gone: the durable prefix is just record 1.
+        assert_eq!(repaired.records.len(), 1);
+        assert_eq!(repaired.records[0].sequence, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_damage_is_never_repaired() {
+        let dir = tmpdir("header");
+        let w = Writer::create(&dir, 3).unwrap();
+        let path = w.path().to_path_buf();
+        drop(w);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[9] ^= 0xFF; // corrupt the base sequence
+        fs::write(&path, &bytes).unwrap();
+        assert!(read_segment(&path, true).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequence_gap_is_loud_even_with_repair() {
+        let dir = tmpdir("gap");
+        let mut w = Writer::create(&dir, 0).unwrap();
+        w.append(&batch(0)).unwrap();
+        w.sync().unwrap();
+        let path = w.path().to_path_buf();
+        drop(w);
+        // Hand-craft a record with sequence 5 (should be 2) and append it.
+        let payload = encode_payload(5, &batch(1));
+        let mut record = Vec::new();
+        put_u32(&mut record, payload.len() as u32);
+        put_u32(&mut record, crc32(&payload));
+        record.extend_from_slice(&payload);
+        let mut existing = fs::read(&path).unwrap();
+        existing.extend_from_slice(&record);
+        fs::write(&path, &existing).unwrap();
+
+        let err = read_segment(&path, true).unwrap_err();
+        assert!(matches!(err, StoreError::SequenceGap { expected: 2, found: 5, .. }), "{err:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_at_end_continues_the_sequence() {
+        let dir = tmpdir("reopen");
+        let mut w = Writer::create(&dir, 0).unwrap();
+        w.append(&batch(0)).unwrap();
+        w.sync().unwrap();
+        let path = w.path().to_path_buf();
+        drop(w);
+        let mut w = Writer::open_at_end(&path, 2).unwrap();
+        w.append(&batch(1)).unwrap();
+        w.sync().unwrap();
+        let seg = read_segment(&path, false).unwrap();
+        assert_eq!(seg.records.iter().map(|r| r.sequence).collect::<Vec<_>>(), vec![1, 2]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_name_round_trips() {
+        assert_eq!(parse_file_name(&file_name(7)), Some(7));
+        assert_eq!(parse_file_name("wal-1.jsl"), None);
+        assert_eq!(parse_file_name(&snapshot_like()), None);
+    }
+
+    fn snapshot_like() -> String {
+        crate::snapshot::file_name(7)
+    }
+}

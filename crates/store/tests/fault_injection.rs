@@ -1,0 +1,387 @@
+//! Crash-recovery fault injection.
+//!
+//! The property under test: for ANY damage to the store directory —
+//! truncated files, flipped bits, deleted files — recovery either restores a
+//! state the engine actually passed through (verified against recorded
+//! history AND a brute-force oracle recompute) or fails loudly with a
+//! descriptive error. It never silently diverges.
+
+// Demo/test code: aborting on setup failure is the right behavior here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use jetstream_algorithms::{oracle, oracle_values, UpdateKind, Workload};
+use jetstream_core::{EngineConfig, StreamingEngine};
+use jetstream_graph::{gen, AdjacencyGraph};
+use jetstream_store::{wal, DurableEngine, RecoveryOptions, StoreError, StoreOptions};
+
+const EPSILON: f64 = 1e-5;
+const ROOT: u32 = 0;
+const BATCHES: u64 = 7;
+
+fn tolerance(workload: Workload) -> f64 {
+    match workload.kind() {
+        UpdateKind::Selective => oracle::VALUE_TOLERANCE,
+        UpdateKind::Accumulative => oracle::accumulative_tolerance(EPSILON),
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "jss-fault-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    fs::create_dir_all(to).unwrap();
+    for entry in fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
+/// Checkpoint every 3 batches, retain 2 snapshots: after 7 batches the
+/// store holds snapshots {3, 6} and segments {wal-3, wal-6} (wal-0 and
+/// snap-0 compacted away), with batch 7 alone in the active segment.
+fn options() -> StoreOptions {
+    StoreOptions { checkpoint_interval: 3, retain_snapshots: 2, sync_every_batch: true }
+}
+
+/// Everything the engine passed through while the store was built: the
+/// values and graph after each sequence number. Recovery must land exactly
+/// on one of these states.
+struct History {
+    values: Vec<Vec<f64>>,
+    graphs: Vec<AdjacencyGraph>,
+}
+
+fn build_store(workload: Workload, dir: &Path) -> History {
+    let base = gen::rmat(200, 1000, gen::RmatParams::default(), 42);
+    let alg = workload.instantiate_with_epsilon(ROOT, EPSILON);
+    let mut engine = StreamingEngine::new(alg, base, EngineConfig::default());
+    engine.initial_compute();
+
+    let mut history =
+        History { values: vec![engine.values().to_vec()], graphs: vec![engine.graph().clone()] };
+    let mut durable = DurableEngine::create(dir, engine, options()).unwrap();
+    for i in 0..BATCHES {
+        let batch = gen::batch_with_ratio(durable.engine().graph(), 30, 0.6, 100 + i);
+        durable.apply_update_batch(&batch).unwrap();
+        history.values.push(durable.engine().values().to_vec());
+        history.graphs.push(durable.engine().graph().clone());
+    }
+    assert_eq!(durable.sequence(), BATCHES);
+    history
+}
+
+fn try_recover(
+    workload: Workload,
+    dir: &Path,
+) -> Result<(DurableEngine, jetstream_store::RecoveryReport), StoreError> {
+    DurableEngine::recover(
+        dir,
+        workload.instantiate_with_epsilon(ROOT, EPSILON),
+        EngineConfig::default(),
+        options(),
+        RecoveryOptions::default(),
+    )
+}
+
+/// The core assertion: the recovered state is bit-identical to the state
+/// the engine held at the recovered sequence number (replay is
+/// deterministic), and matches a brute-force oracle recompute on the
+/// recovered graph.
+fn assert_recovered_state(
+    workload: Workload,
+    recovered: &DurableEngine,
+    sequence: u64,
+    history: &History,
+) {
+    let engine = recovered.engine();
+    let expected = &history.values[sequence as usize];
+    assert_eq!(
+        engine.values(),
+        &expected[..],
+        "{}: recovered values differ from live history at sequence {sequence}",
+        workload.name()
+    );
+    assert_eq!(
+        engine.graph(),
+        &history.graphs[sequence as usize],
+        "{}: recovered graph differs at sequence {sequence}",
+        workload.name()
+    );
+    let oracle_vals = oracle_values(workload, &engine.graph().snapshot(), ROOT);
+    assert!(
+        oracle::values_match_tol(engine.values(), &oracle_vals, tolerance(workload)),
+        "{}: recovered values diverge from oracle recompute at sequence {sequence}",
+        workload.name()
+    );
+}
+
+#[test]
+fn clean_recovery_matches_oracle_on_all_workloads() {
+    for workload in Workload::ALL {
+        let dir = tmpdir("clean");
+        let history = build_store(workload, &dir);
+        let (recovered, report) = try_recover(workload, &dir).unwrap();
+        assert_eq!(report.recovered_sequence, BATCHES, "{}", workload.name());
+        assert_eq!(report.snapshot_sequence, 6, "{}", workload.name());
+        assert_eq!(report.replayed_batches, 1, "{}", workload.name());
+        assert_eq!(report.snapshots_skipped, 0);
+        assert!(!report.wal_truncated);
+        assert_recovered_state(workload, &recovered, BATCHES, &history);
+        recovered.engine().validate_converged().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn compaction_leaves_exactly_the_retained_files() {
+    let dir = tmpdir("compaction");
+    build_store(Workload::Sssp, &dir);
+    let mut names: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        vec![
+            "MANIFEST".to_string(),
+            "snap-00000000000000000003.jss".to_string(),
+            "snap-00000000000000000006.jss".to_string(),
+            "wal-00000000000000000003.jsl".to_string(),
+            "wal-00000000000000000006.jsl".to_string(),
+        ]
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_wal_tail_recovers_the_longest_durable_prefix() {
+    let workload = Workload::Sssp;
+    let pristine = tmpdir("torn-pristine");
+    let history = build_store(workload, &pristine);
+    let active = pristine.join(wal::file_name(6));
+    let full = fs::read(&active).unwrap();
+
+    // Cut the active segment at every possible length.
+    for len in 0..full.len() {
+        let dir = tmpdir("torn");
+        copy_dir(&pristine, &dir);
+        let target = dir.join(wal::file_name(6));
+        let f = fs::OpenOptions::new().write(true).open(&target).unwrap();
+        f.set_len(len as u64).unwrap();
+        drop(f);
+
+        match try_recover(workload, &dir) {
+            Ok((recovered, report)) => {
+                // The record for batch 7 is torn off: recovery must land on
+                // sequence 6 exactly (never a hybrid).
+                assert_eq!(
+                    report.recovered_sequence,
+                    6,
+                    "cut at {len}/{} recovered an impossible sequence",
+                    full.len()
+                );
+                assert!(report.wal_truncated || len == wal::HEADER_LEN as usize);
+                assert_recovered_state(workload, &recovered, 6, &history);
+            }
+            Err(e) => {
+                // Cutting into the 20-byte header destroys the segment
+                // identity; that must be loud, and only that.
+                assert!(
+                    len < wal::HEADER_LEN as usize,
+                    "cut at {len} (past the header) should have been repaired: {e}"
+                );
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+    fs::remove_dir_all(&pristine).unwrap();
+}
+
+#[test]
+fn bit_flips_anywhere_never_cause_silent_divergence() {
+    let workload = Workload::Sssp;
+    let pristine = tmpdir("flip-pristine");
+    let history = build_store(workload, &pristine);
+
+    let files: Vec<PathBuf> = fs::read_dir(&pristine).unwrap().map(|e| e.unwrap().path()).collect();
+    assert_eq!(files.len(), 5);
+
+    for file in &files {
+        let original = fs::read(file).unwrap();
+        let name = file.file_name().unwrap().to_string_lossy().into_owned();
+        // Stride through the file; 13 is coprime with the record sizes, so
+        // offsets hit every region (headers, counts, payloads, checksums)
+        // across the sweep.
+        for offset in (0..original.len()).step_by(13) {
+            let dir = tmpdir("flip");
+            copy_dir(&pristine, &dir);
+            let mut damaged = original.clone();
+            damaged[offset] ^= 1 << (offset % 8);
+            fs::write(dir.join(&name), &damaged).unwrap();
+
+            match try_recover(workload, &dir) {
+                Ok((recovered, report)) => {
+                    assert!(
+                        report.recovered_sequence <= BATCHES,
+                        "{name} flip at {offset}: impossible sequence"
+                    );
+                    assert_recovered_state(
+                        workload,
+                        &recovered,
+                        report.recovered_sequence,
+                        &history,
+                    );
+                }
+                Err(e) => {
+                    // Loud failure is acceptable; it must carry the damaged
+                    // file's identity somewhere in the error chain.
+                    let _ = e.to_string();
+                }
+            }
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+    fs::remove_dir_all(&pristine).unwrap();
+}
+
+#[test]
+fn corrupt_newest_snapshot_falls_back_to_the_older_one() {
+    let workload = Workload::Bfs;
+    let dir = tmpdir("fallback");
+    let history = build_store(workload, &dir);
+    let snap6 = dir.join("snap-00000000000000000006.jss");
+    let mut bytes = fs::read(&snap6).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&snap6, &bytes).unwrap();
+
+    let (recovered, report) = try_recover(workload, &dir).unwrap();
+    assert_eq!(report.snapshot_sequence, 3);
+    assert_eq!(report.snapshots_skipped, 1);
+    // Replay covers batches 4..=7 across both surviving segments.
+    assert_eq!(report.replayed_batches, 4);
+    assert_eq!(report.recovered_sequence, BATCHES);
+    assert_recovered_state(workload, &recovered, BATCHES, &history);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn all_snapshots_corrupt_fails_loudly_with_no_snapshot() {
+    let dir = tmpdir("nosnap");
+    build_store(Workload::Sssp, &dir);
+    for name in ["snap-00000000000000000003.jss", "snap-00000000000000000006.jss"] {
+        let path = dir.join(name);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+    }
+    let err = try_recover(Workload::Sssp, &dir).unwrap_err();
+    assert!(matches!(err, StoreError::NoSnapshot { .. }), "{err}");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_active_segment_fails_loudly() {
+    let dir = tmpdir("noactive");
+    build_store(Workload::Sssp, &dir);
+    fs::remove_file(dir.join(wal::file_name(6))).unwrap();
+    let err = try_recover(Workload::Sssp, &dir).unwrap_err();
+    assert!(err.to_string().contains("wal-00000000000000000006"), "{err}");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_manifest_fails_loudly() {
+    let dir = tmpdir("nomanifest");
+    build_store(Workload::Sssp, &dir);
+    fs::remove_file(dir.join("MANIFEST")).unwrap();
+    let err = try_recover(Workload::Sssp, &dir).unwrap_err();
+    assert!(matches!(err, StoreError::Io { .. }), "{err}");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fallback_across_a_missing_middle_segment_is_a_sequence_gap() {
+    // Corrupt snap-6 (forcing fallback to snap-3) AND delete wal-3: the
+    // records 4..=6 are unrecoverable, and recovery must say so rather than
+    // splice batch 7 onto the sequence-3 state.
+    let dir = tmpdir("gap");
+    build_store(Workload::Sssp, &dir);
+    let snap6 = dir.join("snap-00000000000000000006.jss");
+    let mut bytes = fs::read(&snap6).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&snap6, &bytes).unwrap();
+    fs::remove_file(dir.join(wal::file_name(3))).unwrap();
+
+    let err = try_recover(Workload::Sssp, &dir).unwrap_err();
+    assert!(matches!(err, StoreError::SequenceGap { .. }), "{err}");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_already_compacted_segment_is_harmless() {
+    // wal-3 only matters for fallback; with snap-6 intact, recovery never
+    // touches it.
+    let workload = Workload::Cc;
+    let dir = tmpdir("unneeded");
+    let history = build_store(workload, &dir);
+    fs::remove_file(dir.join(wal::file_name(3))).unwrap();
+    let (recovered, report) = try_recover(workload, &dir).unwrap();
+    assert_eq!(report.recovered_sequence, BATCHES);
+    assert_recovered_state(workload, &recovered, BATCHES, &history);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovered_store_keeps_working_and_recovers_again() {
+    for workload in Workload::ALL {
+        let dir = tmpdir("continue");
+        let mut history = build_store(workload, &dir);
+        let (mut durable, _) = try_recover(workload, &dir).unwrap();
+
+        // Keep streaming: two more batches (the second crosses the
+        // checkpoint interval, exercising checkpoint-after-recovery).
+        for i in 0..2u64 {
+            let batch = gen::batch_with_ratio(durable.engine().graph(), 30, 0.6, 200 + i);
+            durable.apply_update_batch(&batch).unwrap();
+            history.values.push(durable.engine().values().to_vec());
+            history.graphs.push(durable.engine().graph().clone());
+        }
+        assert_eq!(durable.sequence(), BATCHES + 2);
+        drop(durable);
+
+        let (recovered, report) = try_recover(workload, &dir).unwrap();
+        assert_eq!(report.recovered_sequence, BATCHES + 2, "{}", workload.name());
+        assert_recovered_state(workload, &recovered, BATCHES + 2, &history);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn creating_over_an_existing_store_is_refused() {
+    let dir = tmpdir("nocreate");
+    build_store(Workload::Sssp, &dir);
+    let base = gen::rmat(50, 200, gen::RmatParams::default(), 7);
+    let mut engine =
+        StreamingEngine::new(Workload::Sssp.instantiate(ROOT), base, EngineConfig::default());
+    engine.initial_compute();
+    let err = DurableEngine::create(&dir, engine, options()).unwrap_err();
+    assert!(matches!(err, StoreError::Io { .. }), "{err}");
+    fs::remove_dir_all(&dir).unwrap();
+}

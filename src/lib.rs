@@ -10,6 +10,8 @@
 //! * [`sim`] — the cycle-level accelerator simulator.
 //! * [`baselines`] — KickStarter- and GraphBolt-style software frameworks.
 //! * [`hwmodel`] — power/area analytic model.
+//! * [`store`] — durable state store (checkpoints, write-ahead log, crash
+//!   recovery) for the streaming engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,3 +22,4 @@ pub use jetstream_core as engine;
 pub use jetstream_graph as graph;
 pub use jetstream_hwmodel as hwmodel;
 pub use jetstream_sim as sim;
+pub use jetstream_store as store;

@@ -45,6 +45,31 @@ fn clean_fixture_is_clean() {
     assert!(findings.is_empty(), "{findings:?}");
 }
 
+/// The store crate is the newest addition to the workspace; prove the
+/// walker actually lints `crates/store` rather than skipping it, by
+/// planting violations there in a scratch tree and expecting findings.
+#[test]
+fn the_store_crate_is_covered_by_the_walker() {
+    let root = std::env::temp_dir().join(format!("xtask-store-coverage-{}", std::process::id()));
+    let src = root.join("crates").join("store").join("src");
+    std::fs::create_dir_all(&src).unwrap();
+    // No crate-root pragmas, and an unwrap in library code: both lints
+    // must fire on this file.
+    std::fs::write(src.join("lib.rs"), "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n").unwrap();
+
+    let findings = run_check(&root).unwrap();
+    std::fs::remove_dir_all(&root).unwrap();
+
+    let in_store = |lint: Lint| {
+        findings.iter().any(|f| f.lint == lint && f.file.to_string_lossy().contains("store"))
+    };
+    assert!(in_store(Lint::NoPanic), "no-panic did not fire in crates/store: {findings:?}");
+    assert!(
+        in_store(Lint::CrateRootPragmas),
+        "crate-root-pragmas did not fire in crates/store: {findings:?}"
+    );
+}
+
 #[test]
 fn the_workspace_itself_is_clean() {
     let root = xtask_dir();

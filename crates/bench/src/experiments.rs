@@ -6,7 +6,9 @@
 //! crate) strings them together into `EXPERIMENTS.md`.
 
 use jetstream_algorithms::{UpdateKind, Workload};
-use jetstream_core::{AccumulativeRecovery, DeleteStrategy, EngineConfig, StreamingEngine};
+use jetstream_core::{
+    AccumulativeRecovery, DeleteStrategy, EngineConfig, ShardedEngine, StreamingEngine,
+};
 use jetstream_graph::gen::DatasetProfile;
 use jetstream_hwmodel::{estimate, HwConfig};
 use jetstream_sim::SimConfig;
@@ -549,6 +551,89 @@ pub fn persistence(
     out.push_str(&format!("| Warm restart ms | {warm_ms:.2} |\n"));
     out.push_str(&format!("| Cold restart ms | {cold_ms:.2} |\n"));
     out.push_str(&format!("| Cold / warm | {:.2}× |\n", cold_ms / warm_ms.max(1e-9)));
+    Ok(out)
+}
+
+/// Scaling: the sharded parallel engine versus the sequential engine on
+/// the PageRank/LiveJournal streaming workload (`experiments scaling
+/// --shards S`).
+///
+/// Sweeps shard counts 1, 2, 4, … up to `max_shards` and reports, per
+/// count, host wall-clock plus the engine's deterministic
+/// [`ParallelModel`](jetstream_core::ParallelModel): total work units
+/// (events processed + edges read) against the critical path (each
+/// superstep charged its slowest shard). The modelled speedup is the
+/// machine-independent scaling number — host wall-clock only shows real
+/// parallel speedup when the host has cores to spare, and a single-core
+/// container never does. Every sharded run is also checked bit-identical
+/// to the sequential reference, so the sweep doubles as a differential
+/// test at bench scale.
+pub fn scaling(scale: u32, max_shards: usize) -> Result<String, HarnessError> {
+    use std::time::Instant;
+
+    use crate::harness::{base_and_batches, root_for, ACCUMULATIVE_EPSILON};
+
+    let workload = Workload::PageRank;
+    let profile = DatasetProfile::LiveJournal;
+    let scenario = Scenario { rounds: 4, ..Scenario::paper_default(workload, profile, scale) };
+    let (base, batches) = base_and_batches(&scenario);
+    let root = root_for(&base);
+    let alg = || workload.instantiate_with_epsilon(root, ACCUMULATIVE_EPSILON);
+
+    eprintln!("[scaling] sequential reference ...");
+    let seq_start = Instant::now();
+    let mut seq = StreamingEngine::new(alg(), base.clone(), EngineConfig::default());
+    seq.initial_compute();
+    for batch in &batches {
+        seq.apply_update_batch(batch).map_err(|e| scenario.graph_error(e))?;
+    }
+    let seq_ms = seq_start.elapsed().as_secs_f64() * 1e3;
+
+    let mut out = String::from("## Scaling — sharded engine vs sequential\n\n");
+    out.push_str(&format!(
+        "{} on {} (scale 1/{scale}), initial compute + {} streamed batches \
+         of {} updates. Modelled speedup = total work / critical path \
+         (work = events processed + edges read; each superstep costs its \
+         slowest shard), a host-independent number; wall-clock is this \
+         host ({} core{}). Sequential reference: {seq_ms:.1} ms.\n\n",
+        workload.name(),
+        profile.tag(),
+        scenario.rounds,
+        scenario.batch,
+        std::thread::available_parallelism().map_or(1, usize::from),
+        if std::thread::available_parallelism().map_or(1, usize::from) == 1 { "" } else { "s" },
+    ));
+    out.push_str(
+        "| Shards | Wall ms | Total work | Critical path | Modelled speedup |\n\
+         |---|---|---|---|---|\n",
+    );
+
+    let mut counts = Vec::new();
+    let mut s = 1;
+    while s < max_shards {
+        counts.push(s);
+        s *= 2;
+    }
+    counts.push(max_shards.max(1));
+
+    for &shards in &counts {
+        eprintln!("[scaling] {shards} shard(s) ...");
+        let start = Instant::now();
+        let mut engine = ShardedEngine::new(alg(), base.clone(), EngineConfig::default(), shards);
+        engine.initial_compute();
+        for batch in &batches {
+            engine.apply_update_batch(batch).map_err(|e| scenario.graph_error(e))?;
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(engine.values(), seq.values(), "sharded diverged from sequential");
+        let model = engine.parallel_model();
+        out.push_str(&format!(
+            "| {shards} | {wall_ms:.1} | {} | {} | {:.2}× |\n",
+            model.total_work,
+            model.critical_path,
+            model.modeled_speedup(),
+        ));
+    }
     Ok(out)
 }
 

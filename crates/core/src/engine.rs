@@ -4,6 +4,7 @@ use jetstream_algorithms::{Algorithm, EdgeCtx, UpdateKind, Value};
 use jetstream_graph::{AdjacencyGraph, CsrPair, GraphError, UpdateBatch, VertexId};
 
 use crate::event::Event;
+use crate::kernel::{self, ExecState, KernelCtx};
 use crate::queue::{CoalescingQueue, QueueStats};
 use crate::stats::{Phase, RunStats};
 use crate::trace::{OpKind, Trace, TraceBuilder, TraceOp};
@@ -184,6 +185,43 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// Checks that restored checkpoint state can belong to `host`: vector
+/// lengths match the vertex count and every recorded Leads-To dependence is
+/// an edge of the graph. Shared by [`StreamingEngine::from_checkpoint`] and
+/// [`ShardedEngine::from_checkpoint`](crate::ShardedEngine::from_checkpoint).
+pub(crate) fn check_checkpoint_state(
+    host: &AdjacencyGraph,
+    values: &[Value],
+    dependency: &[Option<VertexId>],
+) -> Result<(), CheckpointError> {
+    let n = host.num_vertices();
+    if values.len() != n {
+        return Err(CheckpointError::LengthMismatch {
+            what: "values",
+            found: values.len(),
+            num_vertices: n,
+        });
+    }
+    if dependency.len() != n {
+        return Err(CheckpointError::LengthMismatch {
+            what: "dependency",
+            found: dependency.len(),
+            num_vertices: n,
+        });
+    }
+    for (v, dep) in dependency.iter().enumerate() {
+        if let Some(u) = dep {
+            if !host.has_edge(*u, v as VertexId) {
+                return Err(CheckpointError::DanglingDependency {
+                    vertex: v as VertexId,
+                    leads_to: *u,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 impl StreamingEngine {
     /// Creates an engine over `host` (the evolving graph) for `alg`.
     pub fn new(alg: Box<dyn Algorithm>, host: AdjacencyGraph, config: EngineConfig) -> Self {
@@ -229,32 +267,9 @@ impl StreamingEngine {
         dependency: Vec<Option<VertexId>>,
         config: EngineConfig,
     ) -> Result<Self, CheckpointError> {
-        let n = host.num_vertices();
-        if values.len() != n {
-            return Err(CheckpointError::LengthMismatch {
-                what: "values",
-                found: values.len(),
-                num_vertices: n,
-            });
-        }
-        if dependency.len() != n {
-            return Err(CheckpointError::LengthMismatch {
-                what: "dependency",
-                found: dependency.len(),
-                num_vertices: n,
-            });
-        }
-        for (v, dep) in dependency.iter().enumerate() {
-            if let Some(u) = dep {
-                if !host.has_edge(*u, v as VertexId) {
-                    return Err(CheckpointError::DanglingDependency {
-                        vertex: v as VertexId,
-                        leads_to: *u,
-                    });
-                }
-            }
-        }
+        check_checkpoint_state(&host, &values, &dependency)?;
         let csr = host.snapshot_pair();
+        let n = host.num_vertices();
         Ok(StreamingEngine {
             queue: CoalescingQueue::new(n, config.num_bins),
             values,
@@ -404,46 +419,13 @@ impl StreamingEngine {
         }
         self.queue.validate().map_err(|e| format!("queue: {e}"))?;
         self.csr.validate().map_err(|e| format!("csr: {e}"))?;
-        if self.dap_active() {
-            for (v, dep) in self.dependency.iter().enumerate() {
-                if let Some(u) = dep {
-                    if !self.csr.out.has_edge(*u, v as VertexId) {
-                        return Err(format!(
-                            "dangling dependency: vertex {v} leads-to {u}, but edge \
-                             {u} -> {v} is not in the active graph"
-                        ));
-                    }
-                }
-            }
-        }
-        match self.alg.kind() {
-            UpdateKind::Selective => {
-                for (u, v, w) in self.csr.out.iter_edges() {
-                    let state = self.values[u as usize];
-                    let deg = self.csr.out.degree(u);
-                    let wsum = self.weight_sum(u);
-                    let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
-                    if let Some(delta) = self.alg.propagate(state, state, &ctx) {
-                        let target = self.values[v as usize];
-                        if self.alg.reduce(target, delta) != target {
-                            return Err(format!(
-                                "not a fixed point: edge {u} -> {v} still improves \
-                                 {target} with contribution {delta}"
-                            ));
-                        }
-                    }
-                }
-            }
-            UpdateKind::Accumulative => {
-                if let Some(v) = self.values.iter().position(|x| !x.is_finite()) {
-                    return Err(format!(
-                        "non-finite value {} at vertex {v} after recovery",
-                        self.values[v]
-                    ));
-                }
-            }
-        }
-        Ok(())
+        kernel::validate_converged_values(
+            self.alg.as_ref(),
+            &self.csr,
+            &self.values,
+            &self.dependency,
+            self.config.delete_strategy,
+        )
     }
 
     /// Applies the batch and recomputes from scratch — the GraphPulse
@@ -472,48 +454,40 @@ impl StreamingEngine {
         self.queue.insert(event, self.alg.as_ref());
     }
 
-    /// Drains the queue round by round until empty (the scheduler loop,
-    /// §4.3: bins drain round-robin; a round completes when every bin has
-    /// been drained once and all processors idle).
+    /// Drains the queue in canonical supersteps until empty.
+    ///
+    /// A round is the snapshot of everything queued at round start: every
+    /// slot event in ascending vertex order, then the overflow events in
+    /// arrival order. Events emitted while processing (and deletes spilled
+    /// to overflow) always belong to the *next* round — the double-buffered
+    /// schedule of the paper's §4.3 scheduler, where a round completes when
+    /// every bin has drained once and all processing lanes idle.
+    ///
+    /// This schedule is what [`ShardedEngine`](crate::ShardedEngine)
+    /// reproduces with parallel workers: because a round's event set and
+    /// the order events coalesce into the next round's queue are both fixed
+    /// here, a sharded run is bit-identical to this loop for any shard
+    /// count.
     fn run_queue(&mut self, phase: Phase) {
-        let slices = self.num_slices();
-        // `num_slices() > 1` only when a positive capacity is configured, so
-        // the partitioned path always has its slice width.
-        let slice_cap = if slices > 1 { self.config.queue_capacity } else { None };
+        // Slicing (§4.7) only affects spill accounting under this schedule:
+        // while processing an event, the slice of its target is on-chip and
+        // emissions leaving that slice count as spills.
+        let slice_cap = if self.num_slices() > 1 { self.config.queue_capacity } else { None };
         while !self.queue.is_empty() {
-            match slice_cap {
-                None => {
-                    for bin in 0..self.queue.num_bins() {
-                        let events = self.queue.take_bin(bin);
-                        for ev in events {
-                            self.process_event(ev);
-                        }
-                    }
-                }
-                Some(cap) => {
-                    // Slice-by-slice draining (§4.7): one slice's events are
-                    // on-chip at a time; events generated for other slices were
-                    // counted as spills at emission and processed when their
-                    // slice activates.
-                    for slice in 0..slices {
-                        self.active_slice = slice;
-                        let lo = slice * cap;
-                        let hi = ((slice + 1) * cap).min(self.values.len());
-                        let events = self.queue.take_range(lo, hi);
-                        for ev in events {
-                            self.process_event(ev);
-                        }
-                    }
-                    self.active_slice = 0;
-                }
-            }
-            // DAP recovery: uncoalesced delete events live in the overflow
-            // buffer; drain the ones present at the start of this pass.
+            let mut events = self.queue.take_all();
             let pending = self.queue.overflow_len();
+            events.reserve(pending);
             for _ in 0..pending {
                 let Some(ev) = self.queue.pop_overflow() else { break };
+                events.push(ev);
+            }
+            for ev in events {
+                if let Some(cap) = slice_cap {
+                    self.active_slice = ev.target as usize / cap;
+                }
                 self.process_event(ev);
             }
+            self.active_slice = 0;
             self.stats.rounds += 1;
             self.tracer.end_round();
             #[cfg(feature = "strict-invariants")]
@@ -523,63 +497,22 @@ impl StreamingEngine {
     }
 
     fn process_event(&mut self, ev: Event) {
-        if ev.is_delete {
-            self.process_delete(ev);
-            return;
-        }
-        self.stats.events_processed += 1;
-        self.stats.vertex_reads += 1;
-        let t = ev.target as usize;
-        let old = self.values[t];
-        let new = self.alg.reduce(old, ev.payload);
-        let changed = match self.alg.kind() {
-            UpdateKind::Selective => new != old,
-            UpdateKind::Accumulative => self.alg.changes_state(old, ev.payload),
+        let cx = KernelCtx {
+            alg: self.alg.as_ref(),
+            csr: &self.csr,
+            delete_strategy: self.config.delete_strategy,
         };
-        if changed {
-            self.values[t] = new;
-            self.stats.vertex_writes += 1;
-            if self.dap_active() {
-                self.dependency[t] = ev.source;
-            }
-        }
-        let must_propagate = changed || ev.request;
-        let targets_start = self.tracer.targets_start();
-        let (generated, edges_read) =
-            if must_propagate { self.propagate_regular(ev.target, ev.payload) } else { (0, 0) };
-        self.tracer.push_op(TraceOp {
-            vertex: ev.target,
-            kind: OpKind::Apply,
-            changed: must_propagate,
-            edges_read,
-            targets_start,
-            targets_len: generated,
-        });
-    }
-
-    /// Propagates from `u` over the active graph's out-edges, generating
-    /// regular events. Returns `(events_generated, edges_read)`.
-    fn propagate_regular(&mut self, u: VertexId, applied_delta: Value) -> (u32, u32) {
-        let state = self.values[u as usize];
-        let deg = self.csr.out.degree(u);
-        self.stats.edge_reads += deg as u64;
-        let wsum = self.weight_sum(u);
-        let edges: Vec<_> = self.csr.out.neighbors(u).collect();
-        let mut generated = 0u32;
-        for e in edges {
-            let ctx = EdgeCtx { weight: e.weight, out_degree: deg, weight_sum: wsum };
-            if let Some(delta) = self.alg.propagate(state, applied_delta, &ctx) {
-                let event = if self.dap_active() {
-                    Event::regular_from(u, e.other, delta)
-                } else {
-                    Event::regular(e.other, delta)
-                };
-                self.emit(event);
-                self.tracer.push_target(e.other);
-                generated += 1;
-            }
-        }
-        (generated, deg as u32)
+        let mut st = SeqState {
+            values: &mut self.values,
+            dependency: &mut self.dependency,
+            queue: &mut self.queue,
+            stats: &mut self.stats,
+            tracer: &mut self.tracer,
+            impacted: &mut self.impacted,
+            queue_capacity: self.config.queue_capacity,
+            active_slice: self.active_slice,
+        };
+        kernel::process_event(&cx, &mut st, ev);
     }
 
     fn weight_sum(&self, u: VertexId) -> Value {
@@ -750,75 +683,6 @@ impl StreamingEngine {
         self.tracer.end_round();
     }
 
-    /// Handles one delete event during recovery (Algorithm 4, lines 8–17,
-    /// refined by VAP/DAP).
-    fn process_delete(&mut self, ev: Event) {
-        self.stats.events_processed += 1;
-        self.stats.delete_events += 1;
-        self.stats.vertex_reads += 1;
-        let t = ev.target as usize;
-        let current = self.values[t];
-        let identity = self.alg.identity();
-        let targets_start = self.tracer.targets_start();
-
-        // A delete cycling back to an already tagged vertex never
-        // propagates again.
-        let should_reset = current != identity
-            && match self.config.delete_strategy {
-                DeleteStrategy::Tag => true,
-                DeleteStrategy::Vap => !self.alg.more_progressed(current, ev.payload),
-                DeleteStrategy::Dap => self.dependency[t] == ev.source,
-            };
-
-        let (generated, edges_read) = if should_reset {
-            let previous = current;
-            self.values[t] = identity;
-            self.dependency[t] = None;
-            self.stats.vertex_writes += 1;
-            self.stats.resets += 1;
-            self.impacted.push(ev.target);
-            self.propagate_deletes(ev.target, previous)
-        } else {
-            (0, 0)
-        };
-        self.tracer.push_op(TraceOp {
-            vertex: ev.target,
-            kind: OpKind::Delete,
-            changed: should_reset,
-            edges_read,
-            targets_start,
-            targets_len: generated,
-        });
-    }
-
-    /// Propagates delete events downstream from a freshly reset vertex,
-    /// carrying the contribution computed from its *previous* state (§5.1).
-    fn propagate_deletes(&mut self, u: VertexId, previous: Value) -> (u32, u32) {
-        let deg = self.csr.out.degree(u);
-        self.stats.edge_reads += deg as u64;
-        let wsum = self.weight_sum(u);
-        let edges: Vec<_> = self.csr.out.neighbors(u).collect();
-        let mut generated = 0u32;
-        for e in edges {
-            let event = match self.config.delete_strategy {
-                DeleteStrategy::Tag => Some(Event::delete(u, e.other, self.alg.identity())),
-                DeleteStrategy::Vap => {
-                    let ctx = EdgeCtx { weight: e.weight, out_degree: deg, weight_sum: wsum };
-                    self.alg
-                        .propagate(previous, previous, &ctx)
-                        .map(|payload| Event::delete(u, e.other, payload))
-                }
-                DeleteStrategy::Dap => Some(Event::delete(u, e.other, self.alg.identity())),
-            };
-            if let Some(ev) = event {
-                self.emit(ev);
-                self.tracer.push_target(e.other);
-                generated += 1;
-            }
-        }
-        (generated, deg as u32)
-    }
-
     // ------------------------------------------------------------------
     // Accumulative streaming flow — Algorithms 3 & 6, Fig. 5
     // ------------------------------------------------------------------
@@ -939,6 +803,71 @@ impl StreamingEngine {
         self.tracer.begin_phase(Phase::Recompute);
         self.run_queue(Phase::Recompute);
         Ok(())
+    }
+}
+
+/// [`ExecState`] backed by the sequential engine's global vectors, queue,
+/// and tracer. Built from disjoint field borrows so the kernel can hold the
+/// CSR and algorithm immutably alongside it.
+struct SeqState<'a> {
+    values: &'a mut [Value],
+    dependency: &'a mut [Option<VertexId>],
+    queue: &'a mut CoalescingQueue,
+    stats: &'a mut RunStats,
+    tracer: &'a mut TraceBuilder,
+    impacted: &'a mut Vec<VertexId>,
+    queue_capacity: Option<usize>,
+    active_slice: usize,
+}
+
+impl ExecState for SeqState<'_> {
+    fn value(&self, v: VertexId) -> Value {
+        self.values[v as usize]
+    }
+
+    fn set_value(&mut self, v: VertexId, x: Value) {
+        self.values[v as usize] = x;
+    }
+
+    fn dependency(&self, v: VertexId) -> Option<VertexId> {
+        self.dependency[v as usize]
+    }
+
+    fn set_dependency(&mut self, v: VertexId, d: Option<VertexId>) {
+        self.dependency[v as usize] = d;
+    }
+
+    fn stats(&mut self) -> &mut RunStats {
+        self.stats
+    }
+
+    fn impacted(&mut self, v: VertexId) {
+        self.impacted.push(v);
+    }
+
+    fn emit(&mut self, alg: &dyn Algorithm, ev: Event) {
+        // Mirrors `StreamingEngine::emit` (used by the phase drivers):
+        // count the emission, account a spill when it leaves the active
+        // slice (§4.7), insert into the coalescing queue.
+        self.stats.events_generated += 1;
+        if let Some(cap) = self.queue_capacity {
+            if cap > 0 && (ev.target as usize) / cap != self.active_slice {
+                self.stats.spilled_events += 1;
+            }
+        }
+        self.queue.insert(ev, alg);
+    }
+
+    fn trace_targets_start(&mut self) -> u32 {
+        self.tracer.targets_start()
+    }
+
+    fn trace_push_target(&mut self, v: VertexId) {
+        self.tracer.push_target(v);
+    }
+
+    fn trace_push_op(&mut self, op: TraceOp) {
+        self.tracer.push_op(op);
     }
 }
 

@@ -1,0 +1,271 @@
+//! Per-event processing kernel shared by the sequential and sharded engines.
+//!
+//! [`StreamingEngine`](crate::StreamingEngine) and
+//! [`ShardedEngine`](crate::ShardedEngine) must produce bit-identical
+//! results (the differential-test harness asserts it), so the semantics of
+//! applying one event — reduce, state update, dependency recording, reset
+//! guards, and propagation — live here exactly once. The two engines differ
+//! only in where state lives and where emitted events go, which is what
+//! [`ExecState`] abstracts: the sequential engine backs it with its global
+//! vectors and coalescing queue, a sharded worker backs it with its owned
+//! vertex range and an emission outbox.
+
+use jetstream_algorithms::{Algorithm, EdgeCtx, UpdateKind, Value};
+use jetstream_graph::{CsrPair, VertexId};
+
+use crate::engine::DeleteStrategy;
+use crate::event::Event;
+use crate::stats::RunStats;
+use crate::trace::{OpKind, TraceOp};
+
+/// Read-only context shared by every event applied in one phase.
+pub(crate) struct KernelCtx<'a> {
+    /// The algorithm being evaluated.
+    pub alg: &'a dyn Algorithm,
+    /// The active CSR snapshot (propagation reads out-edges from it).
+    pub csr: &'a CsrPair,
+    /// Delete-propagation strategy (drives the reset guard, §5).
+    pub delete_strategy: DeleteStrategy,
+}
+
+impl KernelCtx<'_> {
+    /// Dependency-aware propagation is only defined for selective
+    /// algorithms (§5.2).
+    pub fn dap_active(&self) -> bool {
+        self.delete_strategy == DeleteStrategy::Dap && self.alg.kind() == UpdateKind::Selective
+    }
+
+    /// Sum of outgoing edge weights of `u`, when the algorithm needs it.
+    pub fn weight_sum(&self, u: VertexId) -> Value {
+        if self.alg.needs_weight_sum() {
+            self.csr.out.neighbors(u).map(|e| e.weight).sum()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Where the kernel reads/writes per-vertex state and emits events.
+///
+/// Vertex accessors are only ever called for the vertex an event targets
+/// (or, during propagation, the vertex being propagated from — which is
+/// the same vertex). A sharded worker therefore only needs access to the
+/// vertices it owns.
+pub(crate) trait ExecState {
+    /// Current value of `v`.
+    fn value(&self, v: VertexId) -> Value;
+    /// Overwrites the value of `v`.
+    fn set_value(&mut self, v: VertexId, x: Value);
+    /// Recorded Leads-To dependency of `v` (DAP, §5.2).
+    fn dependency(&self, v: VertexId) -> Option<VertexId>;
+    /// Overwrites the dependency of `v`.
+    fn set_dependency(&mut self, v: VertexId, d: Option<VertexId>);
+    /// Operation counters for the current run.
+    fn stats(&mut self) -> &mut RunStats;
+    /// Records `v` as reset (impacted) during delete propagation.
+    fn impacted(&mut self, v: VertexId);
+    /// Hands an emitted event to the owner (queue insert or outbox push).
+    /// The implementation must count it in `events_generated`.
+    fn emit(&mut self, alg: &dyn Algorithm, ev: Event);
+    /// Tracing hooks; no-ops for sharded workers (tracing is a
+    /// sequential-engine feature).
+    fn trace_targets_start(&mut self) -> u32 {
+        0
+    }
+    /// Records one emitted target for the op being traced.
+    fn trace_push_target(&mut self, _v: VertexId) {}
+    /// Records a completed traced operation.
+    fn trace_push_op(&mut self, _op: TraceOp) {}
+}
+
+/// Applies one event (Algorithm 1 step, extended with the delete path of
+/// Algorithm 4).
+pub(crate) fn process_event(cx: &KernelCtx<'_>, st: &mut impl ExecState, ev: Event) {
+    if ev.is_delete {
+        process_delete(cx, st, ev);
+        return;
+    }
+    st.stats().events_processed += 1;
+    st.stats().vertex_reads += 1;
+    let old = st.value(ev.target);
+    let new = cx.alg.reduce(old, ev.payload);
+    let changed = match cx.alg.kind() {
+        UpdateKind::Selective => new != old,
+        UpdateKind::Accumulative => cx.alg.changes_state(old, ev.payload),
+    };
+    if changed {
+        st.set_value(ev.target, new);
+        st.stats().vertex_writes += 1;
+        if cx.dap_active() {
+            st.set_dependency(ev.target, ev.source);
+        }
+    }
+    let must_propagate = changed || ev.request;
+    let targets_start = st.trace_targets_start();
+    let (generated, edges_read) =
+        if must_propagate { propagate_regular(cx, st, ev.target, ev.payload) } else { (0, 0) };
+    st.trace_push_op(TraceOp {
+        vertex: ev.target,
+        kind: OpKind::Apply,
+        changed: must_propagate,
+        edges_read,
+        targets_start,
+        targets_len: generated,
+    });
+}
+
+/// Propagates from `u` over the active graph's out-edges, generating
+/// regular events. Returns `(events_generated, edges_read)`.
+fn propagate_regular(
+    cx: &KernelCtx<'_>,
+    st: &mut impl ExecState,
+    u: VertexId,
+    applied_delta: Value,
+) -> (u32, u32) {
+    let state = st.value(u);
+    let deg = cx.csr.out.degree(u);
+    st.stats().edge_reads += deg as u64;
+    let wsum = cx.weight_sum(u);
+    let mut generated = 0u32;
+    for e in cx.csr.out.neighbors(u) {
+        let ctx = EdgeCtx { weight: e.weight, out_degree: deg, weight_sum: wsum };
+        if let Some(delta) = cx.alg.propagate(state, applied_delta, &ctx) {
+            let event = if cx.dap_active() {
+                Event::regular_from(u, e.other, delta)
+            } else {
+                Event::regular(e.other, delta)
+            };
+            st.emit(cx.alg, event);
+            st.trace_push_target(e.other);
+            generated += 1;
+        }
+    }
+    (generated, deg as u32)
+}
+
+/// Handles one delete event during recovery (Algorithm 4, lines 8–17,
+/// refined by VAP/DAP).
+fn process_delete(cx: &KernelCtx<'_>, st: &mut impl ExecState, ev: Event) {
+    st.stats().events_processed += 1;
+    st.stats().delete_events += 1;
+    st.stats().vertex_reads += 1;
+    let current = st.value(ev.target);
+    let identity = cx.alg.identity();
+    let targets_start = st.trace_targets_start();
+
+    // A delete cycling back to an already tagged vertex never propagates
+    // again.
+    let should_reset = current != identity
+        && match cx.delete_strategy {
+            DeleteStrategy::Tag => true,
+            DeleteStrategy::Vap => !cx.alg.more_progressed(current, ev.payload),
+            DeleteStrategy::Dap => st.dependency(ev.target) == ev.source,
+        };
+
+    let (generated, edges_read) = if should_reset {
+        let previous = current;
+        st.set_value(ev.target, identity);
+        st.set_dependency(ev.target, None);
+        st.stats().vertex_writes += 1;
+        st.stats().resets += 1;
+        st.impacted(ev.target);
+        propagate_deletes(cx, st, ev.target, previous)
+    } else {
+        (0, 0)
+    };
+    st.trace_push_op(TraceOp {
+        vertex: ev.target,
+        kind: OpKind::Delete,
+        changed: should_reset,
+        edges_read,
+        targets_start,
+        targets_len: generated,
+    });
+}
+
+/// Propagates delete events downstream from a freshly reset vertex,
+/// carrying the contribution computed from its *previous* state (§5.1).
+fn propagate_deletes(
+    cx: &KernelCtx<'_>,
+    st: &mut impl ExecState,
+    u: VertexId,
+    previous: Value,
+) -> (u32, u32) {
+    let deg = cx.csr.out.degree(u);
+    st.stats().edge_reads += deg as u64;
+    let wsum = cx.weight_sum(u);
+    let mut generated = 0u32;
+    for e in cx.csr.out.neighbors(u) {
+        let event = match cx.delete_strategy {
+            DeleteStrategy::Tag => Some(Event::delete(u, e.other, cx.alg.identity())),
+            DeleteStrategy::Vap => {
+                let ctx = EdgeCtx { weight: e.weight, out_degree: deg, weight_sum: wsum };
+                cx.alg
+                    .propagate(previous, previous, &ctx)
+                    .map(|payload| Event::delete(u, e.other, payload))
+            }
+            DeleteStrategy::Dap => Some(Event::delete(u, e.other, cx.alg.identity())),
+        };
+        if let Some(ev) = event {
+            st.emit(cx.alg, ev);
+            st.trace_push_target(e.other);
+            generated += 1;
+        }
+    }
+    (generated, deg as u32)
+}
+
+/// Value-level convergence checks shared by both engines'
+/// `validate_converged`:
+///
+/// * under DAP, every recorded `Leads-To` dependency is an edge of the
+///   active graph;
+/// * selective algorithms: the values are a fixed point over the active
+///   edges;
+/// * accumulative algorithms: every value is finite.
+pub(crate) fn validate_converged_values(
+    alg: &dyn Algorithm,
+    csr: &CsrPair,
+    values: &[Value],
+    dependency: &[Option<VertexId>],
+    delete_strategy: DeleteStrategy,
+) -> Result<(), String> {
+    let cx = KernelCtx { alg, csr, delete_strategy };
+    if cx.dap_active() {
+        for (v, dep) in dependency.iter().enumerate() {
+            if let Some(u) = dep {
+                if !csr.out.has_edge(*u, v as VertexId) {
+                    return Err(format!(
+                        "dangling dependency: vertex {v} leads-to {u}, but edge \
+                         {u} -> {v} is not in the active graph"
+                    ));
+                }
+            }
+        }
+    }
+    match alg.kind() {
+        UpdateKind::Selective => {
+            for (u, v, w) in csr.out.iter_edges() {
+                let state = values[u as usize];
+                let deg = csr.out.degree(u);
+                let wsum = cx.weight_sum(u);
+                let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
+                if let Some(delta) = alg.propagate(state, state, &ctx) {
+                    let target = values[v as usize];
+                    if alg.reduce(target, delta) != target {
+                        return Err(format!(
+                            "not a fixed point: edge {u} -> {v} still improves \
+                             {target} with contribution {delta}"
+                        ));
+                    }
+                }
+            }
+        }
+        UpdateKind::Accumulative => {
+            if let Some(v) = values.iter().position(|x| !x.is_finite()) {
+                return Err(format!("non-finite value {} at vertex {v} after recovery", values[v]));
+            }
+        }
+    }
+    Ok(())
+}

@@ -47,7 +47,9 @@
 
 mod engine;
 mod event;
+mod kernel;
 mod queue;
+mod sharded;
 mod stats;
 
 pub mod trace;
@@ -57,4 +59,5 @@ pub use engine::{
 };
 pub use event::Event;
 pub use queue::{CoalescingQueue, QueueStats};
+pub use sharded::{ParallelModel, ShardedEngine};
 pub use stats::{Phase, RunStats};

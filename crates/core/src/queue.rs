@@ -16,9 +16,18 @@ pub struct QueueStats {
     /// Events spilled to the overflow buffer (DAP recovery, §5.2).
     pub overflowed: u64,
     /// Events handed back to the engine by [`CoalescingQueue::take_bin`],
-    /// [`CoalescingQueue::take_range`], or
+    /// [`CoalescingQueue::take_range`], [`CoalescingQueue::take_all`], or
     /// [`CoalescingQueue::pop_overflow`].
     pub drained: u64,
+}
+
+impl std::ops::AddAssign for QueueStats {
+    fn add_assign(&mut self, rhs: QueueStats) {
+        self.inserts += rhs.inserts;
+        self.coalesced += rhs.coalesced;
+        self.overflowed += rhs.overflowed;
+        self.drained += rhs.drained;
+    }
 }
 
 /// The on-chip coalescing event queue (§4.2).
@@ -220,6 +229,35 @@ impl CoalescingQueue {
                 out.push(ev);
             }
         }
+        self.stats.drained += out.len() as u64;
+        out
+    }
+
+    /// Removes and returns every queued slot event in ascending vertex
+    /// order — the canonical round snapshot the engines' superstep drain
+    /// loop is built on. Overflow events are not touched; the engine
+    /// snapshots those separately with [`pop_overflow`].
+    ///
+    /// [`pop_overflow`]: CoalescingQueue::pop_overflow
+    pub fn take_all(&mut self) -> Vec<Event> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.len);
+        for bin in 0..self.num_bins {
+            if self.bin_len[bin] == 0 {
+                continue;
+            }
+            let lo = bin * self.bin_size;
+            let hi = ((bin + 1) * self.bin_size).min(self.slots.len());
+            for slot in &mut self.slots[lo..hi] {
+                if let Some(ev) = slot.take() {
+                    out.push(ev);
+                }
+            }
+            self.bin_len[bin] = 0;
+        }
+        self.len = 0;
         self.stats.drained += out.len() as u64;
         out
     }
@@ -428,6 +466,44 @@ mod tests {
         // Bins stay consistent after range draining.
         q.insert(Event::regular(2, 1.0), &a);
         assert_eq!(q.take_bin(0).len(), 1);
+    }
+
+    #[test]
+    fn take_all_drains_every_slot_in_vertex_order() {
+        let mut q = CoalescingQueue::new(10, 3);
+        let a = sssp();
+        for v in [9u32, 0, 5, 3, 7] {
+            q.insert(Event::regular(v, v as f64), &a);
+        }
+        let evs = q.take_all();
+        assert_eq!(evs.iter().map(|e| e.target).collect::<Vec<_>>(), vec![0, 3, 5, 7, 9]);
+        assert!(q.is_empty());
+        assert_eq!(q.validate(), Ok(()));
+        // Bins stay consistent: a fresh insert drains normally.
+        q.insert(Event::regular(4, 1.0), &a);
+        assert_eq!(q.take_all().len(), 1);
+    }
+
+    #[test]
+    fn take_all_leaves_overflow_untouched() {
+        let mut q = CoalescingQueue::new(4, 1);
+        let a = sssp();
+        q.set_coalesce_deletes(false);
+        q.insert(Event::delete(0, 1, 5.0), &a);
+        q.insert(Event::regular(2, 1.0), &a);
+        let evs = q.take_all();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].target, 2);
+        assert_eq!(q.overflow_len(), 1);
+        assert_eq!(q.validate(), Ok(()));
+    }
+
+    #[test]
+    fn queue_stats_add_assign_sums_fields() {
+        let mut a = QueueStats { inserts: 1, coalesced: 2, overflowed: 3, drained: 4 };
+        let b = QueueStats { inserts: 10, coalesced: 20, overflowed: 30, drained: 40 };
+        a += b;
+        assert_eq!(a, QueueStats { inserts: 11, coalesced: 22, overflowed: 33, drained: 44 });
     }
 
     #[test]

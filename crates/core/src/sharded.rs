@@ -1,0 +1,1098 @@
+//! Sharded parallel execution of the JetStream streaming engine.
+//!
+//! [`ShardedEngine`] partitions the vertex space into `S` contiguous shards
+//! (via [`jetstream_graph::Partition::contiguous_balanced`]) and runs one
+//! worker thread per shard. Each worker owns its shard's slice of the value
+//! and dependency vectors plus a private [`CoalescingQueue`], mirroring the
+//! paper's §4 queue/lane partitioning where every processing lane serves a
+//! disjoint bin range of the event queue.
+//!
+//! # Determinism
+//!
+//! The engine is **bit-deterministic for any shard count and any thread
+//! schedule**, and bit-identical to [`StreamingEngine`]
+//! (the differential suite in `tests/differential_sharded.rs` asserts it).
+//! Three mechanisms make that hold:
+//!
+//! * **Supersteps.** Workers drain exactly the canonical round the
+//!   sequential `run_queue` would: the events resident at round start, slot
+//!   events in ascending vertex order first, overflowed delete events in
+//!   FIFO order second. Everything emitted during a round is exchanged at a
+//!   barrier and belongs to the next round.
+//! * **Keyed exchange.** Every emission carries a totally ordered key
+//!   `(class, major, idx)`: class 0 for emissions from slot-event
+//!   processing (major = target vertex id), class 1 for emissions from
+//!   overflow processing (major = a globally assigned FIFO counter), idx =
+//!   the per-emitter emission index. Merging the per-shard outboxes by key
+//!   reproduces the exact order the sequential engine would have inserted
+//!   the same events into its single queue — so slot coalescing folds
+//!   (which pick a "dominant source" order-sensitively) are bitwise equal.
+//! * **Shared kernel.** Per-event semantics live in [`crate::kernel`] and
+//!   are the same code the sequential engine runs.
+//!
+//! # Divergences from [`StreamingEngine`]
+//!
+//! * `queue_capacity` slicing (§4.7 spill accounting) is not modelled:
+//!   `spilled_events` is always 0. Shards *are* the slicing.
+//! * Operation tracing is not supported (traces are a sequential-engine
+//!   feature consumed by the cycle simulator).
+//!
+//! [`StreamingEngine`]: crate::StreamingEngine
+
+use std::sync::mpsc;
+
+use jetstream_algorithms::{Algorithm, EdgeCtx, UpdateKind, Value};
+use jetstream_graph::partition::Partition;
+use jetstream_graph::{AdjacencyGraph, CsrPair, GraphError, UpdateBatch, VertexId};
+
+use crate::engine::{
+    check_checkpoint_state, AccumulativeRecovery, CheckpointError, DeleteStrategy, EngineConfig,
+};
+use crate::event::Event;
+use crate::kernel::{self, ExecState, KernelCtx};
+use crate::queue::{CoalescingQueue, QueueStats};
+use crate::stats::RunStats;
+
+/// Bits reserved for the per-emitter emission index.
+const IDX_BITS: u32 = 32;
+/// Key class for emissions produced while processing overflow events.
+const OVERFLOW_CLASS: u128 = 1 << 96;
+
+/// An event tagged with its position in the canonical emission order.
+#[derive(Debug, Clone, Copy)]
+struct Keyed {
+    key: u128,
+    ev: Event,
+}
+
+/// One shard: a contiguous vertex range with its own queue and counters.
+#[derive(Debug)]
+struct Shard {
+    /// First vertex id owned by this shard (`lo..lo + queue width`).
+    lo: VertexId,
+    /// Local coalescing queue; indexed by `target - lo`.
+    queue: CoalescingQueue,
+    /// Accounting for delete events that bypass the queue while delete
+    /// coalescing is off (the queue never sees them, so their
+    /// inserts/overflowed/drained are tracked here).
+    extra: QueueStats,
+    /// This worker's share of the current run's counters.
+    stats: RunStats,
+    /// Cumulative superstep count (every worker participates in every
+    /// round, so this is identical across shards); orders impacted records.
+    rounds: u64,
+    /// Vertices this worker reset during delete propagation, tagged with
+    /// `(round, emission key base)` — sorting all shards' records by that
+    /// pair reconstructs the exact order the sequential engine resets them.
+    impacted: Vec<(u64, u128, VertexId)>,
+    /// FIFO of non-coalescible delete events, keyed by their globally
+    /// assigned overflow counter.
+    overflow: Vec<(u64, Event)>,
+    /// Work units (events processed + edges read) this shard spent in each
+    /// superstep of the current [`run_queue`](ShardedEngine::run_queue)
+    /// call; folded into the engine's [`ParallelModel`] at the barrierless
+    /// end of the call.
+    round_costs: Vec<u64>,
+}
+
+impl Shard {
+    fn new(lo: usize, width: usize, num_bins: usize) -> Self {
+        Shard {
+            lo: lo as VertexId,
+            queue: CoalescingQueue::new(width, num_bins),
+            extra: QueueStats::default(),
+            stats: RunStats::default(),
+            rounds: 0,
+            impacted: Vec::new(),
+            overflow: Vec::new(),
+            round_costs: Vec::new(),
+        }
+    }
+}
+
+/// Machine-independent parallel scaling model, accumulated over every
+/// superstep since engine construction.
+///
+/// Work is counted in deterministic functional units — events processed
+/// plus edges read — so the model is bit-reproducible on any host.
+/// `critical_path` charges each superstep its slowest shard (the barrier
+/// waits for it), which is the lower bound a perfectly overlapped exchange
+/// could reach; coordinator merge time is not modelled. The `experiments
+/// scaling` sweep reports this next to host wall-clock, which on a
+/// single-core machine cannot show parallel speedup at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelModel {
+    /// Total work units across all shards (equals the sequential engine's
+    /// work for the same computation, since execution is bit-identical).
+    pub total_work: u64,
+    /// Per-superstep maximum over shards, summed over supersteps.
+    pub critical_path: u64,
+}
+
+impl ParallelModel {
+    /// `total_work / critical_path`: the speedup an ideal host would get
+    /// from this shard count on this workload. 1.0 for a single shard;
+    /// capped by load balance, not by the host's core count.
+    pub fn modeled_speedup(&self) -> f64 {
+        self.total_work as f64 / self.critical_path.max(1) as f64
+    }
+}
+
+/// [`ExecState`] backed by one worker's owned slice of the global state.
+/// Emissions go to the outbox with the next key in the canonical order.
+struct WorkerState<'a> {
+    lo: VertexId,
+    values: &'a mut [Value],
+    dependency: &'a mut [Option<VertexId>],
+    stats: &'a mut RunStats,
+    impacted: &'a mut Vec<(u64, u128, VertexId)>,
+    out: &'a mut Vec<Keyed>,
+    round: u64,
+    key_base: u128,
+    key_idx: u32,
+}
+
+impl ExecState for WorkerState<'_> {
+    fn value(&self, v: VertexId) -> Value {
+        self.values[(v - self.lo) as usize]
+    }
+
+    fn set_value(&mut self, v: VertexId, x: Value) {
+        self.values[(v - self.lo) as usize] = x;
+    }
+
+    fn dependency(&self, v: VertexId) -> Option<VertexId> {
+        self.dependency[(v - self.lo) as usize]
+    }
+
+    fn set_dependency(&mut self, v: VertexId, d: Option<VertexId>) {
+        self.dependency[(v - self.lo) as usize] = d;
+    }
+
+    fn stats(&mut self) -> &mut RunStats {
+        self.stats
+    }
+
+    fn impacted(&mut self, v: VertexId) {
+        self.impacted.push((self.round, self.key_base, v));
+    }
+
+    fn emit(&mut self, _alg: &dyn Algorithm, ev: Event) {
+        self.stats.events_generated += 1;
+        self.out.push(Keyed { key: self.key_base | self.key_idx as u128, ev });
+        self.key_idx += 1;
+    }
+}
+
+/// Routes a global vertex id to the shard owning it. `bounds` holds the
+/// `S + 1` range boundaries (`bounds[s]..bounds[s + 1]` is shard `s`).
+fn route(bounds: &[usize], target: VertexId) -> usize {
+    bounds.partition_point(|&b| b <= target as usize) - 1
+}
+
+/// Runs one superstep on one shard: queue the inbox (in canonical order),
+/// drain the canonical round, process it through the shared kernel, and
+/// return the keyed outbox.
+fn worker_round(
+    cx: &KernelCtx<'_>,
+    shard: &mut Shard,
+    values: &mut [Value],
+    dependency: &mut [Option<VertexId>],
+    inbox: Vec<Keyed>,
+    coalesce_deletes: bool,
+    yield_every: Option<usize>,
+) -> Vec<Keyed> {
+    let lo = shard.lo;
+    shard.rounds += 1;
+    let round = shard.rounds;
+    // The inbox arrives in the canonical (merged-key) order, so per-slot
+    // coalescing folds run in exactly the sequence the sequential engine's
+    // single queue would have applied them.
+    for k in inbox {
+        if k.ev.is_delete && !coalesce_deletes {
+            // Mirrors `CoalescingQueue::insert` with delete coalescing off:
+            // straight to overflow, preserving the globally assigned FIFO
+            // counter carried in the key's major field.
+            shard.extra.inserts += 1;
+            shard.extra.overflowed += 1;
+            shard.overflow.push(((k.key >> IDX_BITS) as u64, k.ev));
+            continue;
+        }
+        let mut local = k.ev;
+        local.target -= lo;
+        shard.queue.insert(local, cx.alg);
+    }
+    // Every run drains events of one kind (delete recovery and regular
+    // recompute are separate phases), so slot conflicts between a delete
+    // and a regular event cannot occur.
+    debug_assert_eq!(shard.queue.overflow_len(), 0, "mixed event kinds in one phase");
+
+    let mut events = shard.queue.take_all();
+    for ev in &mut events {
+        ev.target += lo;
+    }
+    let overflow = std::mem::take(&mut shard.overflow);
+    shard.extra.drained += overflow.len() as u64;
+    let work_before = shard.stats.events_processed + shard.stats.edge_reads;
+
+    let mut out: Vec<Keyed> = Vec::new();
+    let mut processed = 0usize;
+    // Slot events first (ascending vertex order), then overflow FIFO —
+    // the canonical round order.
+    for ev in events {
+        let mut st = WorkerState {
+            lo,
+            values: &mut *values,
+            dependency: &mut *dependency,
+            stats: &mut shard.stats,
+            impacted: &mut shard.impacted,
+            out: &mut out,
+            round,
+            key_base: (ev.target as u128) << IDX_BITS,
+            key_idx: 0,
+        };
+        kernel::process_event(cx, &mut st, ev);
+        maybe_yield(&mut processed, yield_every);
+    }
+    for (counter, ev) in overflow {
+        let mut st = WorkerState {
+            lo,
+            values: &mut *values,
+            dependency: &mut *dependency,
+            stats: &mut shard.stats,
+            impacted: &mut shard.impacted,
+            out: &mut out,
+            round,
+            key_base: OVERFLOW_CLASS | ((counter as u128) << IDX_BITS),
+            key_idx: 0,
+        };
+        kernel::process_event(cx, &mut st, ev);
+        maybe_yield(&mut processed, yield_every);
+    }
+    shard.round_costs.push(shard.stats.events_processed + shard.stats.edge_reads - work_before);
+    out
+}
+
+/// Test hook: perturb the thread schedule without affecting results.
+fn maybe_yield(processed: &mut usize, yield_every: Option<usize>) {
+    if let Some(every) = yield_every {
+        if every > 0 {
+            *processed += 1;
+            if (*processed).is_multiple_of(every) {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Merges the per-shard outboxes by emission key, assigns overflow FIFO
+/// counters to non-coalescible deletes in that order, and routes every
+/// event to its destination shard's inbox. Returns the number of events
+/// exchanged.
+fn exchange(
+    outs: &[Vec<Keyed>],
+    bounds: &[usize],
+    coalesce_deletes: bool,
+    seq: &mut u64,
+    inboxes: &mut [Vec<Keyed>],
+) -> usize {
+    let total: usize = outs.iter().map(Vec::len).sum();
+    let mut cursor = vec![0usize; outs.len()];
+    for _ in 0..total {
+        let mut best: Option<usize> = None;
+        for (s, o) in outs.iter().enumerate() {
+            if cursor[s] < o.len() && best.is_none_or(|b| o[cursor[s]].key < outs[b][cursor[b]].key)
+            {
+                best = Some(s);
+            }
+        }
+        let Some(b) = best else { break };
+        let mut k = outs[b][cursor[b]];
+        cursor[b] += 1;
+        if k.ev.is_delete && !coalesce_deletes {
+            // The merged position *is* the order the sequential engine
+            // would have appended this delete to its overflow FIFO.
+            k.key = OVERFLOW_CLASS | ((*seq as u128) << IDX_BITS);
+            *seq += 1;
+        }
+        inboxes[route(bounds, k.ev.target)].push(k);
+    }
+    total
+}
+
+/// Sharded parallel counterpart of [`StreamingEngine`](crate::StreamingEngine).
+///
+/// Supports the full streaming API — [`initial_compute`], [`apply_update_batch`],
+/// [`cold_restart`], checkpoint mount via [`from_checkpoint`] — for every
+/// algorithm and every [`DeleteStrategy`], and produces bit-identical
+/// values, dependencies, and [`RunStats`] to the sequential engine for any
+/// shard count. See the [module docs](self) for how.
+///
+/// [`initial_compute`]: ShardedEngine::initial_compute
+/// [`apply_update_batch`]: ShardedEngine::apply_update_batch
+/// [`cold_restart`]: ShardedEngine::cold_restart
+/// [`from_checkpoint`]: ShardedEngine::from_checkpoint
+///
+/// # Example
+///
+/// ```
+/// use jetstream_core::{ShardedEngine, EngineConfig};
+/// use jetstream_algorithms::Bfs;
+/// use jetstream_graph::{AdjacencyGraph, UpdateBatch};
+///
+/// # fn main() -> Result<(), jetstream_graph::GraphError> {
+/// let mut g = AdjacencyGraph::new(4);
+/// g.insert_edge(0, 1, 1.0)?;
+/// g.insert_edge(1, 2, 1.0)?;
+/// g.insert_edge(2, 3, 1.0)?;
+///
+/// let mut engine = ShardedEngine::new(Box::new(Bfs::new(0)), g, EngineConfig::default(), 2);
+/// engine.initial_compute();
+/// assert_eq!(engine.values(), &[0.0, 1.0, 2.0, 3.0]);
+///
+/// let mut batch = UpdateBatch::new();
+/// batch.delete(1, 2);
+/// batch.insert(0, 2, 1.0);
+/// engine.apply_update_batch(&batch)?;
+/// assert_eq!(engine.values(), &[0.0, 1.0, 1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    alg: Box<dyn Algorithm>,
+    host: AdjacencyGraph,
+    csr: CsrPair,
+    values: Vec<Value>,
+    dependency: Vec<Option<VertexId>>,
+    impacted: Vec<VertexId>,
+    shards: Vec<Shard>,
+    /// `S + 1` contiguous range boundaries; shard `s` owns
+    /// `bounds[s]..bounds[s + 1]`.
+    bounds: Vec<usize>,
+    /// Per-shard seed inboxes for the next [`run_queue`](Self::run_queue),
+    /// filled by the coordinator-side setup phases.
+    pending: Vec<Vec<Keyed>>,
+    /// Monotone counter keying coordinator seeds and overflow FIFO order.
+    seq: u64,
+    coalesce_deletes: bool,
+    config: EngineConfig,
+    /// Coordinator's share of the current run's counters (rounds, stream
+    /// reads, request events, seed emissions).
+    stats: RunStats,
+    coalesced_before: u64,
+    yield_every: Option<usize>,
+    /// Cumulative scaling model (see [`ParallelModel`]).
+    model: ParallelModel,
+}
+
+impl ShardedEngine {
+    /// Creates a sharded engine over `host` with `num_shards` workers.
+    ///
+    /// Shard ownership is fixed at construction: contiguous vertex ranges
+    /// balanced by `degree + 1` of the graph at this moment (the ranges do
+    /// not re-balance as the graph evolves — determinism and correctness
+    /// never depend on balance, only speedup does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn new(
+        alg: Box<dyn Algorithm>,
+        host: AdjacencyGraph,
+        config: EngineConfig,
+        num_shards: usize,
+    ) -> Self {
+        let n = host.num_vertices();
+        let identity = alg.identity();
+        Self::build(alg, host, config, num_shards, vec![identity; n], vec![None; n])
+    }
+
+    /// Warm-starts a sharded engine from previously converged state — the
+    /// sharded counterpart of
+    /// [`StreamingEngine::from_checkpoint`](crate::StreamingEngine::from_checkpoint),
+    /// accepting exactly the same snapshot format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when the restored state cannot belong to
+    /// `host` (mismatched lengths or a dangling Leads-To dependence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn from_checkpoint(
+        alg: Box<dyn Algorithm>,
+        host: AdjacencyGraph,
+        values: Vec<Value>,
+        dependency: Vec<Option<VertexId>>,
+        config: EngineConfig,
+        num_shards: usize,
+    ) -> Result<Self, CheckpointError> {
+        check_checkpoint_state(&host, &values, &dependency)?;
+        Ok(Self::build(alg, host, config, num_shards, values, dependency))
+    }
+
+    fn build(
+        alg: Box<dyn Algorithm>,
+        host: AdjacencyGraph,
+        config: EngineConfig,
+        num_shards: usize,
+        values: Vec<Value>,
+        dependency: Vec<Option<VertexId>>,
+    ) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let csr = host.snapshot_pair();
+        let part = Partition::contiguous_balanced(&csr.out, num_shards as u32);
+        let ranges = part.contiguous_ranges().unwrap_or_default();
+        assert_eq!(ranges.len(), num_shards, "contiguous partition must yield one range per shard");
+        let mut bounds = Vec::with_capacity(num_shards + 1);
+        bounds.push(0);
+        let shards = ranges
+            .iter()
+            .map(|r| {
+                bounds.push(r.end);
+                Shard::new(r.start, r.len(), config.num_bins)
+            })
+            .collect();
+        ShardedEngine {
+            alg,
+            host,
+            csr,
+            values,
+            dependency,
+            impacted: Vec::new(),
+            shards,
+            bounds,
+            pending: vec![Vec::new(); num_shards],
+            seq: 0,
+            coalesce_deletes: true,
+            config,
+            stats: RunStats::default(),
+            coalesced_before: 0,
+            yield_every: None,
+            model: ParallelModel::default(),
+        }
+    }
+
+    /// Number of shards (worker threads).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The algorithm being evaluated.
+    pub fn algorithm(&self) -> &dyn Algorithm {
+        self.alg.as_ref()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Current converged (or in-progress) vertex values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The host-side evolving graph.
+    pub fn graph(&self) -> &AdjacencyGraph {
+        &self.host
+    }
+
+    /// The active CSR snapshot.
+    pub fn csr(&self) -> &CsrPair {
+        &self.csr
+    }
+
+    /// Vertices reset during the most recent streaming batch, in the same
+    /// (shard-major) order the sequential engine records them.
+    pub fn last_impacted(&self) -> &[VertexId] {
+        &self.impacted
+    }
+
+    /// The recorded dependency (`Leads-To`) source of each vertex under DAP.
+    pub fn dependencies(&self) -> &[Option<VertexId>] {
+        &self.dependency
+    }
+
+    /// Cumulative queue statistics rolled up over all shards (including
+    /// overflow traffic that bypasses the per-shard queues).
+    pub fn queue_stats(&self) -> QueueStats {
+        let mut total = QueueStats::default();
+        for sh in &self.shards {
+            total += sh.queue.stats();
+            total += sh.extra;
+        }
+        total
+    }
+
+    /// The cumulative [`ParallelModel`] — deterministic total and
+    /// critical-path work since construction, from which
+    /// [`ParallelModel::modeled_speedup`] derives host-independent scaling.
+    pub fn parallel_model(&self) -> ParallelModel {
+        self.model
+    }
+
+    /// Test hook: make each worker yield its time slice every `every`
+    /// processed events, perturbing the thread schedule. Results must not
+    /// change (the determinism regression test asserts they don't).
+    pub fn set_yield_interval(&mut self, every: Option<usize>) {
+        self.yield_every = every;
+    }
+
+    /// Runs the static (cold) evaluation from scratch on the current graph
+    /// version. Mirrors
+    /// [`StreamingEngine::initial_compute`](crate::StreamingEngine::initial_compute).
+    pub fn initial_compute(&mut self) -> RunStats {
+        self.begin_run();
+        let identity = self.alg.identity();
+        self.values.fill(identity);
+        self.dependency.fill(None);
+        for (v, val) in self.alg.initial_events(&self.csr.out) {
+            self.seed_emit(Event::regular(v, val));
+        }
+        self.run_queue();
+        let mut total = self.rollup();
+        // `StreamingEngine::initial_compute` reports the queue's cumulative
+        // coalesce counter here (not a delta); mirror it exactly.
+        total.events_coalesced = self.queue_stats().coalesced;
+        #[cfg(feature = "strict-invariants")]
+        debug_assert_eq!(self.validate_converged(), Ok(()), "post-compute invariant violated");
+        total
+    }
+
+    /// Applies a streaming update batch and incrementally reevaluates the
+    /// query. Mirrors
+    /// [`StreamingEngine::apply_update_batch`](crate::StreamingEngine::apply_update_batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] when the batch is invalid against the
+    /// current graph version (the graph and query state are unchanged).
+    pub fn apply_update_batch(&mut self, batch: &UpdateBatch) -> Result<RunStats, GraphError> {
+        self.begin_run();
+        match self.alg.kind() {
+            UpdateKind::Selective => self.stream_selective(batch)?,
+            UpdateKind::Accumulative => self.stream_accumulative(batch)?,
+        }
+        let mut total = self.rollup();
+        total.events_coalesced = self.queue_stats().coalesced - self.coalesced_before;
+        #[cfg(feature = "strict-invariants")]
+        debug_assert_eq!(self.validate_converged(), Ok(()), "post-batch invariant violated");
+        Ok(total)
+    }
+
+    /// Applies the batch and recomputes from scratch (cold-start baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] when the batch is invalid.
+    pub fn cold_restart(&mut self, batch: &UpdateBatch) -> Result<RunStats, GraphError> {
+        self.host.apply_batch(batch)?;
+        self.csr = self.host.snapshot_pair();
+        Ok(self.initial_compute())
+    }
+
+    /// Checks the engine's cross-structure invariants after a completed
+    /// computation — the sharded counterpart of
+    /// [`StreamingEngine::validate_converged`](crate::StreamingEngine::validate_converged),
+    /// extended with per-shard queue checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate_converged(&self) -> Result<(), String> {
+        let queued: usize = self
+            .shards
+            .iter()
+            .map(|sh| sh.queue.len() + sh.overflow.len())
+            .chain(self.pending.iter().map(Vec::len))
+            .sum();
+        if queued != 0 {
+            return Err(format!("shard queues still hold {queued} events"));
+        }
+        for (s, sh) in self.shards.iter().enumerate() {
+            sh.queue.validate().map_err(|e| format!("shard {s} queue: {e}"))?;
+        }
+        self.csr.validate().map_err(|e| format!("csr: {e}"))?;
+        kernel::validate_converged_values(
+            self.alg.as_ref(),
+            &self.csr,
+            &self.values,
+            &self.dependency,
+            self.config.delete_strategy,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Run accounting
+    // ------------------------------------------------------------------
+
+    fn begin_run(&mut self) {
+        self.stats = RunStats::default();
+        for sh in &mut self.shards {
+            sh.stats = RunStats::default();
+        }
+        self.coalesced_before = self.queue_stats().coalesced;
+    }
+
+    /// Total counters for the current run: the coordinator's share plus
+    /// every worker's share.
+    fn rollup(&self) -> RunStats {
+        let mut total = self.stats;
+        for sh in &self.shards {
+            total += sh.stats;
+        }
+        total
+    }
+
+    /// Emits a setup-phase event from the coordinator, exactly in program
+    /// order: the monotone `seq` counter makes coordinator seeds sort (and,
+    /// for non-coalescible deletes, drain) in emission order.
+    fn seed_emit(&mut self, ev: Event) {
+        self.stats.events_generated += 1;
+        let key = if ev.is_delete && !self.coalesce_deletes {
+            OVERFLOW_CLASS | ((self.seq as u128) << IDX_BITS)
+        } else {
+            (self.seq as u128) << IDX_BITS
+        };
+        self.seq += 1;
+        let dest = route(&self.bounds, ev.target);
+        self.pending[dest].push(Keyed { key, ev });
+    }
+
+    fn weight_sum(&self, u: VertexId) -> Value {
+        if self.alg.needs_weight_sum() {
+            self.csr.out.neighbors(u).map(|e| e.weight).sum()
+        } else {
+            0.0
+        }
+    }
+
+    fn dap_active(&self) -> bool {
+        self.config.delete_strategy == DeleteStrategy::Dap
+            && self.alg.kind() == UpdateKind::Selective
+    }
+
+    // ------------------------------------------------------------------
+    // The parallel superstep loop
+    // ------------------------------------------------------------------
+
+    /// Drains the pending seed inboxes to convergence with one worker
+    /// thread per shard, exchanging emissions at a barrier between rounds.
+    fn run_queue(&mut self) {
+        if self.pending.iter().all(Vec::is_empty) {
+            return;
+        }
+        let coalesce_deletes = self.coalesce_deletes;
+        let yield_every = self.yield_every;
+        let delete_strategy = self.config.delete_strategy;
+        let ShardedEngine {
+            alg,
+            csr,
+            values,
+            dependency,
+            shards,
+            bounds,
+            pending,
+            stats,
+            seq,
+            model,
+            ..
+        } = self;
+        let alg: &dyn Algorithm = alg.as_ref();
+        let csr: &CsrPair = csr;
+        let num_shards = shards.len();
+        let mut inboxes: Vec<Vec<Keyed>> = pending.iter_mut().map(std::mem::take).collect();
+
+        std::thread::scope(|scope| {
+            let mut to_workers = Vec::with_capacity(num_shards);
+            let mut from_workers = Vec::with_capacity(num_shards);
+            let mut rest_v: &mut [Value] = values;
+            let mut rest_d: &mut [Option<VertexId>] = dependency;
+            for (shard, w) in shards.iter_mut().zip(bounds.windows(2)) {
+                let width = w[1] - w[0];
+                let (v, tail_v) = rest_v.split_at_mut(width);
+                rest_v = tail_v;
+                let (d, tail_d) = rest_d.split_at_mut(width);
+                rest_d = tail_d;
+                let (tx_in, rx_in) = mpsc::channel::<Option<Vec<Keyed>>>();
+                let (tx_out, rx_out) = mpsc::channel::<Vec<Keyed>>();
+                scope.spawn(move || {
+                    let cx = KernelCtx { alg, csr, delete_strategy };
+                    while let Ok(Some(inbox)) = rx_in.recv() {
+                        let out = worker_round(
+                            &cx,
+                            &mut *shard,
+                            &mut *v,
+                            &mut *d,
+                            inbox,
+                            coalesce_deletes,
+                            yield_every,
+                        );
+                        if tx_out.send(out).is_err() {
+                            return;
+                        }
+                    }
+                });
+                to_workers.push(tx_in);
+                from_workers.push(rx_out);
+            }
+
+            while !inboxes.iter().all(Vec::is_empty) {
+                for (tx, inbox) in to_workers.iter().zip(inboxes.iter_mut()) {
+                    let _ = tx.send(Some(std::mem::take(inbox)));
+                }
+                stats.rounds += 1;
+                let mut outs = Vec::with_capacity(num_shards);
+                let mut alive = true;
+                for rx in &from_workers {
+                    match rx.recv() {
+                        Ok(out) => outs.push(out),
+                        Err(_) => {
+                            // A worker panicked; stop driving rounds and let
+                            // the scope join propagate the panic.
+                            alive = false;
+                            break;
+                        }
+                    }
+                }
+                if !alive {
+                    break;
+                }
+                exchange(&outs, bounds, coalesce_deletes, seq, &mut inboxes);
+            }
+            for tx in &to_workers {
+                let _ = tx.send(None);
+            }
+        });
+
+        // Fold this call's per-round costs into the scaling model: every
+        // superstep's critical path is its slowest shard (the barrier
+        // waits for it).
+        for r in 0.. {
+            let (mut seen, mut max, mut sum) = (false, 0u64, 0u64);
+            for sh in shards.iter() {
+                if let Some(&c) = sh.round_costs.get(r) {
+                    seen = true;
+                    max = max.max(c);
+                    sum += c;
+                }
+            }
+            if !seen {
+                break;
+            }
+            model.total_work += sum;
+            model.critical_path += max;
+        }
+        for sh in shards.iter_mut() {
+            sh.round_costs.clear();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Streaming flows — coordinator-side mirrors of the sequential phases
+    // ------------------------------------------------------------------
+
+    fn stream_selective(&mut self, batch: &UpdateBatch) -> Result<(), GraphError> {
+        // Capture deleted-edge weights before mutating, then validate and
+        // apply the batch. Delete propagation runs on the old CSR.
+        let deleted: Vec<(VertexId, VertexId, Value)> = batch
+            .deletions()
+            .iter()
+            .map(|&(u, v)| {
+                self.host
+                    .edge_weight(u, v)
+                    .map(|w| (u, v, w))
+                    .ok_or(GraphError::MissingEdge { source: u, target: v })
+            })
+            .collect::<Result<_, _>>()?;
+        self.host.apply_batch(batch)?;
+        let new_csr = self.host.snapshot_pair();
+        self.impacted.clear();
+        for sh in &mut self.shards {
+            sh.impacted.clear();
+        }
+
+        // DAP keeps per-source delete events distinct (§5.2).
+        self.coalesce_deletes = self.config.delete_strategy != DeleteStrategy::Dap;
+
+        // Phase 1 — stream deleted edges into delete events.
+        for (u, v, w) in deleted {
+            self.stats.stream_reads += 1;
+            self.stats.vertex_reads += 1; // source state read
+            let event = match self.config.delete_strategy {
+                DeleteStrategy::Tag => Some(Event::delete(u, v, self.alg.identity())),
+                DeleteStrategy::Vap => {
+                    let state = self.values[u as usize];
+                    let deg = self.csr.out.degree(u);
+                    let wsum = self.weight_sum(u);
+                    let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
+                    self.alg
+                        .propagate(state, state, &ctx)
+                        .map(|payload| Event::delete(u, v, payload))
+                }
+                DeleteStrategy::Dap => Some(Event::delete(u, v, self.alg.identity())),
+            };
+            if let Some(ev) = event {
+                self.seed_emit(ev);
+            }
+        }
+
+        // Phase 2 — delete propagation on the *old* graph.
+        self.run_queue();
+        self.coalesce_deletes = true;
+
+        // Graph switches to the new version.
+        self.csr = new_csr;
+
+        // Phase 3 — request events along each impacted vertex's incoming
+        // edges. Workers tagged each reset with (round, emission key base);
+        // sorting by that pair is exactly the order the sequential engine
+        // resets vertices (round-major, slot events in ascending vertex
+        // order before overflow FIFO).
+        let mut records: Vec<(u64, u128, VertexId)> = Vec::new();
+        for sh in &mut self.shards {
+            records.append(&mut sh.impacted);
+        }
+        records.sort_unstable();
+        let impacted: Vec<VertexId> = records.into_iter().map(|(_, _, v)| v).collect();
+        let identity = self.alg.identity();
+        for &x in &impacted {
+            let in_deg = self.csr.inc.degree(x);
+            self.stats.edge_reads += in_deg as u64;
+            let sources: Vec<VertexId> = self.csr.inc.neighbors(x).map(|e| e.other).collect();
+            for u in sources {
+                self.stats.request_events += 1;
+                self.seed_emit(Event::request(u, identity));
+            }
+            // Replay the initializer's contribution for reset seed vertices.
+            if let Some(seed) = self.alg.initial_event(x) {
+                self.seed_emit(Event::regular(x, seed));
+            }
+        }
+        self.impacted = impacted;
+
+        // Phase 4 — stream inserted edges into regular events.
+        self.stream_inserts(batch.insertions());
+
+        // Phase 5 — incremental reevaluation on the new graph.
+        self.run_queue();
+        Ok(())
+    }
+
+    fn stream_inserts(&mut self, insertions: &[(VertexId, VertexId, Value)]) {
+        for &(u, v, w) in insertions {
+            self.stats.stream_reads += 1;
+            self.stats.vertex_reads += 1;
+            let state = self.values[u as usize];
+            let deg = self.csr.out.degree(u);
+            let wsum = self.weight_sum(u);
+            let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
+            if let Some(d) = self.alg.propagate(state, state, &ctx) {
+                let event = if self.dap_active() {
+                    Event::regular_from(u, v, d)
+                } else {
+                    Event::regular(v, d)
+                };
+                self.seed_emit(event);
+            }
+        }
+    }
+
+    fn stream_accumulative(&mut self, batch: &UpdateBatch) -> Result<(), GraphError> {
+        use std::collections::BTreeSet;
+        let old_host = self.host.clone();
+        self.host.apply_batch(batch)?;
+        let touched: BTreeSet<VertexId> = batch
+            .deletions()
+            .iter()
+            .map(|&(u, _)| u)
+            .chain(batch.insertions().iter().map(|&(u, _, _)| u))
+            .collect();
+        self.impacted.clear();
+        for sh in &mut self.shards {
+            sh.impacted.clear();
+        }
+        let new_csr = self.host.snapshot_pair();
+
+        // Phase 1 — negative events for every old out-edge of a touched
+        // vertex, using the old degree/weight-sum.
+        let snapshot: Vec<Value> = touched.iter().map(|&u| self.values[u as usize]).collect();
+        for (&u, &state) in touched.iter().zip(snapshot.iter()) {
+            let deg = old_host.degree(u);
+            let wsum: Value = if self.alg.needs_weight_sum() {
+                old_host.neighbors(u).map(|(_, w)| w).sum()
+            } else {
+                0.0
+            };
+            self.stats.vertex_reads += 1;
+            let old_edges: Vec<(VertexId, Value)> = old_host.neighbors(u).collect();
+            for (v, w) in &old_edges {
+                self.stats.stream_reads += 1;
+                let ctx = EdgeCtx { weight: *w, out_degree: deg, weight_sum: wsum };
+                if let Some(c) = self.alg.cumulative_edge_contribution(state, &ctx) {
+                    if self.alg.changes_state(0.0, c) {
+                        self.seed_emit(Event::regular(*v, -c));
+                    }
+                }
+            }
+        }
+
+        if self.config.accumulative_recovery == AccumulativeRecovery::TwoPhase {
+            // Converge on the intermediate sink-transformed graph first.
+            let intermediate_edges: Vec<(VertexId, VertexId, Value)> =
+                old_host.iter_edges().filter(|(u, _, _)| !touched.contains(u)).collect();
+            self.csr = CsrPair::new(jetstream_graph::Csr::from_edges(
+                old_host.num_vertices(),
+                &intermediate_edges,
+            ));
+            self.run_queue();
+        }
+
+        // Phase 2 — re-insertion events over the new out-edges.
+        for (&u, &old_state) in touched.iter().zip(snapshot.iter()) {
+            let deg = new_csr.out.degree(u);
+            let wsum: Value = if self.alg.needs_weight_sum() {
+                new_csr.out.neighbors(u).map(|e| e.weight).sum()
+            } else {
+                0.0
+            };
+            let state = match self.config.accumulative_recovery {
+                AccumulativeRecovery::TwoPhase => self.values[u as usize],
+                AccumulativeRecovery::Coalesced => old_state,
+            };
+            self.stats.vertex_reads += 1;
+            let edges: Vec<_> = new_csr.out.neighbors(u).collect();
+            for e in edges {
+                self.stats.stream_reads += 1;
+                let ctx = EdgeCtx { weight: e.weight, out_degree: deg, weight_sum: wsum };
+                if let Some(c) = self.alg.cumulative_edge_contribution(state, &ctx) {
+                    if self.alg.changes_state(0.0, c) {
+                        self.seed_emit(Event::regular(e.other, c));
+                    }
+                }
+            }
+        }
+
+        // Phase 3 — recompute on the new graph version.
+        self.csr = new_csr;
+        self.run_queue();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamingEngine;
+    use jetstream_algorithms::{PageRank, Sssp};
+
+    fn chain() -> AdjacencyGraph {
+        let mut g = AdjacencyGraph::new(4);
+        g.insert_edge(0, 1, 1.0).unwrap();
+        g.insert_edge(1, 2, 2.0).unwrap();
+        g.insert_edge(2, 3, 3.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn sharded_initial_compute_matches_sequential_on_chain() {
+        for shards in [1, 2, 3, 4, 7] {
+            let mut e = ShardedEngine::new(
+                Box::new(Sssp::new(0)),
+                chain(),
+                EngineConfig::default(),
+                shards,
+            );
+            let stats = e.initial_compute();
+            assert_eq!(e.values(), &[0.0, 1.0, 3.0, 6.0], "shards={shards}");
+            assert_eq!(stats.events_processed, 4);
+            assert_eq!(stats.vertex_writes, 4);
+            assert_eq!(e.validate_converged(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn sharded_batch_matches_sequential_stats_bitwise() {
+        let mut seq =
+            StreamingEngine::new(Box::new(Sssp::new(0)), chain(), EngineConfig::default());
+        let mut sh =
+            ShardedEngine::new(Box::new(Sssp::new(0)), chain(), EngineConfig::default(), 3);
+        assert_eq!(seq.initial_compute(), sh.initial_compute());
+        let mut batch = UpdateBatch::new();
+        batch.delete(1, 2);
+        batch.insert(0, 2, 2.5);
+        let a = seq.apply_update_batch(&batch).unwrap();
+        let b = sh.apply_update_batch(&batch).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(seq.values(), sh.values());
+        assert_eq!(seq.dependencies(), sh.dependencies());
+        assert_eq!(seq.last_impacted(), sh.last_impacted());
+        assert_eq!(seq.queue_stats(), sh.queue_stats());
+    }
+
+    #[test]
+    fn sharded_accumulative_matches_sequential() {
+        let mut g = AdjacencyGraph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 2)] {
+            g.insert_edge(u, v, 1.0).unwrap();
+        }
+        let cfg = EngineConfig::default();
+        let mut seq = StreamingEngine::new(Box::new(PageRank::default()), g.clone(), cfg);
+        let mut sh = ShardedEngine::new(Box::new(PageRank::default()), g, cfg, 4);
+        assert_eq!(seq.initial_compute(), sh.initial_compute());
+        let mut batch = UpdateBatch::new();
+        batch.delete(2, 3);
+        batch.insert(0, 3, 1.0);
+        let a = seq.apply_update_batch(&batch).unwrap();
+        let b = sh.apply_update_batch(&batch).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(seq.values(), sh.values());
+    }
+
+    #[test]
+    fn more_shards_than_vertices_is_fine() {
+        let mut e = ShardedEngine::new(Box::new(Sssp::new(0)), chain(), EngineConfig::default(), 9);
+        assert_eq!(e.num_shards(), 9);
+        e.initial_compute();
+        assert_eq!(e.values(), &[0.0, 1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn from_checkpoint_resumes_streaming() {
+        let mut seq =
+            StreamingEngine::new(Box::new(Sssp::new(0)), chain(), EngineConfig::default());
+        seq.initial_compute();
+        let mut sh = ShardedEngine::from_checkpoint(
+            Box::new(Sssp::new(0)),
+            chain(),
+            seq.values().to_vec(),
+            seq.dependencies().to_vec(),
+            EngineConfig::default(),
+            2,
+        )
+        .unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 3, 1.5);
+        seq.apply_update_batch(&batch).unwrap();
+        sh.apply_update_batch(&batch).unwrap();
+        assert_eq!(seq.values(), sh.values());
+        assert_eq!(sh.values()[3], 1.5);
+    }
+
+    #[test]
+    fn from_checkpoint_rejects_mismatched_state() {
+        let err = ShardedEngine::from_checkpoint(
+            Box::new(Sssp::new(0)),
+            chain(),
+            vec![0.0; 3],
+            vec![None; 4],
+            EngineConfig::default(),
+            2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::LengthMismatch { what: "values", .. }));
+    }
+}

@@ -155,3 +155,100 @@ fn full_drain_empties_the_queue_exactly_once() {
         queue.validate().unwrap_or_else(|why| panic!("{why}"));
     });
 }
+
+/// Builds `num_shards` contiguous vertex ranges covering `num_vertices`
+/// (the same ownership shape `ShardedEngine` uses). Returns the `S + 1`
+/// range boundaries.
+fn contiguous_bounds(rng: &mut DetRng, num_vertices: usize, num_shards: usize) -> Vec<usize> {
+    let mut cuts: Vec<usize> =
+        (0..num_shards - 1).map(|_| rng.gen_index(num_vertices + 1)).collect();
+    cuts.sort_unstable();
+    let mut bounds = Vec::with_capacity(num_shards + 1);
+    bounds.push(0);
+    bounds.extend(cuts);
+    bounds.push(num_vertices);
+    bounds
+}
+
+/// The observable identity of a drained event, as a sortable tuple.
+/// Payloads compare by bit pattern so the multiset comparison is exact.
+fn fingerprint(ev: &Event) -> (u32, u64, bool, bool, Option<u32>) {
+    (ev.target, ev.payload.to_bits(), ev.is_delete, ev.request, ev.source)
+}
+
+#[test]
+fn sharded_queues_coalesce_to_the_same_multiset_as_one_queue() {
+    // The sharded engine's correctness rests on coalescing being a
+    // per-vertex operation: splitting one queue into per-shard queues by
+    // contiguous vertex ownership must not change what coalesces with
+    // what. Feed the same event stream (including mid-stream
+    // `coalesce_deletes` toggles) into one global queue and into S local
+    // queues, drain both sides fully, and demand the same event multiset
+    // and the same summed `QueueStats`.
+    run_cases("queue: sharded split preserves coalescing multiset", 192, |rng| {
+        let num_vertices = 8 + rng.gen_index(56);
+        let num_shards = 1 + rng.gen_index(6);
+        let bounds = contiguous_bounds(rng, num_vertices, num_shards);
+
+        let mut single = CoalescingQueue::new(num_vertices, 1 + rng.gen_index(6));
+        let mut locals: Vec<CoalescingQueue> = bounds
+            .windows(2)
+            .map(|w| CoalescingQueue::new((w[1] - w[0]).max(1), 1 + rng.gen_index(4)))
+            .collect();
+        let coalesce_deletes = rng.gen_bool(0.5);
+        single.set_coalesce_deletes(coalesce_deletes);
+        for local in &mut locals {
+            local.set_coalesce_deletes(coalesce_deletes);
+        }
+
+        for _ in 0..rng.gen_index(200) {
+            if rng.gen_bool(0.05) {
+                // The engine flips this on all lanes at once when entering
+                // or leaving DAP recovery; mirror that here.
+                let coalesce = rng.gen_bool(0.5);
+                single.set_coalesce_deletes(coalesce);
+                for local in &mut locals {
+                    local.set_coalesce_deletes(coalesce);
+                }
+                continue;
+            }
+            let ev = arb_event(rng, num_vertices);
+            let shard = bounds.partition_point(|&b| b <= ev.target as usize) - 1;
+            let mut translated = ev;
+            translated.target -= bounds[shard] as u32;
+            single.insert(ev, &alg());
+            locals[shard].insert(translated, &alg());
+        }
+
+        let drain =
+            |queue: &mut CoalescingQueue, lo: u32| -> Vec<(u32, u64, bool, bool, Option<u32>)> {
+                let mut out: Vec<_> = queue
+                    .take_all()
+                    .into_iter()
+                    .map(|mut ev| {
+                        ev.target += lo;
+                        fingerprint(&ev)
+                    })
+                    .collect();
+                while let Some(mut ev) = queue.pop_overflow() {
+                    ev.target += lo;
+                    out.push(fingerprint(&ev));
+                }
+                out
+            };
+
+        let mut merged = drain(&mut single, 0);
+        let mut sharded = Vec::new();
+        let mut stats = jetstream_core::QueueStats::default();
+        for (local, w) in locals.iter_mut().zip(bounds.windows(2)) {
+            sharded.extend(drain(local, w[0] as u32));
+            stats += local.stats();
+            local.validate().unwrap_or_else(|why| panic!("{why}"));
+        }
+        merged.sort_unstable();
+        sharded.sort_unstable();
+        assert_eq!(merged, sharded, "drained multisets diverged");
+        assert_eq!(stats, single.stats(), "summed shard stats diverged");
+        single.validate().unwrap_or_else(|why| panic!("{why}"));
+    });
+}

@@ -159,6 +159,41 @@ pub fn layered_narrow(layers: usize, width: usize, num_edges: usize, seed: u64) 
     g
 }
 
+/// Generates a Watts–Strogatz style small-world directed graph: a ring
+/// lattice where each vertex points to its next `k` clockwise neighbors,
+/// with each edge rewired to a uniformly random target with probability
+/// `rewire_p`. Low `rewire_p` keeps the high-diameter lattice structure;
+/// the rewired shortcuts collapse path lengths, which makes delete
+/// recovery touch long dependence chains — a worst-ish case for the
+/// sharded engine's cross-shard exchange (ring neighbors mostly stay
+/// within a contiguous shard, shortcuts almost never do).
+///
+/// Duplicate edges and self-loops produced by rewiring are skipped, so the
+/// result can have slightly fewer than `num_vertices * k` edges.
+pub fn small_world(num_vertices: usize, k: usize, rewire_p: f64, seed: u64) -> AdjacencyGraph {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut g = AdjacencyGraph::new(num_vertices);
+    if num_vertices < 2 {
+        return g;
+    }
+    for u in 0..num_vertices {
+        for step in 1..=k {
+            let mut v = (u + step) % num_vertices;
+            // Compare against a 53-bit uniform sample in [0, 1).
+            let roll = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            if roll < rewire_p {
+                v = rng.gen_index(num_vertices);
+            }
+            if v == u {
+                continue;
+            }
+            let w = random_weight(&mut rng);
+            let _ = g.insert_edge(u as VertexId, v as VertexId, w);
+        }
+    }
+    g
+}
+
 /// Generates a uniform Erdős–Rényi style random directed graph.
 pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> AdjacencyGraph {
     let mut rng = DetRng::seed_from_u64(seed);
@@ -631,5 +666,28 @@ mod tests {
         let batch = random_batch(&g, 0, 50, 3);
         let set: std::collections::HashSet<_> = batch.deletions().iter().collect();
         assert_eq!(set.len(), batch.deletions().len());
+    }
+
+    #[test]
+    fn small_world_is_deterministic_and_mostly_lattice() {
+        let a = small_world(100, 3, 0.1, 11);
+        let b = small_world(100, 3, 0.1, 11);
+        assert_eq!(a, b);
+        assert!(a.num_edges() > 250, "got {} edges", a.num_edges());
+        // Most edges stay within the ring distance k.
+        let local = a
+            .iter_edges()
+            .filter(|&(u, v, _)| {
+                let d = (v as i64 - u as i64).rem_euclid(100);
+                (1..=3).contains(&d)
+            })
+            .count();
+        assert!(local * 10 >= a.num_edges() * 7, "only {local}/{} local", a.num_edges());
+    }
+
+    #[test]
+    fn small_world_handles_degenerate_sizes() {
+        assert_eq!(small_world(0, 2, 0.1, 1).num_edges(), 0);
+        assert_eq!(small_world(1, 2, 0.1, 1).num_edges(), 0);
     }
 }

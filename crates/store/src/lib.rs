@@ -81,5 +81,8 @@ pub mod snapshot;
 pub mod wal;
 
 pub use error::StoreError;
-pub use recovery::{recover, Recovered, RecoveryOptions, RecoveryReport};
+pub use recovery::{
+    recover, recover_sharded, recover_with, Recovered, RecoveredBase, RecoveryOptions,
+    RecoveryReport, ReplayEngine,
+};
 pub use store::{DurableEngine, DurableStore, StoreOptions};

@@ -17,16 +17,89 @@
 //! The recovered engine is therefore always a state the engine actually
 //! passed through: either the full pre-crash state, or (after a torn tail)
 //! the longest durable prefix of it. It is never a silently diverged hybrid.
+//!
+//! Recovery is engine-generic: [`recover_with`] mounts any [`ReplayEngine`]
+//! on the snapshot and replays through it; [`recover`] (sequential) and
+//! [`recover_sharded`] (parallel) are thin wrappers. Because the sharded
+//! engine is bit-identical to the sequential one per batch, a store written
+//! under either execution mode recovers exactly under the other.
 
 use std::path::Path;
 
 use jetstream_algorithms::Algorithm;
-use jetstream_core::{EngineConfig, StreamingEngine};
+use jetstream_core::{EngineConfig, RunStats, ShardedEngine, StreamingEngine};
+use jetstream_graph::{AdjacencyGraph, GraphError, UpdateBatch};
 
 use crate::error::StoreError;
 use crate::manifest;
-use crate::snapshot;
+use crate::snapshot::{self, SnapshotState};
 use crate::wal;
+
+/// An engine the store can recover and keep durable.
+///
+/// The on-disk formats know nothing about execution strategy: a snapshot is
+/// a graph plus per-vertex state, a WAL record is an update batch. Any
+/// engine that can mount that state and replay batches deterministically
+/// can sit behind the store — the sequential [`StreamingEngine`] and the
+/// parallel [`ShardedEngine`] both do, and because the two are
+/// bit-identical per batch, a store written by one recovers exactly under
+/// the other.
+pub trait ReplayEngine {
+    /// Applies one batch — both during WAL replay and in normal durable
+    /// operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] when the batch is invalid against the
+    /// engine's current graph version.
+    fn replay_batch(&mut self, batch: &UpdateBatch) -> Result<RunStats, GraphError>;
+    /// The host graph a checkpoint persists.
+    fn checkpoint_graph(&self) -> &AdjacencyGraph;
+    /// The converged per-vertex state a checkpoint persists.
+    fn checkpoint_state(&self) -> SnapshotState;
+    /// Post-recovery convergence check ([`RecoveryOptions::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    fn validate(&self) -> Result<(), String>;
+}
+
+impl ReplayEngine for StreamingEngine {
+    fn replay_batch(&mut self, batch: &UpdateBatch) -> Result<RunStats, GraphError> {
+        self.apply_update_batch(batch)
+    }
+
+    fn checkpoint_graph(&self) -> &AdjacencyGraph {
+        self.graph()
+    }
+
+    fn checkpoint_state(&self) -> SnapshotState {
+        SnapshotState { values: self.values().to_vec(), dependency: self.dependencies().to_vec() }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.validate_converged()
+    }
+}
+
+impl ReplayEngine for ShardedEngine {
+    fn replay_batch(&mut self, batch: &UpdateBatch) -> Result<RunStats, GraphError> {
+        self.apply_update_batch(batch)
+    }
+
+    fn checkpoint_graph(&self) -> &AdjacencyGraph {
+        self.graph()
+    }
+
+    fn checkpoint_state(&self) -> SnapshotState {
+        SnapshotState { values: self.values().to_vec(), dependency: self.dependencies().to_vec() }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.validate_converged()
+    }
+}
 
 /// Knobs for [`recover`].
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +147,19 @@ pub struct Recovered {
     pub report: RecoveryReport,
 }
 
+/// The durable base state recovery hands to a mount function: the newest
+/// intact snapshot's graph and (optional) per-vertex state.
+#[derive(Debug)]
+pub struct RecoveredBase {
+    /// The snapshotted host graph.
+    pub graph: AdjacencyGraph,
+    /// The snapshotted converged state; `None` for a graph-only snapshot
+    /// (the mount function should fall back to a cold compute).
+    pub state: Option<SnapshotState>,
+    /// Sequence number the snapshot was taken at.
+    pub sequence: u64,
+}
+
 /// Recovers a [`StreamingEngine`] from the store directory `dir`.
 ///
 /// `alg` must be the same algorithm (same source vertex, same parameters)
@@ -91,6 +177,73 @@ pub fn recover(
     config: EngineConfig,
     options: RecoveryOptions,
 ) -> Result<Recovered, StoreError> {
+    let (engine, report) = recover_with(dir, options, |base| match base.state {
+        Some(state) => StreamingEngine::from_checkpoint(
+            alg,
+            base.graph,
+            state.values,
+            state.dependency,
+            config,
+        )
+        .map_err(|e| StoreError::Checkpoint(e.to_string())),
+        None => {
+            // Graph-only snapshot: no converged state was persisted, so the
+            // warm start degrades to a cold compute at the snapshot point.
+            let mut e = StreamingEngine::new(alg, base.graph, config);
+            e.initial_compute();
+            Ok(e)
+        }
+    })?;
+    Ok(Recovered { engine, report })
+}
+
+/// Recovers a [`ShardedEngine`] with `num_shards` workers from the store
+/// directory `dir` — same protocol as [`recover`], any engine flavour.
+///
+/// # Errors
+///
+/// Same failure modes as [`recover`].
+pub fn recover_sharded(
+    dir: &Path,
+    alg: Box<dyn Algorithm>,
+    config: EngineConfig,
+    num_shards: usize,
+    options: RecoveryOptions,
+) -> Result<(ShardedEngine, RecoveryReport), StoreError> {
+    recover_with(dir, options, |base| match base.state {
+        Some(state) => ShardedEngine::from_checkpoint(
+            alg,
+            base.graph,
+            state.values,
+            state.dependency,
+            config,
+            num_shards,
+        )
+        .map_err(|e| StoreError::Checkpoint(e.to_string())),
+        None => {
+            let mut e = ShardedEngine::new(alg, base.graph, config, num_shards);
+            e.initial_compute();
+            Ok(e)
+        }
+    })
+}
+
+/// Engine-generic recovery: loads the newest intact snapshot, mounts an
+/// engine on it via `mount`, and replays the surviving WAL suffix through
+/// [`ReplayEngine::replay_batch`].
+///
+/// [`recover`] and [`recover_sharded`] are thin wrappers; use this directly
+/// to recover a custom [`ReplayEngine`].
+///
+/// # Errors
+///
+/// Every failure is a [`StoreError`] naming the damaged file and byte
+/// offset where applicable.
+pub fn recover_with<E: ReplayEngine>(
+    dir: &Path,
+    options: RecoveryOptions,
+    mount: impl FnOnce(RecoveredBase) -> Result<E, StoreError>,
+) -> Result<(E, RecoveryReport), StoreError> {
     let root = manifest::read(dir)?;
 
     // Newest intact snapshot at or below the committed sequence. Snapshots
@@ -111,31 +264,17 @@ pub fn recover(
         }
     }
     let snap = loaded.ok_or_else(|| StoreError::NoSnapshot { dir: dir.to_path_buf() })?;
+    let snap_sequence = snap.sequence;
 
     // Mount the engine on the snapshot.
-    let mut engine = match snap.state {
-        Some(state) => StreamingEngine::from_checkpoint(
-            alg,
-            snap.graph,
-            state.values,
-            state.dependency,
-            config,
-        )
-        .map_err(|e| StoreError::Checkpoint(e.to_string()))?,
-        None => {
-            // Graph-only snapshot: no converged state was persisted, so the
-            // warm start degrades to a cold compute at the snapshot point.
-            let mut e = StreamingEngine::new(alg, snap.graph, config);
-            e.initial_compute();
-            e
-        }
-    };
+    let mut engine =
+        mount(RecoveredBase { graph: snap.graph, state: snap.state, sequence: snap_sequence })?;
 
     // Walk the WAL segments covering (snapshot, manifest.wal_base]. Every
     // checkpoint rotates the log, so the chosen snapshot's sequence is
     // always some segment's base; a hole in that chain is lost history.
     let mut segments = wal::list(dir)?;
-    segments.retain(|(base, _)| *base >= snap.sequence && *base <= root.wal_base);
+    segments.retain(|(base, _)| *base >= snap_sequence && *base <= root.wal_base);
     if segments.last().map(|(base, _)| *base) != Some(root.wal_base) {
         return Err(StoreError::corrupt(
             &manifest::path_in(dir),
@@ -148,7 +287,7 @@ pub fn recover(
     }
 
     let mut replayed = 0usize;
-    let mut recovered_sequence = snap.sequence;
+    let mut recovered_sequence = snap_sequence;
     let mut wal_truncated = false;
     for (base, path) in &segments {
         if *base != recovered_sequence {
@@ -173,25 +312,25 @@ pub fn recover(
                     found: record.sequence,
                 });
             }
-            engine.apply_update_batch(&record.batch)?;
+            engine.replay_batch(&record.batch)?;
             recovered_sequence = record.sequence;
             replayed += 1;
         }
     }
 
     if options.validate {
-        engine.validate_converged().map_err(StoreError::Checkpoint)?;
+        engine.validate().map_err(StoreError::Checkpoint)?;
     }
 
-    Ok(Recovered {
+    Ok((
         engine,
-        report: RecoveryReport {
-            snapshot_sequence: snap.sequence,
+        RecoveryReport {
+            snapshot_sequence: snap_sequence,
             snapshots_skipped: skipped,
             replayed_batches: replayed,
             recovered_sequence,
             active_wal_base: root.wal_base,
             wal_truncated,
         },
-    })
+    ))
 }

@@ -5,13 +5,13 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use jetstream_algorithms::Algorithm;
-use jetstream_core::{EngineConfig, RunStats, StreamingEngine};
+use jetstream_core::{EngineConfig, RunStats, ShardedEngine, StreamingEngine};
 use jetstream_graph::{AdjacencyGraph, UpdateBatch};
 
 use crate::error::StoreError;
 use crate::fsutil;
 use crate::manifest::{self, Manifest};
-use crate::recovery::{self, RecoveryOptions, RecoveryReport};
+use crate::recovery::{self, RecoveryOptions, RecoveryReport, ReplayEngine};
 use crate::snapshot::{self, SnapshotState};
 use crate::wal;
 
@@ -210,38 +210,29 @@ impl DurableStore {
     }
 }
 
-/// A [`StreamingEngine`] whose state survives crashes.
+/// An engine whose state survives crashes.
 ///
 /// Every applied batch is WAL-logged after the engine accepts it (a rejected
 /// batch never reaches the log, so replay always applies cleanly), and the
 /// engine's converged state is snapshotted every
 /// [`StoreOptions::checkpoint_interval`] batches. [`DurableEngine::recover`]
 /// warm-starts from the directory after a crash.
+///
+/// Generic over the execution strategy: the default `E` is the sequential
+/// [`StreamingEngine`]; [`DurableEngine::recover_sharded`] (and
+/// [`DurableEngine::create`] with a [`ShardedEngine`]) run the same durable
+/// protocol behind the parallel engine. The on-disk state is identical
+/// either way, so a store may freely alternate execution modes across
+/// restarts.
 #[derive(Debug)]
-pub struct DurableEngine {
-    engine: StreamingEngine,
+pub struct DurableEngine<E: ReplayEngine = StreamingEngine> {
+    engine: E,
     store: DurableStore,
     batches_since_checkpoint: u64,
 }
 
 impl DurableEngine {
-    /// Makes `engine` durable in `dir`, writing its current state (graph,
-    /// values, dependence tree) as the base snapshot at sequence 0.
-    ///
-    /// The engine should be converged (`initial_compute` already run):
-    /// the snapshot records its values as the recoverable approximation
-    /// recovery resumes from (§3.4).
-    pub fn create(
-        dir: &Path,
-        engine: StreamingEngine,
-        options: StoreOptions,
-    ) -> Result<DurableEngine, StoreError> {
-        let state = Self::state_of(&engine);
-        let store = DurableStore::create(dir, options, 0, engine.graph(), Some(&state))?;
-        Ok(DurableEngine { engine, store, batches_since_checkpoint: 0 })
-    }
-
-    /// Warm-starts an engine from the store in `dir`.
+    /// Warm-starts a sequential engine from the store in `dir`.
     ///
     /// `alg` must be the algorithm (including parameters such as the source
     /// vertex) the persisted state was computed with. Returns the durable
@@ -254,27 +245,63 @@ impl DurableEngine {
         recovery_options: RecoveryOptions,
     ) -> Result<(DurableEngine, RecoveryReport), StoreError> {
         let recovered = recovery::recover(dir, alg, config, recovery_options)?;
-        let store = DurableStore::open_after_recovery(dir, options, &recovered.report)?;
-        let batches_since_checkpoint =
-            recovered.report.recovered_sequence - recovered.report.snapshot_sequence;
-        Ok((
-            DurableEngine { engine: recovered.engine, store, batches_since_checkpoint },
-            recovered.report,
-        ))
+        Self::reattach(dir, recovered.engine, options, recovered.report)
+    }
+}
+
+impl DurableEngine<ShardedEngine> {
+    /// Warm-starts a [`ShardedEngine`] with `num_shards` workers from the
+    /// store in `dir` — the parallel counterpart of
+    /// [`DurableEngine::recover`], over the same on-disk state.
+    pub fn recover_sharded(
+        dir: &Path,
+        alg: Box<dyn Algorithm>,
+        config: EngineConfig,
+        num_shards: usize,
+        options: StoreOptions,
+        recovery_options: RecoveryOptions,
+    ) -> Result<(DurableEngine<ShardedEngine>, RecoveryReport), StoreError> {
+        let (engine, report) =
+            recovery::recover_sharded(dir, alg, config, num_shards, recovery_options)?;
+        Self::reattach(dir, engine, options, report)
+    }
+}
+
+impl<E: ReplayEngine> DurableEngine<E> {
+    /// Makes `engine` durable in `dir`, writing its current state (graph,
+    /// values, dependence tree) as the base snapshot at sequence 0.
+    ///
+    /// The engine should be converged (`initial_compute` already run):
+    /// the snapshot records its values as the recoverable approximation
+    /// recovery resumes from (§3.4).
+    pub fn create(
+        dir: &Path,
+        engine: E,
+        options: StoreOptions,
+    ) -> Result<DurableEngine<E>, StoreError> {
+        let state = engine.checkpoint_state();
+        let store = DurableStore::create(dir, options, 0, engine.checkpoint_graph(), Some(&state))?;
+        Ok(DurableEngine { engine, store, batches_since_checkpoint: 0 })
     }
 
-    fn state_of(engine: &StreamingEngine) -> SnapshotState {
-        SnapshotState {
-            values: engine.values().to_vec(),
-            dependency: engine.dependencies().to_vec(),
-        }
+    /// Pairs an engine that [`recovery`] just rebuilt with its store
+    /// directory, resuming appends where replay stopped.
+    fn reattach(
+        dir: &Path,
+        engine: E,
+        options: StoreOptions,
+        report: RecoveryReport,
+    ) -> Result<(DurableEngine<E>, RecoveryReport), StoreError> {
+        let store = DurableStore::open_after_recovery(dir, options, &report)?;
+        let batches_since_checkpoint = report.recovered_sequence - report.snapshot_sequence;
+        Ok((DurableEngine { engine, store, batches_since_checkpoint }, report))
     }
 
     /// The wrapped engine.
     ///
     /// Only shared access is exposed: mutating the engine behind the store's
     /// back would desynchronize the WAL from the in-memory state.
-    pub fn engine(&self) -> &StreamingEngine {
+    pub fn engine(&self) -> &E {
         &self.engine
     }
 
@@ -296,7 +323,7 @@ impl DurableEngine {
     /// unacknowledged batch — the durable state is still a consistent
     /// prefix.
     pub fn apply_update_batch(&mut self, batch: &UpdateBatch) -> Result<RunStats, StoreError> {
-        let stats = self.engine.apply_update_batch(batch)?;
+        let stats = self.engine.replay_batch(batch)?;
         self.store.append(batch)?;
         self.batches_since_checkpoint += 1;
         let interval = self.store.options().checkpoint_interval;
@@ -309,14 +336,14 @@ impl DurableEngine {
     /// Forces a checkpoint of the engine's current state now; returns its
     /// sequence number.
     pub fn checkpoint(&mut self) -> Result<u64, StoreError> {
-        let state = Self::state_of(&self.engine);
-        let seq = self.store.checkpoint(self.engine.graph(), Some(&state))?;
+        let state = self.engine.checkpoint_state();
+        let seq = self.store.checkpoint(self.engine.checkpoint_graph(), Some(&state))?;
         self.batches_since_checkpoint = 0;
         Ok(seq)
     }
 
     /// Unwraps the engine, abandoning durability tracking.
-    pub fn into_engine(self) -> StreamingEngine {
+    pub fn into_engine(self) -> E {
         self.engine
     }
 }

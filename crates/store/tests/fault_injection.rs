@@ -83,17 +83,76 @@ fn build_store(workload: Workload, dir: &Path) -> History {
     history
 }
 
+/// Shard count for the differential recovery mode, from
+/// `JETSTREAM_STORE_SHARDS`. When set, every recovery in this suite also
+/// runs through `DurableEngine::recover_sharded` on a pristine copy of the
+/// damaged directory and must agree with the sequential recovery exactly —
+/// same report, bit-identical values and dependencies, or failure in both
+/// modes. CI runs the suite once plain and once with 2 shards.
+fn differential_shards() -> Option<usize> {
+    std::env::var("JETSTREAM_STORE_SHARDS").ok()?.parse().ok()
+}
+
 fn try_recover(
     workload: Workload,
     dir: &Path,
 ) -> Result<(DurableEngine, jetstream_store::RecoveryReport), StoreError> {
-    DurableEngine::recover(
+    // Copy before the sequential recovery: torn-tail repair mutates the
+    // directory, and both modes must see the same damage.
+    let pristine = differential_shards().map(|shards| {
+        let copy = tmpdir("sharded-diff");
+        copy_dir(dir, &copy);
+        (shards, copy)
+    });
+    let sequential = DurableEngine::recover(
         dir,
         workload.instantiate_with_epsilon(ROOT, EPSILON),
         EngineConfig::default(),
         options(),
         RecoveryOptions::default(),
-    )
+    );
+    if let Some((shards, copy)) = pristine {
+        let sharded = DurableEngine::recover_sharded(
+            &copy,
+            workload.instantiate_with_epsilon(ROOT, EPSILON),
+            EngineConfig::default(),
+            shards,
+            options(),
+            RecoveryOptions::default(),
+        );
+        match (&sequential, &sharded) {
+            (Ok((seq_engine, seq_report)), Ok((sh_engine, sh_report))) => {
+                assert_eq!(
+                    seq_report,
+                    sh_report,
+                    "{}: sharded recovery report diverged",
+                    workload.name()
+                );
+                assert_eq!(
+                    seq_engine.engine().values(),
+                    sh_engine.engine().values(),
+                    "{}: sharded recovery values diverged",
+                    workload.name()
+                );
+                assert_eq!(
+                    seq_engine.engine().dependencies(),
+                    sh_engine.engine().dependencies(),
+                    "{}: sharded recovery dependencies diverged",
+                    workload.name()
+                );
+                assert_eq!(seq_engine.engine().graph(), sh_engine.engine().graph());
+            }
+            (Err(_), Err(_)) => {} // both fail loudly: agreement
+            (Ok(_), Err(e)) => {
+                panic!("{}: only sharded recovery failed: {e}", workload.name())
+            }
+            (Err(e), Ok(_)) => {
+                panic!("{}: only sequential recovery failed: {e}", workload.name())
+            }
+        }
+        fs::remove_dir_all(&copy).unwrap();
+    }
+    sequential
 }
 
 /// The core assertion: the recovered state is bit-identical to the state
@@ -371,6 +430,69 @@ fn recovered_store_keeps_working_and_recovers_again() {
         assert_recovered_state(workload, &recovered, BATCHES + 2, &history);
         fs::remove_dir_all(&dir).unwrap();
     }
+}
+
+#[test]
+fn sharded_recovery_matches_live_history_bitwise() {
+    // A store written by the sequential engine recovers under the sharded
+    // engine to the exact same state — snapshot mount and WAL replay are
+    // execution-strategy agnostic.
+    for workload in Workload::ALL {
+        let dir = tmpdir("shrec");
+        let history = build_store(workload, &dir);
+        let (sharded, report) = DurableEngine::recover_sharded(
+            &dir,
+            workload.instantiate_with_epsilon(ROOT, EPSILON),
+            EngineConfig::default(),
+            2,
+            options(),
+            RecoveryOptions { validate: true, ..RecoveryOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(report.recovered_sequence, BATCHES, "{}", workload.name());
+        let engine = sharded.engine();
+        assert_eq!(
+            engine.values(),
+            &history.values[BATCHES as usize][..],
+            "{}: sharded recovery diverged from live history",
+            workload.name()
+        );
+        assert_eq!(engine.graph(), &history.graphs[BATCHES as usize]);
+        engine.validate_converged().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn store_written_by_sharded_engine_recovers_sequentially() {
+    // Alternate execution modes across restarts: recover sharded, stream
+    // two more batches (crossing a checkpoint) in parallel, then recover
+    // the result with the sequential engine against recorded history.
+    let workload = Workload::Sssp;
+    let dir = tmpdir("shcont");
+    let mut history = build_store(workload, &dir);
+    let (mut durable, _) = DurableEngine::recover_sharded(
+        &dir,
+        workload.instantiate_with_epsilon(ROOT, EPSILON),
+        EngineConfig::default(),
+        4,
+        options(),
+        RecoveryOptions::default(),
+    )
+    .unwrap();
+    for i in 0..2u64 {
+        let batch = gen::batch_with_ratio(durable.engine().graph(), 30, 0.6, 300 + i);
+        durable.apply_update_batch(&batch).unwrap();
+        history.values.push(durable.engine().values().to_vec());
+        history.graphs.push(durable.engine().graph().clone());
+    }
+    assert_eq!(durable.sequence(), BATCHES + 2);
+    drop(durable);
+
+    let (recovered, report) = try_recover(workload, &dir).unwrap();
+    assert_eq!(report.recovered_sequence, BATCHES + 2);
+    assert_recovered_state(workload, &recovered, BATCHES + 2, &history);
+    fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -691,14 +691,18 @@ impl StreamingEngine {
         // `touched` vertices have an out-edge added or deleted: their
         // per-edge contribution factor (1/deg or w/wsum) changes, so the
         // sink transform of Fig. 5 removes *all* their out-edges first.
-        let old_host = self.host.clone();
-        self.host.apply_batch(batch)?;
         let touched: BTreeSet<VertexId> = batch
             .deletions()
             .iter()
             .map(|&(u, _)| u)
             .chain(batch.insertions().iter().map(|&(u, _, _)| u))
             .collect();
+        // Only the touched vertices' out-edge lists change when the batch
+        // applies, so capturing those slices replaces the former full
+        // `self.host.clone()` (O(batch) instead of O(V + E) per batch).
+        let old_out_edges: Vec<Vec<(VertexId, Value)>> =
+            touched.iter().map(|&u| self.host.neighbors(u).collect()).collect();
+        self.host.apply_batch(batch)?;
         self.impacted.clear();
         let new_csr = self.host.snapshot_pair();
 
@@ -706,18 +710,17 @@ impl StreamingEngine {
         // vertex, using the old degree/weight-sum (Algorithm 3).
         self.tracer.begin_phase(Phase::DeleteSetup);
         let snapshot: Vec<Value> = touched.iter().map(|&u| self.values[u as usize]).collect();
-        for (&u, &state) in touched.iter().zip(snapshot.iter()) {
-            let deg = old_host.degree(u);
+        for ((&u, &state), old_edges) in touched.iter().zip(snapshot.iter()).zip(&old_out_edges) {
+            let deg = old_edges.len();
             let wsum: Value = if self.alg.needs_weight_sum() {
-                old_host.neighbors(u).map(|(_, w)| w).sum()
+                old_edges.iter().map(|&(_, w)| w).sum()
             } else {
                 0.0
             };
             self.stats.vertex_reads += 1;
-            let old_edges: Vec<(VertexId, Value)> = old_host.neighbors(u).collect();
             let targets_start = self.tracer.targets_start();
             let mut generated = 0u32;
-            for (v, w) in &old_edges {
+            for (v, w) in old_edges {
                 self.stats.stream_reads += 1;
                 let ctx = EdgeCtx { weight: *w, out_degree: deg, weight_sum: wsum };
                 if let Some(c) = self.alg.cumulative_edge_contribution(state, &ctx) {
@@ -742,11 +745,14 @@ impl StreamingEngine {
         if self.config.accumulative_recovery == AccumulativeRecovery::TwoPhase {
             // Compute on the intermediate graph: the old graph with all
             // touched vertices turned into sinks, breaking every cyclic
-            // path through them (Fig. 5b).
+            // path through them (Fig. 5b). Untouched vertices' out-edges
+            // are identical before and after the batch, so the new host
+            // filtered by `touched` yields exactly the old graph's
+            // non-touched edges.
             let intermediate_edges: Vec<(VertexId, VertexId, Value)> =
-                old_host.iter_edges().filter(|(u, _, _)| !touched.contains(u)).collect();
+                self.host.iter_edges().filter(|(u, _, _)| !touched.contains(u)).collect();
             self.csr = CsrPair::new(jetstream_graph::Csr::from_edges(
-                old_host.num_vertices(),
+                self.host.num_vertices(),
                 &intermediate_edges,
             ));
             self.tracer.begin_phase(Phase::IntermediateCompute);

@@ -903,14 +903,18 @@ impl ShardedEngine {
 
     fn stream_accumulative(&mut self, batch: &UpdateBatch) -> Result<(), GraphError> {
         use std::collections::BTreeSet;
-        let old_host = self.host.clone();
-        self.host.apply_batch(batch)?;
         let touched: BTreeSet<VertexId> = batch
             .deletions()
             .iter()
             .map(|&(u, _)| u)
             .chain(batch.insertions().iter().map(|&(u, _, _)| u))
             .collect();
+        // Capture only the touched vertices' old out-edge lists — the rest
+        // of the graph is unchanged by the batch (see the sequential
+        // engine's `stream_accumulative`).
+        let old_out_edges: Vec<Vec<(VertexId, Value)>> =
+            touched.iter().map(|&u| self.host.neighbors(u).collect()).collect();
+        self.host.apply_batch(batch)?;
         self.impacted.clear();
         for sh in &mut self.shards {
             sh.impacted.clear();
@@ -920,16 +924,15 @@ impl ShardedEngine {
         // Phase 1 — negative events for every old out-edge of a touched
         // vertex, using the old degree/weight-sum.
         let snapshot: Vec<Value> = touched.iter().map(|&u| self.values[u as usize]).collect();
-        for (&u, &state) in touched.iter().zip(snapshot.iter()) {
-            let deg = old_host.degree(u);
+        for ((_, &state), old_edges) in touched.iter().zip(snapshot.iter()).zip(&old_out_edges) {
+            let deg = old_edges.len();
             let wsum: Value = if self.alg.needs_weight_sum() {
-                old_host.neighbors(u).map(|(_, w)| w).sum()
+                old_edges.iter().map(|&(_, w)| w).sum()
             } else {
                 0.0
             };
             self.stats.vertex_reads += 1;
-            let old_edges: Vec<(VertexId, Value)> = old_host.neighbors(u).collect();
-            for (v, w) in &old_edges {
+            for (v, w) in old_edges {
                 self.stats.stream_reads += 1;
                 let ctx = EdgeCtx { weight: *w, out_degree: deg, weight_sum: wsum };
                 if let Some(c) = self.alg.cumulative_edge_contribution(state, &ctx) {
@@ -942,10 +945,13 @@ impl ShardedEngine {
 
         if self.config.accumulative_recovery == AccumulativeRecovery::TwoPhase {
             // Converge on the intermediate sink-transformed graph first.
+            // Untouched vertices' out-edges are identical before and after
+            // the batch, so filtering the new host by `touched` yields
+            // exactly the old graph's non-touched edges.
             let intermediate_edges: Vec<(VertexId, VertexId, Value)> =
-                old_host.iter_edges().filter(|(u, _, _)| !touched.contains(u)).collect();
+                self.host.iter_edges().filter(|(u, _, _)| !touched.contains(u)).collect();
             self.csr = CsrPair::new(jetstream_graph::Csr::from_edges(
-                old_host.num_vertices(),
+                self.host.num_vertices(),
                 &intermediate_edges,
             ));
             self.run_queue();

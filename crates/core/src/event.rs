@@ -25,6 +25,12 @@ pub struct Event {
     pub source: Option<VertexId>,
 }
 
+// The queue holds one potential event per vertex; any growth of this
+// struct multiplies directly into queue memory and drain bandwidth. The
+// current layout packs to 24 bytes (payload + target + Option<source> +
+// two flag bytes); see DESIGN.md §12 before relaxing the bound.
+const _: () = assert!(std::mem::size_of::<Event>() <= 24, "Event grew past 24 bytes");
+
 impl Event {
     /// A regular value-carrying event.
     pub fn regular(target: VertexId, payload: Value) -> Self {

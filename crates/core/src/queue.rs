@@ -1,6 +1,6 @@
 use std::collections::VecDeque;
 
-use jetstream_algorithms::Algorithm;
+use jetstream_algorithms::{Algorithm, Value};
 use jetstream_graph::VertexId;
 
 use crate::event::Event;
@@ -30,6 +30,17 @@ impl std::ops::AddAssign for QueueStats {
     }
 }
 
+/// Slot flag bits packed into one byte per vertex.
+const FLAG_DELETE: u8 = 1;
+const FLAG_REQUEST: u8 = 1 << 1;
+const FLAG_SOURCE: u8 = 1 << 2;
+
+fn flags_of(event: &Event) -> u8 {
+    u8::from(event.is_delete)
+        | if event.request { FLAG_REQUEST } else { 0 }
+        | if event.source.is_some() { FLAG_SOURCE } else { 0 }
+}
+
 /// The on-chip coalescing event queue (§4.2).
 ///
 /// The hardware queue is a set of *bins*, each a direct-mapped grid holding
@@ -40,12 +51,28 @@ impl std::ops::AddAssign for QueueStats {
 /// (giving the DRAM page locality the paper relies on).
 ///
 /// This functional model maps vertex `v` to bin `v / bin_size` and keeps one
-/// slot per vertex. Under DAP the recovery phase must *not* coalesce delete
-/// events (each carries a distinct source id); those spill to an overflow
-/// buffer, modelling the off-chip overflow area of §5.2.
+/// slot per vertex, stored structure-of-arrays: an occupancy bitmap (one bit
+/// per vertex) plus parallel payload/source/flags arrays. `insert` is a
+/// single bit test; drains walk the bitmap word by word with
+/// `trailing_zeros`, so their cost is proportional to `V/64` words plus the
+/// number of resident events — not to `bin_size` — and the engines reuse
+/// caller-provided scratch buffers via the `take_*_into` methods so steady-
+/// state drains allocate nothing.
+///
+/// Under DAP the recovery phase must *not* coalesce delete events (each
+/// carries a distinct source id); those spill to an overflow buffer,
+/// modelling the off-chip overflow area of §5.2.
 #[derive(Debug)]
 pub struct CoalescingQueue {
-    slots: Vec<Option<Event>>,
+    /// One bit per vertex: set iff the vertex has a resident event.
+    occupancy: Vec<u64>,
+    /// Resident payload per vertex (valid only when the occupancy bit is set).
+    payload: Vec<Value>,
+    /// Resident source per vertex (valid only when `FLAG_SOURCE` is set).
+    source: Vec<VertexId>,
+    /// Resident flag byte per vertex (valid only when occupied).
+    flags: Vec<u8>,
+    num_vertices: usize,
     bin_size: usize,
     num_bins: usize,
     bin_len: Vec<usize>,
@@ -67,7 +94,11 @@ impl CoalescingQueue {
         let bin_size = num_vertices.div_ceil(num_bins).max(1);
         let num_bins = if num_vertices == 0 { 1 } else { num_vertices.div_ceil(bin_size) };
         CoalescingQueue {
-            slots: vec![None; num_vertices],
+            occupancy: vec![0; num_vertices.div_ceil(64)],
+            payload: vec![0.0; num_vertices],
+            source: vec![0; num_vertices],
+            flags: vec![0; num_vertices],
+            num_vertices,
             bin_size,
             num_bins,
             bin_len: vec![0; num_bins],
@@ -92,16 +123,24 @@ impl CoalescingQueue {
         if coalesce {
             return;
         }
-        for idx in 0..self.slots.len() {
-            if !self.slots[idx].as_ref().is_some_and(|e| e.is_delete) {
-                continue;
+        // Evict resident deletes in ascending vertex order.
+        for wi in 0..self.occupancy.len() {
+            let mut word = self.occupancy[wi];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let v = wi * 64 + bit;
+                if self.flags[v] & FLAG_DELETE == 0 {
+                    continue;
+                }
+                self.occupancy[wi] &= !(1u64 << bit);
+                let bin = self.bin_of(v as VertexId);
+                self.bin_len[bin] -= 1;
+                self.len -= 1;
+                self.stats.overflowed += 1;
+                let ev = self.event_at(v);
+                self.overflow.push_back(ev);
             }
-            let Some(ev) = self.slots[idx].take() else { continue };
-            let bin = (idx / self.bin_size).min(self.num_bins - 1);
-            self.bin_len[bin] -= 1;
-            self.len -= 1;
-            self.stats.overflowed += 1;
-            self.overflow.push_back(ev);
         }
     }
 
@@ -134,6 +173,19 @@ impl CoalescingQueue {
         (v as usize / self.bin_size).min(self.num_bins - 1)
     }
 
+    /// Reconstructs the resident event for occupied vertex `v` from the
+    /// parallel arrays.
+    fn event_at(&self, v: usize) -> Event {
+        let flags = self.flags[v];
+        Event {
+            target: v as VertexId,
+            payload: self.payload[v],
+            is_delete: flags & FLAG_DELETE != 0,
+            request: flags & FLAG_REQUEST != 0,
+            source: (flags & FLAG_SOURCE != 0).then_some(self.source[v]),
+        }
+    }
+
     /// Inserts an event, coalescing with any resident event for the same
     /// vertex using the algorithm's `Reduce` (§4.2).
     ///
@@ -148,9 +200,10 @@ impl CoalescingQueue {
     /// # Panics
     ///
     /// Panics if the target vertex is out of range.
+    // hot-path
     pub fn insert(&mut self, event: Event, alg: &dyn Algorithm) {
         assert!(
-            (event.target as usize) < self.slots.len(),
+            (event.target as usize) < self.num_vertices,
             "event target {} out of range",
             event.target
         );
@@ -161,108 +214,194 @@ impl CoalescingQueue {
             return;
         }
         let idx = event.target as usize;
-        match &mut self.slots[idx] {
-            None => {
-                let bin = self.bin_of(event.target);
-                self.slots[idx] = Some(event);
-                self.bin_len[bin] += 1;
-                self.len += 1;
+        let (word, mask) = (idx / 64, 1u64 << (idx % 64));
+        if self.occupancy[word] & mask == 0 {
+            // Empty slot: claim the bit and write the fields.
+            self.occupancy[word] |= mask;
+            self.payload[idx] = event.payload;
+            self.flags[idx] = flags_of(&event);
+            if let Some(s) = event.source {
+                self.source[idx] = s;
             }
-            Some(resident) => {
-                if resident.is_delete != event.is_delete {
-                    // Mixed kinds: preserve both; the newcomer overflows.
-                    self.stats.overflowed += 1;
-                    self.overflow.push_back(event);
-                    return;
-                }
-                let reduced = alg.reduce(resident.payload, event.payload);
-                // Retain the source of the event whose payload dominates.
-                if reduced != resident.payload {
-                    resident.source = event.source;
-                }
-                resident.payload = reduced;
-                resident.request |= event.request;
-                self.stats.coalesced += 1;
+            let bin = self.bin_of(event.target);
+            self.bin_len[bin] += 1;
+            self.len += 1;
+        } else {
+            if (self.flags[idx] & FLAG_DELETE != 0) != event.is_delete {
+                // Mixed kinds: preserve both; the newcomer overflows.
+                self.stats.overflowed += 1;
+                self.overflow.push_back(event);
+                return;
             }
+            let reduced = alg.reduce(self.payload[idx], event.payload);
+            // Retain the source of the event whose payload dominates.
+            if reduced != self.payload[idx] {
+                match event.source {
+                    Some(s) => {
+                        self.source[idx] = s;
+                        self.flags[idx] |= FLAG_SOURCE;
+                    }
+                    None => self.flags[idx] &= !FLAG_SOURCE,
+                }
+            }
+            self.payload[idx] = reduced;
+            if event.request {
+                self.flags[idx] |= FLAG_REQUEST;
+            }
+            self.stats.coalesced += 1;
         }
     }
 
+    /// Clears every occupancy bit in `lo..hi`, appending the reconstructed
+    /// events to `out` in ascending vertex order. Returns the number of
+    /// events drained. Bin lengths, `len`, and stats are the caller's job.
+    // hot-path
+    fn drain_bits(&mut self, lo: usize, hi: usize, out: &mut Vec<Event>) -> usize {
+        if lo >= hi {
+            return 0;
+        }
+        let mut drained = 0;
+        let (first_word, last_word) = (lo / 64, (hi - 1) / 64);
+        for wi in first_word..=last_word {
+            let mut word = self.occupancy[wi];
+            if wi == first_word {
+                word &= !0u64 << (lo % 64);
+            }
+            if wi == last_word {
+                let top = hi - wi * 64; // 1..=64 live bits in this word
+                if top < 64 {
+                    word &= (1u64 << top) - 1;
+                }
+            }
+            if word == 0 {
+                continue;
+            }
+            self.occupancy[wi] &= !word;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                out.push(self.event_at(wi * 64 + bit));
+                drained += 1;
+            }
+        }
+        drained
+    }
+
+    /// Drains all events in `bin` into `out` (appended in ascending vertex
+    /// order), returning how many were drained. `out` is not cleared, so a
+    /// caller reusing a scratch buffer across rounds must clear it first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= num_bins()`.
+    // hot-path
+    pub fn take_bin_into(&mut self, bin: usize, out: &mut Vec<Event>) -> usize {
+        assert!(bin < self.num_bins, "bin {bin} out of range");
+        if self.bin_len[bin] == 0 {
+            return 0;
+        }
+        let lo = bin * self.bin_size;
+        let hi = ((bin + 1) * self.bin_size).min(self.num_vertices);
+        let drained = self.drain_bits(lo, hi, out);
+        debug_assert_eq!(drained, self.bin_len[bin]);
+        self.len -= drained;
+        self.bin_len[bin] = 0;
+        self.stats.drained += drained as u64;
+        drained
+    }
+
+    /// Drains all queued events whose target lies in `lo..hi` into `out`
+    /// (appended in ascending vertex order), returning how many were
+    /// drained. Used for slice-by-slice draining when the graph exceeds the
+    /// queue capacity (§4.7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the vertex count.
+    // hot-path
+    pub fn take_range_into(&mut self, lo: usize, hi: usize, out: &mut Vec<Event>) -> usize {
+        assert!(lo <= hi && hi <= self.num_vertices, "range {lo}..{hi} out of bounds");
+        if lo == hi {
+            return 0;
+        }
+        // Walk bin by bin so per-bin lengths stay exact.
+        let mut total = 0;
+        let first_bin = self.bin_of(lo as VertexId);
+        let last_bin = self.bin_of((hi - 1) as VertexId);
+        for bin in first_bin..=last_bin {
+            if self.bin_len[bin] == 0 {
+                continue;
+            }
+            let bin_lo = (bin * self.bin_size).max(lo);
+            let bin_hi = ((bin + 1) * self.bin_size).min(self.num_vertices).min(hi);
+            let drained = self.drain_bits(bin_lo, bin_hi, out);
+            self.bin_len[bin] -= drained;
+            total += drained;
+        }
+        self.len -= total;
+        self.stats.drained += total as u64;
+        total
+    }
+
+    /// Drains every queued slot event into `out` (appended in ascending
+    /// vertex order), returning how many were drained — the canonical round
+    /// snapshot the engines' superstep drain loop is built on. Overflow
+    /// events are not touched; the engine snapshots those separately with
+    /// [`pop_overflow`]. Bins are contiguous ascending vertex ranges, so one
+    /// full bitmap sweep is identical to draining bin 0, bin 1, … in order.
+    ///
+    /// [`pop_overflow`]: CoalescingQueue::pop_overflow
+    // hot-path
+    pub fn take_all_into(&mut self, out: &mut Vec<Event>) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        out.reserve(self.len);
+        let drained = self.drain_bits(0, self.num_vertices, out);
+        debug_assert_eq!(drained, self.len);
+        self.len = 0;
+        self.bin_len.fill(0);
+        self.stats.drained += drained as u64;
+        drained
+    }
+
     /// Removes and returns all events in `bin`, in ascending vertex order.
+    /// Allocating convenience wrapper over
+    /// [`take_bin_into`](CoalescingQueue::take_bin_into).
     ///
     /// # Panics
     ///
     /// Panics if `bin >= num_bins()`.
     pub fn take_bin(&mut self, bin: usize) -> Vec<Event> {
-        assert!(bin < self.num_bins, "bin {bin} out of range");
-        if self.bin_len[bin] == 0 {
-            return Vec::new();
-        }
-        let lo = bin * self.bin_size;
-        let hi = ((bin + 1) * self.bin_size).min(self.slots.len());
-        let mut out = Vec::with_capacity(self.bin_len[bin]);
-        for slot in &mut self.slots[lo..hi] {
-            if let Some(ev) = slot.take() {
-                out.push(ev);
-            }
-        }
-        self.len -= out.len();
-        self.bin_len[bin] = 0;
-        self.stats.drained += out.len() as u64;
+        let mut out = Vec::new();
+        self.take_bin_into(bin, &mut out);
         out
     }
 
-    /// Removes and returns all queued events whose target lies in
-    /// `lo..hi`, in ascending vertex order (used for slice-by-slice
-    /// draining when the graph exceeds the queue capacity, §4.7).
+    /// Removes and returns all queued events whose target lies in `lo..hi`,
+    /// in ascending vertex order. Allocating convenience wrapper over
+    /// [`take_range_into`](CoalescingQueue::take_range_into).
     ///
     /// # Panics
     ///
     /// Panics if the range exceeds the vertex count.
     pub fn take_range(&mut self, lo: usize, hi: usize) -> Vec<Event> {
-        assert!(lo <= hi && hi <= self.slots.len(), "range {lo}..{hi} out of bounds");
         let mut out = Vec::new();
-        for v in lo..hi {
-            if let Some(ev) = self.slots[v].take() {
-                let bin = self.bin_of(v as VertexId);
-                self.bin_len[bin] -= 1;
-                self.len -= 1;
-                out.push(ev);
-            }
-        }
-        self.stats.drained += out.len() as u64;
+        self.take_range_into(lo, hi, &mut out);
         out
     }
 
     /// Removes and returns every queued slot event in ascending vertex
-    /// order — the canonical round snapshot the engines' superstep drain
-    /// loop is built on. Overflow events are not touched; the engine
-    /// snapshots those separately with [`pop_overflow`].
-    ///
-    /// [`pop_overflow`]: CoalescingQueue::pop_overflow
+    /// order. Allocating convenience wrapper over
+    /// [`take_all_into`](CoalescingQueue::take_all_into).
     pub fn take_all(&mut self) -> Vec<Event> {
-        if self.len == 0 {
-            return Vec::new();
-        }
-        let mut out = Vec::with_capacity(self.len);
-        for bin in 0..self.num_bins {
-            if self.bin_len[bin] == 0 {
-                continue;
-            }
-            let lo = bin * self.bin_size;
-            let hi = ((bin + 1) * self.bin_size).min(self.slots.len());
-            for slot in &mut self.slots[lo..hi] {
-                if let Some(ev) = slot.take() {
-                    out.push(ev);
-                }
-            }
-            self.bin_len[bin] = 0;
-        }
-        self.len = 0;
-        self.stats.drained += out.len() as u64;
+        let mut out = Vec::new();
+        self.take_all_into(&mut out);
         out
     }
 
     /// Pops the oldest overflow event, if any.
+    // hot-path
     pub fn pop_overflow(&mut self) -> Option<Event> {
         let ev = self.overflow.pop_front();
         if ev.is_some() {
@@ -274,7 +413,8 @@ impl CoalescingQueue {
     /// Checks the queue's structural invariants, returning a description of
     /// the first violation found:
     ///
-    /// * the occupied-slot count equals the resident length;
+    /// * no occupancy bit is set beyond the vertex count;
+    /// * the occupied-bit count equals the resident length;
     /// * per-bin lengths match a recount and sum to the resident length;
     /// * while delete coalescing is off, no delete event occupies a slot
     ///   (DAP recovery keeps per-source deletes in the overflow buffer,
@@ -289,15 +429,21 @@ impl CoalescingQueue {
     /// Always compiled; the engine wires it into the drain loop as a debug
     /// assertion under the `strict-invariants` feature.
     pub fn validate(&self) -> Result<(), String> {
-        let occupied = self.slots.iter().filter(|s| s.is_some()).count();
+        if let Some(last) = self.occupancy.last() {
+            let live = self.num_vertices - (self.occupancy.len() - 1) * 64;
+            if live < 64 && *last & !((1u64 << live) - 1) != 0 {
+                return Err("occupancy bit set beyond the vertex count".into());
+            }
+        }
+        let occupied: usize = self.occupancy.iter().map(|w| w.count_ones() as usize).sum();
         if occupied != self.len {
             return Err(format!("{occupied} occupied slots but len = {}", self.len));
         }
         let mut bin_total = 0;
         for bin in 0..self.num_bins {
             let lo = bin * self.bin_size;
-            let hi = ((bin + 1) * self.bin_size).min(self.slots.len());
-            let count = self.slots[lo..hi].iter().filter(|s| s.is_some()).count();
+            let hi = ((bin + 1) * self.bin_size).min(self.num_vertices);
+            let count = (lo..hi).filter(|&v| self.is_occupied(v)).count();
             if count != self.bin_len[bin] {
                 return Err(format!(
                     "bin {bin} holds {count} events but bin_len says {}",
@@ -310,7 +456,8 @@ impl CoalescingQueue {
             return Err(format!("bin lengths sum to {bin_total} but len = {}", self.len));
         }
         if !self.coalesce_deletes {
-            if let Some(v) = self.slots.iter().position(|s| s.as_ref().is_some_and(|e| e.is_delete))
+            if let Some(v) = (0..self.num_vertices)
+                .find(|&v| self.is_occupied(v) && self.flags[v] & FLAG_DELETE != 0)
             {
                 return Err(format!(
                     "delete event resident in slot {v} while delete coalescing is off"
@@ -329,6 +476,10 @@ impl CoalescingQueue {
             ));
         }
         Ok(())
+    }
+
+    fn is_occupied(&self, v: usize) -> bool {
+        self.occupancy[v / 64] & (1u64 << (v % 64)) != 0
     }
 
     /// Debug-assertion wrapper around [`validate`](CoalescingQueue::validate)
@@ -397,6 +548,19 @@ mod tests {
         q.insert(Event::regular_from(9, 1, 5.0), &a);
         let evs = q.take_bin(0);
         assert_eq!(evs[0].source, Some(8));
+    }
+
+    #[test]
+    fn dominant_sourceless_event_clears_source() {
+        // A winning payload carried by a source-less event must erase the
+        // loser's source, exactly as the AoS layout's `resident.source =
+        // event.source` did.
+        let mut q = CoalescingQueue::new(4, 1);
+        let a = sssp();
+        q.insert(Event::regular_from(9, 1, 5.0), &a);
+        q.insert(Event::regular(1, 3.0), &a);
+        let evs = q.take_bin(0);
+        assert_eq!(evs[0].source, None);
     }
 
     #[test]
@@ -469,6 +633,21 @@ mod tests {
     }
 
     #[test]
+    fn take_range_straddling_a_word_boundary() {
+        let mut q = CoalescingQueue::new(200, 3);
+        let a = sssp();
+        for v in [0u32, 63, 64, 65, 127, 128, 199] {
+            q.insert(Event::regular(v, 1.0), &a);
+        }
+        let mid = q.take_range(63, 129);
+        assert_eq!(mid.iter().map(|e| e.target).collect::<Vec<_>>(), vec![63, 64, 65, 127, 128]);
+        assert_eq!(q.validate(), Ok(()));
+        let rest = q.take_all();
+        assert_eq!(rest.iter().map(|e| e.target).collect::<Vec<_>>(), vec![0, 199]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn take_all_drains_every_slot_in_vertex_order() {
         let mut q = CoalescingQueue::new(10, 3);
         let a = sssp();
@@ -496,6 +675,44 @@ mod tests {
         assert_eq!(evs[0].target, 2);
         assert_eq!(q.overflow_len(), 1);
         assert_eq!(q.validate(), Ok(()));
+    }
+
+    #[test]
+    fn scratch_drains_reuse_the_buffer_without_reallocating() {
+        // Steady-state contract: once the scratch buffer has grown to the
+        // high-water mark, repeated clear + take_all_into cycles never move
+        // or reallocate it.
+        let mut q = CoalescingQueue::new(256, 4);
+        let a = sssp();
+        let mut scratch: Vec<Event> = Vec::with_capacity(256);
+        let ptr = scratch.as_ptr();
+        let cap = scratch.capacity();
+        for round in 0..10 {
+            for v in 0..256u32 {
+                if (v + round) % 3 == 0 {
+                    q.insert(Event::regular(v, f64::from(v)), &a);
+                }
+            }
+            scratch.clear();
+            let n = q.take_all_into(&mut scratch);
+            assert_eq!(n, scratch.len());
+            assert!(scratch.windows(2).all(|w| w[0].target < w[1].target));
+            assert_eq!(scratch.as_ptr(), ptr, "scratch buffer moved");
+            assert_eq!(scratch.capacity(), cap, "scratch buffer reallocated");
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn take_into_appends_without_clearing() {
+        let mut q = CoalescingQueue::new(8, 2);
+        let a = sssp();
+        q.insert(Event::regular(1, 1.0), &a);
+        q.insert(Event::regular(6, 6.0), &a);
+        let mut out = vec![Event::regular(0, 0.0)];
+        assert_eq!(q.take_bin_into(0, &mut out), 1);
+        assert_eq!(q.take_bin_into(1, &mut out), 1);
+        assert_eq!(out.iter().map(|e| e.target).collect::<Vec<_>>(), vec![0, 1, 6]);
     }
 
     #[test]

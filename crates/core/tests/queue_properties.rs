@@ -156,6 +156,165 @@ fn full_drain_empties_the_queue_exactly_once() {
     });
 }
 
+/// The retained pre-bitmap reference implementation: one `Option<Event>`
+/// slot per vertex, linear scans on every drain. Deliberately naive — it
+/// restates the queue's contract in the simplest possible code so the
+/// bitmap/SoA production queue can be checked against it operation by
+/// operation (same drained events in the same order, same `QueueStats`).
+struct NaiveQueue {
+    slots: Vec<Option<Event>>,
+    bin_size: usize,
+    num_bins: usize,
+    overflow: std::collections::VecDeque<Event>,
+    coalesce_deletes: bool,
+    stats: jetstream_core::QueueStats,
+}
+
+impl NaiveQueue {
+    fn new(num_vertices: usize, num_bins: usize) -> Self {
+        let bin_size = num_vertices.div_ceil(num_bins).max(1);
+        let num_bins = if num_vertices == 0 { 1 } else { num_vertices.div_ceil(bin_size) };
+        NaiveQueue {
+            slots: vec![None; num_vertices],
+            bin_size,
+            num_bins,
+            overflow: std::collections::VecDeque::new(),
+            coalesce_deletes: true,
+            stats: jetstream_core::QueueStats::default(),
+        }
+    }
+
+    fn set_coalesce_deletes(&mut self, coalesce: bool) {
+        self.coalesce_deletes = coalesce;
+        if coalesce {
+            return;
+        }
+        for idx in 0..self.slots.len() {
+            if let Some(ev) = self.slots[idx].take_if(|e| e.is_delete) {
+                self.stats.overflowed += 1;
+                self.overflow.push_back(ev);
+            }
+        }
+    }
+
+    fn insert(&mut self, event: Event, alg: &dyn jetstream_algorithms::Algorithm) {
+        self.stats.inserts += 1;
+        if event.is_delete && !self.coalesce_deletes {
+            self.stats.overflowed += 1;
+            self.overflow.push_back(event);
+            return;
+        }
+        match &mut self.slots[event.target as usize] {
+            slot @ None => *slot = Some(event),
+            Some(resident) => {
+                if resident.is_delete != event.is_delete {
+                    self.stats.overflowed += 1;
+                    self.overflow.push_back(event);
+                    return;
+                }
+                let reduced = alg.reduce(resident.payload, event.payload);
+                if reduced != resident.payload {
+                    resident.source = event.source;
+                }
+                resident.payload = reduced;
+                resident.request |= event.request;
+                self.stats.coalesced += 1;
+            }
+        }
+    }
+
+    fn take_range(&mut self, lo: usize, hi: usize) -> Vec<Event> {
+        let out: Vec<Event> = self.slots[lo..hi].iter_mut().filter_map(Option::take).collect();
+        self.stats.drained += out.len() as u64;
+        out
+    }
+
+    fn take_bin(&mut self, bin: usize) -> Vec<Event> {
+        let lo = bin * self.bin_size;
+        let hi = ((bin + 1) * self.bin_size).min(self.slots.len());
+        self.take_range(lo, hi)
+    }
+
+    fn take_all(&mut self) -> Vec<Event> {
+        self.take_range(0, self.slots.len())
+    }
+
+    fn pop_overflow(&mut self) -> Option<Event> {
+        let ev = self.overflow.pop_front();
+        if ev.is_some() {
+            self.stats.drained += 1;
+        }
+        ev
+    }
+}
+
+#[test]
+fn bitmap_queue_matches_the_naive_reference_exactly() {
+    // Differential property: the production bitmap/SoA queue and the naive
+    // slot-scan reference, fed the identical random op sequence (inserts,
+    // all three drain shapes, overflow pops, mid-stream coalesce-mode
+    // toggles), must hand back the identical events in the identical order
+    // and report identical `QueueStats` after every single operation.
+    run_cases("queue: bitmap == naive reference", 256, |rng| {
+        let num_vertices = 1 + rng.gen_index(200);
+        let num_bins = 1 + rng.gen_index(8);
+        let mut real = CoalescingQueue::new(num_vertices, num_bins);
+        let mut naive = NaiveQueue::new(num_vertices, num_bins);
+        assert_eq!(real.num_bins(), naive.num_bins, "bin geometry diverged");
+        let mut scratch: Vec<Event> = Vec::new();
+        for op in 0..rng.gen_index(300) {
+            match rng.gen_index(12) {
+                0..=6 => {
+                    let ev = arb_event(rng, num_vertices);
+                    real.insert(ev, &alg());
+                    naive.insert(ev, &alg());
+                }
+                7 => {
+                    let bin = rng.gen_index(real.num_bins());
+                    scratch.clear();
+                    real.take_bin_into(bin, &mut scratch);
+                    assert_eq!(scratch, naive.take_bin(bin), "take_bin({bin}) at op {op}");
+                }
+                8 => {
+                    let lo = rng.gen_index(num_vertices + 1);
+                    let hi = lo + rng.gen_index(num_vertices + 1 - lo);
+                    scratch.clear();
+                    real.take_range_into(lo, hi, &mut scratch);
+                    assert_eq!(scratch, naive.take_range(lo, hi), "take_range at op {op}");
+                }
+                9 => {
+                    scratch.clear();
+                    real.take_all_into(&mut scratch);
+                    assert_eq!(scratch, naive.take_all(), "take_all at op {op}");
+                }
+                10 => {
+                    assert_eq!(real.pop_overflow(), naive.pop_overflow(), "overflow at op {op}");
+                }
+                _ => {
+                    let coalesce = rng.gen_bool(0.5);
+                    real.set_coalesce_deletes(coalesce);
+                    naive.set_coalesce_deletes(coalesce);
+                }
+            }
+            assert_eq!(real.stats(), naive.stats, "stats diverged at op {op}");
+            real.validate().unwrap_or_else(|why| panic!("{why}"));
+        }
+        // Final full drain: both sides must empty identically.
+        scratch.clear();
+        real.take_all_into(&mut scratch);
+        assert_eq!(scratch, naive.take_all(), "final take_all");
+        loop {
+            let (a, b) = (real.pop_overflow(), naive.pop_overflow());
+            assert_eq!(a, b, "final overflow drain");
+            if a.is_none() {
+                break;
+            }
+        }
+        assert!(real.is_empty());
+        assert_eq!(real.stats(), naive.stats, "final stats");
+    });
+}
+
 /// Builds `num_shards` contiguous vertex ranges covering `num_vertices`
 /// (the same ownership shape `ShardedEngine` uses). Returns the `S + 1`
 /// range boundaries.

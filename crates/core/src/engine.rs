@@ -139,6 +139,10 @@ pub struct StreamingEngine {
     active_slice: usize,
     stats: RunStats,
     tracer: TraceBuilder,
+    /// Reusable round buffer for [`run_queue`](StreamingEngine::run_queue):
+    /// grows to the high-water event count once, then steady-state drains
+    /// allocate nothing.
+    round_scratch: Vec<Event>,
 }
 
 /// Why restored checkpoint state cannot be mounted on a graph.
@@ -240,6 +244,7 @@ impl StreamingEngine {
             active_slice: 0,
             stats: RunStats::default(),
             tracer: TraceBuilder::default(),
+            round_scratch: Vec::new(),
         }
     }
 
@@ -282,6 +287,7 @@ impl StreamingEngine {
             active_slice: 0,
             stats: RunStats::default(),
             tracer: TraceBuilder::default(),
+            round_scratch: Vec::new(),
         })
     }
 
@@ -473,15 +479,20 @@ impl StreamingEngine {
         // while processing an event, the slice of its target is on-chip and
         // emissions leaving that slice count as spills.
         let slice_cap = if self.num_slices() > 1 { self.config.queue_capacity } else { None };
+        // Swap the round buffer out of `self` so draining into it can
+        // coexist with the `&mut self` event processing below; it goes back
+        // at the end, so the allocation survives across rounds and calls.
+        let mut events = std::mem::take(&mut self.round_scratch);
         while !self.queue.is_empty() {
-            let mut events = self.queue.take_all();
+            events.clear();
+            self.queue.take_all_into(&mut events);
             let pending = self.queue.overflow_len();
             events.reserve(pending);
             for _ in 0..pending {
                 let Some(ev) = self.queue.pop_overflow() else { break };
                 events.push(ev);
             }
-            for ev in events {
+            for &ev in &events {
                 if let Some(cap) = slice_cap {
                     self.active_slice = ev.target as usize / cap;
                 }
@@ -493,6 +504,7 @@ impl StreamingEngine {
             #[cfg(feature = "strict-invariants")]
             self.queue.debug_validate();
         }
+        self.round_scratch = events;
         let _ = phase;
     }
 

@@ -93,6 +93,10 @@ struct Shard {
     /// call; folded into the engine's [`ParallelModel`] at the barrierless
     /// end of the call.
     round_costs: Vec<u64>,
+    /// Persistent drain buffer for [`worker_round`]: grows to the shard's
+    /// high-water event count once, then steady-state rounds allocate
+    /// nothing.
+    drain_scratch: Vec<Event>,
 }
 
 impl Shard {
@@ -106,6 +110,7 @@ impl Shard {
             impacted: Vec::new(),
             overflow: Vec::new(),
             round_costs: Vec::new(),
+            drain_scratch: Vec::new(),
         }
     }
 }
@@ -192,16 +197,21 @@ fn route(bounds: &[usize], target: VertexId) -> usize {
 
 /// Runs one superstep on one shard: queue the inbox (in canonical order),
 /// drain the canonical round, process it through the shared kernel, and
-/// return the keyed outbox.
+/// fill `out` with the keyed outbox. Both the drain buffer (persistent in
+/// the shard) and `out` (recycled by the coordinator) are reused across
+/// supersteps, so steady-state rounds allocate nothing.
+// hot-path
+#[allow(clippy::too_many_arguments)]
 fn worker_round(
     cx: &KernelCtx<'_>,
     shard: &mut Shard,
     values: &mut [Value],
     dependency: &mut [Option<VertexId>],
-    inbox: Vec<Keyed>,
+    inbox: &[Keyed],
     coalesce_deletes: bool,
     yield_every: Option<usize>,
-) -> Vec<Keyed> {
+    out: &mut Vec<Keyed>,
+) {
     let lo = shard.lo;
     shard.rounds += 1;
     let round = shard.rounds;
@@ -227,26 +237,30 @@ fn worker_round(
     // and a regular event cannot occur.
     debug_assert_eq!(shard.queue.overflow_len(), 0, "mixed event kinds in one phase");
 
-    let mut events = shard.queue.take_all();
+    // Swap the persistent buffers out of the shard so draining and the
+    // `&mut shard.stats` borrows below can coexist; both go back (cleared
+    // where stale) at the end of the round.
+    let mut events = std::mem::take(&mut shard.drain_scratch);
+    events.clear();
+    shard.queue.take_all_into(&mut events);
     for ev in &mut events {
         ev.target += lo;
     }
-    let overflow = std::mem::take(&mut shard.overflow);
+    let mut overflow = std::mem::take(&mut shard.overflow);
     shard.extra.drained += overflow.len() as u64;
     let work_before = shard.stats.events_processed + shard.stats.edge_reads;
 
-    let mut out: Vec<Keyed> = Vec::new();
     let mut processed = 0usize;
     // Slot events first (ascending vertex order), then overflow FIFO —
     // the canonical round order.
-    for ev in events {
+    for &ev in &events {
         let mut st = WorkerState {
             lo,
             values: &mut *values,
             dependency: &mut *dependency,
             stats: &mut shard.stats,
             impacted: &mut shard.impacted,
-            out: &mut out,
+            out: &mut *out,
             round,
             key_base: (ev.target as u128) << IDX_BITS,
             key_idx: 0,
@@ -254,14 +268,14 @@ fn worker_round(
         kernel::process_event(cx, &mut st, ev);
         maybe_yield(&mut processed, yield_every);
     }
-    for (counter, ev) in overflow {
+    for &(counter, ev) in &overflow {
         let mut st = WorkerState {
             lo,
             values: &mut *values,
             dependency: &mut *dependency,
             stats: &mut shard.stats,
             impacted: &mut shard.impacted,
-            out: &mut out,
+            out: &mut *out,
             round,
             key_base: OVERFLOW_CLASS | ((counter as u128) << IDX_BITS),
             key_idx: 0,
@@ -270,7 +284,9 @@ fn worker_round(
         maybe_yield(&mut processed, yield_every);
     }
     shard.round_costs.push(shard.stats.events_processed + shard.stats.edge_reads - work_before);
-    out
+    shard.drain_scratch = events;
+    overflow.clear();
+    shard.overflow = overflow;
 }
 
 /// Test hook: perturb the thread schedule without affecting results.
@@ -289,15 +305,18 @@ fn maybe_yield(processed: &mut usize, yield_every: Option<usize>) {
 /// counters to non-coalescible deletes in that order, and routes every
 /// event to its destination shard's inbox. Returns the number of events
 /// exchanged.
+// hot-path
 fn exchange(
     outs: &[Vec<Keyed>],
     bounds: &[usize],
     coalesce_deletes: bool,
     seq: &mut u64,
+    cursor: &mut Vec<usize>,
     inboxes: &mut [Vec<Keyed>],
 ) -> usize {
     let total: usize = outs.iter().map(Vec::len).sum();
-    let mut cursor = vec![0usize; outs.len()];
+    cursor.clear();
+    cursor.resize(outs.len(), 0);
     for _ in 0..total {
         let mut best: Option<usize> = None;
         for (s, o) in outs.iter().enumerate() {
@@ -717,21 +736,26 @@ impl ShardedEngine {
                 rest_v = tail_v;
                 let (d, tail_d) = rest_d.split_at_mut(width);
                 rest_d = tail_d;
-                let (tx_in, rx_in) = mpsc::channel::<Option<Vec<Keyed>>>();
-                let (tx_out, rx_out) = mpsc::channel::<Vec<Keyed>>();
+                let (tx_in, rx_in) = mpsc::channel::<Option<(Vec<Keyed>, Vec<Keyed>)>>();
+                let (tx_out, rx_out) = mpsc::channel::<(Vec<Keyed>, Vec<Keyed>)>();
                 scope.spawn(move || {
                     let cx = KernelCtx { alg, csr, delete_strategy };
-                    while let Ok(Some(inbox)) = rx_in.recv() {
-                        let out = worker_round(
+                    // Each message carries (inbox, recycled out-buffer); the
+                    // reply returns (outbox, spent inbox) so both
+                    // allocations round-trip instead of being dropped.
+                    while let Ok(Some((inbox, mut out))) = rx_in.recv() {
+                        out.clear();
+                        worker_round(
                             &cx,
                             &mut *shard,
                             &mut *v,
                             &mut *d,
-                            inbox,
+                            &inbox,
                             coalesce_deletes,
                             yield_every,
+                            &mut out,
                         );
-                        if tx_out.send(out).is_err() {
+                        if tx_out.send((out, inbox)).is_err() {
                             return;
                         }
                     }
@@ -740,16 +764,30 @@ impl ShardedEngine {
                 from_workers.push(rx_out);
             }
 
+            // Coordinator-side buffer pool: out-buffers shuttle to the
+            // workers and back, spent inboxes become the next exchange's
+            // destinations, and the k-way-merge cursor persists — after the
+            // first few supersteps the loop allocates nothing.
+            let mut spare_outs: Vec<Vec<Keyed>> = (0..num_shards).map(|_| Vec::new()).collect();
+            let mut outs: Vec<Vec<Keyed>> = Vec::with_capacity(num_shards);
+            let mut spent: Vec<Vec<Keyed>> = Vec::with_capacity(num_shards);
+            let mut cursor: Vec<usize> = Vec::new();
             while !inboxes.iter().all(Vec::is_empty) {
-                for (tx, inbox) in to_workers.iter().zip(inboxes.iter_mut()) {
-                    let _ = tx.send(Some(std::mem::take(inbox)));
+                for ((tx, inbox), spare) in
+                    to_workers.iter().zip(inboxes.iter_mut()).zip(spare_outs.iter_mut())
+                {
+                    let _ = tx.send(Some((std::mem::take(inbox), std::mem::take(spare))));
                 }
                 stats.rounds += 1;
-                let mut outs = Vec::with_capacity(num_shards);
+                outs.clear();
+                spent.clear();
                 let mut alive = true;
                 for rx in &from_workers {
                     match rx.recv() {
-                        Ok(out) => outs.push(out),
+                        Ok((out, inbox)) => {
+                            outs.push(out);
+                            spent.push(inbox);
+                        }
                         Err(_) => {
                             // A worker panicked; stop driving rounds and let
                             // the scope join propagate the panic.
@@ -761,7 +799,15 @@ impl ShardedEngine {
                 if !alive {
                     break;
                 }
-                exchange(&outs, bounds, coalesce_deletes, seq, &mut inboxes);
+                for (inbox, mut used) in inboxes.iter_mut().zip(spent.drain(..)) {
+                    used.clear();
+                    *inbox = used;
+                }
+                exchange(&outs, bounds, coalesce_deletes, seq, &mut cursor, &mut inboxes);
+                for (spare, mut used) in spare_outs.iter_mut().zip(outs.drain(..)) {
+                    used.clear();
+                    *spare = used;
+                }
             }
             for tx in &to_workers {
                 let _ = tx.send(None);

@@ -15,6 +15,11 @@
 //!   the line waives a use that provably never iterates.
 //! * **paper-ref** — every `§x.y` section reference in source text must
 //!   exist in `PAPER.md` or `DESIGN.md`, so paper citations cannot rot.
+//! * **hot-path-alloc** — no `Vec::new()`, `vec![..]`, or `.clone()` in the
+//!   body of a `crates/core` function marked with a `// hot-path` comment:
+//!   those functions run once per event or per superstep round, and the
+//!   engines' steady-state zero-allocation contract (DESIGN.md §12) dies
+//!   quietly if a per-round allocation sneaks back in.
 //!
 //! Test code (`#[cfg(test)]` modules and files under `tests/`, `benches/`,
 //! or `examples/` directories) is exempt from the panic and collection
@@ -44,6 +49,9 @@ pub enum Lint {
     UnorderedCollections,
     /// A `§x.y` reference that is in neither `PAPER.md` nor `DESIGN.md`.
     PaperRef,
+    /// An allocation (`Vec::new()` / `vec![..]` / `.clone()`) inside a
+    /// `// hot-path`-marked function in `crates/core`.
+    HotPathAlloc,
 }
 
 impl Lint {
@@ -54,6 +62,7 @@ impl Lint {
             Lint::CrateRootPragmas => "crate-root-pragmas",
             Lint::UnorderedCollections => "unordered-collections",
             Lint::PaperRef => "paper-ref",
+            Lint::HotPathAlloc => "hot-path-alloc",
         }
     }
 
@@ -64,6 +73,7 @@ impl Lint {
             "crate-root-pragmas" => Some(Lint::CrateRootPragmas),
             "unordered-collections" => Some(Lint::UnorderedCollections),
             "paper-ref" => Some(Lint::PaperRef),
+            "hot-path-alloc" => Some(Lint::HotPathAlloc),
             _ => None,
         }
     }
@@ -227,6 +237,58 @@ fn check_file(rel: &Path, raw: &str, sections: &[String], findings: &mut Vec<Fin
     if is_determinism_path(rel) {
         check_unordered(rel, raw, &views, findings);
     }
+    if is_hot_path_crate(rel) {
+        check_hot_path_allocs(rel, raw, &views, findings);
+    }
+}
+
+/// True for files covered by the hot-path allocation lint: the engine
+/// crate, whose marked functions run once per event or per superstep.
+fn is_hot_path_crate(rel: &Path) -> bool {
+    rel.to_string_lossy().starts_with("crates/core/src")
+}
+
+/// Flags `Vec::new()` / `vec![..]` / `.clone()` inside any function whose
+/// preceding comment carries a `// hot-path` marker. Textual, like the
+/// rest of the scanner: each marker binds to the next `fn` item in the
+/// code view, and the item's span is the marker's enforcement region.
+fn check_hot_path_allocs(rel: &Path, raw: &str, views: &Views, findings: &mut Vec<Finding>) {
+    let code = views.code.as_bytes();
+    for marker in find_all(raw, "// hot-path") {
+        let Some(fn_off) = next_fn_keyword(&views.code, marker) else { continue };
+        let body_end = item_end(code, fn_off).unwrap_or(code.len());
+        let body = &views.code[fn_off..body_end];
+        for pattern in ["Vec::new()", "vec![", ".clone()"] {
+            for offset in find_all(body, pattern) {
+                findings.push(Finding {
+                    lint: Lint::HotPathAlloc,
+                    file: rel.to_path_buf(),
+                    line: views.line_of(fn_off + offset),
+                    message: format!(
+                        "`{pattern}` inside a `// hot-path` function — reuse a scratch buffer \
+                         (DESIGN.md §12) or move the allocation out of the marked function"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Offset of the next `fn` keyword (word-boundary checked) at or after
+/// `from` in the sanitized code view.
+fn next_fn_keyword(code: &str, from: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut at = from;
+    while let Some(pos) = code[at..].find("fn ") {
+        let off = at + pos;
+        let boundary =
+            off == 0 || !(bytes[off - 1].is_ascii_alphanumeric() || bytes[off - 1] == b'_');
+        if boundary {
+            return Some(off);
+        }
+        at = off + 3;
+    }
+    None
 }
 
 fn check_panics(rel: &Path, views: &Views, findings: &mut Vec<Finding>) {
@@ -666,6 +728,45 @@ mod tests {
     fn lifetimes_are_not_char_literals() {
         let v = views("fn f<'a>(x: &'a str) -> &'a str { x }\n// '\nlet c = 'x';");
         assert!(v.code.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn hot_path_marker_binds_to_the_next_fn_only() {
+        let mut findings = Vec::new();
+        let src = "// hot-path\nfn fast(buf: &mut Vec<u8>) { buf.push(1); }\n\
+                   fn slow() -> Vec<u8> { Vec::new() }\n";
+        check_hot_path_allocs(
+            Path::new("crates/core/src/x.rs"),
+            src,
+            &sanitize(src),
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "unmarked fn was linted: {findings:?}");
+
+        let src = "// hot-path\nfn fast() -> Vec<u8> { let v = Vec::new(); v.clone() }\n";
+        check_hot_path_allocs(
+            Path::new("crates/core/src/x.rs"),
+            src,
+            &sanitize(src),
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.lint == Lint::HotPathAlloc));
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn hot_path_ignores_allocs_in_comments_and_strings() {
+        let mut findings = Vec::new();
+        let src = "// hot-path\nfn fast() { // calls Vec::new() upstream\n    \
+                   let s = \"vec![1].clone()\"; let _ = s;\n}\n";
+        check_hot_path_allocs(
+            Path::new("crates/core/src/x.rs"),
+            src,
+            &sanitize(src),
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

@@ -14,7 +14,14 @@ fn every_fixture_behaves_as_expected() {
     let results = run_self_test(&xtask_dir().join("fixtures")).unwrap();
     assert!(!results.is_empty(), "no fixtures found");
     let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
-    for lint in ["no-panic", "crate-root-pragmas", "unordered-collections", "paper-ref", "clean"] {
+    for lint in [
+        "no-panic",
+        "crate-root-pragmas",
+        "unordered-collections",
+        "paper-ref",
+        "hot-path-alloc",
+        "clean",
+    ] {
         assert!(names.contains(&lint), "missing fixture {lint}");
     }
     for r in &results {
@@ -29,6 +36,7 @@ fn each_fixture_fires_its_own_lint() {
         ("crate-root-pragmas", Lint::CrateRootPragmas),
         ("unordered-collections", Lint::UnorderedCollections),
         ("paper-ref", Lint::PaperRef),
+        ("hot-path-alloc", Lint::HotPathAlloc),
     ] {
         let findings = run_check(&xtask_dir().join("fixtures").join(dir)).unwrap();
         assert!(!findings.is_empty(), "{dir} produced no findings");

@@ -14,10 +14,14 @@
 //!
 //! Plain timing harnesses (`cargo bench`) exercise each experiment's hot
 //! path on small instances for performance tracking; see [`timing`].
+//! The `microbench` binary ([`micro`]) times the engine's hot paths with
+//! warmup + median-of-K sampling and maintains `BENCH.json` at the repo
+//! root (schema in DESIGN.md §12).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod harness;
+pub mod micro;
 pub mod timing;

@@ -1,0 +1,519 @@
+//! Hand-rolled microbenchmark rig behind the `microbench` binary.
+//!
+//! Times the hot paths the data-layout work targets — queue insert, queue
+//! drain (bitmap vs a retained naive-scan reference), kernel apply via
+//! `initial_compute`, batch streaming, and sharded supersteps — with
+//! warmup + median-of-K sampling, and serializes the results to the
+//! `BENCH.json` schema documented in DESIGN.md §12. Everything here is
+//! std-only (the workspace builds offline); the JSON writer and the
+//! line-oriented reader used by `--check` live here too so the regression
+//! gate needs no external parser.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use jetstream_algorithms::{Algorithm, Workload};
+use jetstream_core::{CoalescingQueue, EngineConfig, Event, ShardedEngine, StreamingEngine};
+use jetstream_graph::gen::DatasetProfile;
+use jetstream_graph::VertexId;
+
+use crate::harness::{self, HarnessError, Scenario, ACCUMULATIVE_EPSILON};
+
+/// One measured benchmark: the median and spread of K timed samples.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (the key in `BENCH.json`).
+    pub name: &'static str,
+    /// Median per-sample wall-clock nanoseconds.
+    pub median_ns: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+    /// Number of timed samples (after warmup).
+    pub samples: usize,
+}
+
+/// Rig-wide knobs: sample counts and the dataset scale divisor.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroConfig {
+    /// Untimed warmup runs per benchmark.
+    pub warmup: usize,
+    /// Timed samples per benchmark (median-of-K).
+    pub samples: usize,
+    /// Scale divisor for the streaming scenarios (as in `experiments`).
+    pub scale: u32,
+    /// Vertex-space size for the queue benchmarks.
+    pub queue_vertices: usize,
+}
+
+impl MicroConfig {
+    /// Full run: the configuration the committed `BENCH.json` is built
+    /// with.
+    pub fn full() -> Self {
+        MicroConfig { warmup: 2, samples: 9, scale: 1000, queue_vertices: 1 << 16 }
+    }
+
+    /// Reduced-K smoke run for CI: fewer samples, smaller instances. The
+    /// one-sided `--check` gate stays meaningful because quick instances
+    /// are never *slower* than the full ones.
+    pub fn quick() -> Self {
+        MicroConfig { warmup: 1, samples: 3, scale: 20_000, queue_vertices: 1 << 14 }
+    }
+}
+
+/// Runs `setup` untimed then `routine` timed, `samples` times after
+/// `warmup` discarded rounds, and reports the median/min/max nanoseconds
+/// per routine invocation.
+pub fn measure<S>(
+    name: &'static str,
+    warmup: usize,
+    samples: usize,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(&mut S),
+) -> BenchResult {
+    assert!(samples > 0, "need at least one timed sample");
+    for _ in 0..warmup {
+        let mut state = setup();
+        routine(&mut state);
+    }
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let mut state = setup();
+            let start = Instant::now();
+            routine(&mut state);
+            let ns = start.elapsed().as_nanos();
+            u64::try_from(ns).unwrap_or(u64::MAX)
+        })
+        .collect();
+    times.sort_unstable();
+    BenchResult {
+        name,
+        median_ns: times[times.len() / 2],
+        min_ns: times[0],
+        max_ns: times[times.len() - 1],
+        samples,
+    }
+}
+
+/// Deterministic splitmix64 stream for benchmark inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The pre-overhaul queue layout, retained as the drain baseline: one
+/// `Option<Event>` per vertex, so every drain scans all `V` slots
+/// regardless of occupancy. Insert coalesces with the same reduce so the
+/// two queues hold identical events; only the drain cost model differs.
+pub struct ScanQueue {
+    slots: Vec<Option<Event>>,
+    len: usize,
+}
+
+impl ScanQueue {
+    /// Creates a scan-reference queue over `num_vertices` slots.
+    pub fn new(num_vertices: usize) -> Self {
+        ScanQueue { slots: vec![None; num_vertices], len: 0 }
+    }
+
+    /// Inserts a regular event, coalescing via the algorithm's reduce.
+    pub fn insert(&mut self, event: Event, alg: &dyn Algorithm) {
+        let slot = &mut self.slots[event.target as usize];
+        match slot {
+            Some(resident) => resident.payload = alg.reduce(resident.payload, event.payload),
+            None => {
+                *slot = Some(event);
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Drains every resident event in ascending vertex order into `out`.
+    pub fn take_all_into(&mut self, out: &mut Vec<Event>) -> usize {
+        let drained = self.len;
+        for slot in &mut self.slots {
+            if let Some(ev) = slot.take() {
+                out.push(ev);
+            }
+        }
+        self.len = 0;
+        drained
+    }
+}
+
+/// Deterministic regular events touching `count` distinct vertices out of
+/// `num_vertices` (targets deduplicated so occupancy is exact).
+fn occupancy_events(num_vertices: usize, count: usize, seed: u64) -> Vec<Event> {
+    let mut rng = Rng(seed);
+    let mut taken = vec![false; num_vertices];
+    let mut events = Vec::with_capacity(count);
+    while events.len() < count {
+        let v = (rng.next() % num_vertices as u64) as usize;
+        if !taken[v] {
+            taken[v] = true;
+            let payload = (rng.next() % 1000) as f64 / 1000.0;
+            events.push(Event::regular(v as VertexId, payload));
+        }
+    }
+    events
+}
+
+fn pagerank_alg() -> Box<dyn Algorithm> {
+    Workload::PageRank.instantiate_with_epsilon(0, ACCUMULATIVE_EPSILON)
+}
+
+fn bench_queue_insert(cfg: &MicroConfig) -> BenchResult {
+    let alg = pagerank_alg();
+    let events = occupancy_events(cfg.queue_vertices, cfg.queue_vertices / 4, 0x5eed);
+    measure(
+        "queue_insert_25pct",
+        cfg.warmup,
+        cfg.samples,
+        || CoalescingQueue::new(cfg.queue_vertices, 16),
+        |queue| {
+            for &ev in &events {
+                queue.insert(ev, alg.as_ref());
+            }
+        },
+    )
+}
+
+fn bench_drain_bitmap(cfg: &MicroConfig, name: &'static str, occupancy: usize) -> BenchResult {
+    let alg = pagerank_alg();
+    let events = occupancy_events(cfg.queue_vertices, occupancy, 0x5eed);
+    let mut scratch: Vec<Event> = Vec::with_capacity(occupancy);
+    measure(
+        name,
+        cfg.warmup,
+        cfg.samples,
+        || {
+            let mut queue = CoalescingQueue::new(cfg.queue_vertices, 16);
+            for &ev in &events {
+                queue.insert(ev, alg.as_ref());
+            }
+            queue
+        },
+        |queue| {
+            scratch.clear();
+            let drained = queue.take_all_into(&mut scratch);
+            crate::timing::consume(drained);
+        },
+    )
+}
+
+fn bench_drain_scan(cfg: &MicroConfig, name: &'static str, occupancy: usize) -> BenchResult {
+    let alg = pagerank_alg();
+    let events = occupancy_events(cfg.queue_vertices, occupancy, 0x5eed);
+    let mut scratch: Vec<Event> = Vec::with_capacity(occupancy);
+    measure(
+        name,
+        cfg.warmup,
+        cfg.samples,
+        || {
+            let mut queue = ScanQueue::new(cfg.queue_vertices);
+            for &ev in &events {
+                queue.insert(ev, alg.as_ref());
+            }
+            queue
+        },
+        |queue| {
+            scratch.clear();
+            let drained = queue.take_all_into(&mut scratch);
+            crate::timing::consume(drained);
+        },
+    )
+}
+
+fn pagerank_scenario(cfg: &MicroConfig) -> Scenario {
+    Scenario::paper_default(Workload::PageRank, DatasetProfile::LiveJournal, cfg.scale)
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig { num_bins: 16, ..EngineConfig::default() }
+}
+
+fn bench_initial_compute(cfg: &MicroConfig) -> Result<BenchResult, HarnessError> {
+    let scenario = pagerank_scenario(cfg);
+    let (base, _) = harness::base_and_batches(&scenario);
+    Ok(measure(
+        "kernel_initial_compute_pagerank",
+        cfg.warmup,
+        cfg.samples,
+        || {
+            let root = harness::root_for(&base);
+            StreamingEngine::new(
+                scenario.workload.instantiate_with_epsilon(root, ACCUMULATIVE_EPSILON),
+                base.clone(),
+                engine_config(),
+            )
+        },
+        |engine| {
+            crate::timing::consume(engine.initial_compute());
+        },
+    ))
+}
+
+#[allow(clippy::expect_used)] // invariant: every batch was applied once by the probe engine
+fn bench_stream_batches(cfg: &MicroConfig) -> Result<BenchResult, HarnessError> {
+    let scenario = pagerank_scenario(cfg);
+    let (base, batches) = harness::base_and_batches(&scenario);
+    if batches.is_empty() {
+        return Err(scenario.no_batches());
+    }
+    // Batch application errors surface during warmup (the routine panics
+    // would otherwise be silent); generation is deterministic, so probe
+    // once up front and report a harness error instead.
+    let mut probe = fresh_engine(&scenario, &base);
+    probe.initial_compute();
+    for batch in &batches {
+        probe.apply_update_batch(batch).map_err(|e| scenario.graph_error(e))?;
+    }
+    Ok(measure(
+        "stream_batches_pagerank_lj",
+        cfg.warmup,
+        cfg.samples,
+        || {
+            let mut engine = fresh_engine(&scenario, &base);
+            engine.initial_compute();
+            engine
+        },
+        |engine| {
+            for batch in &batches {
+                let stats =
+                    engine.apply_update_batch(batch).expect("invariant: probed batches apply");
+                crate::timing::consume(stats.events_processed);
+            }
+        },
+    ))
+}
+
+fn fresh_engine(scenario: &Scenario, base: &jetstream_graph::AdjacencyGraph) -> StreamingEngine {
+    let root = harness::root_for(base);
+    StreamingEngine::new(
+        scenario.workload.instantiate_with_epsilon(root, ACCUMULATIVE_EPSILON),
+        base.clone(),
+        engine_config(),
+    )
+}
+
+#[allow(clippy::expect_used)] // invariant: every batch was applied once by the probe engine
+fn bench_sharded_supersteps(cfg: &MicroConfig) -> Result<BenchResult, HarnessError> {
+    let scenario = pagerank_scenario(cfg);
+    let (base, batches) = harness::base_and_batches(&scenario);
+    if batches.is_empty() {
+        return Err(scenario.no_batches());
+    }
+    let mut probe = fresh_sharded(&scenario, &base);
+    probe.initial_compute();
+    for batch in &batches {
+        probe.apply_update_batch(batch).map_err(|e| scenario.graph_error(e))?;
+    }
+    Ok(measure(
+        "sharded_supersteps_pagerank_4",
+        cfg.warmup,
+        cfg.samples,
+        || {
+            let mut engine = fresh_sharded(&scenario, &base);
+            engine.initial_compute();
+            engine
+        },
+        |engine| {
+            for batch in &batches {
+                let stats =
+                    engine.apply_update_batch(batch).expect("invariant: probed batches apply");
+                crate::timing::consume(stats.events_processed);
+            }
+        },
+    ))
+}
+
+fn fresh_sharded(scenario: &Scenario, base: &jetstream_graph::AdjacencyGraph) -> ShardedEngine {
+    let root = harness::root_for(base);
+    ShardedEngine::new(
+        scenario.workload.instantiate_with_epsilon(root, ACCUMULATIVE_EPSILON),
+        base.clone(),
+        engine_config(),
+        4,
+    )
+}
+
+fn report(results: &mut Vec<BenchResult>, r: BenchResult) {
+    eprintln!(
+        "[microbench] {}: median {} ns (min {}, max {}, n={})",
+        r.name, r.median_ns, r.min_ns, r.max_ns, r.samples
+    );
+    results.push(r);
+}
+
+/// Runs the whole rig, streaming a progress line per benchmark to stderr.
+pub fn run_all(cfg: &MicroConfig) -> Result<Vec<BenchResult>, HarnessError> {
+    let quarter = cfg.queue_vertices / 4;
+    let percent = cfg.queue_vertices / 100;
+    let mut results = Vec::new();
+    report(&mut results, bench_queue_insert(cfg));
+    report(&mut results, bench_drain_bitmap(cfg, "queue_drain_bitmap_25pct", quarter));
+    report(&mut results, bench_drain_scan(cfg, "queue_drain_scan_25pct", quarter));
+    report(&mut results, bench_drain_bitmap(cfg, "queue_drain_bitmap_1pct", percent));
+    report(&mut results, bench_drain_scan(cfg, "queue_drain_scan_1pct", percent));
+    report(&mut results, bench_initial_compute(cfg)?);
+    report(&mut results, bench_stream_batches(cfg)?);
+    report(&mut results, bench_sharded_supersteps(cfg)?);
+    Ok(results)
+}
+
+/// Serializes results to the `BENCH.json` schema (DESIGN.md §12): a flat
+/// object of `name -> {median_ns, min_ns, max_ns, samples}` entries plus a
+/// `_meta` record, one entry per line so [`parse_medians`] can read it
+/// back without a JSON parser.
+pub fn to_json(results: &[BenchResult], cfg: &MicroConfig, mode: &str) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"_meta\": {{\"mode\": \"{mode}\", \"warmup\": {}, \"samples\": {}, \
+         \"scale\": {}, \"queue_vertices\": {}}},",
+        cfg.warmup, cfg.samples, cfg.scale, cfg.queue_vertices
+    );
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "  \"{}\": {{\"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+             \"samples\": {}}}{comma}",
+            r.name, r.median_ns, r.min_ns, r.max_ns, r.samples
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Reads `name -> median_ns` pairs back out of a `BENCH.json` produced by
+/// [`to_json`] (one benchmark per line; `_meta` skipped). Lines that do
+/// not look like benchmark entries are ignored, so hand-edits that keep
+/// the one-entry-per-line shape still parse.
+pub fn parse_medians(json: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((name, rest)) = rest.split_once('"') else { continue };
+        if name == "_meta" {
+            continue;
+        }
+        let Some(idx) = rest.find("\"median_ns\":") else { continue };
+        let digits: String = rest[idx + "\"median_ns\":".len()..]
+            .trim_start()
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(median) = digits.parse() {
+            out.push((name.to_string(), median));
+        }
+    }
+    out
+}
+
+/// Compares fresh results against a committed baseline: any benchmark
+/// whose median exceeds `factor` × its baseline median is a regression.
+/// Benchmarks missing on either side are reported too (a vanished
+/// benchmark would otherwise silently stop being gated).
+pub fn regressions(
+    current: &[BenchResult],
+    baseline: &[(String, u64)],
+    factor: f64,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    for (name, base_median) in baseline {
+        match current.iter().find(|r| r.name == name.as_str()) {
+            None => problems.push(format!("benchmark {name} is in the baseline but did not run")),
+            Some(r) => {
+                let limit = (*base_median as f64) * factor;
+                if r.median_ns as f64 > limit {
+                    problems.push(format!(
+                        "{name} regressed: median {} ns > {factor}x baseline {} ns",
+                        r.median_ns, base_median
+                    ));
+                }
+            }
+        }
+    }
+    for r in current {
+        if !baseline.iter().any(|(name, _)| name == r.name) {
+            problems.push(format!(
+                "benchmark {} has no committed baseline (regenerate BENCH.json)",
+                r.name
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_orders_min_median_max() {
+        let mut calls = 0u32;
+        let r = measure("t", 1, 5, || (), |_| calls += 1);
+        assert_eq!(calls, 6); // 1 warmup + 5 timed
+        assert_eq!(r.samples, 5);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+    }
+
+    #[test]
+    fn json_roundtrips_medians() {
+        let cfg = MicroConfig::quick();
+        let results = vec![
+            BenchResult { name: "a", median_ns: 10, min_ns: 9, max_ns: 12, samples: 3 },
+            BenchResult { name: "b", median_ns: 7, min_ns: 7, max_ns: 7, samples: 3 },
+        ];
+        let json = to_json(&results, &cfg, "quick");
+        let parsed = parse_medians(&json);
+        assert_eq!(parsed, vec![("a".to_string(), 10), ("b".to_string(), 7)]);
+        assert!(json.contains("\"_meta\""));
+    }
+
+    #[test]
+    fn regression_gate_fires_and_passes() {
+        let current =
+            vec![BenchResult { name: "a", median_ns: 30, min_ns: 29, max_ns: 31, samples: 3 }];
+        let fine = regressions(&current, &[("a".to_string(), 20)], 2.5);
+        assert!(fine.is_empty(), "{fine:?}");
+        let slow = regressions(&current, &[("a".to_string(), 10)], 2.5);
+        assert_eq!(slow.len(), 1, "{slow:?}");
+        let missing = regressions(&current, &[("gone".to_string(), 10)], 2.5);
+        assert_eq!(missing.len(), 2, "{missing:?}"); // gone didn't run, a has no baseline
+    }
+
+    #[test]
+    fn scan_reference_drains_the_same_events_as_the_bitmap_queue() {
+        let alg = pagerank_alg();
+        let events = occupancy_events(512, 128, 42);
+        let mut bitmap = CoalescingQueue::new(512, 8);
+        let mut scan = ScanQueue::new(512);
+        for &ev in &events {
+            bitmap.insert(ev, alg.as_ref());
+            scan.insert(ev, alg.as_ref());
+        }
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        assert_eq!(bitmap.take_all_into(&mut a), scan.take_all_into(&mut b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quick_rig_produces_every_benchmark() {
+        let cfg = MicroConfig { warmup: 0, samples: 1, scale: 100_000, queue_vertices: 1 << 10 };
+        let results = run_all(&cfg).expect("quick rig runs");
+        assert_eq!(results.len(), 8);
+        let names: std::collections::BTreeSet<_> = results.iter().map(|r| r.name).collect();
+        assert_eq!(names.len(), 8, "duplicate benchmark names");
+    }
+}

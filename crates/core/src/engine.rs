@@ -215,9 +215,10 @@ pub(crate) fn check_checkpoint_state(
     }
     for (v, dep) in dependency.iter().enumerate() {
         if let Some(u) = dep {
+            // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
             if !host.has_edge(*u, v as VertexId) {
                 return Err(CheckpointError::DanglingDependency {
-                    vertex: v as VertexId,
+                    vertex: v as VertexId, // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
                     leads_to: *u,
                 });
             }
@@ -453,6 +454,7 @@ impl StreamingEngine {
     fn emit(&mut self, event: Event) {
         self.stats.events_generated += 1;
         if let Some(cap) = self.config.queue_capacity {
+            // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
             if cap > 0 && (event.target as usize) / cap != self.active_slice {
                 self.stats.spilled_events += 1;
             }
@@ -494,7 +496,7 @@ impl StreamingEngine {
             }
             for &ev in &events {
                 if let Some(cap) = slice_cap {
-                    self.active_slice = ev.target as usize / cap;
+                    self.active_slice = ev.target as usize / cap; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
                 }
                 self.process_event(ev);
             }
@@ -580,7 +582,7 @@ impl StreamingEngine {
                     // Payload carries the contribution that flowed over the
                     // deleted edge; if the source never propagated there is
                     // nothing to revert.
-                    let state = self.values[u as usize];
+                    let state = self.values[u as usize]; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
                     let deg = self.csr.out.degree(u);
                     let wsum = self.weight_sum(u);
                     let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
@@ -601,7 +603,7 @@ impl StreamingEngine {
                 changed: emitted,
                 edges_read: 0,
                 targets_start,
-                targets_len: emitted as u32,
+                targets_len: emitted as u32, // cast-ok: count bounded by num_edges < 2^32, checked at graph construction
             });
         }
         self.tracer.end_round();
@@ -625,7 +627,7 @@ impl StreamingEngine {
             self.stats.edge_reads += in_deg as u64;
             let targets_start = self.tracer.targets_start();
             let sources: Vec<VertexId> = self.csr.inc.neighbors(x).map(|e| e.other).collect();
-            let mut count = sources.len() as u32;
+            let mut count = sources.len() as u32; // cast-ok: count bounded by num_edges < 2^32, checked at graph construction
             for u in sources {
                 self.stats.request_events += 1;
                 self.emit(Event::request(u, identity));
@@ -644,7 +646,7 @@ impl StreamingEngine {
                 vertex: x,
                 kind: OpKind::RequestSetup,
                 changed: count > 0,
-                edges_read: in_deg as u32,
+                edges_read: in_deg as u32, // cast-ok: count bounded by num_edges < 2^32, checked at graph construction
                 targets_start,
                 targets_len: count,
             });
@@ -667,7 +669,7 @@ impl StreamingEngine {
         for &(u, v, w) in insertions {
             self.stats.stream_reads += 1;
             self.stats.vertex_reads += 1;
-            let state = self.values[u as usize];
+            let state = self.values[u as usize]; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
             let deg = self.csr.out.degree(u);
             let wsum = self.weight_sum(u);
             let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
@@ -689,7 +691,7 @@ impl StreamingEngine {
                 changed: emitted,
                 edges_read: 0,
                 targets_start,
-                targets_len: emitted as u32,
+                targets_len: emitted as u32, // cast-ok: count bounded by num_edges < 2^32, checked at graph construction
             });
         }
         self.tracer.end_round();
@@ -721,7 +723,7 @@ impl StreamingEngine {
         // Phase 1 — negative events for every old out-edge of a touched
         // vertex, using the old degree/weight-sum (Algorithm 3).
         self.tracer.begin_phase(Phase::DeleteSetup);
-        let snapshot: Vec<Value> = touched.iter().map(|&u| self.values[u as usize]).collect();
+        let snapshot: Vec<Value> = touched.iter().map(|&u| self.values[u as usize]).collect(); // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
         for ((&u, &state), old_edges) in touched.iter().zip(snapshot.iter()).zip(&old_out_edges) {
             let deg = old_edges.len();
             let wsum: Value = if self.alg.needs_weight_sum() {
@@ -747,7 +749,7 @@ impl StreamingEngine {
                 vertex: u,
                 kind: OpKind::StreamRead,
                 changed: generated > 0,
-                edges_read: deg as u32,
+                edges_read: deg as u32, // cast-ok: count bounded by num_edges < 2^32, checked at graph construction
                 targets_start,
                 targets_len: generated,
             });
@@ -787,7 +789,7 @@ impl StreamingEngine {
             // convergence left; coalesced recovery replays the same
             // snapshot the rollback used.
             let state = match self.config.accumulative_recovery {
-                AccumulativeRecovery::TwoPhase => self.values[u as usize],
+                AccumulativeRecovery::TwoPhase => self.values[u as usize], // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
                 AccumulativeRecovery::Coalesced => old_state,
             };
             self.stats.vertex_reads += 1;
@@ -809,7 +811,7 @@ impl StreamingEngine {
                 vertex: u,
                 kind: OpKind::StreamRead,
                 changed: generated > 0,
-                edges_read: deg as u32,
+                edges_read: deg as u32, // cast-ok: count bounded by num_edges < 2^32, checked at graph construction
                 targets_start,
                 targets_len: generated,
             });
@@ -840,19 +842,19 @@ struct SeqState<'a> {
 
 impl ExecState for SeqState<'_> {
     fn value(&self, v: VertexId) -> Value {
-        self.values[v as usize]
+        self.values[v as usize] // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     fn set_value(&mut self, v: VertexId, x: Value) {
-        self.values[v as usize] = x;
+        self.values[v as usize] = x; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     fn dependency(&self, v: VertexId) -> Option<VertexId> {
-        self.dependency[v as usize]
+        self.dependency[v as usize] // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     fn set_dependency(&mut self, v: VertexId, d: Option<VertexId>) {
-        self.dependency[v as usize] = d;
+        self.dependency[v as usize] = d; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     fn stats(&mut self) -> &mut RunStats {
@@ -869,6 +871,7 @@ impl ExecState for SeqState<'_> {
         // slice (§4.7), insert into the coalescing queue.
         self.stats.events_generated += 1;
         if let Some(cap) = self.queue_capacity {
+            // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
             if cap > 0 && (ev.target as usize) / cap != self.active_slice {
                 self.stats.spilled_events += 1;
             }

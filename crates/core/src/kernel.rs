@@ -140,7 +140,7 @@ fn propagate_regular(
             generated += 1;
         }
     }
-    (generated, deg as u32)
+    (generated, deg as u32) // cast-ok: count bounded by num_edges < 2^32, checked at graph construction
 }
 
 /// Handles one delete event during recovery (Algorithm 4, lines 8–17,
@@ -212,7 +212,7 @@ fn propagate_deletes(
             generated += 1;
         }
     }
-    (generated, deg as u32)
+    (generated, deg as u32) // cast-ok: count bounded by num_edges < 2^32, checked at graph construction
 }
 
 /// Value-level convergence checks shared by both engines'
@@ -234,6 +234,7 @@ pub(crate) fn validate_converged_values(
     if cx.dap_active() {
         for (v, dep) in dependency.iter().enumerate() {
             if let Some(u) = dep {
+                // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
                 if !csr.out.has_edge(*u, v as VertexId) {
                     return Err(format!(
                         "dangling dependency: vertex {v} leads-to {u}, but edge \
@@ -246,12 +247,12 @@ pub(crate) fn validate_converged_values(
     match alg.kind() {
         UpdateKind::Selective => {
             for (u, v, w) in csr.out.iter_edges() {
-                let state = values[u as usize];
+                let state = values[u as usize]; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
                 let deg = csr.out.degree(u);
                 let wsum = cx.weight_sum(u);
                 let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
                 if let Some(delta) = alg.propagate(state, state, &ctx) {
-                    let target = values[v as usize];
+                    let target = values[v as usize]; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
                     if alg.reduce(target, delta) != target {
                         return Err(format!(
                             "not a fixed point: edge {u} -> {v} still improves \

@@ -127,14 +127,14 @@ impl CoalescingQueue {
         for wi in 0..self.occupancy.len() {
             let mut word = self.occupancy[wi];
             while word != 0 {
-                let bit = word.trailing_zeros() as usize;
+                let bit = word.trailing_zeros() as usize; // cast-ok: trailing_zeros of a u64 word is <= 64
                 word &= word - 1;
                 let v = wi * 64 + bit;
                 if self.flags[v] & FLAG_DELETE == 0 {
                     continue;
                 }
                 self.occupancy[wi] &= !(1u64 << bit);
-                let bin = self.bin_of(v as VertexId);
+                let bin = self.bin_for(v as VertexId); // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
                 self.bin_len[bin] -= 1;
                 self.len -= 1;
                 self.stats.overflowed += 1;
@@ -169,8 +169,13 @@ impl CoalescingQueue {
         self.stats
     }
 
-    fn bin_of(&self, v: VertexId) -> usize {
-        (v as usize / self.bin_size).min(self.num_bins - 1)
+    /// The bin that vertex `v` maps to. Bins are contiguous vertex-id
+    /// ranges of `bin_size`; ids at or past `bin_size * num_bins` (which
+    /// can exist when `num_vertices` is not a multiple of the bin count)
+    /// clamp into the last bin, so every representable `VertexId` maps to
+    /// a valid bin.
+    pub fn bin_for(&self, v: VertexId) -> usize {
+        (v as usize / self.bin_size).min(self.num_bins - 1) // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     /// Reconstructs the resident event for occupied vertex `v` from the
@@ -178,7 +183,7 @@ impl CoalescingQueue {
     fn event_at(&self, v: usize) -> Event {
         let flags = self.flags[v];
         Event {
-            target: v as VertexId,
+            target: v as VertexId, // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
             payload: self.payload[v],
             is_delete: flags & FLAG_DELETE != 0,
             request: flags & FLAG_REQUEST != 0,
@@ -203,7 +208,7 @@ impl CoalescingQueue {
     // hot-path
     pub fn insert(&mut self, event: Event, alg: &dyn Algorithm) {
         assert!(
-            (event.target as usize) < self.num_vertices,
+            (event.target as usize) < self.num_vertices, // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
             "event target {} out of range",
             event.target
         );
@@ -213,7 +218,7 @@ impl CoalescingQueue {
             self.overflow.push_back(event);
             return;
         }
-        let idx = event.target as usize;
+        let idx = event.target as usize; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
         let (word, mask) = (idx / 64, 1u64 << (idx % 64));
         if self.occupancy[word] & mask == 0 {
             // Empty slot: claim the bit and write the fields.
@@ -223,7 +228,7 @@ impl CoalescingQueue {
             if let Some(s) = event.source {
                 self.source[idx] = s;
             }
-            let bin = self.bin_of(event.target);
+            let bin = self.bin_for(event.target);
             self.bin_len[bin] += 1;
             self.len += 1;
         } else {
@@ -278,7 +283,7 @@ impl CoalescingQueue {
             }
             self.occupancy[wi] &= !word;
             while word != 0 {
-                let bit = word.trailing_zeros() as usize;
+                let bit = word.trailing_zeros() as usize; // cast-ok: trailing_zeros of a u64 word is <= 64
                 word &= word - 1;
                 out.push(self.event_at(wi * 64 + bit));
                 drained += 1;
@@ -326,8 +331,8 @@ impl CoalescingQueue {
         }
         // Walk bin by bin so per-bin lengths stay exact.
         let mut total = 0;
-        let first_bin = self.bin_of(lo as VertexId);
-        let last_bin = self.bin_of((hi - 1) as VertexId);
+        let first_bin = self.bin_for(lo as VertexId); // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
+        let last_bin = self.bin_for((hi - 1) as VertexId); // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
         for bin in first_bin..=last_bin {
             if self.bin_len[bin] == 0 {
                 continue;
@@ -435,7 +440,7 @@ impl CoalescingQueue {
                 return Err("occupancy bit set beyond the vertex count".into());
             }
         }
-        let occupied: usize = self.occupancy.iter().map(|w| w.count_ones() as usize).sum();
+        let occupied: usize = self.occupancy.iter().map(|w| w.count_ones() as usize).sum(); // cast-ok: count_ones of a u64 word is <= 64
         if occupied != self.len {
             return Err(format!("{occupied} occupied slots but len = {}", self.len));
         }
@@ -511,6 +516,36 @@ mod tests {
         let bin1 = q.take_bin(1);
         assert_eq!(bin1[0].target, 7);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bin_for_maps_the_last_vertex_into_the_last_bin() {
+        // 10 vertices over 4 requested bins -> bin_size 3, 4 bins; the
+        // last bin holds only vertex 9.
+        let q = CoalescingQueue::new(10, 4);
+        assert_eq!(q.num_bins(), 4);
+        assert_eq!(q.bin_for(0), 0);
+        assert_eq!(q.bin_for(2), 0);
+        assert_eq!(q.bin_for(3), 1);
+        assert_eq!(q.bin_for(8), 2);
+        assert_eq!(q.bin_for(9), q.num_bins() - 1, "num_vertices-1 must land in the last bin");
+        // Out-of-population ids clamp into the last bin rather than
+        // indexing past `bin_len`.
+        assert_eq!(q.bin_for(u32::MAX), q.num_bins() - 1);
+    }
+
+    #[test]
+    fn the_last_vertex_round_trips_through_the_max_bin() {
+        let mut q = CoalescingQueue::new(10, 4);
+        let a = sssp();
+        q.insert(Event::regular(9, 1.5), &a);
+        assert_eq!(q.len(), 1);
+        let last = q.num_bins() - 1;
+        assert_eq!(q.bin_for(9), last);
+        let evs = q.take_bin(last);
+        assert_eq!(evs.iter().map(|e| e.target).collect::<Vec<_>>(), vec![9]);
+        assert!(q.is_empty());
+        q.validate().unwrap();
     }
 
     #[test]

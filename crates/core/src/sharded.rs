@@ -102,7 +102,7 @@ struct Shard {
 impl Shard {
     fn new(lo: usize, width: usize, num_bins: usize) -> Self {
         Shard {
-            lo: lo as VertexId,
+            lo: lo as VertexId, // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
             queue: CoalescingQueue::new(width, num_bins),
             extra: QueueStats::default(),
             stats: RunStats::default(),
@@ -159,19 +159,19 @@ struct WorkerState<'a> {
 
 impl ExecState for WorkerState<'_> {
     fn value(&self, v: VertexId) -> Value {
-        self.values[(v - self.lo) as usize]
+        self.values[(v - self.lo) as usize] // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     fn set_value(&mut self, v: VertexId, x: Value) {
-        self.values[(v - self.lo) as usize] = x;
+        self.values[(v - self.lo) as usize] = x; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     fn dependency(&self, v: VertexId) -> Option<VertexId> {
-        self.dependency[(v - self.lo) as usize]
+        self.dependency[(v - self.lo) as usize] // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     fn set_dependency(&mut self, v: VertexId, d: Option<VertexId>) {
-        self.dependency[(v - self.lo) as usize] = d;
+        self.dependency[(v - self.lo) as usize] = d; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     fn stats(&mut self) -> &mut RunStats {
@@ -192,7 +192,7 @@ impl ExecState for WorkerState<'_> {
 /// Routes a global vertex id to the shard owning it. `bounds` holds the
 /// `S + 1` range boundaries (`bounds[s]..bounds[s + 1]` is shard `s`).
 fn route(bounds: &[usize], target: VertexId) -> usize {
-    bounds.partition_point(|&b| b <= target as usize) - 1
+    bounds.partition_point(|&b| b <= target as usize) - 1 // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
 }
 
 /// Runs one superstep on one shard: queue the inbox (in canonical order),
@@ -201,7 +201,7 @@ fn route(bounds: &[usize], target: VertexId) -> usize {
 /// the shard) and `out` (recycled by the coordinator) are reused across
 /// supersteps, so steady-state rounds allocate nothing.
 // hot-path
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // one call site; the superstep's state is genuinely this wide
 fn worker_round(
     cx: &KernelCtx<'_>,
     shard: &mut Shard,
@@ -400,7 +400,9 @@ pub struct ShardedEngine {
     /// reads, request events, seed emissions).
     stats: RunStats,
     coalesced_before: u64,
-    yield_every: Option<usize>,
+    /// Per-worker yield intervals (worker `i` uses `plan[i % len]`; an
+    /// interval of 0 means that worker never yields). Empty = no yielding.
+    yield_plan: Vec<usize>,
     /// Cumulative scaling model (see [`ParallelModel`]).
     model: ParallelModel,
 }
@@ -462,7 +464,7 @@ impl ShardedEngine {
     ) -> Self {
         assert!(num_shards > 0, "need at least one shard");
         let csr = host.snapshot_pair();
-        let part = Partition::contiguous_balanced(&csr.out, num_shards as u32);
+        let part = Partition::contiguous_balanced(&csr.out, num_shards as u32); // cast-ok: shard counts are small (bounded by worker threads), far below 2^32
         let ranges = part.contiguous_ranges().unwrap_or_default();
         assert_eq!(ranges.len(), num_shards, "contiguous partition must yield one range per shard");
         let mut bounds = Vec::with_capacity(num_shards + 1);
@@ -489,7 +491,7 @@ impl ShardedEngine {
             config,
             stats: RunStats::default(),
             coalesced_before: 0,
-            yield_every: None,
+            yield_plan: Vec::new(),
             model: ParallelModel::default(),
         }
     }
@@ -557,7 +559,22 @@ impl ShardedEngine {
     /// processed events, perturbing the thread schedule. Results must not
     /// change (the determinism regression test asserts they don't).
     pub fn set_yield_interval(&mut self, every: Option<usize>) {
-        self.yield_every = every;
+        self.yield_plan = match every {
+            Some(e) => vec![e],
+            None => Vec::new(),
+        };
+    }
+
+    /// Test hook: give every worker its *own* yield interval — worker `i`
+    /// yields its time slice every `plan[i % plan.len()]` processed events
+    /// (0 = that worker never yields). Staggered intervals desynchronise
+    /// the workers far more aggressively than a uniform one, reshuffling
+    /// the arrival order of exchange messages; the schedule sanitizer
+    /// (DESIGN.md §13) sweeps seeded plans and asserts results are
+    /// bit-identical to the sequential engine under every one. An empty
+    /// plan disables yielding.
+    pub fn set_yield_plan(&mut self, plan: &[usize]) {
+        self.yield_plan = plan.to_vec();
     }
 
     /// Runs the static (cold) evaluation from scratch on the current graph
@@ -705,7 +722,12 @@ impl ShardedEngine {
             return;
         }
         let coalesce_deletes = self.coalesce_deletes;
-        let yield_every = self.yield_every;
+        let yields: Vec<Option<usize>> = (0..self.shards.len())
+            .map(|i| match self.yield_plan.as_slice() {
+                [] => None,
+                plan => Some(plan[i % plan.len()]),
+            })
+            .collect();
         let delete_strategy = self.config.delete_strategy;
         let ShardedEngine {
             alg,
@@ -730,7 +752,8 @@ impl ShardedEngine {
             let mut from_workers = Vec::with_capacity(num_shards);
             let mut rest_v: &mut [Value] = values;
             let mut rest_d: &mut [Option<VertexId>] = dependency;
-            for (shard, w) in shards.iter_mut().zip(bounds.windows(2)) {
+            for (worker, (shard, w)) in shards.iter_mut().zip(bounds.windows(2)).enumerate() {
+                let yield_every = yields[worker];
                 let width = w[1] - w[0];
                 let (v, tail_v) = rest_v.split_at_mut(width);
                 rest_v = tail_v;
@@ -871,7 +894,7 @@ impl ShardedEngine {
             let event = match self.config.delete_strategy {
                 DeleteStrategy::Tag => Some(Event::delete(u, v, self.alg.identity())),
                 DeleteStrategy::Vap => {
-                    let state = self.values[u as usize];
+                    let state = self.values[u as usize]; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
                     let deg = self.csr.out.degree(u);
                     let wsum = self.weight_sum(u);
                     let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
@@ -932,7 +955,7 @@ impl ShardedEngine {
         for &(u, v, w) in insertions {
             self.stats.stream_reads += 1;
             self.stats.vertex_reads += 1;
-            let state = self.values[u as usize];
+            let state = self.values[u as usize]; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
             let deg = self.csr.out.degree(u);
             let wsum = self.weight_sum(u);
             let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
@@ -969,7 +992,7 @@ impl ShardedEngine {
 
         // Phase 1 — negative events for every old out-edge of a touched
         // vertex, using the old degree/weight-sum.
-        let snapshot: Vec<Value> = touched.iter().map(|&u| self.values[u as usize]).collect();
+        let snapshot: Vec<Value> = touched.iter().map(|&u| self.values[u as usize]).collect(); // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
         for ((_, &state), old_edges) in touched.iter().zip(snapshot.iter()).zip(&old_out_edges) {
             let deg = old_edges.len();
             let wsum: Value = if self.alg.needs_weight_sum() {
@@ -1012,7 +1035,7 @@ impl ShardedEngine {
                 0.0
             };
             let state = match self.config.accumulative_recovery {
-                AccumulativeRecovery::TwoPhase => self.values[u as usize],
+                AccumulativeRecovery::TwoPhase => self.values[u as usize], // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
                 AccumulativeRecovery::Coalesced => old_state,
             };
             self.stats.vertex_reads += 1;

@@ -40,9 +40,9 @@ impl Csr {
     pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId, Weight)]) -> Self {
         let mut degree = vec![0usize; num_vertices];
         for &(u, v, _) in edges {
-            assert!((u as usize) < num_vertices, "source {u} out of range");
-            assert!((v as usize) < num_vertices, "target {v} out of range");
-            degree[u as usize] += 1;
+            assert!((u as usize) < num_vertices, "source {u} out of range"); // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+            assert!((v as usize) < num_vertices, "target {v} out of range"); // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+            degree[u as usize] += 1; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
         }
         let mut offsets = Vec::with_capacity(num_vertices + 1);
         offsets.push(0);
@@ -52,14 +52,14 @@ impl Csr {
             offsets.push(total);
         }
         let num_edges = edges.len();
-        let mut targets = vec![0 as VertexId; num_edges];
+        let mut targets = vec![0 as VertexId; num_edges]; // cast-ok: the literal 0 fits every vertex-id width
         let mut weights = vec![0.0 as Weight; num_edges];
         let mut cursor = offsets[..num_vertices].to_vec();
         for &(u, v, w) in edges {
-            let at = cursor[u as usize];
+            let at = cursor[u as usize]; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
             targets[at] = v;
             weights[at] = w;
-            cursor[u as usize] += 1;
+            cursor[u as usize] += 1; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
         }
         let mut csr = Csr { offsets, targets, weights };
         csr.sort_rows();
@@ -103,7 +103,7 @@ impl Csr {
     ///
     /// Panics if `v` is out of range.
     pub fn degree(&self, v: VertexId) -> usize {
-        let v = v as usize;
+        let v = v as usize; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
         self.offsets[v + 1] - self.offsets[v]
     }
 
@@ -113,7 +113,7 @@ impl Csr {
     ///
     /// Panics if `v` is out of range.
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = EdgeRef> + '_ {
-        let v = v as usize;
+        let v = v as usize; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
         let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
         self.targets[lo..hi]
             .iter()
@@ -123,7 +123,7 @@ impl Csr {
 
     /// Returns the weight of edge `u -> v`, or `None` if absent.
     pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
-        let ui = u as usize;
+        let ui = u as usize; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
         if ui + 1 >= self.offsets.len() {
             return None;
         }
@@ -148,6 +148,7 @@ impl Csr {
     /// Iterates all edges as `(source, target, weight)` triples.
     pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
         (0..self.num_vertices()).flat_map(move |u| {
+            // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
             self.neighbors(u as VertexId).map(move |e| (u as VertexId, e.other, e.weight))
         })
     }

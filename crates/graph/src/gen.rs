@@ -63,7 +63,7 @@ pub fn rmat(
     let sum = params.a + params.b + params.c + params.d;
     assert!((sum - 1.0).abs() < 1e-9, "rmat probabilities must sum to 1, got {sum}");
     let mut rng = DetRng::seed_from_u64(seed);
-    let scale = (num_vertices as f64).log2().ceil() as u32;
+    let scale = (num_vertices as f64).log2().ceil() as u32; // cast-ok: log2 of a usize vertex count is < 64
     let side = 1usize << scale;
     let mut g = AdjacencyGraph::new(num_vertices);
     let mut attempts = 0usize;
@@ -101,7 +101,7 @@ pub fn rmat(
             continue;
         }
         let w = random_weight(&mut rng);
-        let _ = g.insert_edge(u as VertexId, v as VertexId, w);
+        let _ = g.insert_edge(u as VertexId, v as VertexId, w); // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
     }
     g
 }
@@ -119,8 +119,8 @@ pub fn layered_narrow(layers: usize, width: usize, num_edges: usize, seed: u64) 
     // Backbone: connect each layer to the next so long paths exist.
     for l in 0..layers - 1 {
         for i in 0..width {
-            let u = (l * width + i) as VertexId;
-            let v = ((l + 1) * width + rng.gen_index(width)) as VertexId;
+            let u = (l * width + i) as VertexId; // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
+            let v = ((l + 1) * width + rng.gen_index(width)) as VertexId; // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
             if u != v {
                 let w = random_weight(&mut rng);
                 let _ = g.insert_edge(u, v, w);
@@ -146,10 +146,10 @@ pub fn layered_narrow(layers: usize, width: usize, num_edges: usize, seed: u64) 
         if l2 < 0 || l2 >= layers as i64 {
             continue;
         }
-        let u = (l * width + rng.gen_index(width)) as VertexId;
+        let u = (l * width + rng.gen_index(width)) as VertexId; // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
         let skew = rng.gen_f64();
-        let target_idx = ((skew * skew) * width as f64) as usize;
-        let v = (l2 as usize * width + target_idx.min(width - 1)) as VertexId;
+        let target_idx = ((skew * skew) * width as f64) as usize; // cast-ok: skew^2 is in [0, 1), so the product is < width
+        let v = (l2 as usize * width + target_idx.min(width - 1)) as VertexId; // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
         if u == v {
             continue;
         }
@@ -188,7 +188,7 @@ pub fn small_world(num_vertices: usize, k: usize, rewire_p: f64, seed: u64) -> A
                 continue;
             }
             let w = random_weight(&mut rng);
-            let _ = g.insert_edge(u as VertexId, v as VertexId, w);
+            let _ = g.insert_edge(u as VertexId, v as VertexId, w); // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
         }
     }
     g
@@ -202,8 +202,8 @@ pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> Adjacenc
     let max_attempts = num_edges * 20;
     while g.num_edges() < num_edges && attempts < max_attempts {
         attempts += 1;
-        let u = rng.gen_index(num_vertices) as VertexId;
-        let v = rng.gen_index(num_vertices) as VertexId;
+        let u = rng.gen_index(num_vertices) as VertexId; // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
+        let v = rng.gen_index(num_vertices) as VertexId; // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
         if u == v {
             continue;
         }
@@ -307,8 +307,8 @@ impl DatasetProfile {
     /// 16 vertices.
     pub fn generate(self, scale: u32) -> AdjacencyGraph {
         assert!(scale > 0, "scale must be positive");
-        let nodes = (self.paper_nodes() / scale as u64) as usize;
-        let edges = (self.paper_edges() / scale as u64) as usize;
+        let nodes = (self.paper_nodes() / scale as u64) as usize; // cast-ok: paper-scale counts divided down by `scale` fit usize on our targets
+        let edges = (self.paper_edges() / scale as u64) as usize; // cast-ok: paper-scale counts divided down by `scale` fit usize on our targets
         assert!(nodes >= 16, "scale {scale} leaves too few vertices");
         let seed = 0x4a45_5453 + self as u64; // deterministic per profile
         if self.is_narrow() {
@@ -329,7 +329,7 @@ impl DatasetProfile {
     ///
     /// At least one update is always requested.
     pub fn scaled_batch(self, paper_batch: u64, scale: u32) -> usize {
-        ((paper_batch / scale as u64) as usize).max(1)
+        ((paper_batch / scale as u64) as usize).max(1) // cast-ok: paper-scale batch size divided down by `scale` fits usize
     }
 }
 
@@ -377,7 +377,7 @@ impl EdgeStream {
         let mut rng = DetRng::seed_from_u64(seed);
         let mut edges: Vec<(VertexId, VertexId, Weight)> = full.iter_edges().collect();
         // Fisher-Yates the tail into the holdout pool.
-        let holdout = ((edges.len() as f64 * holdout_fraction) as usize).max(1);
+        let holdout = ((edges.len() as f64 * holdout_fraction) as usize).max(1); // cast-ok: holdout_fraction is in [0, 1], so the product is <= edges.len()
         let n = edges.len();
         for i in 0..holdout.min(n) {
             let j = rng.gen_range(i, n);
@@ -408,7 +408,7 @@ impl EdgeStream {
             (0.0..=1.0).contains(&insertion_fraction),
             "insertion fraction must be within [0, 1]"
         );
-        let want_ins = (size as f64 * insertion_fraction).round() as usize;
+        let want_ins = (size as f64 * insertion_fraction).round() as usize; // cast-ok: insertion_fraction is in [0, 1], so the product is <= size
         let want_del = size - want_ins;
         let mut batch = UpdateBatch::new();
 
@@ -428,9 +428,9 @@ impl EdgeStream {
         // inserts (insert+delete of the same pair in one batch is a weight
         // change, not what this stream models).
         let current: Vec<(VertexId, VertexId, Weight)> = self.graph.iter_edges().collect();
-        let inserted: std::collections::HashSet<(VertexId, VertexId)> =
+        let inserted: std::collections::BTreeSet<(VertexId, VertexId)> =
             batch.insertions().iter().map(|&(u, v, _)| (u, v)).collect();
-        let mut chosen = std::collections::HashSet::new();
+        let mut chosen = std::collections::BTreeSet::new();
         let del = want_del.min(current.len());
         let mut attempts = 0;
         while chosen.len() < del && attempts < del * 50 + 100 {
@@ -470,7 +470,7 @@ pub fn random_batch(
     // Sample deletions from the existing edges.
     let all_edges: Vec<(VertexId, VertexId)> = g.iter_edges().map(|(u, v, _)| (u, v)).collect();
     let del_count = deletions.min(all_edges.len());
-    let mut chosen = std::collections::HashSet::new();
+    let mut chosen = std::collections::BTreeSet::new();
     while chosen.len() < del_count {
         let idx = rng.gen_index(all_edges.len());
         if chosen.insert(idx) {
@@ -481,14 +481,14 @@ pub fn random_batch(
 
     // Sample insertions among absent edges.
     let n = g.num_vertices();
-    let mut pending = std::collections::HashSet::new();
+    let mut pending = std::collections::BTreeSet::new();
     let mut added = 0usize;
     let mut attempts = 0usize;
     let max_attempts = insertions * 100 + 1000;
     while added < insertions && attempts < max_attempts {
         attempts += 1;
-        let u = rng.gen_index(n) as VertexId;
-        let v = rng.gen_index(n) as VertexId;
+        let u = rng.gen_index(n) as VertexId; // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
+        let v = rng.gen_index(n) as VertexId; // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
         if u == v || g.has_edge(u, v) || !pending.insert((u, v)) {
             continue;
         }
@@ -508,7 +508,7 @@ pub fn batch_with_ratio(
     seed: u64,
 ) -> UpdateBatch {
     assert!((0.0..=1.0).contains(&insertion_fraction), "insertion fraction must be within [0, 1]");
-    let ins = (size as f64 * insertion_fraction).round() as usize;
+    let ins = (size as f64 * insertion_fraction).round() as usize; // cast-ok: insertion_fraction is in [0, 1], so the product is <= size
     let del = size - ins;
     random_batch(g, ins, del, seed)
 }
@@ -534,7 +534,7 @@ mod tests {
     #[test]
     fn rmat_has_degree_skew() {
         let g = rmat(1024, 8192, RmatParams::default(), 3);
-        let max_deg = (0..1024).map(|v| g.degree(v)).max().unwrap();
+        let max_deg = (0..1024).map(|v| g.degree(v)).max().expect("range is non-empty");
         let avg = g.num_edges() as f64 / 1024.0;
         assert!(max_deg as f64 > 4.0 * avg, "expected power-law skew: max {max_deg} vs avg {avg}");
     }
@@ -588,7 +588,7 @@ mod tests {
 
     #[test]
     fn all_profiles_have_unique_tags() {
-        let tags: std::collections::HashSet<_> =
+        let tags: std::collections::BTreeSet<_> =
             DatasetProfile::ALL.iter().map(|p| p.tag()).collect();
         assert_eq!(tags.len(), 5);
     }
@@ -613,7 +613,7 @@ mod tests {
         let mut shadow = stream.graph().clone();
         for _ in 0..10 {
             let batch = stream.next_batch(30, 0.7);
-            shadow.apply_batch(&batch).unwrap();
+            shadow.apply_batch(&batch).expect("batch touches only in-range vertices");
             assert_eq!(&shadow, stream.graph());
         }
     }
@@ -649,7 +649,7 @@ mod tests {
         }
         // The batch must apply cleanly.
         let mut g2 = g.clone();
-        g2.apply_batch(&batch).unwrap();
+        g2.apply_batch(&batch).expect("batch touches only in-range vertices");
     }
 
     #[test]
@@ -664,7 +664,7 @@ mod tests {
     fn deletions_in_batch_are_distinct() {
         let g = erdos_renyi(100, 300, 2);
         let batch = random_batch(&g, 0, 50, 3);
-        let set: std::collections::HashSet<_> = batch.deletions().iter().collect();
+        let set: std::collections::BTreeSet<_> = batch.deletions().iter().collect();
         assert_eq!(set.len(), batch.deletions().len());
     }
 

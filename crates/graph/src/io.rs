@@ -167,6 +167,7 @@ pub fn read_edge_list<R: BufRead>(
         edges.push((u, v, w));
         Ok(())
     })?;
+    // cast-ok: max_id accumulates u32 vertex ids, so max_id + 1 <= 2^32 fits usize
     let n = ((max_id + 1) as usize).max(min_vertices).max(if edges.is_empty() {
         min_vertices
     } else {
@@ -310,7 +311,7 @@ mod tests {
     #[test]
     fn read_basic_edge_list() {
         let text = "# a comment\n0 1 2.5\n1 2\n% another comment\n2 0 7\n";
-        let g = read_edge_list(Cursor::new(text), 0).unwrap();
+        let g = read_edge_list(Cursor::new(text), 0).expect("edge-list parse should succeed");
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 3);
         assert_eq!(g.edge_weight(0, 1), Some(2.5));
@@ -319,13 +320,14 @@ mod tests {
 
     #[test]
     fn min_vertices_pads_isolated_tail() {
-        let g = read_edge_list(Cursor::new("0 1\n"), 10).unwrap();
+        let g = read_edge_list(Cursor::new("0 1\n"), 10).expect("edge-list parse should succeed");
         assert_eq!(g.num_vertices(), 10);
     }
 
     #[test]
     fn empty_input_gives_empty_graph() {
-        let g = read_edge_list(Cursor::new("# nothing\n"), 5).unwrap();
+        let g =
+            read_edge_list(Cursor::new("# nothing\n"), 5).expect("edge-list parse should succeed");
         assert_eq!(g.num_vertices(), 5);
         assert_eq!(g.num_edges(), 0);
     }
@@ -352,17 +354,18 @@ mod tests {
     #[test]
     fn graph_roundtrip() {
         let text = "0 1 2\n1 2 3\n2 0 4\n";
-        let g = read_edge_list(Cursor::new(text), 0).unwrap();
+        let g = read_edge_list(Cursor::new(text), 0).expect("edge-list parse should succeed");
         let mut buf = Vec::new();
-        write_edge_list(&g, &mut buf).unwrap();
-        let g2 = read_edge_list(Cursor::new(buf), 0).unwrap();
+        write_edge_list(&g, &mut buf).expect("edge-list parse should succeed");
+        let g2 = read_edge_list(Cursor::new(buf), 0).expect("edge-list parse should succeed");
         assert_eq!(g, g2);
     }
 
     #[test]
     fn read_batches_with_separators() {
         let text = "a 0 1 2.0\nd 1 2\n\na 3 4\n# comment\nd 0 1\n";
-        let batches = read_update_batches(Cursor::new(text)).unwrap();
+        let batches =
+            read_update_batches(Cursor::new(text)).expect("batch-file parse should succeed");
         assert_eq!(batches.len(), 2);
         assert_eq!(batches[0].insertions(), &[(0, 1, 2.0)]);
         assert_eq!(batches[0].deletions(), &[(1, 2)]);
@@ -384,8 +387,8 @@ mod tests {
         b2.insert(5, 6, 1.5);
         let batches = vec![b1, b2];
         let mut buf = Vec::new();
-        write_update_batches(&batches, &mut buf).unwrap();
-        let back = read_update_batches(Cursor::new(buf)).unwrap();
+        write_update_batches(&batches, &mut buf).expect("batch-file write to Vec should succeed");
+        let back = read_update_batches(Cursor::new(buf)).expect("batch-file parse should succeed");
         assert_eq!(back, batches);
     }
 
@@ -435,8 +438,8 @@ mod tests {
             UpdateBatch::new(),
         ];
         let mut buf = Vec::new();
-        write_update_batches(&batches, &mut buf).unwrap();
-        let back = read_update_batches(Cursor::new(buf)).unwrap();
+        write_update_batches(&batches, &mut buf).expect("batch-file write to Vec should succeed");
+        let back = read_update_batches(Cursor::new(buf)).expect("batch-file parse should succeed");
         assert_eq!(back, vec![b1, b2]);
     }
 
@@ -474,8 +477,10 @@ mod tests {
                 batches.push(b);
             }
             let mut buf = Vec::new();
-            write_update_batches(&batches, &mut buf).unwrap();
-            let back = read_update_batches(Cursor::new(buf)).unwrap();
+            write_update_batches(&batches, &mut buf)
+                .expect("batch-file write to Vec should succeed");
+            let back =
+                read_update_batches(Cursor::new(buf)).expect("batch-file parse should succeed");
             let expected: Vec<UpdateBatch> =
                 batches.into_iter().filter(|b| !b.is_empty()).collect();
             assert_eq!(back, expected);

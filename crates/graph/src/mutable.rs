@@ -64,6 +64,7 @@ impl AdjacencyGraph {
     }
 
     fn check_vertex(&self, v: VertexId) -> Result<(), GraphError> {
+        // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
         if (v as usize) < self.rows.len() {
             Ok(())
         } else {
@@ -89,7 +90,7 @@ impl AdjacencyGraph {
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
         }
-        let row = &mut self.rows[u as usize];
+        let row = &mut self.rows[u as usize]; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
         if row.contains_key(&v) {
             return Err(GraphError::DuplicateEdge { source: u, target: v });
         }
@@ -108,6 +109,7 @@ impl AdjacencyGraph {
     pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> Result<Weight, GraphError> {
         self.check_vertex(u)?;
         self.check_vertex(v)?;
+        // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
         match self.rows[u as usize].remove(&v) {
             Some(w) => {
                 self.num_edges -= 1;
@@ -120,7 +122,7 @@ impl AdjacencyGraph {
 
     /// Weight of edge `u -> v`, if present.
     pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
-        self.rows.get(u as usize).and_then(|r| r.get(&v).copied())
+        self.rows.get(u as usize).and_then(|r| r.get(&v).copied()) // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     /// True if edge `u -> v` exists.
@@ -134,7 +136,7 @@ impl AdjacencyGraph {
     ///
     /// Panics if `v` is out of range.
     pub fn degree(&self, v: VertexId) -> usize {
-        self.rows[v as usize].len()
+        self.rows[v as usize].len() // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     /// Iterates `v`'s out-edges in ascending target order.
@@ -143,7 +145,7 @@ impl AdjacencyGraph {
     ///
     /// Panics if `v` is out of range.
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
-        self.rows[v as usize].iter().map(|(&t, &w)| (t, w))
+        self.rows[v as usize].iter().map(|(&t, &w)| (t, w)) // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     /// Applies a whole update batch atomically: validates every update first,
@@ -166,10 +168,10 @@ impl AdjacencyGraph {
             }
         }
         // Validate insertions against the graph state after deletions.
-        let deleted: std::collections::HashSet<(VertexId, VertexId)> =
+        let deleted: std::collections::BTreeSet<(VertexId, VertexId)> =
             batch.deletions().iter().copied().collect();
-        let mut pending: std::collections::HashSet<(VertexId, VertexId)> =
-            std::collections::HashSet::new();
+        let mut pending: std::collections::BTreeSet<(VertexId, VertexId)> =
+            std::collections::BTreeSet::new();
         for &(u, v, _) in batch.insertions() {
             self.check_vertex(u)?;
             self.check_vertex(v)?;
@@ -183,11 +185,11 @@ impl AdjacencyGraph {
         }
         // Commit.
         for &(u, v) in batch.deletions() {
-            self.rows[u as usize].remove(&v);
+            self.rows[u as usize].remove(&v); // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
             self.num_edges -= 1;
         }
         for &(u, v, w) in batch.insertions() {
-            self.rows[u as usize].insert(v, w);
+            self.rows[u as usize].insert(v, w); // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
             self.num_edges += 1;
         }
         self.version += 1;
@@ -200,7 +202,7 @@ impl AdjacencyGraph {
             .rows
             .iter()
             .enumerate()
-            .flat_map(|(u, row)| row.iter().map(move |(&v, &w)| (u as VertexId, v, w)))
+            .flat_map(|(u, row)| row.iter().map(move |(&v, &w)| (u as VertexId, v, w))) // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
             .collect();
         Csr::from_edges(self.num_vertices(), &edges)
     }
@@ -215,6 +217,7 @@ impl AdjacencyGraph {
         self.rows
             .iter()
             .enumerate()
+            // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
             .flat_map(|(u, row)| row.iter().map(move |(&v, &w)| (u as VertexId, v, w)))
     }
 }
@@ -226,17 +229,17 @@ mod tests {
     #[test]
     fn insert_and_delete_roundtrip() {
         let mut g = AdjacencyGraph::new(3);
-        g.insert_edge(0, 1, 5.0).unwrap();
+        g.insert_edge(0, 1, 5.0).expect("insert of an in-range edge should succeed");
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.edge_weight(0, 1), Some(5.0));
-        assert_eq!(g.delete_edge(0, 1).unwrap(), 5.0);
+        assert_eq!(g.delete_edge(0, 1).expect("insert of an in-range edge should succeed"), 5.0);
         assert_eq!(g.num_edges(), 0);
     }
 
     #[test]
     fn duplicate_insert_rejected() {
         let mut g = AdjacencyGraph::new(3);
-        g.insert_edge(0, 1, 5.0).unwrap();
+        g.insert_edge(0, 1, 5.0).expect("insert of an in-range edge should succeed");
         assert_eq!(
             g.insert_edge(0, 1, 6.0),
             Err(GraphError::DuplicateEdge { source: 0, target: 1 })
@@ -267,9 +270,9 @@ mod tests {
     #[test]
     fn snapshot_matches_graph() {
         let mut g = AdjacencyGraph::new(4);
-        g.insert_edge(0, 1, 1.0).unwrap();
-        g.insert_edge(0, 2, 2.0).unwrap();
-        g.insert_edge(2, 3, 3.0).unwrap();
+        g.insert_edge(0, 1, 1.0).expect("insert of an in-range edge should succeed");
+        g.insert_edge(0, 2, 2.0).expect("insert of an in-range edge should succeed");
+        g.insert_edge(2, 3, 3.0).expect("insert of an in-range edge should succeed");
         let csr = g.snapshot();
         assert_eq!(csr.num_edges(), 3);
         assert_eq!(csr.edge_weight(0, 2), Some(2.0));
@@ -279,7 +282,7 @@ mod tests {
     #[test]
     fn batch_application_is_atomic_on_error() {
         let mut g = AdjacencyGraph::new(4);
-        g.insert_edge(0, 1, 1.0).unwrap();
+        g.insert_edge(0, 1, 1.0).expect("insert of an in-range edge should succeed");
         let before = g.clone();
         let mut batch = UpdateBatch::new();
         batch.insert(1, 2, 1.0);
@@ -291,11 +294,11 @@ mod tests {
     #[test]
     fn batch_weight_change_delete_then_insert() {
         let mut g = AdjacencyGraph::new(3);
-        g.insert_edge(0, 1, 1.0).unwrap();
+        g.insert_edge(0, 1, 1.0).expect("insert of an in-range edge should succeed");
         let mut batch = UpdateBatch::new();
         batch.delete(0, 1);
         batch.insert(0, 1, 9.0);
-        g.apply_batch(&batch).unwrap();
+        g.apply_batch(&batch).expect("batch touches only in-range vertices");
         assert_eq!(g.edge_weight(0, 1), Some(9.0));
         assert_eq!(g.num_edges(), 1);
     }
@@ -303,7 +306,7 @@ mod tests {
     #[test]
     fn batch_duplicate_insert_of_surviving_edge_rejected() {
         let mut g = AdjacencyGraph::new(3);
-        g.insert_edge(0, 1, 1.0).unwrap();
+        g.insert_edge(0, 1, 1.0).expect("insert of an in-range edge should succeed");
         let mut batch = UpdateBatch::new();
         batch.insert(0, 1, 2.0);
         assert!(g.apply_batch(&batch).is_err());
@@ -322,11 +325,11 @@ mod tests {
     fn version_increments() {
         let mut g = AdjacencyGraph::new(3);
         assert_eq!(g.version(), 0);
-        g.insert_edge(0, 1, 1.0).unwrap();
+        g.insert_edge(0, 1, 1.0).expect("insert of an in-range edge should succeed");
         assert_eq!(g.version(), 1);
         let mut batch = UpdateBatch::new();
         batch.insert(1, 2, 1.0);
-        g.apply_batch(&batch).unwrap();
+        g.apply_batch(&batch).expect("batch touches only in-range vertices");
         assert_eq!(g.version(), 2);
     }
 

@@ -68,7 +68,7 @@ impl DetRng {
     /// Returns `0` when `n == 0` (callers index into non-empty slices, and
     /// a panic-free contract keeps this usable inside validators).
     pub fn gen_index(&mut self, n: usize) -> usize {
-        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize // cast-ok: Lemire reduction: the high 64 bits of the product are < n, a usize
     }
 
     /// Uniform value in the half-open range `[lo, hi)`; returns `lo` when

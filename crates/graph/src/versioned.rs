@@ -265,7 +265,7 @@ mod tests {
         let mut s = store();
         let before = s.active().num_edges();
         let batch = gen::random_batch(s.head(), 5, 0, 1);
-        let v = s.commit(&batch).unwrap();
+        let v = s.commit(&batch).expect("commit of an in-range batch should succeed");
         assert_eq!(v, 1);
         assert_eq!(s.active().num_edges(), before + 5);
     }
@@ -275,7 +275,7 @@ mod tests {
         let mut s = store();
         let old = s.active();
         let batch = gen::random_batch(s.head(), 2, 2, 2);
-        s.commit(&batch).unwrap();
+        s.commit(&batch).expect("commit of an in-range batch should succeed");
         let new = s.active();
         // The old snapshot is still alive and unchanged for readers that
         // hold it (the accelerator mid-computation).
@@ -289,7 +289,7 @@ mod tests {
         let mut s = store();
         for i in 0..5u64 {
             let batch = gen::random_batch(s.head(), 3, 1, 10 + i);
-            s.commit(&batch).unwrap();
+            s.commit(&batch).expect("commit of an in-range batch should succeed");
         }
         let materialized = s.materialized_versions();
         assert_eq!(materialized.len(), 3);
@@ -306,7 +306,7 @@ mod tests {
         let mut shadows = vec![s.head().clone()];
         for i in 0..4u64 {
             let batch = gen::random_batch(s.head(), 4, 2, 20 + i);
-            s.commit(&batch).unwrap();
+            s.commit(&batch).expect("commit of an in-range batch should succeed");
             shadows.push(s.head().clone());
         }
         // Version 3's snapshot is materialized; version 4 too; reconstruct
@@ -352,12 +352,12 @@ mod tests {
         let mut shadows = vec![s.head().clone()];
         for i in 0..6u64 {
             let batch = gen::random_batch(s.head(), 3, 1, 40 + i);
-            s.commit(&batch).unwrap();
+            s.commit(&batch).expect("commit of an in-range batch should succeed");
             shadows.push(s.head().clone());
         }
         assert_eq!(s.materialized_versions(), vec![4, 5, 6]);
         // Exactly at the boundary: the oldest materialized version.
-        assert_eq!(s.reconstruct(4).unwrap(), shadows[4]);
+        assert_eq!(s.reconstruct(4).expect("version exists in the store"), shadows[4]);
         // Just below it: unreachable, and explicitly None rather than wrong.
         assert!(s.reconstruct(3).is_none());
         assert!(s.snapshot_at(3).is_none());
@@ -367,7 +367,11 @@ mod tests {
         }
         // The whole retained range reconstructs exactly.
         for v in 4..=6u64 {
-            assert_eq!(s.reconstruct(v).unwrap(), shadows[v as usize], "version {v}");
+            assert_eq!(
+                s.reconstruct(v).expect("version exists in the store"),
+                shadows[v as usize],
+                "version {v}"
+            );
         }
     }
 
@@ -377,10 +381,13 @@ mod tests {
         let mut s = VersionedGraph::new(base, 1);
         for i in 0..3u64 {
             let batch = gen::random_batch(s.head(), 2, 0, i);
-            s.commit(&batch).unwrap();
+            s.commit(&batch).expect("commit of an in-range batch should succeed");
         }
         assert_eq!(s.materialized_versions(), vec![3]);
-        assert_eq!(s.reconstruct(3).unwrap(), *s.head());
+        assert_eq!(
+            s.reconstruct(3).expect("commit of an in-range batch should succeed"),
+            *s.head()
+        );
         assert!(s.reconstruct(2).is_none());
         // retain = 0 is clamped to 1: the active version never disappears.
         let clamped = VersionedGraph::new(gen::erdos_renyi(10, 20, 6), 0);
@@ -392,11 +399,11 @@ mod tests {
         let mut s = store();
         for i in 0..5u64 {
             let batch = gen::random_batch(s.head(), 4, 2, 60 + i);
-            s.commit(&batch).unwrap();
+            s.commit(&batch).expect("commit of an in-range batch should succeed");
         }
         for v in s.materialized_versions() {
-            let snap = s.snapshot_at(v).unwrap();
-            let rebuilt = s.reconstruct(v).unwrap().snapshot_pair();
+            let snap = s.snapshot_at(v).expect("commit of an in-range batch should succeed");
+            let rebuilt = s.reconstruct(v).expect("version exists in the store").snapshot_pair();
             assert_eq!(
                 snap.out.iter_edges().collect::<Vec<_>>(),
                 rebuilt.out.iter_edges().collect::<Vec<_>>(),
@@ -415,7 +422,7 @@ mod tests {
                 seen = Some((version, b.len()));
                 Ok(())
             })
-            .unwrap();
+            .expect("commit hook returns Ok, so commit_with should succeed");
         assert_eq!(seen, Some((v, batch.len())));
 
         // A rejected batch never reaches the hook.

@@ -1,0 +1,24 @@
+//! CI entry point for the determinism sanitizer (DESIGN.md §13.3).
+//!
+//! Runs the default [`ScheduleFuzzer`] sweep — 36 schedules over
+//! SSSP/BFS × Tag/Dap — and exits non-zero on the first divergent bit,
+//! printing the schedule tuple that reproduces it. Invoked by
+//! `cargo xtask check --sanitize`.
+
+use jetstream_testkit::schedule::ScheduleFuzzer;
+
+fn main() {
+    let fuzzer = ScheduleFuzzer::default();
+    match fuzzer.run() {
+        Ok(report) => {
+            println!(
+                "schedule sanitizer: {} schedules, {} differential runs, {} step comparisons — all bit-identical to the sequential oracle",
+                report.schedules, report.runs, report.comparisons
+            );
+        }
+        Err(failure) => {
+            eprintln!("schedule sanitizer FAILED: {failure}");
+            std::process::exit(1);
+        }
+    }
+}

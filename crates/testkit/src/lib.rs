@@ -30,6 +30,8 @@
 
 pub use jetstream_graph::rng::DetRng;
 
+pub mod schedule;
+
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// Environment variable that replays a single failing case by seed.

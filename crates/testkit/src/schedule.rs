@@ -1,0 +1,411 @@
+//! Determinism sanitizer: a schedule fuzzer for the sharded engine.
+//!
+//! The static `determinism` lint proves the absence of nondeterminism
+//! *sources*; this module hunts nondeterminism *behaviour* in the one
+//! place concurrency is allowed (`ShardedEngine`). A [`ScheduleFuzzer`]
+//! sweeps a matrix of worker schedules — shard counts × base yield
+//! intervals × [`DetRng`]-seeded per-worker yield perturbations — and
+//! runs every schedule differentially against the sequential
+//! [`StreamingEngine`] oracle, comparing the full observable state after
+//! every batch: vertex values (bit-exact, compared on the raw `f64`
+//! bits), dependency arrays, impacted-vertex lists, and [`RunStats`].
+//! The sweep fails on the first divergent bit and reports the schedule
+//! tuple so the failure replays deterministically.
+//!
+//! Yielding at different points per worker reshuffles the arrival order
+//! of cross-shard exchange messages, which is exactly the freedom a data
+//! race or order-sensitive reduction would need to surface. See
+//! DESIGN.md §13.3.
+//!
+//! This is library code on the sanitizer's hot path in CI, so it is
+//! panic-free: every failure mode is a value of [`FuzzFailure`].
+
+use jetstream_algorithms::Workload;
+use jetstream_core::{DeleteStrategy, EngineConfig, RunStats, ShardedEngine, StreamingEngine};
+use jetstream_graph::rng::DetRng;
+use jetstream_graph::{gen, AdjacencyGraph, UpdateBatch};
+
+use std::fmt;
+
+/// Source vertex for the single-source workloads.
+const ROOT: u32 = 0;
+
+/// Convergence threshold for the accumulative workloads; matches the
+/// differential suite so the sweep exercises the same propagation depth.
+const EPSILON: f64 = 1e-4;
+
+/// One concrete worker schedule: a point in the fuzzer's sweep matrix
+/// plus the per-worker yield plan derived from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Number of worker shards.
+    pub shards: usize,
+    /// Base yield interval the per-worker plan is perturbed around
+    /// (0 = free-running).
+    pub base_yield: usize,
+    /// Seed of the [`DetRng`] that perturbed the plan.
+    pub seed: u64,
+    /// Per-worker yield intervals: worker `i` yields every `plan[i]`
+    /// processed events (0 = never). Installed via
+    /// `ShardedEngine::set_yield_plan`.
+    pub plan: Vec<usize>,
+}
+
+impl Schedule {
+    /// Derives the per-worker plan for one matrix point. Each worker's
+    /// interval is drawn independently from `base_yield + [0, 3)`, so
+    /// workers in the same run yield at different cadences and a `base`
+    /// of 0 mixes free-running workers with yielding ones.
+    pub fn derive(shards: usize, base_yield: usize, seed: u64) -> Schedule {
+        let mut rng = DetRng::seed_from_u64(
+            seed ^ (shards as u64).rotate_left(32) ^ (base_yield as u64).rotate_left(48),
+        );
+        let plan = (0..shards).map(|_| base_yield + rng.gen_index(3)).collect();
+        Schedule { shards, base_yield, seed, plan }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shards={} base_yield={} seed={} plan={:?}",
+            self.shards, self.base_yield, self.seed, self.plan
+        )
+    }
+}
+
+/// Which observable diverged first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergedField {
+    /// Per-batch [`RunStats`] differed.
+    Stats,
+    /// A vertex value differed (raw `f64` bit comparison).
+    Values,
+    /// A dependency-tree entry differed.
+    Dependencies,
+    /// The impacted-vertex list differed.
+    Impacted,
+}
+
+impl fmt::Display for DivergedField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DivergedField::Stats => "run stats",
+            DivergedField::Values => "values",
+            DivergedField::Dependencies => "dependencies",
+            DivergedField::Impacted => "impacted set",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A reproducible divergence between the sharded engine under one
+/// schedule and the sequential oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Workload whose run diverged.
+    pub workload: &'static str,
+    /// Delete strategy label of the diverging run.
+    pub strategy: &'static str,
+    /// Batch step at which the first divergent bit appeared
+    /// (0 = initial compute).
+    pub step: usize,
+    /// First observable that differed.
+    pub field: DivergedField,
+    /// The schedule that exposed it.
+    pub schedule: Schedule,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} diverged from the sequential oracle in {} at step {} under schedule [{}]",
+            self.workload, self.strategy, self.field, self.step, self.schedule
+        )
+    }
+}
+
+/// Any way a sweep can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuzzFailure {
+    /// Building the graph/history or stepping an engine errored before
+    /// any comparison could run.
+    Setup(String),
+    /// The engines disagreed.
+    Divergence(Box<Divergence>),
+}
+
+impl fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzFailure::Setup(msg) => write!(f, "sanitizer setup failed: {msg}"),
+            FuzzFailure::Divergence(d) => d.fmt(f),
+        }
+    }
+}
+
+/// Summary of a clean sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Distinct schedules exercised.
+    pub schedules: usize,
+    /// Sharded engine runs (schedules × workloads × strategies).
+    pub runs: usize,
+    /// Per-step state comparisons performed across all runs.
+    pub comparisons: usize,
+}
+
+/// Sequential oracle trajectory: per-step stats, values, dependencies,
+/// and impacted sets.
+struct Reference {
+    stats: Vec<RunStats>,
+    values: Vec<Vec<u64>>,
+    dependencies: Vec<Vec<Option<u32>>>,
+    impacted: Vec<Vec<u32>>,
+}
+
+/// Raw bits of a value slice; the sweep compares `f64`s bit-exactly, so
+/// `-0.0` vs `0.0` or differing NaN payloads count as divergence.
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// The schedule-sweep matrix and workload selection. The default matrix
+/// is the one CI runs (DESIGN.md §13.3): shards ∈ {1, 2, 4} × 4 seeds ×
+/// 3 base yield intervals = 36 schedules, over SSSP and BFS × the Tag
+/// and Dap delete strategies.
+#[derive(Debug, Clone)]
+pub struct ScheduleFuzzer {
+    /// Shard counts to sweep.
+    pub shard_counts: Vec<usize>,
+    /// Fuzzer seeds for the per-worker perturbation.
+    pub seeds: Vec<u64>,
+    /// Base yield intervals (0 = free-running) to perturb around.
+    pub base_yields: Vec<usize>,
+    /// Workloads to run under every schedule.
+    pub workloads: Vec<Workload>,
+    /// Delete strategies to run under every schedule.
+    pub strategies: Vec<DeleteStrategy>,
+    /// Streamed update batches per run.
+    pub batches: usize,
+    /// Edge updates per batch (half inserts, half deletes).
+    pub batch_size: usize,
+}
+
+impl Default for ScheduleFuzzer {
+    fn default() -> Self {
+        ScheduleFuzzer {
+            shard_counts: vec![1, 2, 4],
+            seeds: vec![0xA1, 0xB2, 0xC3, 0xD4],
+            base_yields: vec![0, 1, 3],
+            workloads: vec![Workload::Sssp, Workload::Bfs],
+            strategies: vec![DeleteStrategy::Tag, DeleteStrategy::Dap],
+            batches: 3,
+            batch_size: 20,
+        }
+    }
+}
+
+impl ScheduleFuzzer {
+    /// Materializes the sweep matrix in deterministic order.
+    pub fn schedules(&self) -> Vec<Schedule> {
+        let mut out =
+            Vec::with_capacity(self.shard_counts.len() * self.seeds.len() * self.base_yields.len());
+        for &shards in &self.shard_counts {
+            for &base in &self.base_yields {
+                for &seed in &self.seeds {
+                    out.push(Schedule::derive(shards, base, seed));
+                }
+            }
+        }
+        out
+    }
+
+    /// The streamed history every run replays: a hub-skewed R-MAT base
+    /// graph and `batches` mixed insert/delete batches.
+    fn history(&self) -> Result<(AdjacencyGraph, Vec<UpdateBatch>), FuzzFailure> {
+        let base = gen::rmat(128, 560, gen::RmatParams::default(), 41);
+        let mut g = base.clone();
+        let mut batches = Vec::with_capacity(self.batches);
+        for i in 0..self.batches {
+            let batch = gen::batch_with_ratio(&g, self.batch_size, 0.5, 5000 + i as u64);
+            g.apply_batch(&batch)
+                .map_err(|e| FuzzFailure::Setup(format!("batch {i} failed to apply: {e}")))?;
+            batches.push(batch);
+        }
+        Ok((base, batches))
+    }
+
+    fn reference(
+        &self,
+        workload: Workload,
+        strategy: DeleteStrategy,
+        base: &AdjacencyGraph,
+        batches: &[UpdateBatch],
+    ) -> Result<Reference, FuzzFailure> {
+        let alg = workload.instantiate_with_epsilon(ROOT, EPSILON);
+        let config = EngineConfig { delete_strategy: strategy, ..EngineConfig::default() };
+        let mut engine = StreamingEngine::new(alg, base.clone(), config);
+        let mut reference = Reference {
+            stats: vec![engine.initial_compute()],
+            values: vec![bits(engine.values())],
+            dependencies: vec![engine.dependencies().to_vec()],
+            impacted: vec![Vec::new()],
+        };
+        for (i, batch) in batches.iter().enumerate() {
+            let stats = engine.apply_update_batch(batch).map_err(|e| {
+                FuzzFailure::Setup(format!(
+                    "sequential oracle {}/{} failed at batch {i}: {e}",
+                    workload.name(),
+                    strategy.label()
+                ))
+            })?;
+            reference.stats.push(stats);
+            reference.values.push(bits(engine.values()));
+            reference.dependencies.push(engine.dependencies().to_vec());
+            reference.impacted.push(engine.last_impacted().to_vec());
+        }
+        Ok(reference)
+    }
+
+    /// Runs the full sweep. Returns the clean-sweep summary, or the
+    /// first [`FuzzFailure`] — a [`Divergence`] carries the schedule
+    /// tuple needed to replay it.
+    pub fn run(&self) -> Result<SweepReport, FuzzFailure> {
+        let (base, batches) = self.history()?;
+        let schedules = self.schedules();
+        let mut runs = 0usize;
+        let mut comparisons = 0usize;
+        for &workload in &self.workloads {
+            for &strategy in &self.strategies {
+                let reference = self.reference(workload, strategy, &base, &batches)?;
+                for schedule in &schedules {
+                    runs += 1;
+                    comparisons +=
+                        self.run_one(workload, strategy, schedule, &base, &batches, &reference)?;
+                }
+            }
+        }
+        Ok(SweepReport { schedules: schedules.len(), runs, comparisons })
+    }
+
+    /// One sharded run under one schedule, compared against the oracle
+    /// after the initial compute and after every batch. Returns the
+    /// number of step comparisons performed.
+    fn run_one(
+        &self,
+        workload: Workload,
+        strategy: DeleteStrategy,
+        schedule: &Schedule,
+        base: &AdjacencyGraph,
+        batches: &[UpdateBatch],
+        reference: &Reference,
+    ) -> Result<usize, FuzzFailure> {
+        let diverged = |step: usize, field: DivergedField| {
+            FuzzFailure::Divergence(Box::new(Divergence {
+                workload: workload.name(),
+                strategy: strategy.label(),
+                step,
+                field,
+                schedule: schedule.clone(),
+            }))
+        };
+        let alg = workload.instantiate_with_epsilon(ROOT, EPSILON);
+        let config = EngineConfig { delete_strategy: strategy, ..EngineConfig::default() };
+        let mut engine = ShardedEngine::new(alg, base.clone(), config, schedule.shards);
+        engine.set_yield_plan(&schedule.plan);
+
+        let stats = engine.initial_compute();
+        if stats != reference.stats[0] {
+            return Err(diverged(0, DivergedField::Stats));
+        }
+        if bits(engine.values()) != reference.values[0] {
+            return Err(diverged(0, DivergedField::Values));
+        }
+        if engine.dependencies() != &reference.dependencies[0][..] {
+            return Err(diverged(0, DivergedField::Dependencies));
+        }
+        let mut comparisons = 1usize;
+        for (i, batch) in batches.iter().enumerate() {
+            let step = i + 1;
+            let stats = engine.apply_update_batch(batch).map_err(|e| {
+                FuzzFailure::Setup(format!(
+                    "sharded {}/{} failed at batch {i} under [{schedule}]: {e}",
+                    workload.name(),
+                    strategy.label()
+                ))
+            })?;
+            if stats != reference.stats[step] {
+                return Err(diverged(step, DivergedField::Stats));
+            }
+            if bits(engine.values()) != reference.values[step] {
+                return Err(diverged(step, DivergedField::Values));
+            }
+            if engine.dependencies() != &reference.dependencies[step][..] {
+                return Err(diverged(step, DivergedField::Dependencies));
+            }
+            if engine.last_impacted() != &reference.impacted[step][..] {
+                return Err(diverged(step, DivergedField::Impacted));
+            }
+            comparisons += 1;
+        }
+        engine.validate_converged().map_err(|e| {
+            FuzzFailure::Setup(format!(
+                "sharded {}/{} not converged under [{schedule}]: {e}",
+                workload.name(),
+                strategy.label()
+            ))
+        })?;
+        Ok(comparisons)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matrix_has_36_distinct_schedules() {
+        let fuzzer = ScheduleFuzzer::default();
+        let schedules = fuzzer.schedules();
+        assert_eq!(schedules.len(), 36);
+        for (i, a) in schedules.iter().enumerate() {
+            for b in &schedules[..i] {
+                assert_ne!(a, b, "duplicate schedule in matrix");
+            }
+        }
+    }
+
+    #[test]
+    fn derived_plans_are_deterministic_and_per_worker() {
+        let a = Schedule::derive(4, 1, 7);
+        let b = Schedule::derive(4, 1, 7);
+        assert_eq!(a, b, "same matrix point must derive the same plan");
+        assert_eq!(a.plan.len(), 4);
+        assert!(a.plan.iter().all(|&y| (1..4).contains(&y)));
+        let c = Schedule::derive(4, 1, 8);
+        assert_ne!(a.seed, c.seed);
+    }
+
+    #[test]
+    fn a_small_sweep_is_clean() {
+        // The full 36-schedule matrix runs in CI via
+        // `cargo xtask check --sanitize`; keep the in-tree unit test to a
+        // slice so `cargo test` stays fast.
+        let fuzzer = ScheduleFuzzer {
+            shard_counts: vec![2],
+            seeds: vec![0xA1],
+            base_yields: vec![1],
+            workloads: vec![Workload::Sssp],
+            strategies: vec![DeleteStrategy::Dap],
+            batches: 2,
+            batch_size: 12,
+        };
+        let report = fuzzer.run().expect("slice of the default sweep must be clean");
+        assert_eq!(report.schedules, 1);
+        assert_eq!(report.runs, 1);
+        assert_eq!(report.comparisons, 3);
+    }
+}

@@ -8,6 +8,7 @@
 //! durable store, where a single ULP of divergence would silently fork
 //! recovered state from recorded history).
 
+// Test harness: a panic is exactly the failure signal we want here.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use jetstream::algorithms::Workload;

@@ -1,0 +1,6 @@
+//! Fixture: the bench harness sits outside the lint's scope entirely.
+
+use std::sync::Mutex;
+
+/// Shared wall-clock samples collected across measurement threads.
+pub static SAMPLES: Mutex<Vec<u64>> = Mutex::new(Vec::new());

@@ -1,0 +1,8 @@
+//! Fixture: the one approved concurrency module may use primitives freely.
+
+use std::sync::mpsc;
+
+/// Builds the exchange channel the sharded engine hands its workers.
+pub fn exchange_channel() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    mpsc::channel()
+}

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Fixture: an `#[allow(..)]` attribute with no written reason.
+
+#[allow(dead_code)]
+fn scaffolding() {}
+
+/// Public surface so the module is non-trivial.
+pub fn noop() {}

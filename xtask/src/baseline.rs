@@ -1,0 +1,463 @@
+//! The PR 1 line-based lint walker, preserved verbatim for benchmarking.
+//!
+//! This is the offset-preserving "sanitized views" scanner that `jetlint`
+//! (the token-level engine in the crate root) replaced. It only knows the
+//! five original lints and it carries the false-positive class the lexer
+//! port fixed (pattern matches that straddle string/comment boundaries the
+//! blanking pass mishandles). It is **not** used by `cargo xtask check`;
+//! `cargo xtask bench` runs both engines over the workspace and reports
+//! the runtime ratio recorded in EXPERIMENTS.md.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::{
+    collect_rust_files, is_crate_root, is_test_path, known_sections, section_refs, Finding, Lint,
+};
+
+/// Runs the five original line-based lints over the workspace rooted at
+/// `root`. Same walk order and I/O as [`crate::run_check`], so a timing
+/// comparison isolates the analysis cost.
+///
+/// # Errors
+///
+/// Returns any I/O error raised while walking the tree or reading files.
+pub fn run_check_baseline(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rust_files(root, root, &mut files)?;
+    files.sort();
+
+    let sections = known_sections(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let raw = fs::read_to_string(root.join(rel))?;
+        check_file(rel, &raw, &sections, &mut findings);
+    }
+    Ok(findings)
+}
+
+/// True for files inside the determinism-critical simulator crates.
+fn is_determinism_path(rel: &Path) -> bool {
+    let s = rel.to_string_lossy();
+    s.starts_with("crates/sim/src") || s.starts_with("crates/core/src")
+}
+
+fn check_file(rel: &Path, raw: &str, sections: &[String], findings: &mut Vec<Finding>) {
+    let views = sanitize(raw);
+
+    if is_crate_root(rel) {
+        for pragma in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
+            if !raw.contains(pragma) {
+                findings.push(Finding {
+                    lint: Lint::CrateRootPragmas,
+                    file: rel.to_path_buf(),
+                    line: 1,
+                    message: format!("crate root is missing `{pragma}`"),
+                });
+            }
+        }
+    }
+
+    for (lineno, sec) in section_refs(raw) {
+        if !sections.iter().any(|s| s == &sec) {
+            findings.push(Finding {
+                lint: Lint::PaperRef,
+                file: rel.to_path_buf(),
+                line: lineno,
+                message: format!(
+                    "{sec} is referenced here but defined in neither PAPER.md nor DESIGN.md"
+                ),
+            });
+        }
+    }
+
+    if is_test_path(rel) {
+        return;
+    }
+
+    check_panics(rel, &views, findings);
+    if is_determinism_path(rel) {
+        check_unordered(rel, raw, &views, findings);
+    }
+    if is_hot_path_crate(rel) {
+        check_hot_path_allocs(rel, raw, &views, findings);
+    }
+}
+
+/// True for files covered by the hot-path allocation lint.
+fn is_hot_path_crate(rel: &Path) -> bool {
+    rel.to_string_lossy().starts_with("crates/core/src")
+}
+
+fn check_hot_path_allocs(rel: &Path, raw: &str, views: &Views, findings: &mut Vec<Finding>) {
+    let code = views.code.as_bytes();
+    for marker in find_all(raw, "// hot-path") {
+        let Some(fn_off) = next_fn_keyword(&views.code, marker) else { continue };
+        let body_end = item_end(code, fn_off).unwrap_or(code.len());
+        let body = &views.code[fn_off..body_end];
+        for pattern in ["Vec::new()", "vec![", ".clone()"] {
+            for offset in find_all(body, pattern) {
+                findings.push(Finding {
+                    lint: Lint::HotPathAlloc,
+                    file: rel.to_path_buf(),
+                    line: views.line_of(fn_off + offset),
+                    message: format!(
+                        "`{pattern}` inside a `// hot-path` function — reuse a scratch buffer \
+                         (DESIGN.md §12) or move the allocation out of the marked function"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Offset of the next `fn` keyword (word-boundary checked) at or after
+/// `from` in the sanitized code view.
+fn next_fn_keyword(code: &str, from: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut at = from;
+    while let Some(pos) = code[at..].find("fn ") {
+        let off = at + pos;
+        let boundary =
+            off == 0 || !(bytes[off - 1].is_ascii_alphanumeric() || bytes[off - 1] == b'_');
+        if boundary {
+            return Some(off);
+        }
+        at = off + 3;
+    }
+    None
+}
+
+fn check_panics(rel: &Path, views: &Views, findings: &mut Vec<Finding>) {
+    let mut report = |lint: Lint, offset: usize, message: String| {
+        findings.push(Finding {
+            lint,
+            file: rel.to_path_buf(),
+            line: views.line_of(offset),
+            message,
+        });
+    };
+    for offset in find_all(&views.code, ".unwrap()") {
+        report(
+            Lint::NoPanic,
+            offset,
+            "`.unwrap()` in library code — propagate the error or use `.expect(\"invariant: ...\")`"
+                .into(),
+        );
+    }
+    for offset in find_all(&views.code, ".expect(") {
+        let call_start = offset + ".expect(".len();
+        if views.strings[call_start..].starts_with("\"invariant: ") {
+            continue;
+        }
+        report(
+            Lint::NoPanic,
+            offset,
+            "`.expect(..)` in library code — propagate the error, or document a structural \
+             invariant with an `\"invariant: ...\"` message"
+                .into(),
+        );
+    }
+    for offset in find_all(&views.code, "panic!(") {
+        report(
+            Lint::NoPanic,
+            offset,
+            "`panic!(..)` in library code — return an error or use an `assert!` with a message"
+                .into(),
+        );
+    }
+}
+
+fn check_unordered(rel: &Path, raw: &str, views: &Views, findings: &mut Vec<Finding>) {
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    for token in ["HashMap", "HashSet"] {
+        for offset in find_all(&views.code, token) {
+            let bytes = views.code.as_bytes();
+            let before_ok = offset == 0
+                || !(bytes[offset - 1].is_ascii_alphanumeric() || bytes[offset - 1] == b'_');
+            let end = offset + token.len();
+            let after_ok =
+                end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+            if !(before_ok && after_ok) {
+                continue;
+            }
+            let line = views.line_of(offset);
+            let waived = [line, line.saturating_sub(1)]
+                .iter()
+                .filter_map(|&l| raw_lines.get(l.wrapping_sub(1)))
+                .any(|l| l.contains("// lint: allow-unordered"));
+            if waived {
+                continue;
+            }
+            findings.push(Finding {
+                lint: Lint::UnorderedCollections,
+                file: rel.to_path_buf(),
+                line,
+                message: format!(
+                    "`{token}` in a determinism-critical crate — use BTreeMap/BTreeSet or \
+                     waive with `// lint: allow-unordered`"
+                ),
+            });
+        }
+    }
+}
+
+fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        out.push(from + pos);
+        from += pos + needle.len();
+    }
+    out
+}
+
+/// Offset-preserving sanitized views of a source file.
+struct Views {
+    /// Comments and string/char literals blanked.
+    code: String,
+    /// Comments blanked, string literals kept (for `"invariant: "` checks).
+    strings: String,
+}
+
+impl Views {
+    fn line_of(&self, offset: usize) -> usize {
+        self.code[..offset].bytes().filter(|&b| b == b'\n').count() + 1
+    }
+}
+
+/// Strips comments and literals while preserving byte offsets (every
+/// stripped byte becomes a space; newlines survive), then blanks
+/// `#[cfg(test)]` items so test modules are invisible to the code lints.
+fn sanitize(raw: &str) -> Views {
+    let src = raw.as_bytes();
+    let mut code = raw.as_bytes().to_vec();
+    let mut strings = raw.as_bytes().to_vec();
+    let mut i = 0;
+
+    let blank = |buf: &mut Vec<u8>, lo: usize, hi: usize| {
+        for b in &mut buf[lo..hi] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+
+    while i < src.len() {
+        match src[i] {
+            b'/' if src.get(i + 1) == Some(&b'/') => {
+                let end = memchr_newline(src, i);
+                blank(&mut code, i, end);
+                blank(&mut strings, i, end);
+                i = end;
+            }
+            b'/' if src.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < src.len() && depth > 0 {
+                    if src[j] == b'/' && src.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if src[j] == b'*' && src.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut code, i, j);
+                blank(&mut strings, i, j);
+                i = j;
+            }
+            b'"' => {
+                let end = skip_string(src, i);
+                blank(&mut code, i + 1, end.saturating_sub(1));
+                i = end;
+            }
+            b'r' | b'b' if starts_raw_string(src, i) => {
+                let (start, end, resume) = raw_string_span(src, i);
+                blank(&mut code, start, end);
+                i = resume;
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(src, i) {
+                    blank(&mut code, i + 1, end - 1);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    // String-handling only blanked `code`; now blank cfg(test) items in both.
+    let code_str = String::from_utf8_lossy(&code).into_owned();
+    let mut masked_code = code;
+    let mut masked_strings = strings;
+    let marker = "#[cfg(test)]";
+    let mut from = 0;
+    while let Some(pos) = code_str[from..].find(marker) {
+        let start = from + pos;
+        if let Some(end) = item_end(code_str.as_bytes(), start + marker.len()) {
+            blank(&mut masked_code, start, end);
+            blank(&mut masked_strings, start, end);
+            from = end;
+        } else {
+            from = start + marker.len();
+        }
+    }
+
+    Views {
+        code: String::from_utf8_lossy(&masked_code).into_owned(),
+        strings: String::from_utf8_lossy(&masked_strings).into_owned(),
+    }
+}
+
+fn memchr_newline(src: &[u8], from: usize) -> usize {
+    src[from..].iter().position(|&b| b == b'\n').map_or(src.len(), |p| from + p)
+}
+
+fn skip_string(src: &[u8], open: usize) -> usize {
+    let mut j = open + 1;
+    while j < src.len() {
+        match src[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    src.len()
+}
+
+fn starts_raw_string(src: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if src[j] == b'b' {
+        j += 1;
+    }
+    if src.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while src.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    src.get(j) == Some(&b'"')
+}
+
+/// Returns `(blank_from, blank_to, resume_at)` for a raw string literal.
+fn raw_string_span(src: &[u8], i: usize) -> (usize, usize, usize) {
+    let mut j = i;
+    if src[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0;
+    while src.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    let content_start = j + 1; // past the opening quote
+    let mut k = content_start;
+    while k < src.len() {
+        if src[k] == b'"' {
+            let tail = &src[k + 1..];
+            if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                return (content_start, k, k + 1 + hashes);
+            }
+        }
+        k += 1;
+    }
+    (content_start, src.len(), src.len())
+}
+
+fn char_literal_end(src: &[u8], open: usize) -> Option<usize> {
+    match src.get(open + 1)? {
+        b'\\' => {
+            let mut j = open + 2;
+            while j < src.len() && j < open + 12 {
+                if src[j] == b'\'' {
+                    return Some(j + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => (open + 2..=(open + 5).min(src.len().saturating_sub(1)))
+            .find(|&j| src.get(j) == Some(&b'\''))
+            .map(|j| j + 1),
+    }
+}
+
+/// Given the offset just past an attribute, returns the end of the item it
+/// decorates: the matching `}` of its first brace block, or the first `;`
+/// if one comes sooner (e.g. `mod tests;`).
+fn item_end(src: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    loop {
+        while i < src.len() && (src[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if src.get(i) == Some(&b'#') && src.get(i + 1) == Some(&b'[') {
+            let mut depth = 0;
+            while i < src.len() {
+                match src[i] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let mut depth = 0;
+    while i < src.len() {
+        match src[i] {
+            b';' if depth == 0 => return Some(i + 1),
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let v = sanitize("let x = \"panic!(\"; // .unwrap()\nlet y = 1;");
+        assert!(!v.code.contains("panic!("));
+        assert!(!v.code.contains(".unwrap()"));
+        assert!(v.code.contains("let y = 1;"));
+        assert!(v.strings.contains("panic!("));
+        assert!(!v.strings.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn both_engines_agree_on_simple_panic_findings() {
+        let src = "fn f() { g().unwrap(); }\n";
+        let mut old = Vec::new();
+        check_panics(Path::new("src/x.rs"), &sanitize(src), &mut old);
+        assert_eq!(old.len(), 1);
+        assert_eq!(old[0].lint, Lint::NoPanic);
+        assert_eq!(old[0].line, 1);
+    }
+}

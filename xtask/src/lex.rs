@@ -1,0 +1,409 @@
+//! A small hand-rolled Rust lexer for the `jetlint` engine.
+//!
+//! The lexer understands exactly as much Rust as the lints need: line and
+//! (nested) block comments, string / raw-string / byte-string literals,
+//! char literals vs. lifetimes, numbers, identifiers (keywords are plain
+//! identifiers here), and single-byte punctuation. It does **not** expand
+//! macros or build a syntax tree — lints pattern-match over the token
+//! stream instead, which is enough to never misfire inside a comment or a
+//! string literal (the false-positive class the PR 1 line-based walker
+//! had) while staying dependency-free and fast.
+//!
+//! Every token records its byte span in the original source and the
+//! 1-based line its first byte sits on, so findings point at real lines
+//! and lints can look up waiver pragmas by line.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `as`, `HashMap`, …).
+    Ident,
+    /// A lifetime such as `'a` (including `'static`).
+    Lifetime,
+    /// Integer or float literal, with any suffix.
+    Number,
+    /// `"…"` or `b"…"` string literal, escapes included. The span covers
+    /// the quotes.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#` raw (byte) string literal.
+    RawStr,
+    /// `'x'`-style char or byte literal.
+    Char,
+    /// `// …` comment (doc comments `///` and `//!` included), newline
+    /// excluded from the span.
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+    /// A single byte of punctuation (`.`, `(`, `{`, `!`, `#`, …).
+    Punct,
+}
+
+/// One lexed token: kind plus the byte span and starting line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into a token vector. Never fails: unterminated literals
+/// and stray bytes degrade gracefully (the token runs to end of input, or
+/// the byte becomes punctuation) — lint input is expected to be valid
+/// Rust, but a half-saved file must not crash the linter.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'b' if self.peek(1) == Some(b'"') => self.string(self.pos + 1),
+                _ if self.raw_string_ahead() => self.raw_string(),
+                b'\'' => self.char_or_lifetime(),
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    // Single punctuation byte; multi-byte UTF-8 sequences
+                    // (e.g. `§` in doc text that escaped a comment) are
+                    // consumed whole so spans stay on char boundaries.
+                    let start = self.pos;
+                    self.pos += utf8_len(b);
+                    self.push(TokenKind::Punct, start);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        // The token may span newlines (block comments, raw strings): the
+        // recorded line is where it starts; `line` advances past its body.
+        let newlines = self.src[start..self.pos].iter().filter(|&&b| b == b'\n').count();
+        self.out.push(Token { kind, start, end: self.pos, line: self.line });
+        self.line += newlines;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, start);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.push(TokenKind::BlockComment, start);
+    }
+
+    /// Lexes a `"…"` literal whose opening quote sits at `quote` (the
+    /// current position for plain strings, one past the `b` for `b"…"`).
+    fn string(&mut self, quote: usize) {
+        let start = self.pos;
+        self.pos = quote + 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos = (self.pos + 2).min(self.src.len()),
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Str, start);
+    }
+
+    /// True when the bytes at the cursor start a raw string: `r` or `br`,
+    /// then zero or more `#`, then `"`.
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = self.pos;
+        if self.src.get(i) == Some(&b'b') {
+            i += 1;
+        }
+        if self.src.get(i) != Some(&b'r') {
+            return false;
+        }
+        i += 1;
+        while self.src.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.src.get(i) == Some(&b'"')
+    }
+
+    fn raw_string(&mut self) {
+        let start = self.pos;
+        if self.src.get(self.pos) == Some(&b'b') {
+            self.pos += 1;
+        }
+        self.pos += 1; // 'r'
+        let mut hashes = 0usize;
+        while self.src.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' {
+                let tail = &self.src[self.pos + 1..];
+                if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                    self.pos += 1 + hashes;
+                    break;
+                }
+            }
+            self.pos += 1;
+        }
+        self.push(TokenKind::RawStr, start);
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` (char literal): a quote
+    /// two bytes after an ident-start byte means a char literal; an escape
+    /// always means a char literal; anything else is a lifetime.
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: scan to the closing quote.
+                self.pos += 2;
+                while self.pos < self.src.len() {
+                    match self.src[self.pos] {
+                        b'\\' => self.pos = (self.pos + 2).min(self.src.len()),
+                        b'\'' => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => self.pos += 1,
+                    }
+                }
+                self.push(TokenKind::Char, start);
+            }
+            Some(c) if is_ident_start(c) => {
+                if self.peek(2) == Some(b'\'') {
+                    // 'x' — a one-byte char literal.
+                    self.pos += 3;
+                    self.push(TokenKind::Char, start);
+                } else {
+                    // 'ident — a lifetime.
+                    self.pos += 1;
+                    while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                        self.pos += 1;
+                    }
+                    self.push(TokenKind::Lifetime, start);
+                }
+            }
+            Some(c) => {
+                // Non-alphanumeric char literal ('.', '§', …): find the
+                // closing quote within the char's UTF-8 length.
+                let width = utf8_len(c);
+                if self.peek(1 + width) == Some(b'\'') {
+                    self.pos += 2 + width;
+                } else {
+                    // Stray quote; treat as punctuation.
+                    self.pos += 1;
+                    self.push(TokenKind::Punct, start);
+                    return;
+                }
+                self.push(TokenKind::Char, start);
+            }
+            None => {
+                self.pos += 1;
+                self.push(TokenKind::Punct, start);
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // Digits, hex digits, and type suffixes (`0xFFu32`).
+                self.pos += 1;
+            } else if b == b'.'
+                && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+                && !self.src[start..self.pos].contains(&b'.')
+            {
+                // A decimal point followed by a digit — but `1..n` ranges
+                // and `1.max(2)` method calls keep their dot as Punct.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, start);
+    }
+}
+
+/// Byte length of the UTF-8 sequence starting with `b` (1 for ASCII and,
+/// defensively, for continuation bytes).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = kinds("fn f(x: u32) -> u32 { x + 1 }");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "f".into()));
+        assert!(toks.iter().any(|t| *t == (TokenKind::Number, "1".into())));
+    }
+
+    #[test]
+    fn comments_are_single_tokens() {
+        let toks = kinds("a // trailing .unwrap()\nb /* block\nspanning */ c");
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert!(toks[1].1.contains(".unwrap()"));
+        assert_eq!(toks[3].0, TokenKind::BlockComment);
+        assert_eq!(toks[4], (TokenKind::Ident, "c".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn strings_swallow_their_contents() {
+        let toks = kinds(r#"let s = "panic!(\" HashMap"; t"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("HashMap"));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "t".into()));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds("let s = r#\"a \" .unwrap() \"#; let b = b\"bytes\"; br\"raw\"");
+        let raws: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::RawStr).collect();
+        assert_eq!(raws.len(), 2);
+        assert!(raws[0].1.contains(".unwrap()"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Str && t.1 == "b\"bytes\""));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let s = '§'; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn static_lifetime_is_a_lifetime() {
+        let toks = kinds("fn f(x: &'static str) {}");
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Lifetime && t.1 == "'static"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("for i in 0..10 { let x = 1.5; let y = 2.max(3); }");
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Number && t.1 == "0"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Number && t.1 == "10"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Number && t.1 == "1.5"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Number && t.1 == "2"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Ident && t.1 == "max"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb /* c\nd */ e\nf";
+        let toks = lex(src);
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.text(src) == name)
+                .unwrap_or_else(|| panic!("{name} not lexed"))
+                .line
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 2);
+        assert_eq!(line_of("e"), 3);
+        assert_eq!(line_of("f"), 4);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        lex("let s = \"never closed");
+        lex("let r = r#\"still open");
+        lex("/* forever");
+        lex("let c = '");
+    }
+}

@@ -1,57 +1,97 @@
-//! Repo-native static analysis for the JetStream workspace.
+//! `jetlint` — repo-native, token-level static analysis for the JetStream
+//! workspace.
 //!
-//! `cargo xtask check` walks every Rust source file in the repository and
-//! enforces the policies that `rustc`/`clippy` cannot express for us:
+//! `cargo xtask check` lexes every Rust source file in the repository with
+//! the hand-rolled lexer in [`lex`] (no external crates; the build is
+//! offline) and runs nine token-stream lints that enforce policies
+//! `rustc`/`clippy` cannot express for us. Because lints pattern-match
+//! lexer tokens rather than raw lines, they can never misfire inside a
+//! string literal or a comment, and they can see things a line walker
+//! cannot (identifier boundaries, call shapes, `as` casts).
+//!
+//! The nine lints:
 //!
 //! * **no-panic** — no `.unwrap()`, `.expect(..)`, or `panic!(..)` in
 //!   non-test library code. `.expect("invariant: ...")` is permitted: it
 //!   documents a structural invariant whose violation must crash loudly.
+//!   In `crates/graph` the `.unwrap()` ban extends into `#[cfg(test)]`
+//!   code too (graph tests are the replay oracle for the durable store;
+//!   their failures must explain themselves) — use `.expect("<context>")`.
 //! * **crate-root-pragmas** — every crate root carries
 //!   `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
 //! * **unordered-collections** — no `HashMap`/`HashSet` in the simulator
 //!   core (`crates/sim`, `crates/core`): iteration order feeds simulated
-//!   event order, so unordered collections silently break run-to-run
-//!   determinism. A `// lint: allow-unordered` comment on (or right above)
-//!   the line waives a use that provably never iterates.
+//!   event order. Waive a provably-never-iterated use with
+//!   `// lint: allow-unordered — <reason>`.
 //! * **paper-ref** — every `§x.y` section reference in source text must
-//!   exist in `PAPER.md` or `DESIGN.md`, so paper citations cannot rot.
-//! * **hot-path-alloc** — no `Vec::new()`, `vec![..]`, or `.clone()` in the
-//!   body of a `crates/core` function marked with a `// hot-path` comment:
-//!   those functions run once per event or per superstep round, and the
-//!   engines' steady-state zero-allocation contract (DESIGN.md §12) dies
-//!   quietly if a per-round allocation sneaks back in.
+//!   exist in PAPER.md or DESIGN.md, so paper citations cannot rot.
+//! * **hot-path-alloc** — no `Vec::new()`, `vec![..]`, or `.clone()` in
+//!   the body of a `crates/core` function marked `// hot-path`
+//!   (DESIGN.md §12's steady-state zero-allocation contract).
+//! * **determinism** — no wall-clock (`Instant`, `SystemTime`) or entropy
+//!   (`thread_rng`, `from_entropy`, `RandomState`) sources, and no
+//!   `HashMap`/`HashSet`, in the bit-determinism-critical code:
+//!   `crates/core`, `crates/algorithms`, `crates/graph`, and the store
+//!   replay path. Two runs of the same batch stream must produce
+//!   identical state (DESIGN.md §11/§13); a justified exception takes
+//!   `// nondeterminism-ok: <reason>`.
+//! * **cast-truncation** — every narrowing `as` cast (`as u8/u16/u32/i8/
+//!   i16/i32/usize/isize/VertexId`) in `crates/core`/`crates/graph` must
+//!   carry `// cast-ok: <invariant>` stating why the value fits.
+//! * **concurrency-discipline** — `Mutex`/`RwLock`/`Condvar`/`mpsc`/
+//!   `spawn` are allowed only in the approved concurrency modules (today
+//!   just `crates/core/src/sharded.rs`), so threading cannot leak into
+//!   the engine unreviewed.
+//! * **pragma-justified** — every `#[allow(..)]` attribute and every lint
+//!   waiver pragma must carry a written reason.
 //!
-//! Test code (`#[cfg(test)]` modules and files under `tests/`, `benches/`,
-//! or `examples/` directories) is exempt from the panic and collection
-//! lints: tests *should* unwrap.
+//! Test code (`#[cfg(test)]` items and files under `tests/`, `benches/`,
+//! or `examples/`) is exempt from the panic/collection/cast/concurrency
+//! lints (with the `crates/graph` unwrap exception above): tests *should*
+//! unwrap. `pragma-justified` and `paper-ref` apply everywhere.
 //!
-//! The scanner is deliberately textual — it strips comments and string
-//! literals with a small lexer instead of parsing Rust — so it stays
-//! dependency-free and fast, at the cost of not chasing macro expansions.
+//! The PR 1 line-based walker this engine replaced is retained verbatim
+//! in [`baseline`] so `cargo xtask bench` can compare full-workspace
+//! runtimes (EXPERIMENTS.md records the ratio).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lex;
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use lex::{lex, Token, TokenKind};
+
 /// The individual policies `cargo xtask check` enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Lint {
-    /// `.unwrap()` / `.expect(..)` / `panic!(..)` in non-test library code.
+    /// `.unwrap()` / `.expect(..)` / `panic!(..)` in non-test library code
+    /// (plus `.unwrap()` anywhere in `crates/graph`).
     NoPanic,
     /// A crate root missing `#![forbid(unsafe_code)]` or
     /// `#![warn(missing_docs)]`.
     CrateRootPragmas,
     /// `HashMap`/`HashSet` in the determinism-critical simulator crates.
     UnorderedCollections,
-    /// A `§x.y` reference that is in neither `PAPER.md` nor `DESIGN.md`.
+    /// A `§x.y` reference that is in neither PAPER.md nor DESIGN.md.
     PaperRef,
     /// An allocation (`Vec::new()` / `vec![..]` / `.clone()`) inside a
     /// `// hot-path`-marked function in `crates/core`.
     HotPathAlloc,
+    /// A nondeterminism source (clock, entropy, unordered collection) in
+    /// the bit-determinism-critical crates.
+    Determinism,
+    /// A narrowing `as` cast without a `// cast-ok:` invariant.
+    CastTruncation,
+    /// A concurrency primitive outside the approved module list.
+    ConcurrencyDiscipline,
+    /// An `#[allow(..)]` or waiver pragma without a written reason.
+    PragmaJustified,
 }
 
 impl Lint {
@@ -63,6 +103,10 @@ impl Lint {
             Lint::UnorderedCollections => "unordered-collections",
             Lint::PaperRef => "paper-ref",
             Lint::HotPathAlloc => "hot-path-alloc",
+            Lint::Determinism => "determinism",
+            Lint::CastTruncation => "cast-truncation",
+            Lint::ConcurrencyDiscipline => "concurrency-discipline",
+            Lint::PragmaJustified => "pragma-justified",
         }
     }
 
@@ -74,9 +118,26 @@ impl Lint {
             "unordered-collections" => Some(Lint::UnorderedCollections),
             "paper-ref" => Some(Lint::PaperRef),
             "hot-path-alloc" => Some(Lint::HotPathAlloc),
+            "determinism" => Some(Lint::Determinism),
+            "cast-truncation" => Some(Lint::CastTruncation),
+            "concurrency-discipline" => Some(Lint::ConcurrencyDiscipline),
+            "pragma-justified" => Some(Lint::PragmaJustified),
             _ => None,
         }
     }
+
+    /// Every lint, in report order.
+    pub const ALL: [Lint; 9] = [
+        Lint::NoPanic,
+        Lint::CrateRootPragmas,
+        Lint::UnorderedCollections,
+        Lint::PaperRef,
+        Lint::HotPathAlloc,
+        Lint::Determinism,
+        Lint::CastTruncation,
+        Lint::ConcurrencyDiscipline,
+        Lint::PragmaJustified,
+    ];
 }
 
 /// One policy violation.
@@ -99,11 +160,54 @@ impl fmt::Display for Finding {
 }
 
 /// Directory names never descended into.
-const SKIP_DIRS: [&str; 4] = ["target", "fixtures", ".git", ".github"];
+pub(crate) const SKIP_DIRS: [&str; 4] = ["target", "fixtures", ".git", ".github"];
 
-/// Path components marking test-like code exempt from panic/collection
-/// lints.
-const TEST_DIRS: [&str; 3] = ["tests", "benches", "examples"];
+/// Path components marking test-like code exempt from the code lints.
+pub(crate) const TEST_DIRS: [&str; 3] = ["tests", "benches", "examples"];
+
+/// Paths covered by `unordered-collections` (hash iteration order feeds
+/// simulated event order there).
+const UNORDERED_SCOPE: [&str; 2] = ["crates/sim/src", "crates/core/src"];
+
+/// Paths covered by `determinism`: the engine, the algorithms it runs, the
+/// graph structures both read, and the store's replay path — everything
+/// whose two executions must be bit-identical.
+const DETERMINISM_SCOPE: [&str; 4] =
+    ["crates/core/src", "crates/algorithms/src", "crates/graph/src", "crates/store/src/recovery"];
+
+/// Paths covered by `cast-truncation`.
+const CAST_SCOPE: [&str; 2] = ["crates/core/src", "crates/graph/src"];
+
+/// Paths covered by `concurrency-discipline` (the engine-side crates; the
+/// bench harness and baselines may thread freely).
+const CONCURRENCY_SCOPE: [&str; 5] = [
+    "crates/core/src",
+    "crates/graph/src",
+    "crates/algorithms/src",
+    "crates/store/src",
+    "crates/sim/src",
+];
+
+/// Modules allowed to use concurrency primitives. Adding a file here is a
+/// reviewed decision: it means its interleavings have been argued
+/// deterministic (see DESIGN.md §11 for `sharded.rs`).
+const CONCURRENCY_APPROVED: [&str; 1] = ["crates/core/src/sharded.rs"];
+
+/// Paths where `.unwrap()` is banned even inside `#[cfg(test)]` code.
+const STRICT_TEST_UNWRAP_SCOPE: [&str; 1] = ["crates/graph/src"];
+
+/// Cast target types the `cast-truncation` lint treats as narrowing.
+/// `VertexId` is `u32` (`crates/graph/src/lib.rs`), so it narrows too;
+/// `usize` is listed because `u64 as usize` truncates on 32-bit hosts.
+const NARROWING_TARGETS: [&str; 9] =
+    ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize", "VertexId"];
+
+/// Identifiers banned by `determinism` everywhere in its scope.
+const NONDETERMINISM_IDENTS: [&str; 5] =
+    ["Instant", "SystemTime", "thread_rng", "from_entropy", "RandomState"];
+
+/// Identifiers banned by `concurrency-discipline` outside approved modules.
+const CONCURRENCY_IDENTS: [&str; 4] = ["Mutex", "RwLock", "Condvar", "mpsc"];
 
 /// Runs every lint over the workspace rooted at `root` and returns the
 /// findings, ordered by file path.
@@ -120,12 +224,17 @@ pub fn run_check(root: &Path) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     for rel in &files {
         let raw = fs::read_to_string(root.join(rel))?;
-        check_file(rel, &raw, &sections, &mut findings);
+        let file = SourceFile::new(rel, &raw);
+        check_file(&file, &sections, &mut findings);
     }
     Ok(findings)
 }
 
-fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rust_files(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<PathBuf>,
+) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
@@ -146,7 +255,7 @@ fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Re
 }
 
 /// Section ids (e.g. `§4.6.1`) present in PAPER.md / DESIGN.md.
-fn known_sections(root: &Path) -> io::Result<Vec<String>> {
+pub(crate) fn known_sections(root: &Path) -> io::Result<Vec<String>> {
     let mut sections = Vec::new();
     for doc in ["PAPER.md", "DESIGN.md"] {
         let path = root.join(doc);
@@ -164,7 +273,7 @@ fn known_sections(root: &Path) -> io::Result<Vec<String>> {
 }
 
 /// Extracts `§x[.y[.z]]` tokens with their 1-based line numbers.
-fn section_refs(text: &str) -> Vec<(usize, String)> {
+pub(crate) fn section_refs(text: &str) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let mut rest = line;
@@ -182,11 +291,11 @@ fn section_refs(text: &str) -> Vec<(usize, String)> {
     out
 }
 
-fn is_test_path(rel: &Path) -> bool {
+pub(crate) fn is_test_path(rel: &Path) -> bool {
     rel.components().any(|c| c.as_os_str().to_str().is_some_and(|s| TEST_DIRS.contains(&s)))
 }
 
-fn is_crate_root(rel: &Path) -> bool {
+pub(crate) fn is_crate_root(rel: &Path) -> bool {
     let Some(name) = rel.file_name().and_then(|n| n.to_str()) else {
         return false;
     };
@@ -194,422 +303,652 @@ fn is_crate_root(rel: &Path) -> bool {
     in_src && (name == "lib.rs" || name == "main.rs")
 }
 
-/// True for files inside the determinism-critical simulator crates.
-fn is_determinism_path(rel: &Path) -> bool {
-    let s = rel.to_string_lossy();
-    s.starts_with("crates/sim/src") || s.starts_with("crates/core/src")
+fn in_scope(rel: &Path, scope: &[&str]) -> bool {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    scope.iter().any(|p| s.starts_with(p))
 }
 
-fn check_file(rel: &Path, raw: &str, sections: &[String], findings: &mut Vec<Finding>) {
-    let views = sanitize(raw);
+// ---------------------------------------------------------------------
+// The token-stream view of one source file
+// ---------------------------------------------------------------------
 
-    if is_crate_root(rel) {
-        for pragma in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
-            if !raw.contains(pragma) {
-                findings.push(Finding {
-                    lint: Lint::CrateRootPragmas,
-                    file: rel.to_path_buf(),
-                    line: 1,
-                    message: format!("crate root is missing `{pragma}`"),
-                });
+/// A lexed source file plus the derived views the lints share: the
+/// comment-free code token sequence, the byte spans of `#[cfg(test)]`
+/// items, and a line → trailing-comment index for pragma lookups.
+struct SourceFile<'a> {
+    rel: &'a Path,
+    text: &'a str,
+    tokens: Vec<Token>,
+    /// Indices into `tokens` of every non-comment token, in order.
+    code: Vec<usize>,
+    /// Byte ranges (start inclusive, end exclusive) of `#[cfg(test)]`
+    /// items; code inside is invisible to the panic/collection/cast/
+    /// concurrency lints (except the strict-unwrap rule).
+    test_spans: Vec<(usize, usize)>,
+    /// `(line, token index)` of the last line comment on each line that
+    /// has one; sorted by line.
+    comment_lines: Vec<(usize, usize)>,
+}
+
+impl<'a> SourceFile<'a> {
+    fn new(rel: &'a Path, text: &'a str) -> Self {
+        let tokens = lex(text);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let mut comment_lines: Vec<(usize, usize)> = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind == TokenKind::LineComment {
+                match comment_lines.last_mut() {
+                    Some((line, idx)) if *line == t.line => *idx = i,
+                    _ => comment_lines.push((t.line, i)),
+                }
             }
         }
+        let test_spans = find_test_spans(&tokens, &code, text);
+        SourceFile { rel, text, tokens, code, test_spans, comment_lines }
     }
 
-    for (lineno, sec) in section_refs(raw) {
-        if !sections.iter().any(|s| s == &sec) {
-            findings.push(Finding {
-                lint: Lint::PaperRef,
-                file: rel.to_path_buf(),
-                line: lineno,
-                message: format!(
-                    "{sec} is referenced here but defined in neither PAPER.md nor DESIGN.md"
-                ),
-            });
-        }
+    /// The `i`-th code token.
+    fn ct(&self, i: usize) -> &Token {
+        &self.tokens[self.code[i]]
     }
 
-    if is_test_path(rel) {
-        return;
+    /// Text of the `i`-th code token.
+    fn ctext(&self, i: usize) -> &str {
+        self.ct(i).text(self.text)
     }
 
-    check_panics(rel, &views, findings);
-    if is_determinism_path(rel) {
-        check_unordered(rel, raw, &views, findings);
+    /// True when code token `i` exists and is the punctuation byte `p`.
+    fn is_punct(&self, i: usize, p: &str) -> bool {
+        i < self.code.len() && self.ct(i).kind == TokenKind::Punct && self.ctext(i) == p
     }
-    if is_hot_path_crate(rel) {
-        check_hot_path_allocs(rel, raw, &views, findings);
+
+    /// True when code token `i` exists and is the identifier `name`.
+    fn is_ident(&self, i: usize, name: &str) -> bool {
+        i < self.code.len() && self.ct(i).kind == TokenKind::Ident && self.ctext(i) == name
     }
-}
 
-/// True for files covered by the hot-path allocation lint: the engine
-/// crate, whose marked functions run once per event or per superstep.
-fn is_hot_path_crate(rel: &Path) -> bool {
-    rel.to_string_lossy().starts_with("crates/core/src")
-}
+    fn in_test(&self, byte: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| byte >= s && byte < e)
+    }
 
-/// Flags `Vec::new()` / `vec![..]` / `.clone()` inside any function whose
-/// preceding comment carries a `// hot-path` marker. Textual, like the
-/// rest of the scanner: each marker binds to the next `fn` item in the
-/// code view, and the item's span is the marker's enforcement region.
-fn check_hot_path_allocs(rel: &Path, raw: &str, views: &Views, findings: &mut Vec<Finding>) {
-    let code = views.code.as_bytes();
-    for marker in find_all(raw, "// hot-path") {
-        let Some(fn_off) = next_fn_keyword(&views.code, marker) else { continue };
-        let body_end = item_end(code, fn_off).unwrap_or(code.len());
-        let body = &views.code[fn_off..body_end];
-        for pattern in ["Vec::new()", "vec![", ".clone()"] {
-            for offset in find_all(body, pattern) {
-                findings.push(Finding {
-                    lint: Lint::HotPathAlloc,
-                    file: rel.to_path_buf(),
-                    line: views.line_of(fn_off + offset),
-                    message: format!(
-                        "`{pattern}` inside a `// hot-path` function — reuse a scratch buffer \
-                         (DESIGN.md §12) or move the allocation out of the marked function"
-                    ),
-                });
+    /// The text of a *plain* (non-doc) line comment on `line`, `//`
+    /// stripped and trimmed; `None` if the line has no such comment.
+    fn plain_comment_on(&self, line: usize) -> Option<&str> {
+        let idx = self.comment_lines.binary_search_by_key(&line, |&(l, _)| l).ok()?;
+        let (_, tok) = self.comment_lines[idx];
+        plain_comment_text(self.tokens[tok].text(self.text))
+    }
+
+    /// Looks for a waiver pragma starting with `key` on `line` or the line
+    /// directly above; returns the reason text after the key (possibly
+    /// empty — `pragma-justified` polices emptiness).
+    fn waiver(&self, line: usize, key: &str) -> Option<&str> {
+        for l in [line, line.saturating_sub(1)] {
+            if l == 0 {
+                continue;
+            }
+            if let Some(text) = self.plain_comment_on(l) {
+                if let Some(rest) = text.strip_prefix(key) {
+                    return Some(pragma_reason(rest));
+                }
             }
         }
+        None
     }
 }
 
-/// Offset of the next `fn` keyword (word-boundary checked) at or after
-/// `from` in the sanitized code view.
-fn next_fn_keyword(code: &str, from: usize) -> Option<usize> {
-    let bytes = code.as_bytes();
-    let mut at = from;
-    while let Some(pos) = code[at..].find("fn ") {
-        let off = at + pos;
-        let boundary =
-            off == 0 || !(bytes[off - 1].is_ascii_alphanumeric() || bytes[off - 1] == b'_');
-        if boundary {
-            return Some(off);
-        }
-        at = off + 3;
+/// Strips `//` and rejects doc comments (`///`, `//!`): pragmas and
+/// justification comments must be plain comments, so a doc sentence can
+/// never accidentally waive a lint.
+fn plain_comment_text(raw: &str) -> Option<&str> {
+    let rest = raw.strip_prefix("//")?;
+    if rest.starts_with('/') || rest.starts_with('!') {
+        return None;
     }
-    None
+    Some(rest.trim())
 }
 
-fn check_panics(rel: &Path, views: &Views, findings: &mut Vec<Finding>) {
-    let mut report = |lint: Lint, offset: usize, message: String| {
-        findings.push(Finding {
-            lint,
-            file: rel.to_path_buf(),
-            line: views.line_of(offset),
-            message,
-        });
-    };
-    for offset in find_all(&views.code, ".unwrap()") {
-        report(
-            Lint::NoPanic,
-            offset,
-            "`.unwrap()` in library code — propagate the error or use `.expect(\"invariant: ...\")`"
-                .into(),
-        );
-    }
-    for offset in find_all(&views.code, ".expect(") {
-        let call_start = offset + ".expect(".len();
-        if views.strings[call_start..].starts_with("\"invariant: ") {
+/// Trims the separator between a pragma key and its reason
+/// (`// cast-ok: reason`, `// lint: allow-unordered — reason`).
+fn pragma_reason(rest: &str) -> &str {
+    rest.trim_matches(|c: char| c == ':' || c == '-' || c == '—' || c.is_whitespace())
+}
+
+/// Byte spans of `#[cfg(test)]`-gated items, computed over code tokens so
+/// braces inside strings or comments can never unbalance the scan (the
+/// false-positive class the line-based walker had).
+fn find_test_spans(tokens: &[Token], code: &[usize], text: &str) -> Vec<(usize, usize)> {
+    let ct = |i: usize| -> &Token { &tokens[code[i]] };
+    let ctext = |i: usize| -> &str { ct(i).text(text) };
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if !(ctext(i) == "#" && ctext(i + 1) == "[") {
+            i += 1;
             continue;
         }
-        report(
-            Lint::NoPanic,
-            offset,
-            "`.expect(..)` in library code — propagate the error, or document a structural \
-             invariant with an `\"invariant: ...\"` message"
-                .into(),
-        );
-    }
-    for offset in find_all(&views.code, "panic!(") {
-        // `assert!`-family macros are fine; a bare `panic!` is not.
-        report(
-            Lint::NoPanic,
-            offset,
-            "`panic!(..)` in library code — return an error or use an `assert!` with a message"
-                .into(),
-        );
-    }
-}
-
-fn check_unordered(rel: &Path, raw: &str, views: &Views, findings: &mut Vec<Finding>) {
-    let raw_lines: Vec<&str> = raw.lines().collect();
-    for token in ["HashMap", "HashSet"] {
-        for offset in find_all(&views.code, token) {
-            // Token boundaries: reject identifiers merely containing the name.
-            let bytes = views.code.as_bytes();
-            let before_ok = offset == 0
-                || !(bytes[offset - 1].is_ascii_alphanumeric() || bytes[offset - 1] == b'_');
-            let end = offset + token.len();
-            let after_ok =
-                end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
-            if !(before_ok && after_ok) {
-                continue;
+        // Scan the attribute body for `cfg` + `test` (rejecting `not`):
+        // covers `#[cfg(test)]` and `#[cfg(all(test, ...))]`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let (mut has_cfg, mut has_test, mut has_not) = (false, false, false);
+        while j < code.len() && depth > 0 {
+            match ctext(j) {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                "cfg" => has_cfg = true,
+                "test" => has_test = true,
+                "not" => has_not = true,
+                _ => {}
             }
-            let line = views.line_of(offset);
-            let waived = [line, line.saturating_sub(1)]
-                .iter()
-                .filter_map(|&l| raw_lines.get(l.wrapping_sub(1)))
-                .any(|l| l.contains("// lint: allow-unordered"));
-            if waived {
-                continue;
-            }
-            findings.push(Finding {
-                lint: Lint::UnorderedCollections,
-                file: rel.to_path_buf(),
-                line,
-                message: format!(
-                    "`{token}` in a determinism-critical crate — use BTreeMap/BTreeSet or \
-                     waive with `// lint: allow-unordered`"
-                ),
-            });
+            j += 1;
         }
-    }
-}
-
-fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = haystack[from..].find(needle) {
-        out.push(from + pos);
-        from += pos + needle.len();
-    }
-    out
-}
-
-/// Offset-preserving sanitized views of a source file.
-struct Views {
-    /// Comments and string/char literals blanked.
-    code: String,
-    /// Comments blanked, string literals kept (for `"invariant: "` checks).
-    strings: String,
-}
-
-impl Views {
-    fn line_of(&self, offset: usize) -> usize {
-        self.code[..offset].bytes().filter(|&b| b == b'\n').count() + 1
-    }
-}
-
-/// Strips comments and literals while preserving byte offsets (every
-/// stripped byte becomes a space; newlines survive), then blanks
-/// `#[cfg(test)]` items so test modules are invisible to the code lints.
-fn sanitize(raw: &str) -> Views {
-    let src = raw.as_bytes();
-    let mut code = raw.as_bytes().to_vec();
-    let mut strings = raw.as_bytes().to_vec();
-    let mut i = 0;
-
-    let blank = |buf: &mut Vec<u8>, lo: usize, hi: usize| {
-        for b in &mut buf[lo..hi] {
-            if *b != b'\n' {
-                *b = b' ';
-            }
+        if !(has_cfg && has_test && !has_not) {
+            i = j;
+            continue;
         }
-    };
-
-    while i < src.len() {
-        match src[i] {
-            b'/' if src.get(i + 1) == Some(&b'/') => {
-                let end = memchr_newline(src, i);
-                blank(&mut code, i, end);
-                blank(&mut strings, i, end);
-                i = end;
-            }
-            b'/' if src.get(i + 1) == Some(&b'*') => {
-                let mut depth = 1;
-                let mut j = i + 2;
-                while j < src.len() && depth > 0 {
-                    if src[j] == b'/' && src.get(j + 1) == Some(&b'*') {
-                        depth += 1;
-                        j += 2;
-                    } else if src[j] == b'*' && src.get(j + 1) == Some(&b'/') {
-                        depth -= 1;
-                        j += 2;
-                    } else {
-                        j += 1;
-                    }
-                }
-                blank(&mut code, i, j);
-                blank(&mut strings, i, j);
-                i = j;
-            }
-            b'"' => {
-                let end = skip_string(src, i);
-                blank(&mut code, i + 1, end.saturating_sub(1));
-                i = end;
-            }
-            b'r' | b'b' if starts_raw_string(src, i) => {
-                let (start, end, resume) = raw_string_span(src, i);
-                blank(&mut code, start, end);
-                i = resume;
-            }
-            b'\'' => {
-                // Char literal or lifetime. A closing quote within 3 bytes
-                // (or after an escape) means a char literal.
-                if let Some(end) = char_literal_end(src, i) {
-                    blank(&mut code, i + 1, end - 1);
-                    i = end;
-                } else {
-                    i += 1;
-                }
-            }
-            _ => i += 1,
-        }
-    }
-
-    // String-handling only blanked `code`; now blank cfg(test) items in both.
-    let code_str = String::from_utf8_lossy(&code).into_owned();
-    let mut masked_code = code;
-    let mut masked_strings = strings;
-    let marker = "#[cfg(test)]";
-    let mut from = 0;
-    while let Some(pos) = code_str[from..].find(marker) {
-        let start = from + pos;
-        if let Some(end) = item_end(code_str.as_bytes(), start + marker.len()) {
-            blank(&mut masked_code, start, end);
-            blank(&mut masked_strings, start, end);
-            from = end;
-        } else {
-            from = start + marker.len();
-        }
-    }
-
-    Views {
-        code: String::from_utf8_lossy(&masked_code).into_owned(),
-        strings: String::from_utf8_lossy(&masked_strings).into_owned(),
-    }
-}
-
-fn memchr_newline(src: &[u8], from: usize) -> usize {
-    src[from..].iter().position(|&b| b == b'\n').map_or(src.len(), |p| from + p)
-}
-
-fn skip_string(src: &[u8], open: usize) -> usize {
-    let mut j = open + 1;
-    while j < src.len() {
-        match src[j] {
-            b'\\' => j += 2,
-            b'"' => return j + 1,
-            _ => j += 1,
-        }
-    }
-    src.len()
-}
-
-fn starts_raw_string(src: &[u8], i: usize) -> bool {
-    let mut j = i;
-    if src[j] == b'b' {
-        j += 1;
-    }
-    if src.get(j) != Some(&b'r') {
-        return false;
-    }
-    j += 1;
-    while src.get(j) == Some(&b'#') {
-        j += 1;
-    }
-    src.get(j) == Some(&b'"')
-}
-
-/// Returns `(blank_from, blank_to, resume_at)` for a raw string literal:
-/// the content span to blank and the offset just past the closing
-/// delimiter.
-fn raw_string_span(src: &[u8], i: usize) -> (usize, usize, usize) {
-    let mut j = i;
-    if src[j] == b'b' {
-        j += 1;
-    }
-    j += 1; // 'r'
-    let mut hashes = 0;
-    while src.get(j) == Some(&b'#') {
-        hashes += 1;
-        j += 1;
-    }
-    let content_start = j + 1; // past the opening quote
-    let mut k = content_start;
-    while k < src.len() {
-        if src[k] == b'"' {
-            let tail = &src[k + 1..];
-            if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
-                return (content_start, k, k + 1 + hashes);
-            }
-        }
-        k += 1;
-    }
-    (content_start, src.len(), src.len())
-}
-
-fn char_literal_end(src: &[u8], open: usize) -> Option<usize> {
-    match src.get(open + 1)? {
-        b'\\' => {
-            // Escapes: \n, \', \u{...}, \x7f — scan to the closing quote.
-            let mut j = open + 2;
-            while j < src.len() && j < open + 12 {
-                if src[j] == b'\'' {
-                    return Some(j + 1);
+        // Skip any further attributes on the same item.
+        while j + 1 < code.len() && ctext(j) == "#" && ctext(j + 1) == "[" {
+            let mut depth = 1usize;
+            j += 2;
+            while j < code.len() && depth > 0 {
+                match ctext(j) {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
                 }
                 j += 1;
             }
-            None
         }
-        _ => {
-            // `'a'` is a char literal; `'a` (no close) is a lifetime.
-            // Multi-byte chars: find the quote within the next few bytes.
-            (open + 2..=(open + 5).min(src.len().saturating_sub(1)))
-                .find(|&j| src.get(j) == Some(&b'\''))
-                .map(|j| j + 1)
+        // The item ends at the matching `}` of its first brace block, or
+        // at the first `;` seen before any brace (`mod tests;`).
+        let mut depth = 0usize;
+        let mut k = j;
+        let mut end = text.len();
+        while k < code.len() {
+            match ctext(k) {
+                ";" if depth == 0 => {
+                    end = ct(k).end;
+                    k += 1;
+                    break;
+                }
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = ct(k).end;
+                        k += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        spans.push((ct(i).start, end));
+        i = k.max(i + 1);
+    }
+    spans
+}
+
+// ---------------------------------------------------------------------
+// The lints
+// ---------------------------------------------------------------------
+
+fn check_file(file: &SourceFile<'_>, sections: &[String], findings: &mut Vec<Finding>) {
+    check_crate_root_pragmas(file, findings);
+    check_paper_refs(file, sections, findings);
+    check_pragma_justified(file, findings);
+
+    if is_test_path(file.rel) {
+        return;
+    }
+
+    check_panics(file, findings);
+    if in_scope(file.rel, &UNORDERED_SCOPE) {
+        check_unordered(file, findings);
+    }
+    if in_scope(file.rel, &DETERMINISM_SCOPE) {
+        check_determinism(file, findings);
+    }
+    if in_scope(file.rel, &CAST_SCOPE) {
+        check_cast_truncation(file, findings);
+    }
+    if in_scope(file.rel, &CONCURRENCY_SCOPE) && !in_scope(file.rel, &CONCURRENCY_APPROVED) {
+        check_concurrency(file, findings);
+    }
+    if in_scope(file.rel, &["crates/core/src"]) {
+        check_hot_path_allocs(file, findings);
+    }
+}
+
+fn push(findings: &mut Vec<Finding>, lint: Lint, file: &SourceFile<'_>, line: usize, msg: String) {
+    findings.push(Finding { lint, file: file.rel.to_path_buf(), line, message: msg });
+}
+
+fn check_crate_root_pragmas(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
+    if !is_crate_root(file.rel) {
+        return;
+    }
+    // Reconstruct each inner attribute `#![ ... ]` from code tokens.
+    let mut present: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i + 2 < file.code.len() {
+        if file.is_punct(i, "#") && file.is_punct(i + 1, "!") && file.is_punct(i + 2, "[") {
+            let mut body = String::new();
+            let mut depth = 1usize;
+            let mut j = i + 3;
+            while j < file.code.len() && depth > 0 {
+                match file.ctext(j) {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    t => body.push_str(t),
+                }
+                if depth > 0 && file.ctext(j) == "[" {
+                    body.push('[');
+                }
+                j += 1;
+            }
+            present.push(body);
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    for (pragma, body) in [
+        ("#![forbid(unsafe_code)]", "forbid(unsafe_code)"),
+        ("#![warn(missing_docs)]", "warn(missing_docs)"),
+    ] {
+        if !present.iter().any(|p| p == body) {
+            push(
+                findings,
+                Lint::CrateRootPragmas,
+                file,
+                1,
+                format!("crate root is missing `{pragma}`"),
+            );
         }
     }
 }
 
-/// Given the offset just past an attribute, returns the end of the item it
-/// decorates: the matching `}` of its first brace block, or the first `;`
-/// if one comes sooner (e.g. `mod tests;`).
-fn item_end(src: &[u8], from: usize) -> Option<usize> {
-    let mut i = from;
-    // Skip whitespace and any further attributes.
-    loop {
-        while i < src.len() && (src[i] as char).is_whitespace() {
-            i += 1;
-        }
-        if src.get(i) == Some(&b'#') && src.get(i + 1) == Some(&b'[') {
-            let mut depth = 0;
-            while i < src.len() {
-                match src[i] {
-                    b'[' => depth += 1,
-                    b']' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            i += 1;
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                i += 1;
-            }
-        } else {
-            break;
+fn check_paper_refs(file: &SourceFile<'_>, sections: &[String], findings: &mut Vec<Finding>) {
+    for (lineno, sec) in section_refs(file.text) {
+        if !sections.iter().any(|s| s == &sec) {
+            push(
+                findings,
+                Lint::PaperRef,
+                file,
+                lineno,
+                format!("{sec} is referenced here but defined in neither PAPER.md nor DESIGN.md"),
+            );
         }
     }
-    let mut depth = 0;
-    while i < src.len() {
-        match src[i] {
-            b';' if depth == 0 => return Some(i + 1),
-            b'{' => depth += 1,
-            b'}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(i + 1);
+}
+
+fn check_panics(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
+    let strict_test_unwraps = in_scope(file.rel, &STRICT_TEST_UNWRAP_SCOPE);
+    for i in 0..file.code.len() {
+        let tok = file.ct(i);
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let in_test = file.in_test(tok.start);
+        match file.ctext(i) {
+            "unwrap"
+                if i > 0
+                    && file.is_punct(i - 1, ".")
+                    && file.is_punct(i + 1, "(")
+                    && file.is_punct(i + 2, ")") =>
+            {
+                if in_test {
+                    if strict_test_unwraps {
+                        push(
+                            findings,
+                            Lint::NoPanic,
+                            file,
+                            tok.line,
+                            "`.unwrap()` in crates/graph test code — use `.expect(\"<context>\")` \
+                             so oracle failures explain themselves"
+                                .into(),
+                        );
+                    }
+                } else {
+                    push(
+                        findings,
+                        Lint::NoPanic,
+                        file,
+                        tok.line,
+                        "`.unwrap()` in library code — propagate the error or use \
+                         `.expect(\"invariant: ...\")`"
+                            .into(),
+                    );
                 }
+            }
+            "expect"
+                if !in_test && i > 0 && file.is_punct(i - 1, ".") && file.is_punct(i + 1, "(") =>
+            {
+                let ok = i + 2 < file.code.len()
+                    && file.ct(i + 2).kind == TokenKind::Str
+                    && file
+                        .ctext(i + 2)
+                        .strip_prefix("\"invariant: ")
+                        .is_some_and(|rest| !rest.trim_end_matches('"').trim().is_empty());
+                if !ok {
+                    push(
+                        findings,
+                        Lint::NoPanic,
+                        file,
+                        tok.line,
+                        "`.expect(..)` in library code — propagate the error, or document a \
+                         structural invariant with an `\"invariant: ...\"` message"
+                            .into(),
+                    );
+                }
+            }
+            "panic" if !in_test && file.is_punct(i + 1, "!") => {
+                push(
+                    findings,
+                    Lint::NoPanic,
+                    file,
+                    tok.line,
+                    "`panic!(..)` in library code — return an error or use an `assert!` with a \
+                     message"
+                        .into(),
+                );
             }
             _ => {}
         }
-        i += 1;
     }
-    None
 }
+
+fn check_unordered(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
+    for i in 0..file.code.len() {
+        let tok = file.ct(i);
+        if tok.kind != TokenKind::Ident || file.in_test(tok.start) {
+            continue;
+        }
+        let name = file.ctext(i);
+        if name != "HashMap" && name != "HashSet" {
+            continue;
+        }
+        if file.waiver(tok.line, "lint: allow-unordered").is_some() {
+            continue;
+        }
+        push(
+            findings,
+            Lint::UnorderedCollections,
+            file,
+            tok.line,
+            format!(
+                "`{name}` in a determinism-critical crate — use BTreeMap/BTreeSet or waive \
+                 with `// lint: allow-unordered — <reason>`"
+            ),
+        );
+    }
+}
+
+fn check_determinism(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
+    // HashMap/HashSet are already policed by `unordered-collections` in
+    // its (narrower) scope; report them under `determinism` only where
+    // that lint does not reach, so one use never yields two findings.
+    let report_unordered = !in_scope(file.rel, &UNORDERED_SCOPE);
+    for i in 0..file.code.len() {
+        let tok = file.ct(i);
+        if tok.kind != TokenKind::Ident || file.in_test(tok.start) {
+            continue;
+        }
+        let name = file.ctext(i);
+        let banned = NONDETERMINISM_IDENTS.contains(&name)
+            || (report_unordered && (name == "HashMap" || name == "HashSet"));
+        if !banned {
+            continue;
+        }
+        if file.waiver(tok.line, "nondeterminism-ok").is_some() {
+            continue;
+        }
+        push(
+            findings,
+            Lint::Determinism,
+            file,
+            tok.line,
+            format!(
+                "`{name}` in bit-determinism-critical code — two runs of the same batch \
+                 stream must produce identical state (DESIGN.md §13); justify a deliberate \
+                 exception with `// nondeterminism-ok: <reason>`"
+            ),
+        );
+    }
+}
+
+fn check_cast_truncation(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
+    for i in 0..file.code.len() {
+        if !file.is_ident(i, "as") {
+            continue;
+        }
+        let tok = file.ct(i);
+        if file.in_test(tok.start) || i + 1 >= file.code.len() {
+            continue;
+        }
+        let target = file.ctext(i + 1);
+        if file.ct(i + 1).kind != TokenKind::Ident || !NARROWING_TARGETS.contains(&target) {
+            continue;
+        }
+        // `use path as Name` renames, it does not cast.
+        if in_use_statement(file, i) {
+            continue;
+        }
+        if file.waiver(tok.line, "cast-ok").is_some() {
+            continue;
+        }
+        push(
+            findings,
+            Lint::CastTruncation,
+            file,
+            tok.line,
+            format!(
+                "narrowing `as {target}` cast — state the invariant that makes it lossless \
+                 with `// cast-ok: <invariant>` (or restructure to avoid the cast)"
+            ),
+        );
+    }
+}
+
+/// True when code token `i` sits inside a `use` statement (no `;` between
+/// the `use` keyword and `i`), where `as` renames rather than casts.
+fn in_use_statement(file: &SourceFile<'_>, i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if file.is_punct(j, ";") {
+            return false;
+        }
+        if file.is_ident(j, "use") {
+            return true;
+        }
+    }
+    false
+}
+
+fn check_concurrency(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
+    for i in 0..file.code.len() {
+        let tok = file.ct(i);
+        if tok.kind != TokenKind::Ident || file.in_test(tok.start) {
+            continue;
+        }
+        let name = file.ctext(i);
+        let banned = CONCURRENCY_IDENTS.contains(&name)
+            || (name == "spawn"
+                && i > 0
+                && (file.is_punct(i - 1, ".") || file.is_punct(i - 1, ":")));
+        if !banned {
+            continue;
+        }
+        push(
+            findings,
+            Lint::ConcurrencyDiscipline,
+            file,
+            tok.line,
+            format!(
+                "`{name}` outside the approved concurrency modules ({}) — concurrency enters \
+                 the engine only through reviewed modules whose interleavings are argued \
+                 deterministic (DESIGN.md §11)",
+                CONCURRENCY_APPROVED.join(", ")
+            ),
+        );
+    }
+}
+
+fn check_hot_path_allocs(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
+    for (ti, tok) in file.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        if plain_comment_text(tok.text(file.text)) != Some("hot-path") {
+            continue;
+        }
+        // Bind the marker to the next `fn` item in the code stream.
+        let Some(fn_ci) =
+            (0..file.code.len()).find(|&ci| file.code[ci] > ti && file.is_ident(ci, "fn"))
+        else {
+            continue;
+        };
+        // The enforcement region runs to the matching `}` of the body.
+        let mut depth = 0usize;
+        let mut end_ci = file.code.len();
+        for ci in fn_ci..file.code.len() {
+            match file.ctext(ci) {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end_ci = ci + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for ci in fn_ci..end_ci {
+            let pattern = if file.is_ident(ci, "Vec")
+                && file.is_punct(ci + 1, ":")
+                && file.is_punct(ci + 2, ":")
+                && file.is_ident(ci + 3, "new")
+                && file.is_punct(ci + 4, "(")
+                && file.is_punct(ci + 5, ")")
+            {
+                Some("Vec::new()")
+            } else if file.is_ident(ci, "vec") && file.is_punct(ci + 1, "!") {
+                Some("vec![")
+            } else if file.is_punct(ci, ".")
+                && file.is_ident(ci + 1, "clone")
+                && file.is_punct(ci + 2, "(")
+                && file.is_punct(ci + 3, ")")
+            {
+                Some(".clone()")
+            } else {
+                None
+            };
+            if let Some(pattern) = pattern {
+                push(
+                    findings,
+                    Lint::HotPathAlloc,
+                    file,
+                    file.ct(ci).line,
+                    format!(
+                        "`{pattern}` inside a `// hot-path` function — reuse a scratch buffer \
+                         (DESIGN.md §12) or move the allocation out of the marked function"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_pragma_justified(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
+    // Waiver pragmas must carry a reason.
+    for &(line, tok) in &file.comment_lines {
+        let Some(text) = plain_comment_text(file.tokens[tok].text(file.text)) else { continue };
+        for key in ["cast-ok", "nondeterminism-ok"] {
+            if let Some(rest) = text.strip_prefix(key) {
+                if pragma_reason(rest).is_empty() {
+                    push(
+                        findings,
+                        Lint::PragmaJustified,
+                        file,
+                        line,
+                        format!("`// {key}:` pragma carries no justification — state why"),
+                    );
+                }
+            }
+        }
+        if let Some(rest) = text.strip_prefix("lint:") {
+            let rest = rest.trim_start();
+            match rest.strip_prefix("allow-unordered") {
+                Some(reason) if pragma_reason(reason).is_empty() => push(
+                    findings,
+                    Lint::PragmaJustified,
+                    file,
+                    line,
+                    "`// lint: allow-unordered` without a reason — say why this use never \
+                     iterates"
+                        .into(),
+                ),
+                Some(_) => {}
+                None => push(
+                    findings,
+                    Lint::PragmaJustified,
+                    file,
+                    line,
+                    format!("unknown `// lint:` pragma `{rest}`"),
+                ),
+            }
+        }
+    }
+
+    // `#[allow(..)]` / `#![allow(..)]` attributes must carry a reason in a
+    // plain comment on the same line or the line directly above.
+    let mut i = 0;
+    while i + 1 < file.code.len() {
+        let is_outer = file.is_punct(i, "#") && file.is_punct(i + 1, "[");
+        let is_inner =
+            file.is_punct(i, "#") && file.is_punct(i + 1, "!") && file.is_punct(i + 2, "[");
+        if !is_outer && !is_inner {
+            i += 1;
+            continue;
+        }
+        let name_idx = if is_inner { i + 3 } else { i + 2 };
+        if !file.is_ident(name_idx, "allow") {
+            i = name_idx;
+            continue;
+        }
+        let line = file.ct(i).line;
+        let justified = [line, line.saturating_sub(1)]
+            .iter()
+            .filter(|&&l| l > 0)
+            .any(|&l| file.plain_comment_on(l).is_some_and(|t| !t.is_empty()));
+        if !justified {
+            push(
+                findings,
+                Lint::PragmaJustified,
+                file,
+                line,
+                "`#[allow(..)]` without a reason — append `// <why this is sound>` on the \
+                 same line"
+                    .into(),
+            );
+        }
+        i = name_idx + 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fixture self-test
+// ---------------------------------------------------------------------
 
 /// Outcome of one fixture in `--self-test` mode.
 #[derive(Debug)]
@@ -674,40 +1013,170 @@ fn judge_fixture(expect: &str, findings: &[Finding]) -> Result<(), String> {
 mod tests {
     use super::*;
 
-    fn views(src: &str) -> Views {
-        sanitize(src)
-    }
-
-    #[test]
-    fn comments_and_strings_are_blanked() {
-        let v = views("let x = \"panic!(\"; // .unwrap()\nlet y = 1;");
-        assert!(!v.code.contains("panic!("));
-        assert!(!v.code.contains(".unwrap()"));
-        assert!(v.code.contains("let y = 1;"));
-        // The strings view keeps literals but drops comments.
-        assert!(v.strings.contains("panic!("));
-        assert!(!v.strings.contains(".unwrap()"));
-    }
-
-    #[test]
-    fn cfg_test_modules_are_invisible() {
-        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\n";
-        let v = views(src);
-        assert!(!v.code.contains("unwrap"));
-        assert!(v.code.contains("fn a()"));
-    }
-
-    #[test]
-    fn invariant_expects_are_allowed() {
+    fn check_str(rel: &str, src: &str) -> Vec<Finding> {
+        let rel = Path::new(rel);
+        let file = SourceFile::new(rel, src);
         let mut findings = Vec::new();
-        let src = "fn f() { g().expect(\"invariant: always\"); }\n";
-        check_panics(Path::new("x.rs"), &sanitize(src), &mut findings);
-        assert!(findings.is_empty(), "{findings:?}");
+        check_file(&file, &[], &mut findings);
+        findings
+    }
 
-        let src = "fn f() { g().expect(\"oops\"); }\n";
-        check_panics(Path::new("x.rs"), &sanitize(src), &mut findings);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].lint, Lint::NoPanic);
+    fn lints_of(findings: &[Finding]) -> Vec<Lint> {
+        findings.iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn patterns_inside_strings_and_comments_never_fire() {
+        let src = r##"
+// .unwrap() panic!( HashMap Instant::now() Mutex vec![ as u32
+const A: &str = "x.unwrap() panic!(oh) HashMap Instant thread::spawn(x) as u32";
+const B: &str = r#"HashSet Mutex .clone() as usize SystemTime"#;
+/* multi
+   line .unwrap() as u32 Mutex */
+pub fn f() {}
+"##;
+        let findings = check_str("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_invisible_to_code_lints() {
+        let src = "pub fn a() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { \
+                   let x: Option<u8> = Some(1); x.unwrap(); let y = 3usize as u32; }\n}\n";
+        let findings = check_str("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn braces_in_test_strings_do_not_unbalance_the_span() {
+        // A `}` inside a test string would end the cfg(test) span early for
+        // a line walker; the lexer keeps it inside the string token.
+        let src = "#[cfg(test)]\nmod tests {\n    const S: &str = \"}\";\n    fn t() { \
+                   x.unwrap(); }\n}\npub fn lib() { y.unwrap(); }\n";
+        let findings = check_str("src/x.rs", src);
+        assert_eq!(lints_of(&findings), vec![Lint::NoPanic]);
+        assert_eq!(findings[0].line, 6, "only the library unwrap fires");
+    }
+
+    #[test]
+    fn graph_tests_must_not_unwrap() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); y.expect(\"context\"); }\n}\n";
+        let findings = check_str("crates/graph/src/x.rs", src);
+        assert_eq!(lints_of(&findings), vec![Lint::NoPanic]);
+        assert!(findings[0].message.contains("test code"));
+        // The same test code outside crates/graph is exempt.
+        assert!(check_str("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn invariant_expects_need_content() {
+        let ok = "pub fn f() { g().expect(\"invariant: always holds\"); }\n";
+        assert!(check_str("src/x.rs", ok).is_empty());
+        let bare = "pub fn f() { g().expect(\"invariant: \"); }\n";
+        assert_eq!(lints_of(&check_str("src/x.rs", bare)), vec![Lint::NoPanic]);
+        let wrong = "pub fn f() { g().expect(\"oops\"); }\n";
+        assert_eq!(lints_of(&check_str("src/x.rs", wrong)), vec![Lint::NoPanic]);
+    }
+
+    #[test]
+    fn determinism_bans_clocks_and_entropy() {
+        let src = "pub fn f() { let t = Instant::now(); }\n";
+        let findings = check_str("crates/algorithms/src/x.rs", src);
+        assert_eq!(lints_of(&findings), vec![Lint::Determinism]);
+        // Outside the scope, no finding.
+        assert!(check_str("crates/bench/src/x.rs", src).is_empty());
+        // A justified pragma waives it.
+        let waived = "pub fn f() {\n    // nondeterminism-ok: diagnostic only, not in replay\n    \
+                      let t = Instant::now();\n}\n";
+        assert!(check_str("crates/algorithms/src/x.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn determinism_and_unordered_do_not_double_report() {
+        let src = "use std::collections::HashMap;\npub fn f() {}\n";
+        // In crates/core both scopes apply; only unordered-collections fires.
+        assert_eq!(
+            lints_of(&check_str("crates/core/src/x.rs", src)),
+            vec![Lint::UnorderedCollections]
+        );
+        // In crates/graph only determinism applies.
+        assert_eq!(lints_of(&check_str("crates/graph/src/x.rs", src)), vec![Lint::Determinism]);
+    }
+
+    #[test]
+    fn narrowing_casts_need_an_invariant() {
+        let src = "pub fn f(x: u64) -> u32 { x as u32 }\n";
+        assert_eq!(lints_of(&check_str("crates/core/src/x.rs", src)), vec![Lint::CastTruncation]);
+        let annotated =
+            "pub fn f(x: u64) -> u32 {\n    x as u32 // cast-ok: x < 2^32 by construction\n}\n";
+        assert!(check_str("crates/core/src/x.rs", annotated).is_empty());
+        // Widening casts are fine.
+        let widening = "pub fn f(x: u32) -> u64 { x as u64 }\n";
+        assert!(check_str("crates/core/src/x.rs", widening).is_empty());
+        // `use .. as name` renames are not casts.
+        let rename = "use std::vec::Vec as VertexId;\n";
+        assert!(check_str("crates/core/src/x.rs", rename).is_empty());
+    }
+
+    #[test]
+    fn concurrency_only_in_approved_modules() {
+        let src = "use std::sync::Mutex;\npub fn f() { std::thread::spawn(|| {}); }\n";
+        let findings = check_str("crates/graph/src/x.rs", src);
+        assert_eq!(lints_of(&findings), vec![Lint::ConcurrencyDiscipline; 2]);
+        assert!(check_str("crates/core/src/sharded.rs", src).is_empty());
+        assert!(check_str("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_attributes_need_reasons() {
+        let bare = "#[allow(dead_code)]\nfn f() {}\n";
+        assert_eq!(lints_of(&check_str("src/x.rs", bare)), vec![Lint::PragmaJustified]);
+        let same_line = "#[allow(dead_code)] // kept for the v2 API\nfn f() {}\n";
+        assert!(check_str("src/x.rs", same_line).is_empty());
+        let line_above = "// scaffolding for the replay harness\n#[allow(dead_code)]\nfn f() {}\n";
+        assert!(check_str("src/x.rs", line_above).is_empty());
+        // A doc comment above is documentation, not a justification.
+        let doc_above = "/// Frobnicates.\n#[allow(dead_code)]\nfn f() {}\n";
+        assert_eq!(lints_of(&check_str("src/x.rs", doc_above)), vec![Lint::PragmaJustified]);
+    }
+
+    #[test]
+    fn empty_pragmas_are_flagged() {
+        let src = "pub fn f(x: u64) -> u32 {\n    x as u32 // cast-ok:\n}\n";
+        let findings = check_str("crates/core/src/x.rs", src);
+        assert_eq!(lints_of(&findings), vec![Lint::PragmaJustified]);
+        let src = "// lint: allow-unordered\nuse std::collections::HashMap;\npub fn f() {}\n";
+        let findings = check_str("crates/sim/src/x.rs", src);
+        assert_eq!(lints_of(&findings), vec![Lint::PragmaJustified]);
+    }
+
+    #[test]
+    fn hot_path_marker_binds_to_the_next_fn_only() {
+        let src = "// hot-path\npub fn fast(buf: &mut Vec<u8>) { buf.push(1); }\n\
+                   pub fn slow() -> Vec<u8> { Vec::new() }\n";
+        assert!(check_str("crates/core/src/x.rs", src).is_empty());
+        let src = "// hot-path\npub fn fast() -> Vec<u8> { let v = Vec::new(); v.clone() }\n";
+        let findings = check_str("crates/core/src/x.rs", src);
+        assert_eq!(lints_of(&findings), vec![Lint::HotPathAlloc; 2]);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn hot_path_marker_in_doc_text_is_inert() {
+        let src = "/// Functions marked `// hot-path` are special.\n\
+                   pub fn slow() -> Vec<u8> { Vec::new() }\n";
+        assert!(check_str("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn crate_root_pragmas_are_token_checked() {
+        let src = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}\n";
+        assert!(check_str("src/lib.rs", src).is_empty());
+        // The pragma text inside a string no longer satisfies the lint.
+        let fake = "const S: &str = \"#![forbid(unsafe_code)] #![warn(missing_docs)]\";\n";
+        let findings = check_str("src/lib.rs", fake);
+        assert_eq!(lints_of(&findings), vec![Lint::CrateRootPragmas; 2]);
     }
 
     #[test]
@@ -718,66 +1187,13 @@ mod tests {
     }
 
     #[test]
-    fn raw_strings_do_not_confuse_the_lexer() {
-        let v = views("let s = r#\"a \" .unwrap() \"#; let t = 1;");
-        assert!(!v.code.contains(".unwrap()"));
-        assert!(v.code.contains("let t = 1;"));
-    }
-
-    #[test]
-    fn lifetimes_are_not_char_literals() {
-        let v = views("fn f<'a>(x: &'a str) -> &'a str { x }\n// '\nlet c = 'x';");
-        assert!(v.code.contains("fn f<'a>(x: &'a str)"));
-    }
-
-    #[test]
-    fn hot_path_marker_binds_to_the_next_fn_only() {
-        let mut findings = Vec::new();
-        let src = "// hot-path\nfn fast(buf: &mut Vec<u8>) { buf.push(1); }\n\
-                   fn slow() -> Vec<u8> { Vec::new() }\n";
-        check_hot_path_allocs(
-            Path::new("crates/core/src/x.rs"),
-            src,
-            &sanitize(src),
-            &mut findings,
-        );
-        assert!(findings.is_empty(), "unmarked fn was linted: {findings:?}");
-
-        let src = "// hot-path\nfn fast() -> Vec<u8> { let v = Vec::new(); v.clone() }\n";
-        check_hot_path_allocs(
-            Path::new("crates/core/src/x.rs"),
-            src,
-            &sanitize(src),
-            &mut findings,
-        );
-        assert_eq!(findings.len(), 2, "{findings:?}");
-        assert!(findings.iter().all(|f| f.lint == Lint::HotPathAlloc));
-        assert_eq!(findings[0].line, 2);
-    }
-
-    #[test]
-    fn hot_path_ignores_allocs_in_comments_and_strings() {
-        let mut findings = Vec::new();
-        let src = "// hot-path\nfn fast() { // calls Vec::new() upstream\n    \
-                   let s = \"vec![1].clone()\"; let _ = s;\n}\n";
-        check_hot_path_allocs(
-            Path::new("crates/core/src/x.rs"),
-            src,
-            &sanitize(src),
-            &mut findings,
-        );
-        assert!(findings.is_empty(), "{findings:?}");
-    }
-
-    #[test]
-    fn hashmap_waiver_is_honoured() {
-        let mut findings = Vec::new();
-        let src = "use std::collections::HashMap; // lint: allow-unordered\n";
-        check_unordered(Path::new("crates/sim/src/x.rs"), src, &sanitize(src), &mut findings);
-        assert!(findings.is_empty(), "{findings:?}");
-
+    fn unordered_waiver_with_reason_is_honoured() {
+        let src = "use std::collections::HashMap; // lint: allow-unordered — never iterated\n";
+        assert!(check_str("crates/sim/src/x.rs", src).is_empty());
         let src = "use std::collections::HashMap;\n";
-        check_unordered(Path::new("crates/sim/src/x.rs"), src, &sanitize(src), &mut findings);
-        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            lints_of(&check_str("crates/sim/src/x.rs", src)),
+            vec![Lint::UnorderedCollections]
+        );
     }
 }

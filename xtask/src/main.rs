@@ -1,17 +1,22 @@
 //! `cargo xtask` — repository task runner.
 //!
 //! ```text
-//! cargo xtask check              # lint the workspace, non-zero on findings
+//! cargo xtask check              # jetlint the workspace, non-zero on findings
 //! cargo xtask check --root DIR   # lint another tree (used by fixtures)
+//! cargo xtask check --sanitize   # lints + the determinism schedule sanitizer
 //! cargo xtask check --self-test  # verify each lint against its fixtures
+//! cargo xtask self-test          # same as `check --self-test`
+//! cargo xtask bench [--iters N]  # jetlint vs the PR 1 line-based walker
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
-use std::process::ExitCode;
+use std::process::{Command, ExitCode};
+use std::time::Instant;
 
+use xtask::baseline::run_check_baseline;
 use xtask::{run_check, run_self_test};
 
 fn workspace_root() -> PathBuf {
@@ -20,15 +25,43 @@ fn workspace_root() -> PathBuf {
     manifest.parent().map(PathBuf::from).unwrap_or(manifest)
 }
 
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask check [--root DIR] [--self-test] [--sanitize]\n       \
+         cargo xtask self-test\n       \
+         cargo xtask bench [--iters N]"
+    );
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut words = args.iter();
-    if words.next().map(String::as_str) != Some("check") {
-        eprintln!("usage: cargo xtask check [--root DIR] [--self-test]");
-        return ExitCode::from(2);
+    match words.next().map(String::as_str) {
+        Some("check") => {}
+        Some("self-test") => return self_test(),
+        Some("bench") => {
+            let mut iters = 5usize;
+            while let Some(arg) = words.next() {
+                match arg.as_str() {
+                    "--iters" => match words.next().and_then(|n| n.parse().ok()) {
+                        Some(n) if n > 0 => iters = n,
+                        _ => {
+                            eprintln!("--iters needs a positive integer");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    _ => return usage(),
+                }
+            }
+            return bench(iters);
+        }
+        _ => return usage(),
     }
+
     let mut root = workspace_root();
-    let mut self_test = false;
+    let mut want_self_test = false;
+    let mut want_sanitize = false;
     while let Some(arg) = words.next() {
         match arg.as_str() {
             "--root" => match words.next() {
@@ -38,7 +71,8 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
-            "--self-test" => self_test = true,
+            "--self-test" => want_self_test = true,
+            "--sanitize" => want_sanitize = true,
             other => {
                 eprintln!("unknown argument {other:?}");
                 return ExitCode::from(2);
@@ -46,35 +80,11 @@ fn main() -> ExitCode {
         }
     }
 
-    if self_test {
-        let fixtures = workspace_root().join("xtask").join("fixtures");
-        return match run_self_test(&fixtures) {
-            Ok(results) => {
-                let mut failed = 0;
-                for r in &results {
-                    match &r.outcome {
-                        Ok(()) => println!("fixture {}: ok", r.name),
-                        Err(why) => {
-                            failed += 1;
-                            println!("fixture {}: FAILED — {why}", r.name);
-                        }
-                    }
-                }
-                println!("{} fixtures, {failed} failed", results.len());
-                if failed == 0 {
-                    ExitCode::SUCCESS
-                } else {
-                    ExitCode::FAILURE
-                }
-            }
-            Err(e) => {
-                eprintln!("self-test failed to run: {e}");
-                ExitCode::FAILURE
-            }
-        };
+    if want_self_test {
+        return self_test();
     }
 
-    match run_check(&root) {
+    let lint_status = match run_check(&root) {
         Ok(findings) if findings.is_empty() => {
             println!("xtask check: clean");
             ExitCode::SUCCESS
@@ -88,6 +98,99 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("xtask check failed to run: {e}");
+            ExitCode::FAILURE
+        }
+    };
+    if lint_status != ExitCode::SUCCESS || !want_sanitize {
+        return lint_status;
+    }
+    sanitize()
+}
+
+fn self_test() -> ExitCode {
+    let fixtures = workspace_root().join("xtask").join("fixtures");
+    match run_self_test(&fixtures) {
+        Ok(results) => {
+            let mut failed = 0;
+            for r in &results {
+                match &r.outcome {
+                    Ok(()) => println!("fixture {}: ok", r.name),
+                    Err(why) => {
+                        failed += 1;
+                        println!("fixture {}: FAILED — {why}", r.name);
+                    }
+                }
+            }
+            println!("{} fixtures, {failed} failed", results.len());
+            if failed == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("self-test failed to run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the dynamic determinism sanitizer: the `ScheduleFuzzer` binary in
+/// `crates/testkit`, which sweeps shard counts × yield intervals ×
+/// seeded per-worker yield perturbation and diffs every schedule against
+/// the sequential engine (DESIGN.md §13).
+fn sanitize() -> ExitCode {
+    println!("xtask check: running determinism schedule sanitizer…");
+    let status = Command::new(env!("CARGO"))
+        .args(["run", "--release", "-q", "-p", "jetstream-testkit", "--bin", "schedule-sanitizer"])
+        .current_dir(workspace_root())
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(s) => {
+            eprintln!("schedule sanitizer failed: {s}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("schedule sanitizer failed to launch: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Times the token-level engine against the preserved line-based walker
+/// over the real workspace (median of `iters` runs after one warmup each)
+/// and prints the ratio recorded in EXPERIMENTS.md.
+fn bench(iters: usize) -> ExitCode {
+    let root = workspace_root();
+    let time = |f: &dyn Fn() -> bool| -> Option<f64> {
+        if !f() {
+            return None;
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            if !f() {
+                return None;
+            }
+            samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        Some(samples[samples.len() / 2])
+    };
+    let jetlint = time(&|| run_check(&root).is_ok());
+    let walker = time(&|| run_check_baseline(&root).is_ok());
+    match (jetlint, walker) {
+        (Some(new_ms), Some(old_ms)) => {
+            let ratio = new_ms / old_ms.max(1e-9);
+            println!("xtask bench ({iters} iters, median, full workspace):");
+            println!("  jetlint (token engine, 9 lints): {new_ms:.1} ms");
+            println!("  baseline (line walker, 5 lints): {old_ms:.1} ms");
+            println!("  ratio: {ratio:.2}x");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("xtask bench: a check run failed");
             ExitCode::FAILURE
         }
     }

@@ -20,6 +20,15 @@ fn every_fixture_behaves_as_expected() {
         "unordered-collections",
         "paper-ref",
         "hot-path-alloc",
+        "determinism",
+        "determinism-clean",
+        "cast-truncation",
+        "cast-truncation-clean",
+        "concurrency-discipline",
+        "concurrency-discipline-clean",
+        "pragma-justified",
+        "pragma-justified-clean",
+        "strings-and-comments",
         "clean",
     ] {
         assert!(names.contains(&lint), "missing fixture {lint}");
@@ -37,6 +46,10 @@ fn each_fixture_fires_its_own_lint() {
         ("unordered-collections", Lint::UnorderedCollections),
         ("paper-ref", Lint::PaperRef),
         ("hot-path-alloc", Lint::HotPathAlloc),
+        ("determinism", Lint::Determinism),
+        ("cast-truncation", Lint::CastTruncation),
+        ("concurrency-discipline", Lint::ConcurrencyDiscipline),
+        ("pragma-justified", Lint::PragmaJustified),
     ] {
         let findings = run_check(&xtask_dir().join("fixtures").join(dir)).unwrap();
         assert!(!findings.is_empty(), "{dir} produced no findings");
@@ -48,9 +61,48 @@ fn each_fixture_fires_its_own_lint() {
 }
 
 #[test]
-fn clean_fixture_is_clean() {
-    let findings = run_check(&xtask_dir().join("fixtures").join("clean")).unwrap();
-    assert!(findings.is_empty(), "{findings:?}");
+fn clean_fixtures_are_clean() {
+    for dir in [
+        "clean",
+        "determinism-clean",
+        "cast-truncation-clean",
+        "concurrency-discipline-clean",
+        "pragma-justified-clean",
+        "strings-and-comments",
+    ] {
+        let findings = run_check(&xtask_dir().join("fixtures").join(dir)).unwrap();
+        assert!(findings.is_empty(), "{dir}: {findings:?}");
+    }
+}
+
+/// The strings-and-comments fixture is the regression suite for the PR 1
+/// false-positive class: every ported lint's trigger pattern appears there
+/// inside string literals and comments, and none may fire. Prove the
+/// fixture actually contains the patterns, so a future edit cannot
+/// hollow the test out.
+#[test]
+fn strings_and_comments_fixture_really_contains_the_triggers() {
+    let file = xtask_dir()
+        .join("fixtures")
+        .join("strings-and-comments")
+        .join("crates")
+        .join("core")
+        .join("src")
+        .join("lib.rs");
+    let text = std::fs::read_to_string(file).unwrap();
+    for pattern in [
+        ".unwrap()",
+        "panic!(",
+        "HashMap",
+        "Instant",
+        "Mutex",
+        "vec![",
+        ".clone()",
+        "as u32",
+        "hot-path",
+    ] {
+        assert!(text.contains(pattern), "fixture lost trigger pattern {pattern:?}");
+    }
 }
 
 /// The store crate is the newest addition to the workspace; prove the

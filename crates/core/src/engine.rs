@@ -842,18 +842,22 @@ struct SeqState<'a> {
 
 impl ExecState for SeqState<'_> {
     fn value(&self, v: VertexId) -> Value {
+        // panic-ok: values/dependency are sized num_vertices and every VertexId the engine sees is range-checked at queue insert
         self.values[v as usize] // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     fn set_value(&mut self, v: VertexId, x: Value) {
+        // panic-ok: values/dependency are sized num_vertices and every VertexId the engine sees is range-checked at queue insert
         self.values[v as usize] = x; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     fn dependency(&self, v: VertexId) -> Option<VertexId> {
+        // panic-ok: values/dependency are sized num_vertices and every VertexId the engine sees is range-checked at queue insert
         self.dependency[v as usize] // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     fn set_dependency(&mut self, v: VertexId, d: Option<VertexId>) {
+        // panic-ok: values/dependency are sized num_vertices and every VertexId the engine sees is range-checked at queue insert
         self.dependency[v as usize] = d; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 

@@ -59,5 +59,6 @@ pub use engine::{
 };
 pub use event::Event;
 pub use queue::{CoalescingQueue, QueueStats};
+pub use sharded::sync;
 pub use sharded::{ParallelModel, ShardedEngine};
 pub use stats::{Phase, RunStats};

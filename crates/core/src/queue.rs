@@ -181,13 +181,13 @@ impl CoalescingQueue {
     /// Reconstructs the resident event for occupied vertex `v` from the
     /// parallel arrays.
     fn event_at(&self, v: usize) -> Event {
-        let flags = self.flags[v];
+        let flags = self.flags[v]; // panic-ok: v is an occupied slot index < num_vertices, the arrays' length
         Event {
             target: v as VertexId, // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
-            payload: self.payload[v],
+            payload: self.payload[v], // panic-ok: v is an occupied slot index < num_vertices, the arrays' length
             is_delete: flags & FLAG_DELETE != 0,
             request: flags & FLAG_REQUEST != 0,
-            source: (flags & FLAG_SOURCE != 0).then_some(self.source[v]),
+            source: (flags & FLAG_SOURCE != 0).then_some(self.source[v]), // panic-ok: v is an occupied slot index < num_vertices, the arrays' length
         }
     }
 
@@ -220,38 +220,42 @@ impl CoalescingQueue {
         }
         let idx = event.target as usize; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
         let (word, mask) = (idx / 64, 1u64 << (idx % 64));
+        // panic-ok: word = idx/64 and occupancy holds ceil(num_vertices/64) words; idx < num_vertices asserted on entry
         if self.occupancy[word] & mask == 0 {
             // Empty slot: claim the bit and write the fields.
-            self.occupancy[word] |= mask;
-            self.payload[idx] = event.payload;
-            self.flags[idx] = flags_of(&event);
+            self.occupancy[word] |= mask; // panic-ok: word bound as above
+            self.payload[idx] = event.payload; // panic-ok: idx < num_vertices asserted on entry; arrays are that long
+            self.flags[idx] = flags_of(&event); // panic-ok: idx < num_vertices asserted on entry; arrays are that long
             if let Some(s) = event.source {
-                self.source[idx] = s;
+                self.source[idx] = s; // panic-ok: idx < num_vertices asserted on entry; arrays are that long
             }
             let bin = self.bin_for(event.target);
-            self.bin_len[bin] += 1;
+            self.bin_len[bin] += 1; // panic-ok: bin_for clamps into 0..num_bins, bin_len's length
             self.len += 1;
         } else {
+            // panic-ok: idx < num_vertices asserted on entry; arrays are that long
             if (self.flags[idx] & FLAG_DELETE != 0) != event.is_delete {
                 // Mixed kinds: preserve both; the newcomer overflows.
                 self.stats.overflowed += 1;
                 self.overflow.push_back(event);
                 return;
             }
+            // panic-ok: idx < num_vertices asserted on entry; arrays are that long
             let reduced = alg.reduce(self.payload[idx], event.payload);
             // Retain the source of the event whose payload dominates.
+            // panic-ok: idx < num_vertices asserted on entry; arrays are that long
             if reduced != self.payload[idx] {
                 match event.source {
                     Some(s) => {
-                        self.source[idx] = s;
-                        self.flags[idx] |= FLAG_SOURCE;
+                        self.source[idx] = s; // panic-ok: idx < num_vertices asserted on entry; arrays are that long
+                        self.flags[idx] |= FLAG_SOURCE; // panic-ok: idx < num_vertices asserted on entry; arrays are that long
                     }
-                    None => self.flags[idx] &= !FLAG_SOURCE,
+                    None => self.flags[idx] &= !FLAG_SOURCE, // panic-ok: idx < num_vertices asserted on entry; arrays are that long
                 }
             }
-            self.payload[idx] = reduced;
+            self.payload[idx] = reduced; // panic-ok: idx < num_vertices asserted on entry; arrays are that long
             if event.request {
-                self.flags[idx] |= FLAG_REQUEST;
+                self.flags[idx] |= FLAG_REQUEST; // panic-ok: idx < num_vertices asserted on entry; arrays are that long
             }
             self.stats.coalesced += 1;
         }
@@ -268,7 +272,7 @@ impl CoalescingQueue {
         let mut drained = 0;
         let (first_word, last_word) = (lo / 64, (hi - 1) / 64);
         for wi in first_word..=last_word {
-            let mut word = self.occupancy[wi];
+            let mut word = self.occupancy[wi]; // panic-ok: wi <= (hi-1)/64 and every caller bounds hi <= num_vertices
             if wi == first_word {
                 word &= !0u64 << (lo % 64);
             }
@@ -281,7 +285,7 @@ impl CoalescingQueue {
             if word == 0 {
                 continue;
             }
-            self.occupancy[wi] &= !word;
+            self.occupancy[wi] &= !word; // panic-ok: wi <= (hi-1)/64 and every caller bounds hi <= num_vertices
             while word != 0 {
                 let bit = word.trailing_zeros() as usize; // cast-ok: trailing_zeros of a u64 word is <= 64
                 word &= word - 1;
@@ -302,15 +306,16 @@ impl CoalescingQueue {
     // hot-path
     pub fn take_bin_into(&mut self, bin: usize, out: &mut Vec<Event>) -> usize {
         assert!(bin < self.num_bins, "bin {bin} out of range");
+        // panic-ok: bin < num_bins asserted on entry, bin_len's length
         if self.bin_len[bin] == 0 {
             return 0;
         }
         let lo = bin * self.bin_size;
         let hi = ((bin + 1) * self.bin_size).min(self.num_vertices);
         let drained = self.drain_bits(lo, hi, out);
-        debug_assert_eq!(drained, self.bin_len[bin]);
+        debug_assert_eq!(drained, self.bin_len[bin]); // panic-ok: bin < num_bins asserted on entry, bin_len's length
         self.len -= drained;
-        self.bin_len[bin] = 0;
+        self.bin_len[bin] = 0; // panic-ok: bin < num_bins asserted on entry, bin_len's length
         self.stats.drained += drained as u64;
         drained
     }
@@ -334,13 +339,14 @@ impl CoalescingQueue {
         let first_bin = self.bin_for(lo as VertexId); // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
         let last_bin = self.bin_for((hi - 1) as VertexId); // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
         for bin in first_bin..=last_bin {
+            // panic-ok: bin_for clamps into 0..num_bins, bin_len's length
             if self.bin_len[bin] == 0 {
                 continue;
             }
             let bin_lo = (bin * self.bin_size).max(lo);
             let bin_hi = ((bin + 1) * self.bin_size).min(self.num_vertices).min(hi);
             let drained = self.drain_bits(bin_lo, bin_hi, out);
-            self.bin_len[bin] -= drained;
+            self.bin_len[bin] -= drained; // panic-ok: bin_for clamps into 0..num_bins, bin_len's length
             total += drained;
         }
         self.len -= total;

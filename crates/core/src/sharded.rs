@@ -39,8 +39,6 @@
 //!
 //! [`StreamingEngine`]: crate::StreamingEngine
 
-use std::sync::mpsc;
-
 use jetstream_algorithms::{Algorithm, EdgeCtx, UpdateKind, Value};
 use jetstream_graph::partition::Partition;
 use jetstream_graph::{AdjacencyGraph, CsrPair, GraphError, UpdateBatch, VertexId};
@@ -159,18 +157,22 @@ struct WorkerState<'a> {
 
 impl ExecState for WorkerState<'_> {
     fn value(&self, v: VertexId) -> Value {
+        // panic-ok: v is owned by this shard, so v - lo indexes the hi - lo sized slice
         self.values[(v - self.lo) as usize] // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     fn set_value(&mut self, v: VertexId, x: Value) {
+        // panic-ok: v is owned by this shard, so v - lo indexes the hi - lo sized slice
         self.values[(v - self.lo) as usize] = x; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     fn dependency(&self, v: VertexId) -> Option<VertexId> {
+        // panic-ok: v is owned by this shard, so v - lo indexes the hi - lo sized slice
         self.dependency[(v - self.lo) as usize] // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
     fn set_dependency(&mut self, v: VertexId, d: Option<VertexId>) {
+        // panic-ok: v is owned by this shard, so v - lo indexes the hi - lo sized slice
         self.dependency[(v - self.lo) as usize] = d; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
@@ -320,21 +322,22 @@ fn exchange(
     for _ in 0..total {
         let mut best: Option<usize> = None;
         for (s, o) in outs.iter().enumerate() {
+            // panic-ok: s enumerates outs and cursor was resized to outs.len(); b only holds indexes that passed this bound
             if cursor[s] < o.len() && best.is_none_or(|b| o[cursor[s]].key < outs[b][cursor[b]].key)
             {
                 best = Some(s);
             }
         }
         let Some(b) = best else { break };
-        let mut k = outs[b][cursor[b]];
-        cursor[b] += 1;
+        let mut k = outs[b][cursor[b]]; // panic-ok: the scan above only records b while cursor[b] < outs[b].len()
+        cursor[b] += 1; // panic-ok: b < outs.len() == cursor.len() by construction
         if k.ev.is_delete && !coalesce_deletes {
             // The merged position *is* the order the sequential engine
             // would have appended this delete to its overflow FIFO.
             k.key = OVERFLOW_CLASS | ((*seq as u128) << IDX_BITS);
             *seq += 1;
         }
-        inboxes[route(bounds, k.ev.target)].push(k);
+        inboxes[route(bounds, k.ev.target)].push(k); // panic-ok: route returns a shard index < bounds.len() == inboxes.len()
     }
     total
 }
@@ -405,6 +408,8 @@ pub struct ShardedEngine {
     yield_plan: Vec<usize>,
     /// Cumulative scaling model (see [`ParallelModel`]).
     model: ParallelModel,
+    /// Trace sink for the race sanitizer (disabled by default).
+    race_log: sync::RaceLog,
 }
 
 impl ShardedEngine {
@@ -493,6 +498,7 @@ impl ShardedEngine {
             coalesced_before: 0,
             yield_plan: Vec::new(),
             model: ParallelModel::default(),
+            race_log: sync::RaceLog::default(),
         }
     }
 
@@ -575,6 +581,15 @@ impl ShardedEngine {
     /// plan disables yielding.
     pub fn set_yield_plan(&mut self, plan: &[usize]) {
         self.yield_plan = plan.to_vec();
+    }
+
+    /// Test hook: install a [`sync::RaceLog`] trace sink. While enabled,
+    /// every channel transfer and every conceptual shard-state access in
+    /// the superstep loop is recorded for the vector-clock race checker
+    /// (`jetstream_testkit::race`, DESIGN.md §14.3). Install
+    /// `RaceLog::default()` to turn recording back off.
+    pub fn set_race_log(&mut self, log: sync::RaceLog) {
+        self.race_log = log;
     }
 
     /// Runs the static (cold) evaluation from scratch on the current graph
@@ -740,6 +755,7 @@ impl ShardedEngine {
             stats,
             seq,
             model,
+            race_log,
             ..
         } = self;
         let alg: &dyn Algorithm = alg.as_ref();
@@ -759,14 +775,39 @@ impl ShardedEngine {
                 rest_v = tail_v;
                 let (d, tail_d) = rest_d.split_at_mut(width);
                 rest_d = tail_d;
-                let (tx_in, rx_in) = mpsc::channel::<Option<(Vec<Keyed>, Vec<Keyed>)>>();
-                let (tx_out, rx_out) = mpsc::channel::<(Vec<Keyed>, Vec<Keyed>)>();
+                // Stable race-checker ids (DESIGN.md §14.3): channel 2s
+                // carries inboxes to worker s, channel 2s + 1 carries its
+                // outboxes back; the coordinator is thread 0, worker s is
+                // thread s + 1.
+                let (tx_in, rx_in) = sync::logged_channel::<Option<(Vec<Keyed>, Vec<Keyed>)>>(
+                    race_log,
+                    2 * worker,
+                    0,
+                    worker + 1,
+                );
+                let (tx_out, rx_out) = sync::logged_channel::<(Vec<Keyed>, Vec<Keyed>)>(
+                    race_log,
+                    2 * worker + 1,
+                    worker + 1,
+                    0,
+                );
+                let wlog = race_log.clone();
                 scope.spawn(move || {
                     let cx = KernelCtx { alg, csr, delete_strategy };
                     // Each message carries (inbox, recycled out-buffer); the
                     // reply returns (outbox, spent inbox) so both
                     // allocations round-trip instead of being dropped.
                     while let Ok(Some((inbox, mut out))) = rx_in.recv() {
+                        wlog.access(
+                            worker + 1,
+                            sync::Resource::Inbox(worker),
+                            sync::AccessKind::Read,
+                        );
+                        wlog.access(
+                            worker + 1,
+                            sync::Resource::ShardState(worker),
+                            sync::AccessKind::Write,
+                        );
                         out.clear();
                         worker_round(
                             &cx,
@@ -777,6 +818,11 @@ impl ShardedEngine {
                             coalesce_deletes,
                             yield_every,
                             &mut out,
+                        );
+                        wlog.access(
+                            worker + 1,
+                            sync::Resource::Outbox(worker),
+                            sync::AccessKind::Write,
                         );
                         if tx_out.send((out, inbox)).is_err() {
                             return;
@@ -796,18 +842,23 @@ impl ShardedEngine {
             let mut spent: Vec<Vec<Keyed>> = Vec::with_capacity(num_shards);
             let mut cursor: Vec<usize> = Vec::new();
             while !inboxes.iter().all(Vec::is_empty) {
-                for ((tx, inbox), spare) in
-                    to_workers.iter().zip(inboxes.iter_mut()).zip(spare_outs.iter_mut())
+                for (s, ((tx, inbox), spare)) in
+                    to_workers.iter().zip(inboxes.iter_mut()).zip(spare_outs.iter_mut()).enumerate()
                 {
+                    // The coordinator filled this inbox (seed phase or the
+                    // previous exchange); record the write on the sending
+                    // side of the happens-before edge.
+                    race_log.access(0, sync::Resource::Inbox(s), sync::AccessKind::Write);
                     let _ = tx.send(Some((std::mem::take(inbox), std::mem::take(spare))));
                 }
                 stats.rounds += 1;
                 outs.clear();
                 spent.clear();
                 let mut alive = true;
-                for rx in &from_workers {
+                for (s, rx) in from_workers.iter().enumerate() {
                     match rx.recv() {
                         Ok((out, inbox)) => {
+                            race_log.access(0, sync::Resource::Outbox(s), sync::AccessKind::Read);
                             outs.push(out);
                             spent.push(inbox);
                         }
@@ -836,6 +887,14 @@ impl ShardedEngine {
                 let _ = tx.send(None);
             }
         });
+
+        // The coordinator now reads every shard's state (the model fold
+        // below, `values()`, `validate_converged`); each read is ordered
+        // after the owning worker's last write by that worker's final
+        // outbox send.
+        for s in 0..num_shards {
+            race_log.access(0, sync::Resource::ShardState(s), sync::AccessKind::Read);
+        }
 
         // Fold this call's per-round costs into the scaling model: every
         // superstep's critical path is its slowest shard (the barrier
@@ -1055,6 +1114,182 @@ impl ShardedEngine {
         self.csr = new_csr;
         self.run_queue();
         Ok(())
+    }
+}
+
+/// Sync shim for the vector-clock race sanitizer (DESIGN.md §14.3).
+///
+/// This module lives inside `sharded.rs` deliberately: `concurrency-
+/// discipline` permits primitives only in this file, so every channel the
+/// engine uses can be routed through the logged wrappers below and the
+/// instrumentation can never silently miss a primitive added elsewhere.
+/// When no [`RaceLog`] sink is installed the shim costs one branch per
+/// event.
+pub mod sync {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// A conceptual resource of the sharded engine, as seen by the race
+    /// checker. Stable ids: shard `s` owns `ShardState(s)`, `Inbox(s)`,
+    /// and `Outbox(s)`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    pub enum Resource {
+        /// Shard `s`'s owned state: its value/dependency slices and queue.
+        ShardState(usize),
+        /// Shard `s`'s inbox buffer (coordinator writes, worker reads).
+        Inbox(usize),
+        /// Shard `s`'s outbox buffer (worker writes, coordinator reads).
+        Outbox(usize),
+    }
+
+    /// Whether an access observed or mutated the resource.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    pub enum AccessKind {
+        /// The resource was only observed.
+        Read,
+        /// The resource was mutated.
+        Write,
+    }
+
+    /// One recorded synchronization or access event. Thread ids are
+    /// stable: the coordinator is 0, worker `s` is `s + 1`. Channel ids
+    /// are stable: `2s` carries coordinator → worker `s` inboxes, `2s + 1`
+    /// carries worker `s` → coordinator outboxes.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    pub enum TraceEvent {
+        /// `thread` enqueued a message on `channel` (recorded just before
+        /// the transfer, so it precedes the matching `Recv` in the log).
+        Send {
+            /// Sending thread id.
+            thread: usize,
+            /// Channel id.
+            channel: usize,
+        },
+        /// `thread` dequeued a message from `channel` (recorded just
+        /// after the transfer completed).
+        Recv {
+            /// Receiving thread id.
+            thread: usize,
+            /// Channel id.
+            channel: usize,
+        },
+        /// `thread` acquired lock `lock`.
+        Acquire {
+            /// Acquiring thread id.
+            thread: usize,
+            /// Lock id.
+            lock: usize,
+        },
+        /// `thread` released lock `lock`.
+        Release {
+            /// Releasing thread id.
+            thread: usize,
+            /// Lock id.
+            lock: usize,
+        },
+        /// `thread` touched `resource`.
+        Access {
+            /// Accessing thread id.
+            thread: usize,
+            /// The resource touched.
+            resource: Resource,
+            /// Read or write.
+            kind: AccessKind,
+        },
+    }
+
+    /// A shared, cloneable trace sink. The default is disabled — every
+    /// recording call is a single branch — so production runs pay nothing.
+    /// Install an enabled log via
+    /// [`ShardedEngine::set_race_log`](super::ShardedEngine::set_race_log),
+    /// run, then [`take`](Self::take) the trace and feed it to
+    /// `jetstream_testkit::race::check_trace`.
+    #[derive(Debug, Clone, Default)]
+    pub struct RaceLog(Option<Arc<Mutex<Vec<TraceEvent>>>>);
+
+    impl RaceLog {
+        /// An enabled log with an empty trace buffer.
+        pub fn enabled() -> Self {
+            RaceLog(Some(Arc::new(Mutex::new(Vec::new()))))
+        }
+
+        /// Whether events are being recorded.
+        pub fn is_enabled(&self) -> bool {
+            self.0.is_some()
+        }
+
+        /// Appends one event (no-op when disabled).
+        pub fn record(&self, ev: TraceEvent) {
+            if let Some(buf) = &self.0 {
+                // A poisoned mutex only means another recorder panicked;
+                // the buffer itself is still coherent, so keep tracing.
+                buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(ev);
+            }
+        }
+
+        /// Records an [`TraceEvent::Access`].
+        pub fn access(&self, thread: usize, resource: Resource, kind: AccessKind) {
+            self.record(TraceEvent::Access { thread, resource, kind });
+        }
+
+        /// Drains and returns the recorded trace (empty when disabled).
+        pub fn take(&self) -> Vec<TraceEvent> {
+            match &self.0 {
+                Some(buf) => std::mem::take(
+                    &mut *buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+                ),
+                None => Vec::new(),
+            }
+        }
+    }
+
+    /// An mpsc pair whose `send`/`recv` record happens-before edges into
+    /// `log` with the given stable channel and thread ids.
+    pub(crate) fn logged_channel<T>(
+        log: &RaceLog,
+        channel: usize,
+        sender_thread: usize,
+        receiver_thread: usize,
+    ) -> (LoggedSender<T>, LoggedReceiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            LoggedSender { tx, log: log.clone(), channel, thread: sender_thread },
+            LoggedReceiver { rx, log: log.clone(), channel, thread: receiver_thread },
+        )
+    }
+
+    /// Sending half of a [`logged_channel`].
+    pub(crate) struct LoggedSender<T> {
+        tx: mpsc::Sender<T>,
+        log: RaceLog,
+        channel: usize,
+        thread: usize,
+    }
+
+    impl<T> LoggedSender<T> {
+        /// Records `Send`, then performs the transfer — in that order, so
+        /// the log position of the `Send` precedes its matching `Recv`.
+        pub(crate) fn send(&self, value: T) -> Result<(), mpsc::SendError<T>> {
+            self.log.record(TraceEvent::Send { thread: self.thread, channel: self.channel });
+            self.tx.send(value)
+        }
+    }
+
+    /// Receiving half of a [`logged_channel`].
+    pub(crate) struct LoggedReceiver<T> {
+        rx: mpsc::Receiver<T>,
+        log: RaceLog,
+        channel: usize,
+        thread: usize,
+    }
+
+    impl<T> LoggedReceiver<T> {
+        /// Performs the transfer, then records `Recv`.
+        pub(crate) fn recv(&self) -> Result<T, mpsc::RecvError> {
+            let value = self.rx.recv()?;
+            self.log.record(TraceEvent::Recv { thread: self.thread, channel: self.channel });
+            Ok(value)
+        }
     }
 }
 

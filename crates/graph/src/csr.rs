@@ -104,7 +104,7 @@ impl Csr {
     /// Panics if `v` is out of range.
     pub fn degree(&self, v: VertexId) -> usize {
         let v = v as usize; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
-        self.offsets[v + 1] - self.offsets[v]
+        self.offsets[v + 1] - self.offsets[v] // panic-ok: documented contract: panics if v is out of range; engines only pass construction-checked ids
     }
 
     /// Iterates over the edges of vertex `v` in ascending target order.
@@ -114,10 +114,10 @@ impl Csr {
     /// Panics if `v` is out of range.
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = EdgeRef> + '_ {
         let v = v as usize; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
-        let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
-        self.targets[lo..hi]
+        let (lo, hi) = (self.offsets[v], self.offsets[v + 1]); // panic-ok: documented contract: panics if v is out of range; engines only pass construction-checked ids
+        self.targets[lo..hi] // panic-ok: documented contract: panics if v is out of range; engines only pass construction-checked ids
             .iter()
-            .zip(self.weights[lo..hi].iter())
+            .zip(self.weights[lo..hi].iter()) // panic-ok: documented contract: panics if v is out of range; engines only pass construction-checked ids
             .map(|(&other, &weight)| EdgeRef { other, weight })
     }
 

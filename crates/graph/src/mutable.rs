@@ -136,6 +136,7 @@ impl AdjacencyGraph {
     ///
     /// Panics if `v` is out of range.
     pub fn degree(&self, v: VertexId) -> usize {
+        // panic-ok: documented contract: panics if v is out of range; engines only pass construction-checked ids
         self.rows[v as usize].len() // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 
@@ -145,6 +146,7 @@ impl AdjacencyGraph {
     ///
     /// Panics if `v` is out of range.
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        // panic-ok: documented contract: panics if v is out of range; engines only pass construction-checked ids
         self.rows[v as usize].iter().map(|(&t, &w)| (t, w)) // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
     }
 

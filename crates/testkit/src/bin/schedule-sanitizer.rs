@@ -1,10 +1,18 @@
-//! CI entry point for the determinism sanitizer (DESIGN.md §13.3).
+//! CI entry point for the dynamic sanitizers (DESIGN.md §13.3 + §14.3).
 //!
-//! Runs the default [`ScheduleFuzzer`] sweep — 36 schedules over
-//! SSSP/BFS × Tag/Dap — and exits non-zero on the first divergent bit,
-//! printing the schedule tuple that reproduces it. Invoked by
-//! `cargo xtask check --sanitize`.
+//! Three phases, exiting non-zero on the first failure:
+//!
+//! 1. the default [`ScheduleFuzzer`] sweep — 36 schedules over SSSP/BFS ×
+//!    Tag/Dap — differentially against the sequential oracle, with every
+//!    run's sync trace replayed through the vector-clock race checker;
+//! 2. the race checker's self-test: the deliberately seeded ordering bug
+//!    in [`race::seeded_ordering_bug_trace`] **must** be detected (a
+//!    sanitizer that cannot find a planted race proves nothing);
+//! 3. printing the clean-sweep summary consumed by CI logs.
+//!
+//! Invoked by `cargo xtask check --sanitize`.
 
+use jetstream_testkit::race::{self, TraceError};
 use jetstream_testkit::schedule::ScheduleFuzzer;
 
 fn main() {
@@ -12,12 +20,36 @@ fn main() {
     match fuzzer.run() {
         Ok(report) => {
             println!(
-                "schedule sanitizer: {} schedules, {} differential runs, {} step comparisons — all bit-identical to the sequential oracle",
+                "schedule sanitizer: {} schedules, {} differential runs, {} step comparisons \
+                 — all bit-identical to the sequential oracle",
                 report.schedules, report.runs, report.comparisons
+            );
+            println!(
+                "race sanitizer: {} trace events across all runs — zero unordered \
+                 conflicting accesses",
+                report.trace_events
             );
         }
         Err(failure) => {
             eprintln!("schedule sanitizer FAILED: {failure}");
+            std::process::exit(1);
+        }
+    }
+
+    // Detection self-test: the checker must flag the planted race.
+    match race::check_trace(&race::seeded_ordering_bug_trace()) {
+        Err(TraceError::Race(found)) => {
+            println!("race sanitizer self-test: seeded ordering bug detected ({found})");
+        }
+        Err(other) => {
+            eprintln!("race sanitizer self-test FAILED: seeded trace reported {other}, not a race");
+            std::process::exit(1);
+        }
+        Ok(_) => {
+            eprintln!(
+                "race sanitizer self-test FAILED: the seeded ordering bug was NOT detected — \
+                 the checker proves nothing"
+            );
             std::process::exit(1);
         }
     }

@@ -30,6 +30,7 @@
 
 pub use jetstream_graph::rng::DetRng;
 
+pub mod race;
 pub mod schedule;
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

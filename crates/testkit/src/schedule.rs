@@ -21,9 +21,12 @@
 //! panic-free: every failure mode is a value of [`FuzzFailure`].
 
 use jetstream_algorithms::Workload;
+use jetstream_core::sync::RaceLog;
 use jetstream_core::{DeleteStrategy, EngineConfig, RunStats, ShardedEngine, StreamingEngine};
 use jetstream_graph::rng::DetRng;
 use jetstream_graph::{gen, AdjacencyGraph, UpdateBatch};
+
+use crate::race::{self, TraceError};
 
 use std::fmt;
 
@@ -127,6 +130,29 @@ impl fmt::Display for Divergence {
     }
 }
 
+/// A race (or malformed trace) found in one run's recorded sync trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceReport {
+    /// Workload whose run raced.
+    pub workload: &'static str,
+    /// Delete strategy label of the racing run.
+    pub strategy: &'static str,
+    /// The schedule that exposed it.
+    pub schedule: Schedule,
+    /// What the vector-clock checker found.
+    pub error: TraceError,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} race check failed under schedule [{}]: {}",
+            self.workload, self.strategy, self.schedule, self.error
+        )
+    }
+}
+
 /// Any way a sweep can fail.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FuzzFailure {
@@ -135,6 +161,9 @@ pub enum FuzzFailure {
     Setup(String),
     /// The engines disagreed.
     Divergence(Box<Divergence>),
+    /// The vector-clock checker found unordered conflicting accesses in
+    /// a run's recorded sync trace (DESIGN.md §14.3).
+    Race(Box<RaceReport>),
 }
 
 impl fmt::Display for FuzzFailure {
@@ -142,6 +171,7 @@ impl fmt::Display for FuzzFailure {
         match self {
             FuzzFailure::Setup(msg) => write!(f, "sanitizer setup failed: {msg}"),
             FuzzFailure::Divergence(d) => d.fmt(f),
+            FuzzFailure::Race(r) => r.fmt(f),
         }
     }
 }
@@ -155,6 +185,9 @@ pub struct SweepReport {
     pub runs: usize,
     /// Per-step state comparisons performed across all runs.
     pub comparisons: usize,
+    /// Sync-trace events replayed through the race checker (0 when
+    /// `race_check` is off).
+    pub trace_events: usize,
 }
 
 /// Sequential oracle trajectory: per-step stats, values, dependencies,
@@ -192,6 +225,9 @@ pub struct ScheduleFuzzer {
     pub batches: usize,
     /// Edge updates per batch (half inserts, half deletes).
     pub batch_size: usize,
+    /// Record every run's sync trace and feed it through the
+    /// vector-clock race checker ([`crate::race`], DESIGN.md §14.3).
+    pub race_check: bool,
 }
 
 impl Default for ScheduleFuzzer {
@@ -204,6 +240,7 @@ impl Default for ScheduleFuzzer {
             strategies: vec![DeleteStrategy::Tag, DeleteStrategy::Dap],
             batches: 3,
             batch_size: 20,
+            race_check: true,
         }
     }
 }
@@ -278,22 +315,26 @@ impl ScheduleFuzzer {
         let schedules = self.schedules();
         let mut runs = 0usize;
         let mut comparisons = 0usize;
+        let mut trace_events = 0usize;
         for &workload in &self.workloads {
             for &strategy in &self.strategies {
                 let reference = self.reference(workload, strategy, &base, &batches)?;
                 for schedule in &schedules {
                     runs += 1;
-                    comparisons +=
+                    let (compared, traced) =
                         self.run_one(workload, strategy, schedule, &base, &batches, &reference)?;
+                    comparisons += compared;
+                    trace_events += traced;
                 }
             }
         }
-        Ok(SweepReport { schedules: schedules.len(), runs, comparisons })
+        Ok(SweepReport { schedules: schedules.len(), runs, comparisons, trace_events })
     }
 
     /// One sharded run under one schedule, compared against the oracle
-    /// after the initial compute and after every batch. Returns the
-    /// number of step comparisons performed.
+    /// after the initial compute and after every batch, with the run's
+    /// sync trace fed through the race checker when `race_check` is on.
+    /// Returns `(step comparisons, trace events checked)`.
     fn run_one(
         &self,
         workload: Workload,
@@ -302,7 +343,7 @@ impl ScheduleFuzzer {
         base: &AdjacencyGraph,
         batches: &[UpdateBatch],
         reference: &Reference,
-    ) -> Result<usize, FuzzFailure> {
+    ) -> Result<(usize, usize), FuzzFailure> {
         let diverged = |step: usize, field: DivergedField| {
             FuzzFailure::Divergence(Box::new(Divergence {
                 workload: workload.name(),
@@ -316,6 +357,8 @@ impl ScheduleFuzzer {
         let config = EngineConfig { delete_strategy: strategy, ..EngineConfig::default() };
         let mut engine = ShardedEngine::new(alg, base.clone(), config, schedule.shards);
         engine.set_yield_plan(&schedule.plan);
+        let race_log = if self.race_check { RaceLog::enabled() } else { RaceLog::default() };
+        engine.set_race_log(race_log.clone());
 
         let stats = engine.initial_compute();
         if stats != reference.stats[0] {
@@ -358,7 +401,17 @@ impl ScheduleFuzzer {
                 strategy.label()
             ))
         })?;
-        Ok(comparisons)
+        let trace = race_log.take();
+        let traced = trace.len();
+        race::check_trace(&trace).map_err(|error| {
+            FuzzFailure::Race(Box::new(RaceReport {
+                workload: workload.name(),
+                strategy: strategy.label(),
+                schedule: schedule.clone(),
+                error,
+            }))
+        })?;
+        Ok((comparisons, traced))
     }
 }
 
@@ -402,10 +455,12 @@ mod tests {
             strategies: vec![DeleteStrategy::Dap],
             batches: 2,
             batch_size: 12,
+            race_check: true,
         };
         let report = fuzzer.run().expect("slice of the default sweep must be clean");
         assert_eq!(report.schedules, 1);
         assert_eq!(report.runs, 1);
         assert_eq!(report.comparisons, 3);
+        assert!(report.trace_events > 0, "race check saw no trace events");
     }
 }

@@ -1,0 +1,6 @@
+//! Allocating helper for the interprocedural `hot-path-alloc` fixture.
+
+/// Allocates the round buffer.
+pub fn fresh() -> Vec<u64> {
+    vec![0; 64]
+}

@@ -1,0 +1,23 @@
+//! Cross-module helper for the panic-reachability fixture: the panic
+//! lives two hops from the `// hot-path` root.
+
+/// A fixed-size slot table.
+pub struct Table {
+    slots: Vec<u64>,
+}
+
+impl Table {
+    /// Reads slot `i`; panics when `i` is out of range.
+    pub fn slot(&self, i: usize) -> u64 {
+        self.slots[i]
+    }
+}
+
+/// Sums the slots named by `order`.
+pub fn lookup_sum(t: &Table, order: &[usize]) -> u64 {
+    let mut sum = 0;
+    for &i in order {
+        sum += t.slot(i);
+    }
+    sum
+}

@@ -96,7 +96,16 @@ impl Lexer<'_> {
                 b'"' => self.string(self.pos),
                 b'b' if self.peek(1) == Some(b'"') => self.string(self.pos + 1),
                 _ if self.raw_string_ahead() => self.raw_string(),
-                b'\'' => self.char_or_lifetime(),
+                _ if self.raw_ident_ahead() => self.raw_ident(),
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    // Byte-char literal `b'x'` / `b'\n'`: consume the `b`
+                    // prefix and lex the quoted part as a char literal so
+                    // the prefix byte cannot leak out as a phantom ident.
+                    let start = self.pos;
+                    self.pos += 1;
+                    self.char_or_lifetime(start);
+                }
+                b'\'' => self.char_or_lifetime(self.pos),
                 _ if is_ident_start(b) => self.ident(),
                 _ if b.is_ascii_digit() => self.number(),
                 _ => {
@@ -210,11 +219,33 @@ impl Lexer<'_> {
         self.push(TokenKind::RawStr, start);
     }
 
+    /// True when the bytes at the cursor start a raw identifier:
+    /// `r#` followed by an ident-start byte and no quote (a quote would
+    /// be a raw string, checked first).
+    fn raw_ident_ahead(&self) -> bool {
+        self.src.get(self.pos) == Some(&b'r')
+            && self.peek(1) == Some(b'#')
+            && self.peek(2).is_some_and(is_ident_start)
+    }
+
+    /// Lexes `r#ident` as one Ident token. Without this, `r#fn` would
+    /// split into `r` + `#` + `fn` and expose a phantom `fn` keyword to
+    /// the item parser.
+    fn raw_ident(&mut self) {
+        let start = self.pos;
+        self.pos += 2; // r#
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start);
+    }
+
     /// Disambiguates `'a` (lifetime) from `'a'` (char literal): a quote
     /// two bytes after an ident-start byte means a char literal; an escape
-    /// always means a char literal; anything else is a lifetime.
-    fn char_or_lifetime(&mut self) {
-        let start = self.pos;
+    /// always means a char literal; anything else is a lifetime. `start`
+    /// is the token's first byte — the quote itself, or the `b` prefix of
+    /// a byte-char literal (the cursor then sits on the quote).
+    fn char_or_lifetime(&mut self, start: usize) {
         match self.peek(1) {
             Some(b'\\') => {
                 // Escaped char literal: scan to the closing quote.
@@ -405,5 +436,52 @@ mod tests {
         lex("let r = r#\"still open");
         lex("/* forever");
         lex("let c = '");
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_idents() {
+        // `r#fn` must not decay into `r` + `#` + `fn`: the item parser
+        // would see a phantom `fn` keyword and invent a function item.
+        let toks = kinds("let r#fn = r#type + other;");
+        assert!(toks.iter().any(|t| *t == (TokenKind::Ident, "r#fn".into())));
+        assert!(toks.iter().any(|t| *t == (TokenKind::Ident, "r#type".into())));
+        assert!(!toks.iter().any(|t| t.1 == "fn" || t.1 == "type" || t.1 == "r"));
+    }
+
+    #[test]
+    fn byte_char_literals_are_chars_not_idents() {
+        let toks = kinds(r"let a = b'x'; let nl = b'\n'; let q = b'\'';");
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 3, "byte chars mis-lexed: {toks:?}");
+        assert_eq!(chars[0].1, "b'x'");
+        // The `b` prefix must not survive as a stray ident.
+        assert!(!toks.iter().any(|t| t.0 == TokenKind::Ident && t.1 == "b"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_close_correctly() {
+        // Nesting ignores quotes, exactly like rustc.
+        let toks = kinds("/* 1 /* 2 /* 3 */ 2 */ \" not a string */ done");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "done".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_many_hashes() {
+        let src = "let s = r###\"inner \"# and \"## stay \"###; tail";
+        let toks = kinds(src);
+        let raws: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::RawStr).collect();
+        assert_eq!(raws.len(), 1);
+        assert!(raws[0].1.contains("\"##"));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_swallow_contents() {
+        let toks = kinds("let a = b\"panic!(\"; let b = br##\"un\"#wrap\"##; t");
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Str && t.1.starts_with("b\"")));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::RawStr && t.1.starts_with("br##")));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "t".into()));
     }
 }

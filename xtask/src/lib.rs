@@ -1,15 +1,19 @@
-//! `jetlint` — repo-native, token-level static analysis for the JetStream
-//! workspace.
+//! `jetlint` — repo-native static analysis for the JetStream workspace.
 //!
 //! `cargo xtask check` lexes every Rust source file in the repository with
 //! the hand-rolled lexer in [`lex`] (no external crates; the build is
-//! offline) and runs nine token-stream lints that enforce policies
-//! `rustc`/`clippy` cannot express for us. Because lints pattern-match
-//! lexer tokens rather than raw lines, they can never misfire inside a
-//! string literal or a comment, and they can see things a line walker
-//! cannot (identifier boundaries, call shapes, `as` casts).
+//! offline) and runs two layers of analysis. The first is nine
+//! token-stream lints that enforce policies `rustc`/`clippy` cannot
+//! express for us; because lints pattern-match lexer tokens rather than
+//! raw lines, they can never misfire inside a string literal or a
+//! comment, and they can see things a line walker cannot (identifier
+//! boundaries, call shapes, `as` casts). The second layer ([`parse`])
+//! recovers fn items, impl blocks, and call sites into a workspace call
+//! graph and runs three interprocedural lints on top of it:
+//! `panic-reachability`, the interprocedural upgrade of `hot-path-alloc`,
+//! and `dead-waiver` (DESIGN.md §14).
 //!
-//! The nine lints:
+//! The token-level lints:
 //!
 //! * **no-panic** — no `.unwrap()`, `.expect(..)`, or `panic!(..)` in
 //!   non-test library code. `.expect("invariant: ...")` is permitted: it
@@ -45,6 +49,24 @@
 //! * **pragma-justified** — every `#[allow(..)]` attribute and every lint
 //!   waiver pragma must carry a written reason.
 //!
+//! The interprocedural lints (see [`parse`] for the parser's scope and
+//! known soundness gaps):
+//!
+//! * **panic-reachability** — panic-capable operations (`.unwrap()`,
+//!   non-invariant `.expect(..)`, the `panic!` macro family, and slice
+//!   indexing `x[i]`) are propagated transitively over the call graph:
+//!   anything reachable from a `// hot-path` function or from the kernel
+//!   entry point must be panic-free through the whole chain, or carry a
+//!   `// panic-ok: <why it cannot fire>` waiver at the site.
+//! * **hot-path-alloc** (interprocedural) — a `// hot-path` function that
+//!   *calls* an allocating helper is flagged, not just direct
+//!   `Vec::new()` in the marked body.
+//! * **dead-waiver** — a `// cast-ok:` / `// nondeterminism-ok:` /
+//!   `// panic-ok:` / `// lint: allow-unordered` pragma that no longer
+//!   suppresses any diagnostic, or an `#[allow(dead_code)]` on a function
+//!   the call graph sees called from non-test code, is itself an error:
+//!   stale waivers are wrong documentation.
+//!
 //! Test code (`#[cfg(test)]` items and files under `tests/`, `benches/`,
 //! or `examples/`) is exempt from the panic/collection/cast/concurrency
 //! lints (with the `crates/graph` unwrap exception above): tests *should*
@@ -59,7 +81,9 @@
 
 pub mod baseline;
 pub mod lex;
+pub mod parse;
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -92,6 +116,12 @@ pub enum Lint {
     ConcurrencyDiscipline,
     /// An `#[allow(..)]` or waiver pragma without a written reason.
     PragmaJustified,
+    /// A panic-capable operation reachable (through the call graph) from
+    /// a `// hot-path` function or the kernel entry point.
+    PanicReachability,
+    /// A waiver pragma or `#[allow(dead_code)]` that no longer suppresses
+    /// any diagnostic.
+    DeadWaiver,
 }
 
 impl Lint {
@@ -107,6 +137,8 @@ impl Lint {
             Lint::CastTruncation => "cast-truncation",
             Lint::ConcurrencyDiscipline => "concurrency-discipline",
             Lint::PragmaJustified => "pragma-justified",
+            Lint::PanicReachability => "panic-reachability",
+            Lint::DeadWaiver => "dead-waiver",
         }
     }
 
@@ -122,12 +154,14 @@ impl Lint {
             "cast-truncation" => Some(Lint::CastTruncation),
             "concurrency-discipline" => Some(Lint::ConcurrencyDiscipline),
             "pragma-justified" => Some(Lint::PragmaJustified),
+            "panic-reachability" => Some(Lint::PanicReachability),
+            "dead-waiver" => Some(Lint::DeadWaiver),
             _ => None,
         }
     }
 
     /// Every lint, in report order.
-    pub const ALL: [Lint; 9] = [
+    pub const ALL: [Lint; 11] = [
         Lint::NoPanic,
         Lint::CrateRootPragmas,
         Lint::UnorderedCollections,
@@ -137,7 +171,110 @@ impl Lint {
         Lint::CastTruncation,
         Lint::ConcurrencyDiscipline,
         Lint::PragmaJustified,
+        Lint::PanicReachability,
+        Lint::DeadWaiver,
     ];
+
+    /// Long-form explanation for `cargo xtask explain <LINT>`: what the
+    /// policy is, why it exists, and how to satisfy or waive it.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Lint::NoPanic => {
+                "no-panic: library code must not call `.unwrap()`, `.expect(..)`, or \
+                 `panic!(..)`.\n\nThe engine is meant to run unattended over long batch \
+                 streams; a panic tears down the whole process and loses the in-memory \
+                 delta state. Propagate errors instead. `.expect(\"invariant: ...\")` is \
+                 permitted: it documents a structural invariant whose violation must crash \
+                 loudly. In `crates/graph`, `.unwrap()` is banned even in `#[cfg(test)]` \
+                 code (graph tests are the replay oracle; their failures must explain \
+                 themselves) — use `.expect(\"<context>\")` there."
+            }
+            Lint::CrateRootPragmas => {
+                "crate-root-pragmas: every crate root (src/lib.rs, src/main.rs) must carry \
+                 `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.\n\nThe workspace \
+                 is safe Rust by policy, and public items are documented so the paper \
+                 mapping (PAPER.md → code) stays navigable. The check is token-level: the \
+                 pragma text inside a string or comment does not count."
+            }
+            Lint::UnorderedCollections => {
+                "unordered-collections: no `HashMap`/`HashSet` in `crates/sim` or \
+                 `crates/core`.\n\nHash iteration order is randomized per process; in the \
+                 simulator core it feeds simulated event order, so two identical runs would \
+                 diverge. Use `BTreeMap`/`BTreeSet`, or waive a provably-never-iterated use \
+                 with `// lint: allow-unordered — <reason>`."
+            }
+            Lint::PaperRef => {
+                "paper-ref: every `§x.y` section reference in source text must exist in \
+                 PAPER.md or DESIGN.md.\n\nPaper citations rot silently when sections are \
+                 renumbered; this lint makes a dangling reference a build failure. Fix the \
+                 reference or add the section to DESIGN.md."
+            }
+            Lint::HotPathAlloc => {
+                "hot-path-alloc: no `Vec::new()`, `vec![..]`, or `.clone()` inside a \
+                 `// hot-path`-marked function in `crates/core`, nor in any function such a \
+                 function transitively calls (the call-graph upgrade, DESIGN.md §14).\n\n\
+                 DESIGN.md §12 commits the steady state to zero allocations: scratch \
+                 buffers are preallocated and reused across rounds. Move the allocation to \
+                 setup, or thread a scratch buffer in."
+            }
+            Lint::Determinism => {
+                "determinism: no wall-clock (`Instant`, `SystemTime`), entropy \
+                 (`thread_rng`, `from_entropy`, `RandomState`), or unordered collections in \
+                 `crates/core`, `crates/algorithms`, `crates/graph`, or the store replay \
+                 path.\n\nTwo runs of the same batch stream must produce bit-identical \
+                 state (DESIGN.md §11/§13): recovery replays the log and diffs against the \
+                 live engine, and the sharded engine is diffed against the sequential one. \
+                 A justified exception takes `// nondeterminism-ok: <reason>`."
+            }
+            Lint::CastTruncation => {
+                "cast-truncation: every narrowing `as` cast (`as u8/u16/u32/i8/i16/i32/\
+                 usize/isize/VertexId`) in `crates/core`/`crates/graph` must carry \
+                 `// cast-ok: <invariant>` on the same line or the line above.\n\nNarrowing \
+                 casts silently truncate; the pragma states the invariant that makes the \
+                 cast lossless (e.g. \"vertex ids fit u32 by construction\"). The \
+                 dead-waiver lint deletes the pragma when the cast goes away."
+            }
+            Lint::ConcurrencyDiscipline => {
+                "concurrency-discipline: `Mutex`/`RwLock`/`Condvar`/`mpsc`/`spawn` are \
+                 allowed only in approved modules (today `crates/core/src/sharded.rs`).\n\n\
+                 Concurrency enters the engine only through reviewed modules whose \
+                 interleavings are argued deterministic (DESIGN.md §11) and are covered by \
+                 the schedule fuzzer and the race sanitizer (`cargo xtask check \
+                 --sanitize`). Adding a module to the approved list is a reviewed decision."
+            }
+            Lint::PragmaJustified => {
+                "pragma-justified: every `#[allow(..)]` attribute and every waiver pragma \
+                 (`// cast-ok:`, `// nondeterminism-ok:`, `// panic-ok:`, `// lint: \
+                 allow-unordered`) must carry a written reason.\n\nA waiver is a claim \
+                 about an invariant; an unexplained claim cannot be reviewed or retired. \
+                 Append the reason on the same line (or the line above for attributes)."
+            }
+            Lint::PanicReachability => {
+                "panic-reachability: no panic-capable operation — `.unwrap()`, \
+                 non-invariant `.expect(..)`, the `panic!`/`unreachable!`/`todo!`/\
+                 `unimplemented!` macros, or slice indexing `x[i]` — may be reachable \
+                 through the call graph from a `// hot-path` function or from the kernel \
+                 entry point (`process_event`).\n\nThe event kernel runs millions of times \
+                 per batch; a panic deep in a helper is a crash the token-level no-panic \
+                 lint cannot see (it has no notion of calls), and slice indexing is the \
+                 most common hidden panic. Prove a site in-bounds with `// panic-ok: <why \
+                 it cannot fire>` on its line or the line above, or restructure with \
+                 `.get(..)`. `assert!` and `.expect(\"invariant: ...\")` are the \
+                 sanctioned loud-crash mechanisms and are exempt. The call graph is \
+                 name-resolved and over-approximates: see DESIGN.md §14 for the soundness \
+                 gaps."
+            }
+            Lint::DeadWaiver => {
+                "dead-waiver: a waiver pragma (`// cast-ok:`, `// nondeterminism-ok:`, \
+                 `// panic-ok:`, `// lint: allow-unordered`) that no longer suppresses any \
+                 diagnostic, or an `#[allow(dead_code)]` on a function the call graph sees \
+                 called from non-test code, is itself an error.\n\nA stale waiver is wrong \
+                 documentation: it asserts an invariant about code that has moved or been \
+                 fixed, and it will silently excuse the *next* violation that lands on its \
+                 line. Delete it, or move it next to the operation it is meant to cover."
+            }
+        }
+    }
 }
 
 /// One policy violation.
@@ -209,25 +346,171 @@ const NONDETERMINISM_IDENTS: [&str; 5] =
 /// Identifiers banned by `concurrency-discipline` outside approved modules.
 const CONCURRENCY_IDENTS: [&str; 4] = ["Mutex", "RwLock", "Condvar", "mpsc"];
 
-/// Runs every lint over the workspace rooted at `root` and returns the
-/// findings, ordered by file path.
+/// Runs every lint — the token layer and the interprocedural layer —
+/// over the workspace rooted at `root` and returns the findings, ordered
+/// by file path and line.
 ///
 /// # Errors
 ///
 /// Returns any I/O error raised while walking the tree or reading files.
 pub fn run_check(root: &Path) -> io::Result<Vec<Finding>> {
+    run_check_opts(root, true)
+}
+
+/// Runs only the token-level lints, skipping the parser, call graph, and
+/// interprocedural checks. Kept for `cargo xtask bench`, which compares
+/// the v3 analysis wall-clock against the PR 5 token engine.
+///
+/// # Errors
+///
+/// Returns any I/O error raised while walking the tree or reading files.
+pub fn run_check_token_only(root: &Path) -> io::Result<Vec<Finding>> {
+    run_check_opts(root, false)
+}
+
+fn run_check_opts(root: &Path, interprocedural: bool) -> io::Result<Vec<Finding>> {
     let mut files = Vec::new();
     collect_rust_files(root, root, &mut files)?;
     files.sort();
 
     let sections = known_sections(root)?;
     let mut findings = Vec::new();
+    let mut waivers = WaiverLog::default();
+    let mut parsed: Vec<parse::ParsedFile> = Vec::new();
     for rel in &files {
         let raw = fs::read_to_string(root.join(rel))?;
         let file = SourceFile::new(rel, &raw);
-        check_file(&file, &sections, &mut findings);
+        check_file(&file, &sections, &mut findings, &mut waivers);
+        if interprocedural && !is_test_path(rel) {
+            waivers.collect_present(&file);
+            parsed.push(parse::parse_file(&file));
+        }
     }
+    if interprocedural {
+        let visibility = parse::workspace_visibility(root);
+        parse::check_interprocedural(&parsed, &visibility, &mut findings, &mut waivers);
+        waivers.report_dead(&mut findings);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    // Several panic sites on one line produce byte-identical findings;
+    // keep one.
+    findings.dedup_by(|a, b| {
+        a.lint == b.lint && a.file == b.file && a.line == b.line && a.message == b.message
+    });
     Ok(findings)
+}
+
+/// Tracks every well-formed waiver pragma seen in non-test code and every
+/// waiver a lint actually consulted to suppress a finding; the difference
+/// is the `dead-waiver` report.
+#[derive(Default)]
+pub(crate) struct WaiverLog {
+    /// `(file, line, key)` of each waiver pragma with a non-empty reason
+    /// (empty reasons are `pragma-justified`'s finding, not a waiver).
+    present: Vec<(PathBuf, usize, &'static str)>,
+    /// `(file, line, key)` of each waiver that suppressed a diagnostic.
+    used: BTreeSet<(PathBuf, usize, &'static str)>,
+}
+
+/// The waiver pragma keys `dead-waiver` audits, as spelled in comments.
+const WAIVER_KEYS: [&str; 3] = ["cast-ok", "nondeterminism-ok", "panic-ok"];
+
+impl WaiverLog {
+    /// Records that the waiver on `line` of `file` suppressed a finding.
+    pub(crate) fn mark_used(&mut self, file: &Path, line: usize, key: &'static str) {
+        self.used.insert((file.to_path_buf(), line, key));
+    }
+
+    /// Scans a (non-test-path) file for well-formed waiver pragmas.
+    /// Pragmas inside `#[cfg(test)]` spans are skipped: the lints never
+    /// consult them, so they can never be "used".
+    fn collect_present(&mut self, file: &SourceFile<'_>) {
+        for &(line, tok) in &file.comment_lines {
+            let t = &file.tokens[tok];
+            if file.in_test(t.start) {
+                continue;
+            }
+            let Some(text) = plain_comment_text(t.text(file.text)) else { continue };
+            for key in WAIVER_KEYS {
+                if let Some(rest) = text.strip_prefix(key) {
+                    if !pragma_reason(rest).is_empty() {
+                        self.present.push((file.rel.to_path_buf(), line, key));
+                    }
+                }
+            }
+            if let Some(rest) = text.strip_prefix("lint:") {
+                if let Some(reason) = rest.trim_start().strip_prefix("allow-unordered") {
+                    if !pragma_reason(reason).is_empty() {
+                        self.present.push((file.rel.to_path_buf(), line, "allow-unordered"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits a `dead-waiver` finding for every present-but-unused pragma.
+    fn report_dead(&self, findings: &mut Vec<Finding>) {
+        for &(ref file, line, key) in &self.present {
+            if self.used.contains(&(file.clone(), line, key)) {
+                continue;
+            }
+            let spelled = if key == "allow-unordered" { "lint: allow-unordered" } else { key };
+            findings.push(Finding {
+                lint: Lint::DeadWaiver,
+                file: file.clone(),
+                line,
+                message: format!(
+                    "`// {spelled}` waiver no longer suppresses any diagnostic — the \
+                     operation it excused has moved or been fixed; delete the pragma (or \
+                     move it back next to the operation it covers)"
+                ),
+            });
+        }
+    }
+}
+
+/// Serializes findings as the stable machine-readable report consumed by
+/// CI (`cargo xtask check --json`). The schema is versioned: bump
+/// `version` on any incompatible change.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"lint\": \"");
+        out.push_str(f.lint.id());
+        out.push_str("\", \"file\": \"");
+        json_escape_into(&f.file.to_string_lossy().replace('\\', "/"), &mut out);
+        out.push_str("\", \"line\": ");
+        out.push_str(&f.line.to_string());
+        out.push_str(", \"message\": \"");
+        json_escape_into(&f.message, &mut out);
+        out.push_str("\"}");
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"count\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str("\n}\n");
+    out
+}
+
+fn json_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
 }
 
 pub(crate) fn collect_rust_files(
@@ -315,12 +598,12 @@ fn in_scope(rel: &Path, scope: &[&str]) -> bool {
 /// A lexed source file plus the derived views the lints share: the
 /// comment-free code token sequence, the byte spans of `#[cfg(test)]`
 /// items, and a line → trailing-comment index for pragma lookups.
-struct SourceFile<'a> {
-    rel: &'a Path,
-    text: &'a str,
-    tokens: Vec<Token>,
+pub(crate) struct SourceFile<'a> {
+    pub(crate) rel: &'a Path,
+    pub(crate) text: &'a str,
+    pub(crate) tokens: Vec<Token>,
     /// Indices into `tokens` of every non-comment token, in order.
-    code: Vec<usize>,
+    pub(crate) code: Vec<usize>,
     /// Byte ranges (start inclusive, end exclusive) of `#[cfg(test)]`
     /// items; code inside is invisible to the panic/collection/cast/
     /// concurrency lints (except the strict-unwrap rule).
@@ -331,7 +614,7 @@ struct SourceFile<'a> {
 }
 
 impl<'a> SourceFile<'a> {
-    fn new(rel: &'a Path, text: &'a str) -> Self {
+    pub(crate) fn new(rel: &'a Path, text: &'a str) -> Self {
         let tokens = lex(text);
         let code: Vec<usize> = tokens
             .iter()
@@ -353,26 +636,26 @@ impl<'a> SourceFile<'a> {
     }
 
     /// The `i`-th code token.
-    fn ct(&self, i: usize) -> &Token {
+    pub(crate) fn ct(&self, i: usize) -> &Token {
         &self.tokens[self.code[i]]
     }
 
     /// Text of the `i`-th code token.
-    fn ctext(&self, i: usize) -> &str {
+    pub(crate) fn ctext(&self, i: usize) -> &str {
         self.ct(i).text(self.text)
     }
 
     /// True when code token `i` exists and is the punctuation byte `p`.
-    fn is_punct(&self, i: usize, p: &str) -> bool {
+    pub(crate) fn is_punct(&self, i: usize, p: &str) -> bool {
         i < self.code.len() && self.ct(i).kind == TokenKind::Punct && self.ctext(i) == p
     }
 
     /// True when code token `i` exists and is the identifier `name`.
-    fn is_ident(&self, i: usize, name: &str) -> bool {
+    pub(crate) fn is_ident(&self, i: usize, name: &str) -> bool {
         i < self.code.len() && self.ct(i).kind == TokenKind::Ident && self.ctext(i) == name
     }
 
-    fn in_test(&self, byte: usize) -> bool {
+    pub(crate) fn in_test(&self, byte: usize) -> bool {
         self.test_spans.iter().any(|&(s, e)| byte >= s && byte < e)
     }
 
@@ -385,16 +668,18 @@ impl<'a> SourceFile<'a> {
     }
 
     /// Looks for a waiver pragma starting with `key` on `line` or the line
-    /// directly above; returns the reason text after the key (possibly
-    /// empty — `pragma-justified` polices emptiness).
-    fn waiver(&self, line: usize, key: &str) -> Option<&str> {
+    /// directly above; returns the line the pragma comment sits on (so
+    /// `dead-waiver` can track which pragmas earned their keep) and the
+    /// reason text after the key (possibly empty — `pragma-justified`
+    /// polices emptiness).
+    pub(crate) fn waiver_at(&self, line: usize, key: &str) -> Option<(usize, &str)> {
         for l in [line, line.saturating_sub(1)] {
             if l == 0 {
                 continue;
             }
             if let Some(text) = self.plain_comment_on(l) {
                 if let Some(rest) = text.strip_prefix(key) {
-                    return Some(pragma_reason(rest));
+                    return Some((l, pragma_reason(rest)));
                 }
             }
         }
@@ -405,7 +690,7 @@ impl<'a> SourceFile<'a> {
 /// Strips `//` and rejects doc comments (`///`, `//!`): pragmas and
 /// justification comments must be plain comments, so a doc sentence can
 /// never accidentally waive a lint.
-fn plain_comment_text(raw: &str) -> Option<&str> {
+pub(crate) fn plain_comment_text(raw: &str) -> Option<&str> {
     let rest = raw.strip_prefix("//")?;
     if rest.starts_with('/') || rest.starts_with('!') {
         return None;
@@ -500,7 +785,12 @@ fn find_test_spans(tokens: &[Token], code: &[usize], text: &str) -> Vec<(usize, 
 // The lints
 // ---------------------------------------------------------------------
 
-fn check_file(file: &SourceFile<'_>, sections: &[String], findings: &mut Vec<Finding>) {
+fn check_file(
+    file: &SourceFile<'_>,
+    sections: &[String],
+    findings: &mut Vec<Finding>,
+    waivers: &mut WaiverLog,
+) {
     check_crate_root_pragmas(file, findings);
     check_paper_refs(file, sections, findings);
     check_pragma_justified(file, findings);
@@ -511,13 +801,13 @@ fn check_file(file: &SourceFile<'_>, sections: &[String], findings: &mut Vec<Fin
 
     check_panics(file, findings);
     if in_scope(file.rel, &UNORDERED_SCOPE) {
-        check_unordered(file, findings);
+        check_unordered(file, findings, waivers);
     }
     if in_scope(file.rel, &DETERMINISM_SCOPE) {
-        check_determinism(file, findings);
+        check_determinism(file, findings, waivers);
     }
     if in_scope(file.rel, &CAST_SCOPE) {
-        check_cast_truncation(file, findings);
+        check_cast_truncation(file, findings, waivers);
     }
     if in_scope(file.rel, &CONCURRENCY_SCOPE) && !in_scope(file.rel, &CONCURRENCY_APPROVED) {
         check_concurrency(file, findings);
@@ -666,7 +956,7 @@ fn check_panics(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
-fn check_unordered(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
+fn check_unordered(file: &SourceFile<'_>, findings: &mut Vec<Finding>, waivers: &mut WaiverLog) {
     for i in 0..file.code.len() {
         let tok = file.ct(i);
         if tok.kind != TokenKind::Ident || file.in_test(tok.start) {
@@ -676,7 +966,8 @@ fn check_unordered(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
         if name != "HashMap" && name != "HashSet" {
             continue;
         }
-        if file.waiver(tok.line, "lint: allow-unordered").is_some() {
+        if let Some((wline, _)) = file.waiver_at(tok.line, "lint: allow-unordered") {
+            waivers.mark_used(file.rel, wline, "allow-unordered");
             continue;
         }
         push(
@@ -692,7 +983,7 @@ fn check_unordered(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
-fn check_determinism(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
+fn check_determinism(file: &SourceFile<'_>, findings: &mut Vec<Finding>, waivers: &mut WaiverLog) {
     // HashMap/HashSet are already policed by `unordered-collections` in
     // its (narrower) scope; report them under `determinism` only where
     // that lint does not reach, so one use never yields two findings.
@@ -708,7 +999,8 @@ fn check_determinism(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
         if !banned {
             continue;
         }
-        if file.waiver(tok.line, "nondeterminism-ok").is_some() {
+        if let Some((wline, _)) = file.waiver_at(tok.line, "nondeterminism-ok") {
+            waivers.mark_used(file.rel, wline, "nondeterminism-ok");
             continue;
         }
         push(
@@ -725,7 +1017,11 @@ fn check_determinism(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
-fn check_cast_truncation(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
+fn check_cast_truncation(
+    file: &SourceFile<'_>,
+    findings: &mut Vec<Finding>,
+    waivers: &mut WaiverLog,
+) {
     for i in 0..file.code.len() {
         if !file.is_ident(i, "as") {
             continue;
@@ -742,7 +1038,8 @@ fn check_cast_truncation(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
         if in_use_statement(file, i) {
             continue;
         }
-        if file.waiver(tok.line, "cast-ok").is_some() {
+        if let Some((wline, _)) = file.waiver_at(tok.line, "cast-ok") {
+            waivers.mark_used(file.rel, wline, "cast-ok");
             continue;
         }
         push(
@@ -873,7 +1170,7 @@ fn check_pragma_justified(file: &SourceFile<'_>, findings: &mut Vec<Finding>) {
     // Waiver pragmas must carry a reason.
     for &(line, tok) in &file.comment_lines {
         let Some(text) = plain_comment_text(file.tokens[tok].text(file.text)) else { continue };
-        for key in ["cast-ok", "nondeterminism-ok"] {
+        for key in WAIVER_KEYS {
             if let Some(rest) = text.strip_prefix(key) {
                 if pragma_reason(rest).is_empty() {
                     push(
@@ -1017,7 +1314,8 @@ mod tests {
         let rel = Path::new(rel);
         let file = SourceFile::new(rel, src);
         let mut findings = Vec::new();
-        check_file(&file, &[], &mut findings);
+        let mut waivers = WaiverLog::default();
+        check_file(&file, &[], &mut findings, &mut waivers);
         findings
     }
 

@@ -3,10 +3,12 @@
 //! ```text
 //! cargo xtask check              # jetlint the workspace, non-zero on findings
 //! cargo xtask check --root DIR   # lint another tree (used by fixtures)
-//! cargo xtask check --sanitize   # lints + the determinism schedule sanitizer
+//! cargo xtask check --json       # machine-readable findings on stdout
+//! cargo xtask check --sanitize   # lints + schedule/race sanitizers
 //! cargo xtask check --self-test  # verify each lint against its fixtures
+//! cargo xtask explain <LINT>     # what a lint means and how to satisfy it
 //! cargo xtask self-test          # same as `check --self-test`
-//! cargo xtask bench [--iters N]  # jetlint vs the PR 1 line-based walker
+//! cargo xtask bench [--iters N]  # v3 analysis vs token engine vs line walker
 //! ```
 
 #![forbid(unsafe_code)]
@@ -17,7 +19,7 @@ use std::process::{Command, ExitCode};
 use std::time::Instant;
 
 use xtask::baseline::run_check_baseline;
-use xtask::{run_check, run_self_test};
+use xtask::{findings_to_json, run_check, run_check_token_only, run_self_test, Lint};
 
 fn workspace_root() -> PathBuf {
     // CARGO_MANIFEST_DIR is xtask/; the workspace root is its parent.
@@ -27,7 +29,8 @@ fn workspace_root() -> PathBuf {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo xtask check [--root DIR] [--self-test] [--sanitize]\n       \
+        "usage: cargo xtask check [--root DIR] [--json] [--self-test] [--sanitize]\n       \
+         cargo xtask explain <LINT>\n       \
          cargo xtask self-test\n       \
          cargo xtask bench [--iters N]"
     );
@@ -40,6 +43,18 @@ fn main() -> ExitCode {
     match words.next().map(String::as_str) {
         Some("check") => {}
         Some("self-test") => return self_test(),
+        Some("explain") => {
+            return match words.next() {
+                Some(id) => explain(id),
+                None => {
+                    eprintln!("explain needs a lint id; one of:");
+                    for lint in Lint::ALL {
+                        eprintln!("  {}", lint.id());
+                    }
+                    ExitCode::from(2)
+                }
+            };
+        }
         Some("bench") => {
             let mut iters = 5usize;
             while let Some(arg) = words.next() {
@@ -62,6 +77,7 @@ fn main() -> ExitCode {
     let mut root = workspace_root();
     let mut want_self_test = false;
     let mut want_sanitize = false;
+    let mut want_json = false;
     while let Some(arg) = words.next() {
         match arg.as_str() {
             "--root" => match words.next() {
@@ -73,6 +89,7 @@ fn main() -> ExitCode {
             },
             "--self-test" => want_self_test = true,
             "--sanitize" => want_sanitize = true,
+            "--json" => want_json = true,
             other => {
                 eprintln!("unknown argument {other:?}");
                 return ExitCode::from(2);
@@ -85,16 +102,22 @@ fn main() -> ExitCode {
     }
 
     let lint_status = match run_check(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("xtask check: clean");
-            ExitCode::SUCCESS
-        }
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            if want_json {
+                print!("{}", findings_to_json(&findings));
+            } else if findings.is_empty() {
+                println!("xtask check: clean");
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!("xtask check: {} finding(s)", findings.len());
             }
-            println!("xtask check: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("xtask check failed to run: {e}");
@@ -105,6 +128,22 @@ fn main() -> ExitCode {
         return lint_status;
     }
     sanitize()
+}
+
+fn explain(id: &str) -> ExitCode {
+    match Lint::from_id(id) {
+        Some(lint) => {
+            println!("{}", lint.explain());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown lint {id:?}; one of:");
+            for lint in Lint::ALL {
+                eprintln!("  {}", lint.id());
+            }
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn self_test() -> ExitCode {
@@ -135,12 +174,13 @@ fn self_test() -> ExitCode {
     }
 }
 
-/// Runs the dynamic determinism sanitizer: the `ScheduleFuzzer` binary in
-/// `crates/testkit`, which sweeps shard counts × yield intervals ×
-/// seeded per-worker yield perturbation and diffs every schedule against
-/// the sequential engine (DESIGN.md §13).
+/// Runs the dynamic sanitizers: the `ScheduleFuzzer` differential sweep
+/// plus the vector-clock race checker over the sharded engine's recorded
+/// sync traces, and the seeded-ordering-bug detection self-test
+/// (DESIGN.md §13/§14). All live in the `schedule-sanitizer` binary in
+/// `crates/testkit`.
 fn sanitize() -> ExitCode {
-    println!("xtask check: running determinism schedule sanitizer…");
+    println!("xtask check: running schedule + race sanitizers…");
     let status = Command::new(env!("CARGO"))
         .args(["run", "--release", "-q", "-p", "jetstream-testkit", "--bin", "schedule-sanitizer"])
         .current_dir(workspace_root())
@@ -148,19 +188,20 @@ fn sanitize() -> ExitCode {
     match status {
         Ok(s) if s.success() => ExitCode::SUCCESS,
         Ok(s) => {
-            eprintln!("schedule sanitizer failed: {s}");
+            eprintln!("sanitizer failed: {s}");
             ExitCode::FAILURE
         }
         Err(e) => {
-            eprintln!("schedule sanitizer failed to launch: {e}");
+            eprintln!("sanitizer failed to launch: {e}");
             ExitCode::FAILURE
         }
     }
 }
 
-/// Times the token-level engine against the preserved line-based walker
-/// over the real workspace (median of `iters` runs after one warmup each)
-/// and prints the ratio recorded in EXPERIMENTS.md.
+/// Times the v3 analysis (token lints + parser + call graph) against the
+/// PR 5 token-only engine and the preserved PR 1 line-based walker over
+/// the real workspace (median of `iters` runs after one warmup each) and
+/// prints the ratios recorded in EXPERIMENTS.md.
 fn bench(iters: usize) -> ExitCode {
     let root = workspace_root();
     let time = |f: &dyn Fn() -> bool| -> Option<f64> {
@@ -178,15 +219,20 @@ fn bench(iters: usize) -> ExitCode {
         samples.sort_by(|a, b| a.total_cmp(b));
         Some(samples[samples.len() / 2])
     };
-    let jetlint = time(&|| run_check(&root).is_ok());
+    let full = time(&|| run_check(&root).is_ok());
+    let jetlint = time(&|| run_check_token_only(&root).is_ok());
     let walker = time(&|| run_check_baseline(&root).is_ok());
-    match (jetlint, walker) {
-        (Some(new_ms), Some(old_ms)) => {
-            let ratio = new_ms / old_ms.max(1e-9);
+    match (full, jetlint, walker) {
+        (Some(full_ms), Some(new_ms), Some(old_ms)) => {
             println!("xtask bench ({iters} iters, median, full workspace):");
-            println!("  jetlint (token engine, 9 lints): {new_ms:.1} ms");
-            println!("  baseline (line walker, 5 lints): {old_ms:.1} ms");
-            println!("  ratio: {ratio:.2}x");
+            println!("  jetlint v3 (tokens + call graph, 11 lints): {full_ms:.1} ms");
+            println!("  jetlint (token engine, 9 lints):            {new_ms:.1} ms");
+            println!("  baseline (line walker, 5 lints):            {old_ms:.1} ms");
+            println!(
+                "  v3/token ratio: {:.2}x   token/walker ratio: {:.2}x",
+                full_ms / new_ms.max(1e-9),
+                new_ms / old_ms.max(1e-9)
+            );
             ExitCode::SUCCESS
         }
         _ => {

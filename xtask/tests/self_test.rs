@@ -28,6 +28,10 @@ fn every_fixture_behaves_as_expected() {
         "concurrency-discipline-clean",
         "pragma-justified",
         "pragma-justified-clean",
+        "panic-reachability",
+        "panic-reachability-clean",
+        "hot-path-alloc-interproc",
+        "dead-waiver",
         "strings-and-comments",
         "clean",
     ] {
@@ -50,6 +54,9 @@ fn each_fixture_fires_its_own_lint() {
         ("cast-truncation", Lint::CastTruncation),
         ("concurrency-discipline", Lint::ConcurrencyDiscipline),
         ("pragma-justified", Lint::PragmaJustified),
+        ("panic-reachability", Lint::PanicReachability),
+        ("hot-path-alloc-interproc", Lint::HotPathAlloc),
+        ("dead-waiver", Lint::DeadWaiver),
     ] {
         let findings = run_check(&xtask_dir().join("fixtures").join(dir)).unwrap();
         assert!(!findings.is_empty(), "{dir} produced no findings");
@@ -68,11 +75,31 @@ fn clean_fixtures_are_clean() {
         "cast-truncation-clean",
         "concurrency-discipline-clean",
         "pragma-justified-clean",
+        "panic-reachability-clean",
         "strings-and-comments",
     ] {
         let findings = run_check(&xtask_dir().join("fixtures").join(dir)).unwrap();
         assert!(findings.is_empty(), "{dir}: {findings:?}");
     }
+}
+
+/// `panic-reachability` must propagate through the whole chain — the
+/// fixture's panic site is two hops (a cross-module free call, then a
+/// method call through an `impl` block) from the `// hot-path` root, and
+/// the finding must land on the site with the full chain in the message.
+#[test]
+fn panic_reachability_reports_the_deep_chain_at_the_site() {
+    let findings = run_check(&xtask_dir().join("fixtures").join("panic-reachability")).unwrap();
+    let f = findings
+        .iter()
+        .find(|f| f.lint == Lint::PanicReachability)
+        .expect("fixture produced no panic-reachability finding");
+    assert!(f.file.to_string_lossy().ends_with("table.rs"), "wrong site: {findings:?}");
+    assert!(
+        f.message.contains("drain_round → lookup_sum → Table::slot"),
+        "chain missing from message: {}",
+        f.message
+    );
 }
 
 /// The strings-and-comments fixture is the regression suite for the PR 1

@@ -60,7 +60,13 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let json = micro::to_json(&results, &cfg, mode);
+    let fresh = micro::to_json(&results, &cfg, mode);
+    // Entries owned by other rigs (the serving loadgen) are carried over
+    // from the committed file so this rewrite does not drop them.
+    let json = match std::fs::read_to_string("BENCH.json") {
+        Ok(previous) => micro::carry_foreign(&fresh, &previous),
+        Err(_) => fresh,
+    };
 
     let destination = match (&out_file, check) {
         (Some(path), _) => Some(path.clone()),
@@ -85,7 +91,8 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        let baseline = micro::parse_medians(&committed);
+        let mut baseline = micro::parse_medians(&committed);
+        baseline.retain(|(name, _)| !micro::is_foreign(name));
         if baseline.is_empty() {
             eprintln!("microbench: baseline {baseline_file} contains no benchmarks");
             std::process::exit(1);

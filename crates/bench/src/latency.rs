@@ -1,0 +1,110 @@
+//! Latency sample collection with nearest-rank percentiles, used by the
+//! serving loadgen (`jetstream-serve bench`) to report p50/p99
+//! ingest-to-converged latency into `BENCH.json`.
+
+/// A flat reservoir of latency samples (nanoseconds). Percentiles use the
+/// nearest-rank definition on the sorted samples — exact, no bucketing
+/// error, which matters because the loadgen records one sample per update
+/// message, not per update.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, ns: u64) {
+        self.samples.push(ns);
+        self.sorted = false;
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The nearest-rank `p`-th percentile (`p` in `[0, 100]`), or `None`
+    /// when empty. `percentile(50)` is the median sample, `percentile(100)`
+    /// the maximum.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Nearest-rank: ceil(p/100 * N), 1-based; p = 0 maps to rank 1.
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let idx = rank.saturating_sub(1).min(self.samples.len() - 1);
+        self.samples.get(idx).copied()
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        for ns in [10, 20, 30, 40, 50] {
+            h.record(ns);
+        }
+        assert_eq!(h.percentile(50.0), Some(30));
+        assert_eq!(h.percentile(99.0), Some(50));
+        assert_eq!(h.percentile(100.0), Some(50));
+        assert_eq!(h.percentile(0.0), Some(10));
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(50));
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyHistogram::new();
+        a.record(1);
+        let mut b = LatencyHistogram::new();
+        b.record(3);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.percentile(100.0), Some(3));
+    }
+}

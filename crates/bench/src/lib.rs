@@ -23,5 +23,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod latency;
 pub mod micro;
 pub mod timing;

@@ -394,6 +394,86 @@ pub fn to_json(results: &[BenchResult], cfg: &MicroConfig, mode: &str) -> String
     out
 }
 
+/// Benchmark-name prefixes owned by other rigs (currently the serving
+/// loadgen, `jetstream-serve bench`). The microbench writer carries their
+/// lines over unchanged when rewriting `BENCH.json`, and the microbench
+/// `--check` gate ignores them — each rig regenerates and gates only its
+/// own namespace.
+pub const FOREIGN_PREFIXES: [&str; 1] = ["serve_"];
+
+/// True when `name` belongs to another rig's `BENCH.json` namespace.
+pub fn is_foreign(name: &str) -> bool {
+    FOREIGN_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Splits a `BENCH.json` produced by [`to_json`] into `(name, record)`
+/// pairs, `_meta` excluded. The record is the `{...}` body with no
+/// trailing comma. Lines that do not look like entries are skipped, same
+/// contract as [`parse_medians`].
+pub fn entry_lines(json: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((name, rest)) = rest.split_once('"') else { continue };
+        if name == "_meta" {
+            continue;
+        }
+        let Some(brace) = rest.find('{') else { continue };
+        let record = rest[brace..].trim_end_matches(',').trim().to_string();
+        if record.ends_with('}') {
+            out.push((name.to_string(), record));
+        }
+    }
+    out
+}
+
+/// The `_meta` record of a `BENCH.json` produced by [`to_json`] (the
+/// `{...}` body), when present.
+pub fn meta_record(json: &str) -> Option<String> {
+    for line in json.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("\"_meta\"") else { continue };
+        let brace = rest.find('{')?;
+        return Some(rest[brace..].trim_end_matches(',').trim().to_string());
+    }
+    None
+}
+
+/// Assembles a `BENCH.json` from a `_meta` record and `(name, record)`
+/// entries, in the one-entry-per-line shape [`parse_medians`] and
+/// [`entry_lines`] read back.
+pub fn assemble(meta: Option<&str>, entries: &[(String, String)]) -> String {
+    let mut out = String::from("{\n");
+    let mut lines: Vec<String> = Vec::new();
+    if let Some(meta) = meta {
+        lines.push(format!("  \"_meta\": {meta}"));
+    }
+    for (name, record) in entries {
+        lines.push(format!("  \"{name}\": {record}"));
+    }
+    for (i, line) in lines.iter().enumerate() {
+        let comma = if i + 1 == lines.len() { "" } else { "," };
+        let _ = writeln!(out, "{line}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Rewrites `fresh` (a `BENCH.json` built by [`to_json`]) so foreign
+/// entries from `previous` are carried over: this rig's rewrite must not
+/// drop the serving loadgen's numbers.
+pub fn carry_foreign(fresh: &str, previous: &str) -> String {
+    let mut entries = entry_lines(fresh);
+    entries.retain(|(name, _)| !is_foreign(name));
+    for (name, record) in entry_lines(previous) {
+        if is_foreign(&name) {
+            entries.push((name, record));
+        }
+    }
+    assemble(meta_record(fresh).as_deref(), &entries)
+}
+
 /// Reads `name -> median_ns` pairs back out of a `BENCH.json` produced by
 /// [`to_json`] (one benchmark per line; `_meta` skipped). Lines that do
 /// not look like benchmark entries are ignored, so hand-edits that keep
@@ -479,6 +559,37 @@ mod tests {
         let parsed = parse_medians(&json);
         assert_eq!(parsed, vec![("a".to_string(), 10), ("b".to_string(), 7)]);
         assert!(json.contains("\"_meta\""));
+    }
+
+    #[test]
+    fn foreign_entries_survive_a_rewrite_and_stay_out_of_the_gate() {
+        let cfg = MicroConfig::quick();
+        let old_results =
+            vec![BenchResult { name: "a", median_ns: 10, min_ns: 9, max_ns: 12, samples: 3 }];
+        let mut previous = to_json(&old_results, &cfg, "full");
+        // Splice in a foreign (serving-rig) entry the way the loadgen does.
+        let mut entries = entry_lines(&previous);
+        entries.push((
+            "serve_p50_ingest_to_converged_ns".to_string(),
+            "{\"median_ns\": 777, \"min_ns\": 700, \"max_ns\": 800, \"samples\": 5}".to_string(),
+        ));
+        previous = assemble(meta_record(&previous).as_deref(), &entries);
+        assert!(is_foreign("serve_p50_ingest_to_converged_ns"));
+        assert!(!is_foreign("queue_insert_25pct"));
+        // A fresh microbench rewrite keeps the foreign line verbatim.
+        let fresh_results =
+            vec![BenchResult { name: "a", median_ns: 11, min_ns: 10, max_ns: 13, samples: 3 }];
+        let fresh = to_json(&fresh_results, &cfg, "full");
+        let merged = carry_foreign(&fresh, &previous);
+        let medians = parse_medians(&merged);
+        assert_eq!(
+            medians,
+            vec![("a".to_string(), 11), ("serve_p50_ingest_to_converged_ns".to_string(), 777)]
+        );
+        assert!(merged.contains("\"_meta\""));
+        // The microbench gate sees only its own namespace once filtered.
+        let own: Vec<_> = medians.into_iter().filter(|(n, _)| !is_foreign(n)).collect();
+        assert!(regressions(&fresh_results, &own, 2.5).is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use std::collections::BTreeSet;
 
 use jetstream_algorithms::{Algorithm, EdgeCtx, UpdateKind, Value};
-use jetstream_graph::{AdjacencyGraph, CsrPair, GraphError, UpdateBatch, VertexId};
+use jetstream_graph::{AdjacencyGraph, CsrPair, EdgeUpdate, GraphError, UpdateBatch, VertexId};
 
 use crate::event::Event;
 use crate::kernel::{self, ExecState, KernelCtx};
@@ -60,6 +60,62 @@ pub enum AccumulativeRecovery {
     /// touched vertices' total contribution mass.
     #[default]
     Coalesced,
+}
+
+/// RisGraph-style admission classification of a single streaming update
+/// against the engine's converged state (see PAPERS.md: RisGraph classifies
+/// updates as *safe* — applicable without rescheduling a full incremental
+/// re-evaluation — vs *unsafe*).
+///
+/// The classification is a pre-check, not a semantic change: applying a
+/// safe update through the full [`StreamingEngine::apply_update_batch`]
+/// machinery produces bit-identical values — the delete wave provably
+/// resets nothing — so [`StreamingEngine::apply_admitted_batch`] may skip
+/// scheduling it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateSafety {
+    /// The update cannot invalidate any converged value: a monotone
+    /// insertion (it can only improve targets through the normal insert
+    /// flow), or a deletion of an edge the dependence tree does not use.
+    Safe,
+    /// The update may force resets and re-approximation: a deletion of a
+    /// `Leads-To` tree edge, or any update under a configuration where the
+    /// dependence tree is not maintained (non-DAP, accumulative).
+    Unsafe,
+}
+
+/// Per-batch tally of [`UpdateSafety`] classifications, computed by
+/// [`StreamingEngine::classify_batch`] against the pre-batch converged
+/// state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchClassification {
+    /// Insertions classified safe (selective algorithms: all of them).
+    pub safe_inserts: usize,
+    /// Insertions classified unsafe (accumulative algorithms: the source's
+    /// contribution factor changes, forcing rollback/replay).
+    pub unsafe_inserts: usize,
+    /// Deletions of non-tree edges (provably no resets under DAP).
+    pub safe_deletes: usize,
+    /// Deletions that may reset their target and cascade.
+    pub unsafe_deletes: usize,
+}
+
+impl BatchClassification {
+    /// Total updates classified safe.
+    pub fn safe(&self) -> usize {
+        self.safe_inserts + self.safe_deletes
+    }
+
+    /// Total updates classified unsafe.
+    pub fn unsafe_total(&self) -> usize {
+        self.unsafe_inserts + self.unsafe_deletes
+    }
+
+    /// True when every deletion in the batch is provably safe, so the
+    /// delete-propagation phases can be skipped wholesale.
+    pub fn all_deletes_safe(&self) -> bool {
+        self.unsafe_deletes == 0
+    }
 }
 
 /// Engine configuration.
@@ -433,6 +489,133 @@ impl StreamingEngine {
             &self.dependency,
             self.config.delete_strategy,
         )
+    }
+
+    /// Classifies a single insertion against the converged state.
+    ///
+    /// Selective (monotone) algorithms admit any insertion safely: the new
+    /// edge can only *improve* its target, which the ordinary insert flow
+    /// handles without delete recovery. Accumulative algorithms are always
+    /// unsafe: an out-edge changes the source's contribution factor
+    /// (`1/deg` or `w/wsum`), forcing the rollback/replay waves of Fig. 5.
+    pub fn classify_insert(&self) -> UpdateSafety {
+        match self.alg.kind() {
+            UpdateKind::Selective => UpdateSafety::Safe,
+            UpdateKind::Accumulative => UpdateSafety::Unsafe,
+        }
+    }
+
+    /// Classifies a single deletion against the converged state: the
+    /// RisGraph safe/unsafe pre-check, realized on JetStream's dependence
+    /// tree (§5.2).
+    ///
+    /// Under DAP, a delete event for edge `u -> v` resets `v` only when
+    /// `v`'s recorded `Leads-To` dependency is exactly `u` and `v` holds a
+    /// non-identity value (see the kernel's reset guard). Both facts are
+    /// readable in O(1) *before* the batch is scheduled, so a deletion of a
+    /// non-tree edge is provably a no-op for the query state: every other
+    /// vertex's value is still supported by its intact dependence chain.
+    ///
+    /// Anything that cannot be proven safe — a tree-edge delete, a non-DAP
+    /// strategy, an accumulative algorithm, an out-of-range id (left for
+    /// the apply path to reject with a typed error) — is `Unsafe`.
+    pub fn classify_delete(&self, source: VertexId, target: VertexId) -> UpdateSafety {
+        if !self.dap_active() {
+            return UpdateSafety::Unsafe;
+        }
+        // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+        let Some(&value) = self.values.get(target as usize) else {
+            return UpdateSafety::Unsafe;
+        };
+        if value == self.alg.identity() {
+            // The kernel never resets an identity-valued vertex, whatever
+            // its dependency says.
+            return UpdateSafety::Safe;
+        }
+        // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+        if self.dependency[target as usize] == Some(source) {
+            UpdateSafety::Unsafe
+        } else {
+            UpdateSafety::Safe
+        }
+    }
+
+    /// Classifies one wire update against the converged state.
+    pub fn classify_update(&self, update: &EdgeUpdate) -> UpdateSafety {
+        match *update {
+            EdgeUpdate::Insert { .. } => self.classify_insert(),
+            EdgeUpdate::Delete { source, target } => self.classify_delete(source, target),
+        }
+    }
+
+    /// Tallies [`classify_update`](StreamingEngine::classify_update) over a
+    /// whole batch against the *pre-batch* converged state.
+    ///
+    /// The tally stays valid for every deletion in the batch even though
+    /// they apply together: a safe deletion resets nothing, so it cannot
+    /// flip another deletion's classification mid-batch.
+    pub fn classify_batch(&self, batch: &UpdateBatch) -> BatchClassification {
+        let mut class = BatchClassification::default();
+        match self.classify_insert() {
+            UpdateSafety::Safe => class.safe_inserts = batch.insertions().len(),
+            UpdateSafety::Unsafe => class.unsafe_inserts = batch.insertions().len(),
+        }
+        for &(u, v) in batch.deletions() {
+            match self.classify_delete(u, v) {
+                UpdateSafety::Safe => class.safe_deletes += 1,
+                UpdateSafety::Unsafe => class.unsafe_deletes += 1,
+            }
+        }
+        class
+    }
+
+    /// Applies a streaming batch through the admission pre-check: when
+    /// every deletion is provably safe (DAP, non-tree edges), the delete
+    /// setup/propagation/re-approximation phases are skipped entirely and
+    /// only the insert flow runs — the RisGraph-style fast path for
+    /// monotone-safe updates. Otherwise this is exactly
+    /// [`apply_update_batch`](StreamingEngine::apply_update_batch).
+    ///
+    /// Values, dependencies, and the impacted set are bit-identical to the
+    /// full path either way (the skipped delete wave is a proven no-op on
+    /// all three); [`RunStats`] and queue statistics reflect the work
+    /// actually performed, so the fast path reports fewer events.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] when the batch is invalid against the
+    /// current graph version (the graph and query state are unchanged).
+    pub fn apply_admitted_batch(
+        &mut self,
+        batch: &UpdateBatch,
+    ) -> Result<(RunStats, BatchClassification), GraphError> {
+        let class = self.classify_batch(batch);
+        if !(self.dap_active() && class.all_deletes_safe() && !batch.deletions().is_empty()) {
+            // Nothing to skip (or nothing provably skippable): run the
+            // full flow. Insert-only selective batches already take the
+            // cheap path inside `stream_selective` (no delete events, no
+            // impacted vertices), so they need no special casing here.
+            return self.apply_update_batch(batch).map(|stats| (stats, class));
+        }
+        self.stats = RunStats::default();
+        let coalesced_before = self.queue.stats().coalesced;
+        // `apply_batch` validates the whole batch (missing deletions,
+        // duplicate insertions, out-of-range ids) before mutating, so a
+        // rejected batch leaves the engine untouched, exactly like the
+        // full path.
+        self.host.apply_batch(batch)?;
+        self.csr = self.host.snapshot_pair();
+        self.impacted.clear();
+        // Phase 4 of the selective flow: inserted edges become regular
+        // events on the new graph; the delete phases are skipped because
+        // classification proved them no-ops.
+        self.stream_inserts(batch.insertions());
+        self.tracer.begin_phase(Phase::Recompute);
+        self.run_queue(Phase::Recompute);
+        self.stats.events_coalesced = self.queue.stats().coalesced - coalesced_before;
+        #[cfg(feature = "strict-invariants")]
+        debug_assert_eq!(self.validate_converged(), Ok(()), "post-batch invariant violated");
+        Ok((self.stats, class))
     }
 
     /// Applies the batch and recomputes from scratch — the GraphPulse

@@ -55,7 +55,8 @@ mod stats;
 pub mod trace;
 
 pub use engine::{
-    AccumulativeRecovery, CheckpointError, DeleteStrategy, EngineConfig, StreamingEngine,
+    AccumulativeRecovery, BatchClassification, CheckpointError, DeleteStrategy, EngineConfig,
+    StreamingEngine, UpdateSafety,
 };
 pub use event::Event;
 pub use queue::{CoalescingQueue, QueueStats};

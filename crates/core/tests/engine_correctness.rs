@@ -483,6 +483,136 @@ fn stats_are_internally_consistent() {
 }
 
 #[test]
+fn admitted_fast_path_is_bit_identical_to_full_path() {
+    // The serving layer's RisGraph-style pre-check: a batch whose deletions
+    // all classify safe may skip the delete wave entirely, and the resulting
+    // values / dependencies / impacted set must be *bit*-identical to the
+    // full flow — not merely within tolerance.
+    use jetstream_core::UpdateSafety;
+    for seed in [21u64, 22, 23] {
+        let g = gen::rmat(300, 2000, gen::RmatParams::default(), seed);
+        for w in [Workload::Sssp, Workload::Bfs, Workload::Sswp, Workload::Cc] {
+            let mut fast = engine_for(w, g.clone(), DeleteStrategy::Dap, 0);
+            fast.initial_compute();
+            let mut full = engine_for(w, g.clone(), DeleteStrategy::Dap, 0);
+            full.initial_compute();
+
+            // Keep only deletions the converged engine classifies as safe,
+            // plus a handful of fresh insertions.
+            let candidate = gen::batch_with_ratio(&g, 60, 0.5, seed + 100);
+            let mut batch = UpdateBatch::new();
+            for &(u, v, wt) in candidate.insertions() {
+                batch.insert(u, v, wt);
+            }
+            let mut kept = 0;
+            for &(u, v) in candidate.deletions() {
+                if fast.classify_delete(u, v) == UpdateSafety::Safe {
+                    batch.delete(u, v);
+                    kept += 1;
+                }
+            }
+            assert!(kept > 0, "{} seed {seed}: no safe deletions to exercise", w.name());
+
+            let class = fast.classify_batch(&batch);
+            assert!(class.all_deletes_safe());
+            assert_eq!(class.safe_deletes, kept);
+
+            let (fast_stats, _) = fast.apply_admitted_batch(&batch).unwrap();
+            let full_stats = full.apply_update_batch(&batch).unwrap();
+
+            let fast_bits: Vec<u64> = fast.values().iter().map(|v| v.to_bits()).collect();
+            let full_bits: Vec<u64> = full.values().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fast_bits, full_bits, "{} seed {seed}: values diverged", w.name());
+            assert_eq!(fast.dependencies(), full.dependencies(), "{} seed {seed}", w.name());
+            let mut fast_imp = fast.last_impacted().to_vec();
+            let mut full_imp = full.last_impacted().to_vec();
+            fast_imp.sort_unstable();
+            full_imp.sort_unstable();
+            assert_eq!(fast_imp, full_imp, "{} seed {seed}: impacted diverged", w.name());
+            // The fast path must actually skip work, not just agree.
+            assert!(
+                fast_stats.stream_reads <= full_stats.stream_reads,
+                "{} seed {seed}: fast path read more of the stream",
+                w.name()
+            );
+            assert_eq!(fast.validate_converged(), Ok(()), "{} seed {seed}", w.name());
+        }
+    }
+}
+
+#[test]
+fn admitted_batch_with_unsafe_deletes_falls_back_to_full_flow() {
+    // A tree-edge delete classifies unsafe; the admitted path must then be
+    // exactly the ordinary flow and still match the oracle.
+    use jetstream_core::UpdateSafety;
+    let g = gen::rmat(200, 1200, gen::RmatParams::default(), 31);
+    for w in [Workload::Sssp, Workload::PageRank] {
+        let mut engine = engine_for(w, g.clone(), DeleteStrategy::Dap, 0);
+        engine.initial_compute();
+
+        // Find an unsafe edge to delete: for SSSP a dependence-tree edge
+        // (guaranteed unsafe under DAP); for PageRank any edge at all,
+        // since accumulative updates never classify safe.
+        let tree_edge = match w.kind() {
+            UpdateKind::Selective => engine
+                .dependencies()
+                .iter()
+                .enumerate()
+                .find_map(|(v, dep)| dep.map(|u| (u, v as u32)))
+                .expect("converged SSSP state has at least one dependence edge"),
+            UpdateKind::Accumulative => {
+                let (u, v, _) = g.iter_edges().next().unwrap();
+                (u, v)
+            }
+        };
+        let mut batch = UpdateBatch::new();
+        batch.delete(tree_edge.0, tree_edge.1);
+
+        let class = engine.classify_batch(&batch);
+        let as_update =
+            jetstream_graph::EdgeUpdate::Delete { source: tree_edge.0, target: tree_edge.1 };
+        assert_eq!(engine.classify_update(&as_update), UpdateSafety::Unsafe);
+        assert!(!class.all_deletes_safe(), "{}", w.name());
+        assert_eq!(class.unsafe_total(), 1, "{}", w.name());
+
+        engine.apply_admitted_batch(&batch).unwrap();
+        let mut mutated = g.clone();
+        mutated.apply_batch(&batch).unwrap();
+        let expected = oracle_values(w, &mutated.snapshot(), 0);
+        assert!(
+            oracle::values_match_tol(engine.values(), &expected, tolerance(w)),
+            "{} fallback path diverged from oracle",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn classification_is_cheap_and_honest() {
+    // Inserts: safe iff selective. Out-of-range deletes: unsafe (the apply
+    // path owns the typed rejection). Identity-valued targets: always safe.
+    use jetstream_core::UpdateSafety;
+    let g = gen::rmat(100, 600, gen::RmatParams::default(), 41);
+    let mut sssp = engine_for(Workload::Sssp, g.clone(), DeleteStrategy::Dap, 0);
+    sssp.initial_compute();
+    assert_eq!(sssp.classify_insert(), UpdateSafety::Safe);
+    assert_eq!(sssp.classify_delete(0, 10_000), UpdateSafety::Unsafe);
+    if let Some(unreachable) = (0..100).find(|&v| sssp.values()[v as usize].is_infinite()) {
+        assert_eq!(sssp.classify_delete(0, unreachable), UpdateSafety::Safe);
+    }
+
+    let mut pr = engine_for(Workload::PageRank, g.clone(), DeleteStrategy::Dap, 0);
+    pr.initial_compute();
+    assert_eq!(pr.classify_insert(), UpdateSafety::Unsafe);
+    assert_eq!(pr.classify_delete(0, 1), UpdateSafety::Unsafe);
+
+    // Non-DAP strategies never prove a delete safe.
+    let mut tag = engine_for(Workload::Sssp, g, DeleteStrategy::Tag, 0);
+    tag.initial_compute();
+    assert_eq!(tag.classify_delete(0, 99), UpdateSafety::Unsafe);
+}
+
+#[test]
 fn sliced_execution_matches_unsliced() {
     // §4.7: graphs larger than the queue process slice by slice; the
     // converged result must be identical, with spills accounted.

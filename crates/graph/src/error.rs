@@ -37,6 +37,18 @@ pub enum GraphError {
         /// The vertex that would loop onto itself.
         vertex: VertexId,
     },
+    /// An edge insertion carried a NaN or infinite weight.
+    ///
+    /// Produced by the wire-ingest validation path
+    /// ([`EdgeUpdate::check_bounds`](crate::EdgeUpdate::check_bounds)):
+    /// a non-finite weight would poison every value it propagates into,
+    /// so it is rejected at the boundary rather than absorbed.
+    NonFiniteWeight {
+        /// Source of the offending edge.
+        source: VertexId,
+        /// Target of the offending edge.
+        target: VertexId,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -53,6 +65,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop { vertex } => {
                 write!(f, "self-loop on vertex {vertex} is not allowed")
+            }
+            GraphError::NonFiniteWeight { source, target } => {
+                write!(f, "edge {source} -> {target} has a non-finite weight")
             }
         }
     }

@@ -61,7 +61,7 @@ pub mod versioned;
 pub use csr::{Csr, CsrPair, EdgeRef};
 pub use error::GraphError;
 pub use mutable::AdjacencyGraph;
-pub use update::{EdgeUpdate, UpdateBatch};
+pub use update::{EdgeUpdate, UpdateBatch, UpdateRejection};
 
 /// Identifier of a vertex. Graphs are addressed `0..num_vertices`.
 pub type VertexId = u32;

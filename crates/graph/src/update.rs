@@ -1,4 +1,4 @@
-use crate::{VertexId, Weight};
+use crate::{GraphError, VertexId, Weight};
 
 /// A single streaming graph mutation.
 ///
@@ -43,6 +43,65 @@ impl EdgeUpdate {
     /// True if this update is an insertion.
     pub fn is_insert(&self) -> bool {
         matches!(self, EdgeUpdate::Insert { .. })
+    }
+
+    /// Validates this update against a graph with `num_vertices` vertices
+    /// without touching the graph itself: both endpoints must be in
+    /// `0..num_vertices`, an insertion must not be a self-loop, and an
+    /// insertion weight must be finite.
+    ///
+    /// This is the wire-ingest boundary check: updates arriving from an
+    /// untrusted source (a network client, a parsed file) are rejected
+    /// here with a typed [`GraphError`] instead of failing deep inside the
+    /// engine after the batch was already accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`GraphError`].
+    pub fn check_bounds(&self, num_vertices: usize) -> Result<(), GraphError> {
+        let check_vertex = |v: VertexId| {
+            // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+            if (v as usize) < num_vertices {
+                Ok(())
+            } else {
+                Err(GraphError::VertexOutOfRange { vertex: v, num_vertices })
+            }
+        };
+        check_vertex(self.source())?;
+        check_vertex(self.target())?;
+        if let EdgeUpdate::Insert { source, target, weight } = *self {
+            if source == target {
+                return Err(GraphError::SelfLoop { vertex: source });
+            }
+            if !weight.is_finite() {
+                return Err(GraphError::NonFiniteWeight { source, target });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A single update rejected by [`UpdateBatch::extend_checked`], identifying
+/// which update failed and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRejection {
+    /// Zero-based index of the rejected update within the offered slice.
+    pub index: usize,
+    /// The rejected update itself.
+    pub update: EdgeUpdate,
+    /// The violated constraint.
+    pub error: GraphError,
+}
+
+impl std::fmt::Display for UpdateRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "update {} rejected: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for UpdateRejection {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }
 
@@ -94,6 +153,39 @@ impl UpdateBatch {
     /// True if the batch holds no updates.
     pub fn is_empty(&self) -> bool {
         self.insertions.is_empty() && self.deletions.is_empty()
+    }
+
+    /// Validates `updates` against `num_vertices` and appends the valid
+    /// prefix, stopping at (and not appending) the first invalid update.
+    ///
+    /// This is the checked counterpart of [`Extend`]: batches built from
+    /// wire updates go through here so an out-of-range vertex id, a
+    /// self-loop, or a non-finite weight surfaces as a typed
+    /// [`UpdateRejection`] naming the offending update, instead of failing
+    /// deep inside the engine after the whole batch was accepted. On error
+    /// the batch retains the updates preceding the rejected one; callers
+    /// wanting all-or-nothing semantics should stage into a fresh batch.
+    ///
+    /// Returns the number of updates appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`UpdateRejection`] carrying the index, the update, and
+    /// the violated constraint of the first invalid update.
+    pub fn extend_checked(
+        &mut self,
+        updates: &[EdgeUpdate],
+        num_vertices: usize,
+    ) -> Result<usize, UpdateRejection> {
+        for (index, update) in updates.iter().enumerate() {
+            update.check_bounds(num_vertices).map_err(|error| UpdateRejection {
+                index,
+                update: *update,
+                error,
+            })?;
+            self.extend(std::iter::once(*update));
+        }
+        Ok(updates.len())
     }
 
     /// Fraction of the batch that is deletions, in `[0, 1]`.
@@ -170,6 +262,76 @@ mod tests {
         .collect();
         assert_eq!(batch.insertions(), &[(0, 1, 1.0)]);
         assert_eq!(batch.deletions(), &[(1, 0)]);
+    }
+
+    #[test]
+    fn check_bounds_accepts_the_last_vertex_and_rejects_the_first_out_of_range() {
+        let n = 10;
+        let ok = EdgeUpdate::Insert { source: 9, target: 8, weight: 1.0 };
+        assert_eq!(ok.check_bounds(n), Ok(()));
+        let del_ok = EdgeUpdate::Delete { source: 0, target: 9 };
+        assert_eq!(del_ok.check_bounds(n), Ok(()));
+        // num_vertices itself is the first invalid id, for either endpoint.
+        let src_over = EdgeUpdate::Insert { source: 10, target: 0, weight: 1.0 };
+        assert_eq!(
+            src_over.check_bounds(n),
+            Err(GraphError::VertexOutOfRange { vertex: 10, num_vertices: 10 })
+        );
+        let tgt_over = EdgeUpdate::Delete { source: 0, target: 10 };
+        assert_eq!(
+            tgt_over.check_bounds(n),
+            Err(GraphError::VertexOutOfRange { vertex: 10, num_vertices: 10 })
+        );
+        // The extreme id is rejected too, not wrapped.
+        let huge = EdgeUpdate::Delete { source: u32::MAX, target: 0 };
+        assert_eq!(
+            huge.check_bounds(n),
+            Err(GraphError::VertexOutOfRange { vertex: u32::MAX, num_vertices: 10 })
+        );
+        // An empty graph admits nothing.
+        assert!(del_ok.check_bounds(0).is_err());
+    }
+
+    #[test]
+    fn check_bounds_rejects_self_loops_and_non_finite_weights() {
+        let loop_ = EdgeUpdate::Insert { source: 3, target: 3, weight: 1.0 };
+        assert_eq!(loop_.check_bounds(10), Err(GraphError::SelfLoop { vertex: 3 }));
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let upd = EdgeUpdate::Insert { source: 1, target: 2, weight: bad };
+            assert_eq!(
+                upd.check_bounds(10),
+                Err(GraphError::NonFiniteWeight { source: 1, target: 2 })
+            );
+        }
+        // Deletions carry no weight; only the endpoints are checked.
+        assert_eq!(EdgeUpdate::Delete { source: 1, target: 2 }.check_bounds(10), Ok(()));
+    }
+
+    #[test]
+    fn extend_checked_appends_valid_updates_and_names_the_first_bad_one() {
+        let mut b = UpdateBatch::new();
+        let updates = [
+            EdgeUpdate::Insert { source: 0, target: 1, weight: 2.0 },
+            EdgeUpdate::Delete { source: 1, target: 2 },
+            EdgeUpdate::Insert { source: 0, target: 99, weight: 1.0 },
+            EdgeUpdate::Delete { source: 2, target: 3 },
+        ];
+        let err = b.extend_checked(&updates, 10).unwrap_err();
+        assert_eq!(err.index, 2);
+        assert_eq!(err.update, updates[2]);
+        assert_eq!(err.error, GraphError::VertexOutOfRange { vertex: 99, num_vertices: 10 });
+        // The valid prefix was appended; the rejected update (and its
+        // successors) were not.
+        assert_eq!(b.insertions(), &[(0, 1, 2.0)]);
+        assert_eq!(b.deletions(), &[(1, 2)]);
+        // A fully valid slice reports its length.
+        let mut ok = UpdateBatch::new();
+        assert_eq!(ok.extend_checked(&updates[..2], 10), Ok(2));
+        assert_eq!(ok.len(), 2);
+        // The rejection renders the index and the underlying error.
+        let msg = err.to_string();
+        assert!(msg.contains("update 2"), "{msg}");
+        assert!(msg.contains("out of range"), "{msg}");
     }
 
     #[test]

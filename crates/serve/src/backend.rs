@@ -1,0 +1,68 @@
+//! The engine the server fronts: volatile (in-memory only) or durable
+//! (checkpoints + WAL via `jetstream-store`).
+
+use jetstream_core::{BatchClassification, RunStats, StreamingEngine};
+use jetstream_graph::UpdateBatch;
+use jetstream_store::{DurableEngine, StoreError};
+
+use crate::ServeError;
+
+/// What the serving loop applies batches to.
+#[derive(Debug)]
+pub enum Backend {
+    /// A bare in-memory engine; state dies with the process. Boxed so
+    /// the two variants stay close in size.
+    Volatile(Box<StreamingEngine>),
+    /// An engine wrapped in the durable store: every applied batch is
+    /// WAL-appended, with interval checkpoints (DESIGN.md §10).
+    Durable(Box<DurableEngine<StreamingEngine>>),
+}
+
+impl Backend {
+    /// Shared view of the wrapped engine, for queries.
+    pub fn engine(&self) -> &StreamingEngine {
+        match self {
+            Backend::Volatile(e) => e,
+            Backend::Durable(d) => d.engine(),
+        }
+    }
+
+    /// Applies a batch through the admission-classified path
+    /// ([`StreamingEngine::apply_admitted_batch`]), persisting it first
+    /// when durable.
+    ///
+    /// # Errors
+    ///
+    /// Engine validation failures (unreachable for admission-validated
+    /// batches) or store I/O failures.
+    pub fn apply_admitted(
+        &mut self,
+        batch: &UpdateBatch,
+    ) -> Result<(RunStats, BatchClassification), ServeError> {
+        match self {
+            Backend::Volatile(e) => e.apply_admitted_batch(batch).map_err(ServeError::Graph),
+            Backend::Durable(d) => d.apply_admitted_batch(batch).map_err(ServeError::Store),
+        }
+    }
+
+    /// The store's durable sequence number (batches persisted so far);
+    /// `0` for volatile backends.
+    pub fn sequence(&self) -> u64 {
+        match self {
+            Backend::Volatile(_) => 0,
+            Backend::Durable(d) => d.sequence(),
+        }
+    }
+
+    /// Forces a durable checkpoint (no-op for volatile backends).
+    ///
+    /// # Errors
+    ///
+    /// Store I/O failures.
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        match self {
+            Backend::Volatile(_) => Ok(()),
+            Backend::Durable(d) => d.checkpoint().map(|_| ()),
+        }
+    }
+}

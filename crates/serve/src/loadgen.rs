@@ -1,0 +1,348 @@
+//! Deterministic load generator behind `jetstream-serve bench`.
+//!
+//! Replays synthetic social-network traffic (R-MAT communities, the
+//! paper's §6.2 insert/delete mix) from K concurrent client connections
+//! against an in-process server, and reports aggregate throughput plus
+//! p50/p99 ingest-to-converged latency for `BENCH.json`.
+//!
+//! Determinism: every update every client sends is generated up front
+//! from the seed ([`DetRng`](jetstream_graph::rng::DetRng) under
+//! [`EdgeStream`]), so two runs produce identical traffic; only the
+//! measured timings differ. Each client owns a vertex-disjoint community
+//! subgraph, so admission never sees cross-client conflicts and the
+//! converged state is independent of client interleaving.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+
+use jetstream_algorithms::Workload;
+use jetstream_bench::latency::LatencyHistogram;
+use jetstream_core::{EngineConfig, StreamingEngine};
+use jetstream_graph::gen::{self, EdgeStream, RmatParams};
+use jetstream_graph::{AdjacencyGraph, EdgeUpdate, VertexId, Weight};
+
+use crate::admission::FlushPolicy;
+use crate::backend::Backend;
+use crate::client::Client;
+use crate::clock::{Clock, MonotonicClock};
+use crate::protocol::{Request, Response};
+use crate::server::{self, Endpoint, ServerConfig};
+use crate::ServeError;
+
+/// Loadgen shape: how many clients, how much traffic, over what graph.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections (each drives its own community).
+    pub clients: usize,
+    /// Update messages each client sends.
+    pub messages_per_client: usize,
+    /// Edge updates per message.
+    pub updates_per_message: usize,
+    /// Vertices per client community.
+    pub vertices_per_client: usize,
+    /// R-MAT edges generated per community vertex.
+    pub edges_per_vertex: usize,
+    /// Insertion fraction of each message (0.5 keeps the holdout pool at
+    /// steady state, so message sizes never shrink).
+    pub insert_fraction: f64,
+    /// Traffic seed.
+    pub seed: u64,
+    /// The algorithm the served engine runs.
+    pub workload: Workload,
+    /// Admission seal threshold ([`FlushPolicy::max_updates`]).
+    pub flush_updates: usize,
+}
+
+impl LoadgenConfig {
+    /// Full run: the configuration the committed `serve_*` entries in
+    /// `BENCH.json` are built with (~1M updates aggregate).
+    pub fn full() -> Self {
+        LoadgenConfig {
+            clients: 4,
+            messages_per_client: 256,
+            updates_per_message: 1024,
+            vertices_per_client: 128,
+            edges_per_vertex: 4,
+            insert_fraction: 0.5,
+            seed: 0x5eed,
+            workload: Workload::Sssp,
+            flush_updates: 8192,
+        }
+    }
+
+    /// Reduced smoke run for CI: same shape, less traffic.
+    pub fn quick() -> Self {
+        LoadgenConfig {
+            clients: 4,
+            messages_per_client: 48,
+            updates_per_message: 1024,
+            vertices_per_client: 128,
+            edges_per_vertex: 4,
+            insert_fraction: 0.5,
+            seed: 0x5eed,
+            workload: Workload::Sssp,
+            flush_updates: 8192,
+        }
+    }
+}
+
+/// What a loadgen run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Updates admitted and converged, across all clients.
+    pub total_updates: u64,
+    /// Wall-clock nanoseconds from the first send to the last
+    /// convergence, across all clients.
+    pub wall_ns: u64,
+    /// Median ingest-to-converged latency (per update message).
+    pub p50_ns: u64,
+    /// 99th-percentile ingest-to-converged latency.
+    pub p99_ns: u64,
+    /// Fastest observed message latency.
+    pub latency_min_ns: u64,
+    /// Slowest observed message latency.
+    pub latency_max_ns: u64,
+    /// Latency samples recorded (one per admitted message).
+    pub latency_samples: usize,
+    /// Aggregate cost per update: `wall_ns / total_updates`. The CI gate
+    /// requires this at or under 1000 ns (≥ 1M updates/s).
+    pub ns_per_update: u64,
+    /// `Busy` replies clients absorbed (each triggers a drain + resend).
+    pub busy_replies: u64,
+    /// Engine batches the coalescer produced.
+    pub batches_applied: u64,
+    /// Batches that took the safe-deletion fast path.
+    pub fast_path_batches: u64,
+}
+
+/// One client's pre-generated traffic: the message scripts it will send.
+type Script = Vec<Vec<EdgeUpdate>>;
+
+/// Builds the shared base graph and each client's message script.
+///
+/// Vertex 0 is a global root with one backbone edge into each community,
+/// so single-source workloads reach every community; communities are
+/// vertex-disjoint, and the backbone is never touched by the streams.
+fn build_workload(cfg: &LoadgenConfig) -> (AdjacencyGraph, Vec<Script>) {
+    let vpc = cfg.vertices_per_client;
+    let num_vertices = 1 + cfg.clients * vpc;
+    let mut base_edges: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+    let mut scripts = Vec::with_capacity(cfg.clients);
+    for k in 0..cfg.clients {
+        let lo = (1 + k * vpc) as VertexId;
+        let community = gen::rmat(
+            vpc,
+            vpc * cfg.edges_per_vertex,
+            RmatParams::default(),
+            cfg.seed.wrapping_add(k as u64),
+        );
+        let shifted: Vec<(VertexId, VertexId, Weight)> =
+            community.iter_edges().map(|(u, v, w)| (u + lo, v + lo, w)).collect();
+        let full = AdjacencyGraph::from_edges(num_vertices, &shifted);
+        let mut stream = EdgeStream::new(
+            &full,
+            0.3,
+            cfg.seed ^ (k as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        base_edges.push((0, lo, 1.0));
+        base_edges.extend(stream.graph().iter_edges());
+        let mut script = Vec::with_capacity(cfg.messages_per_client);
+        for _ in 0..cfg.messages_per_client {
+            let batch = stream.next_batch(cfg.updates_per_message, cfg.insert_fraction);
+            let mut msg: Vec<EdgeUpdate> = Vec::with_capacity(batch.len());
+            // Deletions first, matching the engine's apply order, so the
+            // admission overlay validates the same way the batch applies.
+            for &(u, v) in batch.deletions() {
+                msg.push(EdgeUpdate::Delete { source: u, target: v });
+            }
+            for &(u, v, w) in batch.insertions() {
+                msg.push(EdgeUpdate::Insert { source: u, target: v, weight: w });
+            }
+            script.push(msg);
+        }
+        scripts.push(script);
+    }
+    (AdjacencyGraph::from_edges(num_vertices, &base_edges), scripts)
+}
+
+/// What one client thread brings home.
+struct ClientOutcome {
+    latencies: LatencyHistogram,
+    first_send_ns: Option<u64>,
+    last_converged_ns: u64,
+    updates_sent: u64,
+    busy_replies: u64,
+}
+
+/// Receives until a direct (non-notice) reply arrives, folding converged
+/// notices into the latency record as they pass.
+fn recv_direct(
+    client: &mut Client,
+    clock: &MonotonicClock,
+    pending: &mut BTreeMap<u64, u64>,
+    out: &mut ClientOutcome,
+) -> Result<Response, ServeError> {
+    loop {
+        let resp = client.recv()?;
+        let now = clock.now_ns();
+        match resp {
+            Response::Converged { tokens, .. } if !tokens.is_empty() => {
+                for token in tokens {
+                    if let Some(sent) = pending.remove(&token) {
+                        out.latencies.record(now.saturating_sub(sent));
+                        out.last_converged_ns = out.last_converged_ns.max(now);
+                    }
+                }
+            }
+            other => return Ok(other),
+        }
+    }
+}
+
+/// Flushes and drains until the server acknowledges (empty-token
+/// `Converged`); every outstanding token converges before the ack.
+fn flush_and_drain(
+    client: &mut Client,
+    clock: &MonotonicClock,
+    pending: &mut BTreeMap<u64, u64>,
+    out: &mut ClientOutcome,
+) -> Result<(), ServeError> {
+    client.send(&Request::Flush)?;
+    // recv_direct absorbs the per-batch (non-empty-token) notices, so
+    // the first response it surfaces must be the empty-token ack.
+    match recv_direct(client, clock, pending, out)? {
+        Response::Converged { tokens, .. } if tokens.is_empty() => Ok(()),
+        other => Err(ServeError::UnexpectedResponse { got: format!("{other:?}") }),
+    }
+}
+
+fn drive_client(
+    addr: &str,
+    id: usize,
+    script: Script,
+    clock: &MonotonicClock,
+) -> Result<ClientOutcome, ServeError> {
+    let mut client = Client::connect_tcp(addr)?;
+    client.hello(&format!("loadgen-{id}"))?;
+    let mut pending: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut out = ClientOutcome {
+        latencies: LatencyHistogram::new(),
+        first_send_ns: None,
+        last_converged_ns: 0,
+        updates_sent: 0,
+        busy_replies: 0,
+    };
+    for (i, updates) in script.into_iter().enumerate() {
+        let token = i as u64 + 1;
+        loop {
+            let sent = clock.now_ns();
+            client.send(&Request::Update { token, updates: updates.clone() })?;
+            match recv_direct(&mut client, clock, &mut pending, &mut out)? {
+                Response::Admitted { .. } => {
+                    out.first_send_ns.get_or_insert(sent);
+                    out.updates_sent += updates.len() as u64;
+                    pending.insert(token, sent);
+                    break;
+                }
+                Response::Busy { .. } => {
+                    // Over the in-flight budget: wait out the backlog,
+                    // then resend the same message.
+                    out.busy_replies += 1;
+                    flush_and_drain(&mut client, clock, &mut pending, &mut out)?;
+                }
+                other => {
+                    return Err(ServeError::UnexpectedResponse { got: format!("{other:?}") });
+                }
+            }
+        }
+    }
+    flush_and_drain(&mut client, clock, &mut pending, &mut out)?;
+    client.goodbye()?;
+    Ok(out)
+}
+
+/// Runs the loadgen: starts an in-process SSSP server on an ephemeral TCP
+/// port, drives it from `cfg.clients` concurrent connections, and reports
+/// the aggregate.
+///
+/// # Errors
+///
+/// Server start failures, transport failures, or a server-side fatal
+/// error (both of which fail the bench — the traffic is valid by
+/// construction, so any rejection is a bug).
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
+    let (graph, scripts) = build_workload(cfg);
+    let mut engine = StreamingEngine::new(
+        cfg.workload.instantiate_with_epsilon(0, 1e-3),
+        graph,
+        EngineConfig::default(),
+    );
+    engine.initial_compute();
+    let server_cfg = ServerConfig {
+        flush: FlushPolicy { max_updates: cfg.flush_updates, max_delay_ns: 2_000_000 },
+        ..ServerConfig::default()
+    };
+    let handle = server::start(
+        Backend::Volatile(Box::new(engine)),
+        server_cfg,
+        &[Endpoint::Tcp(String::from("127.0.0.1:0"))],
+    )?;
+    let addr = match handle.tcp_addr() {
+        Some(a) => a.to_string(),
+        None => return Err(ServeError::Io(io::Error::other("server bound no TCP endpoint"))),
+    };
+    let clock = Arc::new(MonotonicClock::fresh());
+    let mut threads = Vec::with_capacity(cfg.clients);
+    for (id, script) in scripts.into_iter().enumerate() {
+        let addr = addr.clone();
+        let clock = Arc::clone(&clock);
+        let thread = std::thread::Builder::new()
+            .name(format!("loadgen-{id}"))
+            .spawn(move || drive_client(&addr, id, script, &clock))
+            .map_err(ServeError::Io)?;
+        threads.push(thread);
+    }
+    let mut latencies = LatencyHistogram::new();
+    let mut first_send = u64::MAX;
+    let mut last_converged = 0u64;
+    let mut total_updates = 0u64;
+    let mut busy_replies = 0u64;
+    for thread in threads {
+        let outcome = thread
+            .join()
+            .map_err(|_| ServeError::Io(io::Error::other("loadgen client thread panicked")))??;
+        latencies.merge(&outcome.latencies);
+        if let Some(f) = outcome.first_send_ns {
+            first_send = first_send.min(f);
+        }
+        last_converged = last_converged.max(outcome.last_converged_ns);
+        total_updates += outcome.updates_sent;
+        busy_replies += outcome.busy_replies;
+    }
+    let report = handle.shutdown();
+    if let Some(fatal) = report.fatal {
+        return Err(ServeError::Io(io::Error::other(format!("server fatal: {fatal}"))));
+    }
+    if latencies.is_empty() || total_updates == 0 || first_send == u64::MAX {
+        return Err(ServeError::Io(io::Error::other("loadgen produced no traffic")));
+    }
+    let wall_ns = last_converged.saturating_sub(first_send).max(1);
+    let (p50_ns, p99_ns) = {
+        let h = &mut latencies;
+        (h.percentile(50.0).unwrap_or(0), h.percentile(99.0).unwrap_or(0))
+    };
+    Ok(LoadgenReport {
+        total_updates,
+        wall_ns,
+        p50_ns,
+        p99_ns,
+        latency_min_ns: latencies.min().unwrap_or(0),
+        latency_max_ns: latencies.max().unwrap_or(0),
+        latency_samples: latencies.len(),
+        ns_per_update: wall_ns / total_updates,
+        busy_replies,
+        batches_applied: report.stats.batches_applied,
+        fast_path_batches: report.stats.fast_path_batches,
+    })
+}

@@ -1,0 +1,233 @@
+//! Satellite 2: differential test — a scripted 4-client session against
+//! the live server must leave the engine in state bit-identical to the
+//! same admitted batches replayed through an offline
+//! [`StreamingEngine`], for a selective (SSSP) and an accumulative
+//! (PageRank) workload (DESIGN.md §15.3).
+//!
+//! The oracle replays [`ServerReport::applied`] — the server's own
+//! record of what it admitted, in batch-id order — so the comparison
+//! holds regardless of how client messages interleaved at admission.
+//! Mid-session query answers are recorded with the flush barrier's
+//! batch id and checked against the oracle at the same replay point.
+
+// Test code: aborting on setup failure is the right behavior here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use jetstream_algorithms::Workload;
+use jetstream_core::{EngineConfig, StreamingEngine};
+use jetstream_graph::AdjacencyGraph;
+use jetstream_serve::backend::Backend;
+use jetstream_serve::client::Client;
+use jetstream_serve::protocol::Response;
+use jetstream_serve::server::{start, Endpoint, ServerConfig, ServerReport};
+use jetstream_serve::{queries, ServeError};
+
+const CLIENTS: usize = 4;
+const REGION: u32 = 32;
+const ROUNDS: u64 = 6;
+
+/// 1 global root + one 32-vertex line per client, all hanging off the
+/// root: client updates stay in disjoint regions, so the scripted
+/// session never trips cross-client admission conflicts.
+fn base_graph() -> AdjacencyGraph {
+    let num_vertices = 1 + CLIENTS as u32 * REGION;
+    let mut g = AdjacencyGraph::new(num_vertices as usize);
+    for k in 0..CLIENTS as u32 {
+        let lo = 1 + k * REGION;
+        g.insert_edge(0, lo, 1.0).unwrap();
+        for v in lo..lo + REGION - 1 {
+            g.insert_edge(v, v + 1, 1.0).unwrap();
+        }
+    }
+    g
+}
+
+fn fresh_engine(workload: Workload) -> StreamingEngine {
+    let mut engine = StreamingEngine::new(
+        workload.instantiate_with_epsilon(0, 1e-3),
+        base_graph(),
+        EngineConfig::default(),
+    );
+    engine.initial_compute();
+    engine
+}
+
+/// A query answer recorded mid-session, tied to the batch id the flush
+/// barrier reported (i.e. the oracle state after replaying that batch).
+enum Recorded {
+    Value { batch_id: u64, vertex: u32, bits: u64 },
+    Impacted { batch_id: u64, vertices: Vec<u32> },
+    Path { batch_id: u64, vertex: u32, chain: Vec<u32> },
+}
+
+fn assert_admitted(resp: &Response) {
+    assert!(matches!(resp, Response::Admitted { .. }), "expected admission, got {resp:?}");
+}
+
+/// Drives the scripted session and returns the server's applied-batch
+/// record plus every recorded query answer.
+fn run_session(workload: Workload) -> (ServerReport, Vec<Recorded>, Vec<u64>) {
+    let handle = start(
+        Backend::Volatile(Box::new(fresh_engine(workload))),
+        ServerConfig::default(),
+        &[Endpoint::Tcp("127.0.0.1:0".into())],
+    )
+    .unwrap();
+    let addr = handle.tcp_addr().expect("tcp endpoint").to_string();
+
+    let mut clients: Vec<Client> = (0..CLIENTS)
+        .map(|k| {
+            let mut c = Client::connect_tcp(&addr).unwrap();
+            let (num_vertices, _alg) = c.hello(&format!("diff-{k}")).unwrap();
+            assert_eq!(num_vertices, 1 + CLIENTS as u64 * u64::from(REGION));
+            c
+        })
+        .collect();
+
+    let mut recorded = Vec::new();
+    let mut final_values: Vec<u64> = Vec::new();
+    for round in 0..ROUNDS {
+        // Interleaved updates: every client contributes to the same open
+        // admission batch before any flush barrier seals it.
+        for (k, client) in clients.iter_mut().enumerate() {
+            let lo = 1 + k as u32 * REGION;
+            let hi = lo + REGION - 1;
+            let updates = match round {
+                // Grow a shortcut from the region head.
+                0 | 3 => vec![jetstream_graph::EdgeUpdate::Insert {
+                    source: lo,
+                    target: hi - round as u32,
+                    weight: 2.5 + round as f64,
+                }],
+                // Retract last round's shortcut and sever a line edge:
+                // an unsafe delete for SSSP (it carries the dependence
+                // tree), exercising full deletion recovery.
+                1 | 4 => vec![
+                    jetstream_graph::EdgeUpdate::Delete {
+                        source: lo,
+                        target: hi - (round as u32 - 1),
+                    },
+                    jetstream_graph::EdgeUpdate::Delete { source: lo + 1, target: lo + 2 },
+                ],
+                // Heal the line with a heavier edge.
+                _ => vec![jetstream_graph::EdgeUpdate::Insert {
+                    source: lo + 1,
+                    target: lo + 2,
+                    weight: 1.5,
+                }],
+            };
+            let resp = client.send_update(round * 10 + k as u64 + 1, &updates).unwrap();
+            assert_admitted(&resp);
+        }
+        // Barrier: client (round % 4) forces the batch to apply, then
+        // every client reads converged state.
+        let barrier = (round % CLIENTS as u64) as usize;
+        let batch_id = clients[barrier].flush().unwrap();
+        for (k, client) in clients.iter_mut().enumerate() {
+            let lo = 1 + k as u32 * REGION;
+            let hi = lo + REGION - 1;
+            for vertex in [0, lo, lo + 2, hi] {
+                let value = client.query_value(vertex).unwrap();
+                recorded.push(Recorded::Value { batch_id, vertex, bits: value.to_bits() });
+            }
+        }
+        // One client records the impacted set, another a dependence path.
+        let vertices = clients[0].query_impacted().unwrap();
+        recorded.push(Recorded::Impacted { batch_id, vertices });
+        let probe = 1 + (round as u32 % CLIENTS as u32) * REGION + REGION - 1;
+        let chain = clients[1].query_path(probe).unwrap();
+        recorded.push(Recorded::Path { batch_id, vertex: probe, chain });
+    }
+
+    // Final converged snapshot, vertex by vertex, through the wire.
+    let num_vertices = 1 + CLIENTS as u32 * REGION;
+    for vertex in 0..num_vertices {
+        final_values.push(clients[0].query_value(vertex).unwrap().to_bits());
+    }
+    for client in &mut clients {
+        client.goodbye().unwrap();
+    }
+    let report = handle.shutdown();
+    assert!(report.fatal.is_none(), "server fatal: {:?}", report.fatal);
+    (report, recorded, final_values)
+}
+
+fn replay_and_compare(workload: Workload) {
+    let (report, recorded, final_values) = run_session(workload);
+    assert!(!report.applied.is_empty(), "session applied no batches");
+
+    let mut oracle = fresh_engine(workload);
+    let mut last_id = 0;
+    for applied in &report.applied {
+        assert!(applied.batch_id > last_id, "batch ids must be strictly increasing");
+        last_id = applied.batch_id;
+        let (stats, class) = oracle.apply_admitted_batch(&applied.batch).unwrap();
+        // The offline engine must do the exact same work the server did.
+        assert_eq!(stats, applied.stats, "RunStats diverged at batch {last_id}");
+        assert_eq!(class, applied.classification, "classification diverged at batch {last_id}");
+
+        // Check every query answer recorded at this barrier against the
+        // oracle's state at the same point.
+        for rec in &recorded {
+            match rec {
+                Recorded::Value { batch_id, vertex, bits } if *batch_id == last_id => {
+                    let oracle_bits = queries::vertex_value(&oracle, *vertex).unwrap().to_bits();
+                    assert_eq!(*bits, oracle_bits, "vertex {vertex} diverged at batch {batch_id}");
+                }
+                Recorded::Impacted { batch_id, vertices } if *batch_id == last_id => {
+                    assert_eq!(
+                        *vertices,
+                        queries::impacted(&oracle),
+                        "impacted set diverged at batch {batch_id}"
+                    );
+                }
+                Recorded::Path { batch_id, vertex, chain } if *batch_id == last_id => {
+                    assert_eq!(
+                        *chain,
+                        queries::dependence_path(&oracle, *vertex),
+                        "dependence path of {vertex} diverged at batch {batch_id}"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // The served state after the last barrier must be bit-identical to
+    // the full offline replay.
+    let oracle_bits: Vec<u64> = oracle.values().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(final_values, oracle_bits, "final state diverged");
+}
+
+#[test]
+fn scripted_session_matches_offline_replay_for_sssp() {
+    replay_and_compare(Workload::Sssp);
+}
+
+#[test]
+fn scripted_session_matches_offline_replay_for_pagerank() {
+    replay_and_compare(Workload::PageRank);
+}
+
+/// The flush ack must reflect every admitted update: the recorded
+/// batches must cover exactly the updates the session sent.
+#[test]
+fn applied_batches_cover_exactly_the_admitted_updates() {
+    let (report, _, _) = run_session(Workload::Sssp);
+    let total: usize = report.applied.iter().map(|a| a.batch.len()).sum();
+    // Rounds 0,3: 1 insert; 1,4: 2 deletes; 2,5: 1 insert — per client.
+    let expected = CLIENTS * (1 + 2 + 1 + 1 + 2 + 1);
+    assert_eq!(total, expected);
+    assert_eq!(report.stats.updates_applied, expected as u64);
+    assert_eq!(report.stats.batches_applied, report.applied.len() as u64);
+    let _ = report.stats.connections;
+    assert_eq!(report.stats.connections, CLIENTS as u64);
+}
+
+/// A `ServeError` display smoke check so wire failures in this suite
+/// print usefully (regression guard for the error plumbing).
+#[test]
+fn serve_error_formats_are_stable() {
+    let err = ServeError::Frame(jetstream_serve::framing::FrameError::Truncated);
+    assert!(err.to_string().contains("mid-frame"));
+}

@@ -1,0 +1,178 @@
+//! Satellite 3: kill-and-recover — a SIGKILL-equivalent shutdown
+//! mid-stream must lose nothing that was applied: restart recovers the
+//! manifest snapshot, replays the WAL tail, and a reconnecting client
+//! sees state bit-identical to an offline oracle replay of the batches
+//! the first server reported applying (DESIGN.md §15.4, §10).
+
+// Test code: aborting on setup failure is the right behavior here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use jetstream_algorithms::Workload;
+use jetstream_core::{EngineConfig, StreamingEngine};
+use jetstream_graph::{AdjacencyGraph, EdgeUpdate};
+use jetstream_serve::backend::Backend;
+use jetstream_serve::client::Client;
+use jetstream_serve::protocol::Response;
+use jetstream_serve::server::{start, Endpoint, ServerConfig};
+use jetstream_store::{DurableEngine, RecoveryOptions, StoreOptions};
+
+const NUM_VERTICES: u32 = 64;
+const ROUNDS: u64 = 6;
+const CHECKPOINT_INTERVAL: u64 = 4;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "jss-serve-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn line_graph() -> AdjacencyGraph {
+    let mut g = AdjacencyGraph::new(NUM_VERTICES as usize);
+    for v in 0..NUM_VERTICES - 1 {
+        g.insert_edge(v, v + 1, 1.0).unwrap();
+    }
+    g
+}
+
+fn fresh_engine() -> StreamingEngine {
+    let mut engine =
+        StreamingEngine::new(Workload::Sssp.instantiate(0), line_graph(), EngineConfig::default());
+    engine.initial_compute();
+    engine
+}
+
+fn store_options() -> StoreOptions {
+    StoreOptions {
+        checkpoint_interval: CHECKPOINT_INTERVAL,
+        sync_every_batch: true,
+        ..StoreOptions::default()
+    }
+}
+
+/// The scripted stream: round r inserts a shortcut or severs/heals a
+/// line edge, always valid against the evolving graph.
+fn round_updates(round: u64) -> Vec<EdgeUpdate> {
+    let r = round as u32;
+    match round % 3 {
+        0 => vec![EdgeUpdate::Insert { source: 0, target: 20 + r, weight: 2.0 + round as f64 }],
+        1 => vec![
+            EdgeUpdate::Delete { source: 0, target: 20 + r - 1 },
+            EdgeUpdate::Delete { source: 5, target: 6 },
+        ],
+        _ => vec![EdgeUpdate::Insert { source: 5, target: 6, weight: 1.25 }],
+    }
+}
+
+#[test]
+fn killed_server_recovers_from_manifest_and_wal_tail() {
+    let dir = tmpdir("kill");
+    let durable = DurableEngine::create(&dir, fresh_engine(), store_options()).unwrap();
+
+    // --- First life: stream six applied batches, then die abruptly. ---
+    let handle = start(
+        Backend::Durable(Box::new(durable)),
+        ServerConfig::default(),
+        &[Endpoint::Tcp("127.0.0.1:0".into())],
+    )
+    .unwrap();
+    let addr = handle.tcp_addr().unwrap().to_string();
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    client.hello("kill-recover").unwrap();
+    for round in 0..ROUNDS {
+        let resp = client.send_update(round + 1, &round_updates(round)).unwrap();
+        assert!(matches!(resp, Response::Admitted { .. }), "got {resp:?}");
+        client.flush().unwrap(); // barrier: the batch is applied + WAL-appended
+    }
+    // Admit one more message but kill before its batch seals: an
+    // admitted-unapplied update is mid-stream state the crash may lose.
+    let resp = client.send_update(99, &round_updates(ROUNDS)).unwrap();
+    assert!(matches!(resp, Response::Admitted { .. }));
+    let report = handle.kill();
+    assert!(report.fatal.is_none(), "first life failed: {:?}", report.fatal);
+    assert_eq!(report.applied.len() as u64, ROUNDS, "one applied batch per barrier");
+    // The kill path skips the shutdown checkpoint, so the WAL holds a
+    // tail past the last interval checkpoint.
+    assert_eq!(report.stats.checkpoints, ROUNDS / CHECKPOINT_INTERVAL);
+
+    // --- Oracle: offline replay of exactly what the server applied. ---
+    let mut oracle = fresh_engine();
+    for applied in &report.applied {
+        oracle.apply_admitted_batch(&applied.batch).unwrap();
+    }
+
+    // --- Second life: recover, restart, reconnect, compare. ---
+    let (recovered, recovery) = DurableEngine::recover(
+        &dir,
+        Workload::Sssp.instantiate(0),
+        EngineConfig::default(),
+        store_options(),
+        RecoveryOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(recovery.recovered_sequence, ROUNDS, "every applied batch is durable");
+    assert_eq!(
+        recovery.snapshot_sequence,
+        (ROUNDS / CHECKPOINT_INTERVAL) * CHECKPOINT_INTERVAL,
+        "recovery starts from the last interval checkpoint"
+    );
+    assert_eq!(
+        recovery.replayed_batches as u64,
+        ROUNDS - recovery.snapshot_sequence,
+        "the WAL tail past the checkpoint is replayed"
+    );
+
+    let handle = start(
+        Backend::Durable(Box::new(recovered)),
+        ServerConfig::default(),
+        &[Endpoint::Tcp("127.0.0.1:0".into())],
+    )
+    .unwrap();
+    let addr = handle.tcp_addr().unwrap().to_string();
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    let (num_vertices, algorithm) = client.hello("kill-recover-2").unwrap();
+    assert_eq!(num_vertices, u64::from(NUM_VERTICES));
+    assert_eq!(algorithm, oracle.algorithm().name());
+
+    for vertex in 0..NUM_VERTICES {
+        let served = client.query_value(vertex).unwrap();
+        let expected = oracle.values()[vertex as usize];
+        assert_eq!(served.to_bits(), expected.to_bits(), "vertex {vertex} diverged after recovery");
+    }
+
+    // The recovered server keeps serving: stream one more round and
+    // check it against the oracle advanced by the same batch.
+    let resp = client.send_update(1, &round_updates(ROUNDS)).unwrap();
+    assert!(matches!(resp, Response::Admitted { .. }));
+    client.flush().unwrap();
+    let report2 = handle.shutdown();
+    assert!(report2.fatal.is_none(), "second life failed: {:?}", report2.fatal);
+    assert_eq!(report2.applied.len(), 1);
+    oracle.apply_admitted_batch(&report2.applied[0].batch).unwrap();
+
+    // Third life: a graceful shutdown checkpointed, so recovery replays
+    // nothing and still lands on the oracle state.
+    let (recovered, recovery) = DurableEngine::recover(
+        &dir,
+        Workload::Sssp.instantiate(0),
+        EngineConfig::default(),
+        store_options(),
+        RecoveryOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(recovery.recovered_sequence, ROUNDS + 1);
+    assert_eq!(recovery.replayed_batches, 0, "graceful shutdown checkpointed everything");
+    let final_bits: Vec<u64> = recovered.engine().values().iter().map(|v| v.to_bits()).collect();
+    let oracle_bits: Vec<u64> = oracle.values().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(final_bits, oracle_bits, "state diverged after second recovery");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -5,7 +5,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use jetstream_algorithms::Algorithm;
-use jetstream_core::{EngineConfig, RunStats, ShardedEngine, StreamingEngine};
+use jetstream_core::{BatchClassification, EngineConfig, RunStats, ShardedEngine, StreamingEngine};
 use jetstream_graph::{AdjacencyGraph, UpdateBatch};
 
 use crate::error::StoreError;
@@ -249,6 +249,31 @@ impl DurableEngine {
     }
 }
 
+impl DurableEngine<StreamingEngine> {
+    /// Applies `batch` through the engine's admission pre-check
+    /// ([`StreamingEngine::apply_admitted_batch`]) and logs it, returning
+    /// the run statistics together with the safe/unsafe classification.
+    ///
+    /// The WAL records the batch itself, not the path taken: replay always
+    /// re-classifies against its own reconstructed state and — since the
+    /// fast path is bit-identical to the full flow — converges to the same
+    /// state either way. The durable protocol (apply-then-append, interval
+    /// checkpoints) is exactly [`DurableEngine::apply_update_batch`].
+    pub fn apply_admitted_batch(
+        &mut self,
+        batch: &UpdateBatch,
+    ) -> Result<(RunStats, BatchClassification), StoreError> {
+        let (stats, class) = self.engine.apply_admitted_batch(batch)?;
+        self.store.append(batch)?;
+        self.batches_since_checkpoint += 1;
+        let interval = self.store.options().checkpoint_interval;
+        if interval > 0 && self.batches_since_checkpoint >= interval {
+            self.checkpoint()?;
+        }
+        Ok((stats, class))
+    }
+}
+
 impl DurableEngine<ShardedEngine> {
     /// Warm-starts a [`ShardedEngine`] with `num_shards` workers from the
     /// store in `dir` — the parallel counterpart of
@@ -313,6 +338,13 @@ impl<E: ReplayEngine> DurableEngine<E> {
     /// Sequence number of the last durably applied batch.
     pub fn sequence(&self) -> u64 {
         self.store.sequence()
+    }
+
+    /// Batches applied since the last checkpoint (never reaches
+    /// [`StoreOptions::checkpoint_interval`] while automatic checkpoints
+    /// are enabled). A serving layer uses this to report checkpoint lag.
+    pub fn batches_since_checkpoint(&self) -> u64 {
+        self.batches_since_checkpoint
     }
 
     /// Applies `batch` to the engine and logs it.

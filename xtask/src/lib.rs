@@ -307,28 +307,46 @@ pub(crate) const TEST_DIRS: [&str; 3] = ["tests", "benches", "examples"];
 const UNORDERED_SCOPE: [&str; 2] = ["crates/sim/src", "crates/core/src"];
 
 /// Paths covered by `determinism`: the engine, the algorithms it runs, the
-/// graph structures both read, and the store's replay path — everything
-/// whose two executions must be bit-identical.
-const DETERMINISM_SCOPE: [&str; 4] =
-    ["crates/core/src", "crates/algorithms/src", "crates/graph/src", "crates/store/src/recovery"];
+/// graph structures both read, the store's replay path, and the serving
+/// layer (whose applied-batch log must replay bit-identically) —
+/// everything whose two executions must be bit-identical. The serve
+/// crate's flush timer is clock-driven by design; its single `Instant`
+/// reader carries a justified `// nondeterminism-ok:` waiver
+/// (`crates/serve/src/clock.rs`).
+const DETERMINISM_SCOPE: [&str; 5] = [
+    "crates/core/src",
+    "crates/algorithms/src",
+    "crates/graph/src",
+    "crates/store/src/recovery",
+    "crates/serve/src",
+];
 
 /// Paths covered by `cast-truncation`.
 const CAST_SCOPE: [&str; 2] = ["crates/core/src", "crates/graph/src"];
 
 /// Paths covered by `concurrency-discipline` (the engine-side crates; the
 /// bench harness and baselines may thread freely).
-const CONCURRENCY_SCOPE: [&str; 5] = [
+const CONCURRENCY_SCOPE: [&str; 6] = [
     "crates/core/src",
     "crates/graph/src",
     "crates/algorithms/src",
     "crates/store/src",
     "crates/sim/src",
+    "crates/serve/src",
 ];
 
 /// Modules allowed to use concurrency primitives. Adding a file here is a
 /// reviewed decision: it means its interleavings have been argued
-/// deterministic (see DESIGN.md §11 for `sharded.rs`).
-const CONCURRENCY_APPROVED: [&str; 1] = ["crates/core/src/sharded.rs"];
+/// deterministic (see DESIGN.md §11 for `sharded.rs`, §15.4 for the
+/// serve threading model: per-connection reader/writer threads feed one
+/// engine thread over channels; the engine applies batches serially, so
+/// engine state never sees concurrent mutation).
+const CONCURRENCY_APPROVED: [&str; 4] = [
+    "crates/core/src/sharded.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/session.rs",
+    "crates/serve/src/loadgen.rs",
+];
 
 /// Paths where `.unwrap()` is banned even inside `#[cfg(test)]` code.
 const STRICT_TEST_UNWRAP_SCOPE: [&str; 1] = ["crates/graph/src"];

@@ -135,8 +135,13 @@ fn crate_dir_of(rel: &Path) -> String {
 
 /// Files whose functions listed in [`KERNEL_ENTRIES`] are
 /// `panic-reachability` roots even without a `// hot-path` marker: the
-/// event kernel is entered once per event and must never panic.
-const KERNEL_ENTRIES: [(&str, &str); 1] = [("crates/core/src/kernel.rs", "process_event")];
+/// event kernel is entered once per event and must never panic, and the
+/// serve wire decoders face attacker-controlled bytes on every frame.
+const KERNEL_ENTRIES: [(&str, &str); 3] = [
+    ("crates/core/src/kernel.rs", "process_event"),
+    ("crates/serve/src/protocol.rs", "decode_request"),
+    ("crates/serve/src/protocol.rs", "decode_response"),
+];
 
 /// Rust keywords, used to reject `if (..)` / `let [a, b]`-style token
 /// shapes that would otherwise look like calls or indexing.

@@ -157,6 +157,38 @@ fn the_store_crate_is_covered_by_the_walker() {
     );
 }
 
+/// Same proof for the serving layer: `crates/serve` is inside the
+/// walker's net, including the determinism scope (a bare `Instant` in
+/// serve library code must be flagged — only the waivered clock module
+/// may read one).
+#[test]
+fn the_serve_crate_is_covered_by_the_walker() {
+    let root = std::env::temp_dir().join(format!("xtask-serve-coverage-{}", std::process::id()));
+    let src = root.join("crates").join("serve").join("src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn f(x: Option<u8>) -> u8 {\n    let _t = std::time::Instant::now();\n    x.unwrap()\n}\n",
+    )
+    .unwrap();
+
+    let findings = run_check(&root).unwrap();
+    std::fs::remove_dir_all(&root).unwrap();
+
+    let in_serve = |lint: Lint| {
+        findings.iter().any(|f| f.lint == lint && f.file.to_string_lossy().contains("serve"))
+    };
+    assert!(in_serve(Lint::NoPanic), "no-panic did not fire in crates/serve: {findings:?}");
+    assert!(
+        in_serve(Lint::CrateRootPragmas),
+        "crate-root-pragmas did not fire in crates/serve: {findings:?}"
+    );
+    assert!(
+        in_serve(Lint::Determinism),
+        "determinism did not fire on a bare Instant in crates/serve: {findings:?}"
+    );
+}
+
 #[test]
 fn the_workspace_itself_is_clean() {
     let root = xtask_dir();

@@ -12,8 +12,10 @@
 //! configuration (fewer samples, smaller instances). `--check` compares
 //! the fresh medians against the committed `BENCH.json` (or `--baseline
 //! FILE`) and exits 1 when any benchmark errors, is missing, or regresses
-//! more than `--factor` (default 2.5) times its baseline median; with
-//! `--check`, nothing is written unless `--out` is also given.
+//! more than `--factor` (default 2.5) times its baseline median; it also
+//! enforces the same-run ordering gates in `micro::CROSS_CHECKS` (the
+//! async sharded driver must beat the superstep driver). With `--check`,
+//! nothing is written unless `--out` is also given.
 
 use jetstream_bench::micro::{self, MicroConfig};
 
@@ -97,7 +99,11 @@ fn main() {
             eprintln!("microbench: baseline {baseline_file} contains no benchmarks");
             std::process::exit(1);
         }
-        let problems = micro::regressions(&results, &baseline, factor);
+        let mut problems = micro::regressions(&results, &baseline, factor);
+        // Same-run ordering gates (e.g. async sharding must beat the
+        // barriered superstep driver) are immune to machine-speed drift:
+        // both medians come from this very run.
+        problems.extend(micro::cross_regressions(&results));
         if !problems.is_empty() {
             for p in &problems {
                 eprintln!("microbench: {p}");
@@ -105,8 +111,9 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!(
-            "[microbench] check ok: {} benchmarks within {factor}x of {baseline_file}",
-            results.len()
+            "[microbench] check ok: {} benchmarks within {factor}x of {baseline_file}, {} cross-checks hold",
+            results.len(),
+            micro::CROSS_CHECKS.len()
         );
     }
 }

@@ -13,7 +13,9 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use jetstream_algorithms::{Algorithm, Workload};
-use jetstream_core::{CoalescingQueue, EngineConfig, Event, ShardedEngine, StreamingEngine};
+use jetstream_core::{
+    CoalescingQueue, EngineConfig, Event, ExecutionMode, ShardedEngine, StreamingEngine,
+};
 use jetstream_graph::gen::DatasetProfile;
 use jetstream_graph::VertexId;
 
@@ -335,6 +337,37 @@ fn bench_sharded_supersteps(cfg: &MicroConfig) -> Result<BenchResult, HarnessErr
     ))
 }
 
+#[allow(clippy::expect_used)] // invariant: every batch was applied once by the probe engine
+fn bench_sharded_async(cfg: &MicroConfig) -> Result<BenchResult, HarnessError> {
+    let scenario = pagerank_scenario(cfg);
+    let (base, batches) = harness::base_and_batches(&scenario);
+    if batches.is_empty() {
+        return Err(scenario.no_batches());
+    }
+    let mut probe = fresh_sharded_async(&scenario, &base);
+    probe.initial_compute();
+    for batch in &batches {
+        probe.apply_update_batch(batch).map_err(|e| scenario.graph_error(e))?;
+    }
+    Ok(measure(
+        "sharded_async_pagerank_4",
+        cfg.warmup,
+        cfg.samples,
+        || {
+            let mut engine = fresh_sharded_async(&scenario, &base);
+            engine.initial_compute();
+            engine
+        },
+        |engine| {
+            for batch in &batches {
+                let stats =
+                    engine.apply_update_batch(batch).expect("invariant: probed batches apply");
+                crate::timing::consume(stats.events_processed);
+            }
+        },
+    ))
+}
+
 fn fresh_sharded(scenario: &Scenario, base: &jetstream_graph::AdjacencyGraph) -> ShardedEngine {
     let root = harness::root_for(base);
     ShardedEngine::new(
@@ -343,6 +376,15 @@ fn fresh_sharded(scenario: &Scenario, base: &jetstream_graph::AdjacencyGraph) ->
         engine_config(),
         4,
     )
+}
+
+fn fresh_sharded_async(
+    scenario: &Scenario,
+    base: &jetstream_graph::AdjacencyGraph,
+) -> ShardedEngine {
+    let mut engine = fresh_sharded(scenario, base);
+    engine.set_execution_mode(ExecutionMode::Async);
+    engine
 }
 
 fn report(results: &mut Vec<BenchResult>, r: BenchResult) {
@@ -366,6 +408,7 @@ pub fn run_all(cfg: &MicroConfig) -> Result<Vec<BenchResult>, HarnessError> {
     report(&mut results, bench_initial_compute(cfg)?);
     report(&mut results, bench_stream_batches(cfg)?);
     report(&mut results, bench_sharded_supersteps(cfg)?);
+    report(&mut results, bench_sharded_async(cfg)?);
     Ok(results)
 }
 
@@ -535,9 +578,82 @@ pub fn regressions(
     problems
 }
 
+/// Same-run ordering constraints between benchmarks: each `(faster,
+/// slower)` pair asserts that `faster`'s median is strictly below
+/// `slower`'s in the same run. Both medians come from one process on one
+/// machine, so machine-speed noise is correlated and largely cancels —
+/// unlike the baseline-file comparison, these gates survive hardware
+/// changes. The async sharded driver earns its keep by beating the
+/// barriered superstep driver on the identical workload; if that ever
+/// flips, barrier-free scheduling has regressed. (On a single-core host
+/// the sequential engine still beats both sharded drivers — see
+/// DESIGN.md §16.5 — so async-vs-sequential is tracked in BENCH.json but
+/// not gated.)
+pub const CROSS_CHECKS: &[(&str, &str)] =
+    &[("sharded_async_pagerank_4", "sharded_supersteps_pagerank_4")];
+
+/// Evaluates [`CROSS_CHECKS`] against one run's results; returns one
+/// problem line per violated or unevaluable constraint.
+///
+/// The comparison uses each benchmark's *minimum*, not its median: on a
+/// contended single-core runner a preemption spike can inflate any
+/// individual sample, and with quick-mode's 3 samples that flips median
+/// ordering even when both sides ran in the same process. The minima
+/// compare the two drivers' uncontended capability within the run, which
+/// is exactly what the ordering gate is about.
+pub fn cross_regressions(current: &[BenchResult]) -> Vec<String> {
+    let mut problems = Vec::new();
+    for &(faster, slower) in CROSS_CHECKS {
+        let f = current.iter().find(|r| r.name == faster);
+        let s = current.iter().find(|r| r.name == slower);
+        match (f, s) {
+            (Some(f), Some(s)) => {
+                if f.min_ns >= s.min_ns {
+                    problems.push(format!(
+                        "{faster} (min {} ns) is not faster than {slower} (min {} ns)",
+                        f.min_ns, s.min_ns
+                    ));
+                }
+            }
+            _ => problems.push(format!("cross-check {faster} < {slower}: a benchmark did not run")),
+        }
+    }
+    problems
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cross_checks_gate_same_run_ordering() {
+        let ok = vec![
+            BenchResult {
+                name: "sharded_async_pagerank_4",
+                median_ns: 10,
+                min_ns: 10,
+                max_ns: 10,
+                samples: 1,
+            },
+            BenchResult {
+                name: "sharded_supersteps_pagerank_4",
+                median_ns: 20,
+                min_ns: 20,
+                max_ns: 20,
+                samples: 1,
+            },
+        ];
+        assert!(cross_regressions(&ok).is_empty());
+
+        let mut flipped = ok.clone();
+        flipped[0].min_ns = 30;
+        let problems = cross_regressions(&flipped);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("not faster"));
+
+        let missing = vec![ok[0].clone()];
+        assert_eq!(cross_regressions(&missing).len(), 1);
+    }
 
     #[test]
     fn measure_orders_min_median_max() {
@@ -623,8 +739,8 @@ mod tests {
     fn quick_rig_produces_every_benchmark() {
         let cfg = MicroConfig { warmup: 0, samples: 1, scale: 100_000, queue_vertices: 1 << 10 };
         let results = run_all(&cfg).expect("quick rig runs");
-        assert_eq!(results.len(), 8);
+        assert_eq!(results.len(), 9);
         let names: std::collections::BTreeSet<_> = results.iter().map(|r| r.name).collect();
-        assert_eq!(names.len(), 8, "duplicate benchmark names");
+        assert_eq!(names.len(), 9, "duplicate benchmark names");
     }
 }

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod async_mode;
 mod engine;
 mod event;
 mod kernel;
@@ -61,5 +62,5 @@ pub use engine::{
 pub use event::Event;
 pub use queue::{CoalescingQueue, QueueStats};
 pub use sharded::sync;
-pub use sharded::{ParallelModel, ShardedEngine};
+pub use sharded::{ExecutionMode, ParallelModel, ShardedEngine};
 pub use stats::{Phase, RunStats};

@@ -261,6 +261,20 @@ impl CoalescingQueue {
         }
     }
 
+    /// Inserts a whole run of events (async mode's cross-shard runs,
+    /// already in this queue's local coordinates), folding each into its
+    /// slot exactly like [`insert`](CoalescingQueue::insert).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any target is out of range.
+    // hot-path
+    pub fn insert_run(&mut self, events: &[Event], alg: &dyn Algorithm) {
+        for &ev in events {
+            self.insert(ev, alg);
+        }
+    }
+
     /// Clears every occupancy bit in `lo..hi`, appending the reconstructed
     /// events to `out` in ascending vertex order. Returns the number of
     /// events drained. Bin lengths, `len`, and stats are the caller's job.

@@ -7,10 +7,19 @@
 //! paper's §4 queue/lane partitioning where every processing lane serves a
 //! disjoint bin range of the event queue.
 //!
+//! # Execution modes
+//!
+//! [`run_queue`](ShardedEngine::run_queue) is driven in one of two
+//! [`ExecutionMode`]s. [`ExecutionMode::Async`] (DESIGN.md §16) is
+//! barrier-free: workers drain continuously, cross-shard events travel as
+//! runs, and a double-probe detector decides quiescence — value-equivalent
+//! to the sequential engine, not schedule-equivalent. The default,
+//! [`ExecutionMode::Deterministic`], is described below.
+//!
 //! # Determinism
 //!
-//! The engine is **bit-deterministic for any shard count and any thread
-//! schedule**, and bit-identical to [`StreamingEngine`]
+//! In deterministic mode the engine is **bit-deterministic for any shard
+//! count and any thread schedule**, and bit-identical to [`StreamingEngine`]
 //! (the differential suite in `tests/differential_sharded.rs` asserts it).
 //! Three mechanisms make that hold:
 //!
@@ -44,7 +53,8 @@ use jetstream_graph::partition::Partition;
 use jetstream_graph::{AdjacencyGraph, CsrPair, GraphError, UpdateBatch, VertexId};
 
 use crate::engine::{
-    check_checkpoint_state, AccumulativeRecovery, CheckpointError, DeleteStrategy, EngineConfig,
+    check_checkpoint_state, AccumulativeRecovery, BatchClassification, CheckpointError,
+    DeleteStrategy, EngineConfig, UpdateSafety,
 };
 use crate::event::Event;
 use crate::kernel::{self, ExecState, KernelCtx};
@@ -65,36 +75,40 @@ struct Keyed {
 
 /// One shard: a contiguous vertex range with its own queue and counters.
 #[derive(Debug)]
-struct Shard {
+pub(crate) struct Shard {
     /// First vertex id owned by this shard (`lo..lo + queue width`).
-    lo: VertexId,
+    pub(crate) lo: VertexId,
     /// Local coalescing queue; indexed by `target - lo`.
-    queue: CoalescingQueue,
+    pub(crate) queue: CoalescingQueue,
     /// Accounting for delete events that bypass the queue while delete
     /// coalescing is off (the queue never sees them, so their
     /// inserts/overflowed/drained are tracked here).
-    extra: QueueStats,
+    pub(crate) extra: QueueStats,
     /// This worker's share of the current run's counters.
-    stats: RunStats,
+    pub(crate) stats: RunStats,
     /// Cumulative superstep count (every worker participates in every
     /// round, so this is identical across shards); orders impacted records.
-    rounds: u64,
+    /// In async mode this counts the worker's local processing passes
+    /// instead, which are *not* synchronized across shards.
+    pub(crate) rounds: u64,
     /// Vertices this worker reset during delete propagation, tagged with
     /// `(round, emission key base)` — sorting all shards' records by that
     /// pair reconstructs the exact order the sequential engine resets them.
-    impacted: Vec<(u64, u128, VertexId)>,
+    /// Async-mode records carry `(pass, 0)` tags and are sorted by vertex
+    /// id instead (the async impacted order contract).
+    pub(crate) impacted: Vec<(u64, u128, VertexId)>,
     /// FIFO of non-coalescible delete events, keyed by their globally
     /// assigned overflow counter.
-    overflow: Vec<(u64, Event)>,
+    pub(crate) overflow: Vec<(u64, Event)>,
     /// Work units (events processed + edges read) this shard spent in each
     /// superstep of the current [`run_queue`](ShardedEngine::run_queue)
     /// call; folded into the engine's [`ParallelModel`] at the barrierless
     /// end of the call.
-    round_costs: Vec<u64>,
+    pub(crate) round_costs: Vec<u64>,
     /// Persistent drain buffer for [`worker_round`]: grows to the shard's
     /// high-water event count once, then steady-state rounds allocate
     /// nothing.
-    drain_scratch: Vec<Event>,
+    pub(crate) drain_scratch: Vec<Event>,
 }
 
 impl Shard {
@@ -191,9 +205,34 @@ impl ExecState for WorkerState<'_> {
     }
 }
 
+/// How [`ShardedEngine::run_queue`] drives its workers.
+///
+/// The differential suite pins the semantics of each mode: deterministic
+/// runs are bit-identical to [`StreamingEngine`](crate::StreamingEngine),
+/// async runs are *value-equivalent* (exact for selective algorithms,
+/// bounded-residual for accumulative ones — DESIGN.md §16.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Barriered supersteps with a totally ordered keyed exchange:
+    /// bit-identical to the sequential engine for any shard count and any
+    /// thread schedule. The default, and the verification oracle for the
+    /// async mode.
+    #[default]
+    Deterministic,
+    /// Barrier-free execution (DESIGN.md §16): workers drain their queues
+    /// continuously, cross-shard events travel as whole per-target-shard
+    /// *runs*, and a double-probe quiescence detector replaces the
+    /// per-round barrier. Converges to the same fixed point, not the same
+    /// schedule: values are bit-exact for selective algorithms and within
+    /// a bounded residual for accumulative ones; `last_impacted` is
+    /// reported in ascending vertex order; [`RunStats`] reflect the work
+    /// the async schedule actually did.
+    Async,
+}
+
 /// Routes a global vertex id to the shard owning it. `bounds` holds the
 /// `S + 1` range boundaries (`bounds[s]..bounds[s + 1]` is shard `s`).
-fn route(bounds: &[usize], target: VertexId) -> usize {
+pub(crate) fn route(bounds: &[usize], target: VertexId) -> usize {
     bounds.partition_point(|&b| b <= target as usize) - 1 // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
 }
 
@@ -292,7 +331,7 @@ fn worker_round(
 }
 
 /// Test hook: perturb the thread schedule without affecting results.
-fn maybe_yield(processed: &mut usize, yield_every: Option<usize>) {
+pub(crate) fn maybe_yield(processed: &mut usize, yield_every: Option<usize>) {
     if let Some(every) = yield_every {
         if every > 0 {
             *processed += 1;
@@ -406,6 +445,12 @@ pub struct ShardedEngine {
     /// Per-worker yield intervals (worker `i` uses `plan[i % len]`; an
     /// interval of 0 means that worker never yields). Empty = no yielding.
     yield_plan: Vec<usize>,
+    /// How [`run_queue`](Self::run_queue) drives its workers.
+    mode: ExecutionMode,
+    /// Async-mode run-length perturbation: worker `i` drains
+    /// `plan[i % len]` queue bins per processing pass (0 = the whole
+    /// queue). Empty = every worker drains its whole queue each pass.
+    chunk_plan: Vec<usize>,
     /// Cumulative scaling model (see [`ParallelModel`]).
     model: ParallelModel,
     /// Trace sink for the race sanitizer (disabled by default).
@@ -497,6 +542,8 @@ impl ShardedEngine {
             stats: RunStats::default(),
             coalesced_before: 0,
             yield_plan: Vec::new(),
+            mode: ExecutionMode::default(),
+            chunk_plan: Vec::new(),
             model: ParallelModel::default(),
             race_log: sync::RaceLog::default(),
         }
@@ -592,6 +639,28 @@ impl ShardedEngine {
         self.race_log = log;
     }
 
+    /// Selects how [`run_queue`](Self::run_queue) drives its workers. May
+    /// be switched between batches (queues are empty at every switch
+    /// point); see [`ExecutionMode`] for the semantics of each mode.
+    pub fn set_execution_mode(&mut self, mode: ExecutionMode) {
+        self.mode = mode;
+    }
+
+    /// The currently selected [`ExecutionMode`].
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Test hook (async mode only): give each worker a run-length cap —
+    /// worker `i` drains `plan[i % plan.len()]` queue bins per processing
+    /// pass (0 = its whole queue), so cross-shard runs are flushed at
+    /// perturbed boundaries. The schedule fuzzer sweeps seeded plans and
+    /// asserts value-equivalence under every one. An empty plan restores
+    /// whole-queue passes.
+    pub fn set_async_chunk_plan(&mut self, plan: &[usize]) {
+        self.chunk_plan = plan.to_vec();
+    }
+
     /// Runs the static (cold) evaluation from scratch on the current graph
     /// version. Mirrors
     /// [`StreamingEngine::initial_compute`](crate::StreamingEngine::initial_compute).
@@ -643,6 +712,92 @@ impl ShardedEngine {
         self.host.apply_batch(batch)?;
         self.csr = self.host.snapshot_pair();
         Ok(self.initial_compute())
+    }
+
+    /// Classifies a single insertion against the converged state — the
+    /// sharded counterpart of
+    /// [`StreamingEngine::classify_insert`](crate::StreamingEngine::classify_insert).
+    pub fn classify_insert(&self) -> UpdateSafety {
+        match self.alg.kind() {
+            UpdateKind::Selective => UpdateSafety::Safe,
+            UpdateKind::Accumulative => UpdateSafety::Unsafe,
+        }
+    }
+
+    /// Classifies a single deletion against the converged state — the
+    /// sharded counterpart of
+    /// [`StreamingEngine::classify_delete`](crate::StreamingEngine::classify_delete):
+    /// under DAP a non-tree-edge delete is provably a no-op for the query
+    /// state, readable in O(1) from the recorded dependence tree.
+    pub fn classify_delete(&self, source: VertexId, target: VertexId) -> UpdateSafety {
+        if !self.dap_active() {
+            return UpdateSafety::Unsafe;
+        }
+        // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+        let Some(&value) = self.values.get(target as usize) else {
+            return UpdateSafety::Unsafe;
+        };
+        if value == self.alg.identity() {
+            return UpdateSafety::Safe;
+        }
+        // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+        if self.dependency[target as usize] == Some(source) {
+            UpdateSafety::Unsafe
+        } else {
+            UpdateSafety::Safe
+        }
+    }
+
+    /// Tallies the per-update safety classification over a whole batch
+    /// against the *pre-batch* converged state — the sharded counterpart
+    /// of [`StreamingEngine::classify_batch`](crate::StreamingEngine::classify_batch).
+    pub fn classify_batch(&self, batch: &UpdateBatch) -> BatchClassification {
+        let mut class = BatchClassification::default();
+        match self.classify_insert() {
+            UpdateSafety::Safe => class.safe_inserts = batch.insertions().len(),
+            UpdateSafety::Unsafe => class.unsafe_inserts = batch.insertions().len(),
+        }
+        for &(u, v) in batch.deletions() {
+            match self.classify_delete(u, v) {
+                UpdateSafety::Safe => class.safe_deletes += 1,
+                UpdateSafety::Unsafe => class.unsafe_deletes += 1,
+            }
+        }
+        class
+    }
+
+    /// Applies a streaming batch through the admission pre-check — the
+    /// sharded counterpart of
+    /// [`StreamingEngine::apply_admitted_batch`](crate::StreamingEngine::apply_admitted_batch):
+    /// when every deletion is provably safe under DAP, the delete phases
+    /// are skipped and only the insert flow runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] when the batch is invalid against the
+    /// current graph version (the graph and query state are unchanged).
+    pub fn apply_admitted_batch(
+        &mut self,
+        batch: &UpdateBatch,
+    ) -> Result<(RunStats, BatchClassification), GraphError> {
+        let class = self.classify_batch(batch);
+        if !(self.dap_active() && class.all_deletes_safe() && !batch.deletions().is_empty()) {
+            return self.apply_update_batch(batch).map(|stats| (stats, class));
+        }
+        self.begin_run();
+        self.host.apply_batch(batch)?;
+        self.csr = self.host.snapshot_pair();
+        self.impacted.clear();
+        // Phase 4 of the selective flow: inserted edges become regular
+        // events on the new graph; the delete phases are skipped because
+        // classification proved them no-ops.
+        self.stream_inserts(batch.insertions());
+        self.run_queue();
+        let mut total = self.rollup();
+        total.events_coalesced = self.queue_stats().coalesced - self.coalesced_before;
+        #[cfg(feature = "strict-invariants")]
+        debug_assert_eq!(self.validate_converged(), Ok(()), "post-batch invariant violated");
+        Ok((total, class))
     }
 
     /// Checks the engine's cross-structure invariants after a completed
@@ -731,18 +886,92 @@ impl ShardedEngine {
     // ------------------------------------------------------------------
 
     /// Drains the pending seed inboxes to convergence with one worker
-    /// thread per shard, exchanging emissions at a barrier between rounds.
+    /// thread per shard, in the selected [`ExecutionMode`].
     fn run_queue(&mut self) {
         if self.pending.iter().all(Vec::is_empty) {
             return;
         }
-        let coalesce_deletes = self.coalesce_deletes;
-        let yields: Vec<Option<usize>> = (0..self.shards.len())
+        match self.mode {
+            ExecutionMode::Deterministic => self.run_queue_superstep(),
+            ExecutionMode::Async => self.run_queue_async(),
+        }
+    }
+
+    /// Per-worker yield intervals derived from the installed plan.
+    fn yield_intervals(&self) -> Vec<Option<usize>> {
+        (0..self.shards.len())
             .map(|i| match self.yield_plan.as_slice() {
                 [] => None,
                 plan => Some(plan[i % plan.len()]),
             })
+            .collect()
+    }
+
+    /// Barrier-free drain to quiescence (DESIGN.md §16): strips the
+    /// deterministic exchange keys off the pending seeds, hands everything
+    /// to [`crate::async_mode`], then folds the workers' pass costs into
+    /// the scaling model (critical path = the slowest worker's total, the
+    /// bound an ideally overlapped async schedule could reach).
+    fn run_queue_async(&mut self) {
+        let yields = self.yield_intervals();
+        let chunks: Vec<usize> = (0..self.shards.len())
+            .map(|i| match self.chunk_plan.as_slice() {
+                [] => 0,
+                plan => plan[i % plan.len()],
+            })
             .collect();
+        let delete_strategy = self.config.delete_strategy;
+        let coalesce_deletes = self.coalesce_deletes;
+        let ShardedEngine {
+            alg,
+            csr,
+            values,
+            dependency,
+            shards,
+            bounds,
+            pending,
+            stats,
+            model,
+            race_log,
+            ..
+        } = self;
+        let seeds: Vec<Vec<Event>> =
+            pending.iter_mut().map(|p| p.drain(..).map(|k| k.ev).collect()).collect();
+        let params = crate::async_mode::AsyncParams {
+            alg: alg.as_ref(),
+            csr,
+            delete_strategy,
+            coalesce_deletes,
+            bounds,
+            yields: &yields,
+            chunks: &chunks,
+            race_log,
+        };
+        let rounds_before: Vec<u64> = shards.iter().map(|sh| sh.rounds).collect();
+        crate::async_mode::run_to_quiescence(&params, shards, values, dependency, seeds);
+        // RunStats::rounds in async mode: the deepest worker's pass count
+        // (the async analogue of superstep depth; not oracle-comparable).
+        stats.rounds += shards
+            .iter()
+            .zip(&rounds_before)
+            .map(|(sh, &before)| sh.rounds - before)
+            .max()
+            .unwrap_or(0);
+        let mut slowest = 0u64;
+        for sh in shards.iter_mut() {
+            let total: u64 = sh.round_costs.iter().sum();
+            slowest = slowest.max(total);
+            model.total_work += total;
+            sh.round_costs.clear();
+        }
+        model.critical_path += slowest;
+    }
+
+    /// The deterministic superstep driver: exchange emissions at a barrier
+    /// between rounds, merged in canonical key order.
+    fn run_queue_superstep(&mut self) {
+        let coalesce_deletes = self.coalesce_deletes;
+        let yields = self.yield_intervals();
         let delete_strategy = self.config.delete_strategy;
         let ShardedEngine {
             alg,
@@ -984,7 +1213,14 @@ impl ShardedEngine {
         for sh in &mut self.shards {
             records.append(&mut sh.impacted);
         }
-        records.sort_unstable();
+        match self.mode {
+            ExecutionMode::Deterministic => records.sort_unstable(),
+            // Async pass tags are per-worker and carry no global order;
+            // present the set in ascending vertex id. The set itself is
+            // schedule-dependent under VAP/DAP (DESIGN.md §16.3); the
+            // contract is completeness, not equality with the oracle.
+            ExecutionMode::Async => records.sort_unstable_by_key(|&(_, _, v)| v),
+        }
         let impacted: Vec<VertexId> = records.into_iter().map(|(_, _, v)| v).collect();
         let identity = self.alg.identity();
         for &x in &impacted {
@@ -1291,6 +1527,100 @@ pub mod sync {
             Ok(value)
         }
     }
+
+    /// A logged *hub*: one receiver fed by any number of routed sender
+    /// handles (async mode's mailboxes and status channel).
+    ///
+    /// std's mpsc only guarantees FIFO *per producer*, and the race
+    /// checker models every channel id as one FIFO — so each
+    /// (sender thread → receiver) pair gets its own logical channel id,
+    /// carried with every message, and the receiver attributes each `Recv`
+    /// to the logical channel the message actually travelled on. One
+    /// logical channel therefore has exactly one producing thread, and its
+    /// `Send` log order matches its queue order.
+    pub(crate) fn logged_hub<T>(
+        log: &RaceLog,
+        receiver_thread: usize,
+    ) -> (RouteFactory<T>, HubReceiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            RouteFactory { tx, log: log.clone() },
+            HubReceiver { rx, log: log.clone(), thread: receiver_thread },
+        )
+    }
+
+    /// Mints [`RoutedSender`]s for a [`logged_hub`]'s receiver.
+    pub(crate) struct RouteFactory<T> {
+        tx: mpsc::Sender<(usize, T)>,
+        log: RaceLog,
+    }
+
+    impl<T> RouteFactory<T> {
+        /// A sender handle owned by `sender_thread`, logging on logical
+        /// channel `channel`. Each (thread, receiver) pair must use a
+        /// distinct channel id (see the hub docs).
+        pub(crate) fn route(&self, channel: usize, sender_thread: usize) -> RoutedSender<T> {
+            RoutedSender {
+                tx: self.tx.clone(),
+                log: self.log.clone(),
+                channel,
+                thread: sender_thread,
+            }
+        }
+    }
+
+    /// One producing thread's handle onto a [`logged_hub`].
+    pub(crate) struct RoutedSender<T> {
+        tx: mpsc::Sender<(usize, T)>,
+        log: RaceLog,
+        channel: usize,
+        thread: usize,
+    }
+
+    impl<T> Clone for RoutedSender<T> {
+        fn clone(&self) -> Self {
+            RoutedSender {
+                tx: self.tx.clone(),
+                log: self.log.clone(),
+                channel: self.channel,
+                thread: self.thread,
+            }
+        }
+    }
+
+    impl<T> RoutedSender<T> {
+        /// Records `Send` on this route's logical channel, then transfers.
+        pub(crate) fn send(&self, value: T) -> Result<(), mpsc::SendError<T>> {
+            self.log.record(TraceEvent::Send { thread: self.thread, channel: self.channel });
+            self.tx
+                .send((self.channel, value))
+                .map_err(|mpsc::SendError((_, v))| mpsc::SendError(v))
+        }
+    }
+
+    /// Receiving half of a [`logged_hub`].
+    pub(crate) struct HubReceiver<T> {
+        rx: mpsc::Receiver<(usize, T)>,
+        log: RaceLog,
+        thread: usize,
+    }
+
+    impl<T> HubReceiver<T> {
+        /// Blocking receive; records `Recv` on the logical channel the
+        /// message travelled on.
+        pub(crate) fn recv(&self) -> Result<T, mpsc::RecvError> {
+            let (channel, value) = self.rx.recv()?;
+            self.log.record(TraceEvent::Recv { thread: self.thread, channel });
+            Ok(value)
+        }
+
+        /// Non-blocking receive; records `Recv` like [`recv`](Self::recv).
+        pub(crate) fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            let (channel, value) = self.rx.try_recv()?;
+            self.log.record(TraceEvent::Recv { thread: self.thread, channel });
+            Ok(value)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1390,6 +1720,59 @@ mod tests {
         sh.apply_update_batch(&batch).unwrap();
         assert_eq!(seq.values(), sh.values());
         assert_eq!(sh.values()[3], 1.5);
+    }
+
+    #[test]
+    fn async_mode_matches_sequential_values_on_chain() {
+        for shards in [1, 2, 3, 4] {
+            let mut seq =
+                StreamingEngine::new(Box::new(Sssp::new(0)), chain(), EngineConfig::default());
+            let mut sh = ShardedEngine::new(
+                Box::new(Sssp::new(0)),
+                chain(),
+                EngineConfig::default(),
+                shards,
+            );
+            sh.set_execution_mode(ExecutionMode::Async);
+            seq.initial_compute();
+            sh.initial_compute();
+            assert_eq!(seq.values(), sh.values(), "shards={shards}");
+            let mut batch = UpdateBatch::new();
+            batch.delete(1, 2);
+            batch.insert(0, 2, 2.5);
+            seq.apply_update_batch(&batch).unwrap();
+            sh.apply_update_batch(&batch).unwrap();
+            assert_eq!(seq.values(), sh.values(), "shards={shards}");
+            assert_eq!(sh.validate_converged(), Ok(()), "shards={shards}");
+            let mut imp_seq: Vec<VertexId> = seq.last_impacted().to_vec();
+            let mut imp_sh: Vec<VertexId> = sh.last_impacted().to_vec();
+            imp_seq.sort_unstable();
+            imp_sh.sort_unstable();
+            assert_eq!(imp_seq, imp_sh, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn async_mode_accumulative_converges_near_sequential() {
+        let mut g = AdjacencyGraph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 2)] {
+            g.insert_edge(u, v, 1.0).unwrap();
+        }
+        let cfg = EngineConfig::default();
+        let mut seq = StreamingEngine::new(Box::new(PageRank::default()), g.clone(), cfg);
+        let mut sh = ShardedEngine::new(Box::new(PageRank::default()), g, cfg, 3);
+        sh.set_execution_mode(ExecutionMode::Async);
+        seq.initial_compute();
+        sh.initial_compute();
+        let mut batch = UpdateBatch::new();
+        batch.delete(2, 3);
+        batch.insert(0, 3, 1.0);
+        seq.apply_update_batch(&batch).unwrap();
+        sh.apply_update_batch(&batch).unwrap();
+        for (a, b) in seq.values().iter().zip(sh.values()) {
+            assert!((a - b).abs() <= 1e-4 * a.abs().max(1.0), "{a} vs {b}");
+        }
+        assert_eq!(sh.validate_converged(), Ok(()));
     }
 
     #[test]

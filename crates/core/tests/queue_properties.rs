@@ -3,6 +3,9 @@
 //! preserve the structural invariants checked by `validate()` and the
 //! `QueueStats` conservation law (`inserts == coalesced + drained +
 //! len()`, where `len()` counts slot residents and overflow together).
+//! The run-exchange properties at the bottom pin the contract the async
+//! engine's cross-shard exchange (DESIGN.md §16.2) builds on
+//! [`CoalescingQueue::insert_run`].
 
 use jetstream_algorithms::Sssp;
 use jetstream_core::{CoalescingQueue, Event};
@@ -409,5 +412,138 @@ fn sharded_queues_coalesce_to_the_same_multiset_as_one_queue() {
         assert_eq!(merged, sharded, "drained multisets diverged");
         assert_eq!(stats, single.stats(), "summed shard stats diverged");
         single.validate().unwrap_or_else(|why| panic!("{why}"));
+    });
+}
+
+#[test]
+fn run_exchange_delivers_the_event_at_a_time_multiset() {
+    // Models the async engine's cross-shard exchange (DESIGN.md §16.2):
+    // k sender outboxes fold events bound for one receiver, flush whole
+    // queue-bins as ascending runs at arbitrary moments, and the receiver
+    // merges every run with `insert_run` — a k-way merge amortized
+    // through the receiver's own slots. Contract under test: batched run
+    // delivery is indistinguishable from inserting the same events one at
+    // a time in the same arrival order — same drained multiset, same
+    // `QueueStats` — no matter how the k flush streams interleave, and
+    // regardless of whether run boundaries line up with receiver bins.
+    run_cases("queue: run exchange == event-at-a-time", 192, |rng| {
+        let num_vertices = 8 + rng.gen_index(56);
+        let num_senders = 1 + rng.gen_index(5);
+        let mut outboxes: Vec<CoalescingQueue> = (0..num_senders)
+            .map(|_| CoalescingQueue::new(num_vertices, 1 + rng.gen_index(4)))
+            .collect();
+        let receiver_bins = 1 + rng.gen_index(6);
+        let mut batched = CoalescingQueue::new(num_vertices, receiver_bins);
+        let mut one_at_a_time = CoalescingQueue::new(num_vertices, receiver_bins);
+        let deliver =
+            |run: &[Event], batched: &mut CoalescingQueue, single: &mut CoalescingQueue| {
+                batched.insert_run(run, &alg());
+                for &ev in run {
+                    single.insert(ev, &alg());
+                }
+            };
+
+        for _ in 0..rng.gen_index(250) {
+            match rng.gen_index(10) {
+                // Producing dominates so outboxes hold real runs.
+                0..=6 => {
+                    let sender = rng.gen_index(num_senders);
+                    outboxes[sender].insert(arb_event(rng, num_vertices), &alg());
+                }
+                7..=8 => {
+                    // Partial flush: one bin of one sender, the unit the
+                    // async engine ships under a non-zero chunk plan.
+                    let sender = rng.gen_index(num_senders);
+                    let bin = rng.gen_index(outboxes[sender].num_bins());
+                    let run = outboxes[sender].take_bin(bin);
+                    deliver(&run, &mut batched, &mut one_at_a_time);
+                }
+                _ => {
+                    // Overflow shipments travel as single-event runs.
+                    let sender = rng.gen_index(num_senders);
+                    if let Some(ev) = outboxes[sender].pop_overflow() {
+                        deliver(&[ev], &mut batched, &mut one_at_a_time);
+                    }
+                }
+            }
+            batched.validate().unwrap_or_else(|why| panic!("{why}"));
+        }
+        // Final flush: every sender drains completely (chunk plan 0).
+        for outbox in &mut outboxes {
+            let run = outbox.take_all();
+            deliver(&run, &mut batched, &mut one_at_a_time);
+            while let Some(ev) = outbox.pop_overflow() {
+                deliver(&[ev], &mut batched, &mut one_at_a_time);
+            }
+            assert!(outbox.is_empty(), "a sender retained events");
+        }
+
+        assert_eq!(batched.stats(), one_at_a_time.stats(), "stats diverged");
+        let drain = |queue: &mut CoalescingQueue| -> Vec<_> {
+            let mut out: Vec<_> = queue.take_all().iter().map(fingerprint).collect();
+            while let Some(ev) = queue.pop_overflow() {
+                out.push(fingerprint(&ev));
+            }
+            out.sort_unstable();
+            out
+        };
+        assert_eq!(drain(&mut batched), drain(&mut one_at_a_time), "drained multisets diverged");
+        assert!(batched.is_empty());
+    });
+}
+
+#[test]
+fn outbox_folding_commutes_with_shipping_for_selective_streams() {
+    // The other half of the exchange contract: folding events in the
+    // sender's outbox *before* shipping must be invisible to the
+    // receiver's final state, because the reduce (min, for SSSP) is
+    // associative and commutative — fold-then-ship and ship-then-fold
+    // reach the same slots. Feed one stream of regular/request events
+    // both directly into a receiver and through randomly-flushed
+    // outboxes into another; the fully drained multisets must match.
+    // Delete events are excluded by construction: a delete meeting a
+    // regular resident parks in overflow instead of folding, so its
+    // placement is arrival-order-dependent by design — the engine-level
+    // async differential suite covers mixed-kind equivalence.
+    run_cases("queue: outbox folding commutes with shipping", 192, |rng| {
+        let num_vertices = 8 + rng.gen_index(56);
+        let num_senders = 1 + rng.gen_index(5);
+        let mut outboxes: Vec<CoalescingQueue> = (0..num_senders)
+            .map(|_| CoalescingQueue::new(num_vertices, 1 + rng.gen_index(4)))
+            .collect();
+        let mut through_outboxes = CoalescingQueue::new(num_vertices, 1 + rng.gen_index(6));
+        let mut direct = CoalescingQueue::new(num_vertices, 1 + rng.gen_index(6));
+
+        for _ in 0..rng.gen_index(250) {
+            if rng.gen_bool(0.75) {
+                let target = rng.gen_index(num_vertices) as u32;
+                let payload = rng.gen_f64() * 10.0;
+                let ev = if rng.gen_bool(0.15) {
+                    Event::request(target, payload)
+                } else {
+                    Event::regular(target, payload)
+                };
+                direct.insert(ev, &alg());
+                outboxes[rng.gen_index(num_senders)].insert(ev, &alg());
+            } else {
+                let sender = rng.gen_index(num_senders);
+                let bin = rng.gen_index(outboxes[sender].num_bins());
+                let run = outboxes[sender].take_bin(bin);
+                through_outboxes.insert_run(&run, &alg());
+            }
+        }
+        for outbox in &mut outboxes {
+            let run = outbox.take_all();
+            through_outboxes.insert_run(&run, &alg());
+            assert_eq!(outbox.overflow_len(), 0, "same-kind streams never overflow an outbox");
+        }
+
+        let drain = |queue: &mut CoalescingQueue| -> Vec<_> {
+            let mut out: Vec<_> = queue.take_all().iter().map(fingerprint).collect();
+            assert!(queue.pop_overflow().is_none(), "same-kind streams never overflow");
+            out.sort_unstable();
+            out
+        };
+        assert_eq!(drain(&mut through_outboxes), drain(&mut direct), "folded fixpoints diverged");
     });
 }

@@ -1,29 +1,64 @@
-//! The engine the server fronts: volatile (in-memory only) or durable
-//! (checkpoints + WAL via `jetstream-store`).
+//! The engine the server fronts: volatile (in-memory only), durable
+//! (checkpoints + WAL via `jetstream-store`), or sharded (in-memory,
+//! multi-worker — superstep or barrier-free async, DESIGN.md §16).
 
-use jetstream_core::{BatchClassification, RunStats, StreamingEngine};
-use jetstream_graph::UpdateBatch;
+use jetstream_algorithms::Algorithm;
+use jetstream_core::{BatchClassification, EngineConfig, RunStats, ShardedEngine, StreamingEngine};
+use jetstream_graph::{AdjacencyGraph, UpdateBatch};
 use jetstream_store::{DurableEngine, StoreError};
 
+use crate::queries::QueryState;
 use crate::ServeError;
 
 /// What the serving loop applies batches to.
 #[derive(Debug)]
 pub enum Backend {
     /// A bare in-memory engine; state dies with the process. Boxed so
-    /// the two variants stay close in size.
+    /// the variants stay close in size.
     Volatile(Box<StreamingEngine>),
     /// An engine wrapped in the durable store: every applied batch is
     /// WAL-appended, with interval checkpoints (DESIGN.md §10).
     Durable(Box<DurableEngine<StreamingEngine>>),
+    /// A multi-worker in-memory engine (`--shards`); whether it runs the
+    /// superstep or the barrier-free async protocol is the engine's own
+    /// `ExecutionMode`. State dies with the process.
+    Sharded(Box<ShardedEngine>),
 }
 
 impl Backend {
-    /// Shared view of the wrapped engine, for queries.
-    pub fn engine(&self) -> &StreamingEngine {
+    /// Borrowed converged state for answering point queries.
+    pub fn query_state(&self) -> QueryState<'_> {
         match self {
-            Backend::Volatile(e) => e,
-            Backend::Durable(d) => d.engine(),
+            Backend::Volatile(e) => QueryState::from(&**e),
+            Backend::Durable(d) => QueryState::from(d.engine()),
+            Backend::Sharded(e) => QueryState::from(&**e),
+        }
+    }
+
+    /// The graph the wrapped engine is mounted on.
+    pub fn graph(&self) -> &AdjacencyGraph {
+        match self {
+            Backend::Volatile(e) => e.graph(),
+            Backend::Durable(d) => d.engine().graph(),
+            Backend::Sharded(e) => e.graph(),
+        }
+    }
+
+    /// The wrapped engine's algorithm.
+    pub fn algorithm(&self) -> &dyn Algorithm {
+        match self {
+            Backend::Volatile(e) => e.algorithm(),
+            Backend::Durable(d) => d.engine().algorithm(),
+            Backend::Sharded(e) => e.algorithm(),
+        }
+    }
+
+    /// The wrapped engine's configuration.
+    pub fn config(&self) -> EngineConfig {
+        match self {
+            Backend::Volatile(e) => e.config(),
+            Backend::Durable(d) => d.engine().config(),
+            Backend::Sharded(e) => e.config(),
         }
     }
 
@@ -42,6 +77,7 @@ impl Backend {
         match self {
             Backend::Volatile(e) => e.apply_admitted_batch(batch).map_err(ServeError::Graph),
             Backend::Durable(d) => d.apply_admitted_batch(batch).map_err(ServeError::Store),
+            Backend::Sharded(e) => e.apply_admitted_batch(batch).map_err(ServeError::Graph),
         }
     }
 
@@ -49,7 +85,7 @@ impl Backend {
     /// `0` for volatile backends.
     pub fn sequence(&self) -> u64 {
         match self {
-            Backend::Volatile(_) => 0,
+            Backend::Volatile(_) | Backend::Sharded(_) => 0,
             Backend::Durable(d) => d.sequence(),
         }
     }
@@ -61,7 +97,7 @@ impl Backend {
     /// Store I/O failures.
     pub fn checkpoint(&mut self) -> Result<(), StoreError> {
         match self {
-            Backend::Volatile(_) => Ok(()),
+            Backend::Volatile(_) | Backend::Sharded(_) => Ok(()),
             Backend::Durable(d) => d.checkpoint().map(|_| ()),
         }
     }

@@ -25,7 +25,7 @@ use std::path::PathBuf;
 
 use jetstream_algorithms::Workload;
 use jetstream_bench::micro::{self, BenchResult};
-use jetstream_core::{EngineConfig, StreamingEngine};
+use jetstream_core::{EngineConfig, ExecutionMode, ShardedEngine, StreamingEngine};
 use jetstream_graph::gen::DatasetProfile;
 use jetstream_serve::admission::FlushPolicy;
 use jetstream_serve::backend::Backend;
@@ -37,7 +37,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: jetstream-serve serve [--listen ADDR] [--unix PATH] [--algorithm NAME] \
          [--root N] [--profile NAME] [--scale N] [--flush-updates N] [--flush-ms MS] \
-         [--durable DIR] [--checkpoint-interval N] [--inflight N]\n\
+         [--durable DIR] [--checkpoint-interval N] [--inflight N] [--shards N]\n\
          \x20      jetstream-serve bench [--quick] [--out FILE] [--check [--baseline FILE] \
          [--factor F]]"
     );
@@ -93,6 +93,7 @@ struct ServeOpts {
     durable: Option<PathBuf>,
     checkpoint_interval: u64,
     inflight: u32,
+    shards: usize,
 }
 
 fn take_value<'a>(args: &'a [String], i: &mut usize) -> &'a str {
@@ -116,6 +117,7 @@ fn parse_serve_opts(args: &[String]) -> ServeOpts {
         durable: None,
         checkpoint_interval: StoreOptions::default().checkpoint_interval,
         inflight: ServerConfig::default().inflight_limit,
+        shards: 0,
     };
     let mut i = 0;
     while i < args.len() {
@@ -129,6 +131,9 @@ fn parse_serve_opts(args: &[String]) -> ServeOpts {
             "--flush-updates" => opts.flush_updates = parse_num(take_value(args, &mut i)),
             "--flush-ms" => opts.flush_ms = parse_num(take_value(args, &mut i)),
             "--durable" => opts.durable = Some(PathBuf::from(take_value(args, &mut i))),
+            "--shards" => {
+                opts.shards = take_value(args, &mut i).parse().unwrap_or_else(|_| usage());
+            }
             "--checkpoint-interval" => {
                 opts.checkpoint_interval = parse_num(take_value(args, &mut i));
             }
@@ -153,6 +158,23 @@ fn parse_num<T: std::str::FromStr>(s: &str) -> T {
 fn build_backend(opts: &ServeOpts) -> Backend {
     let alg = || opts.workload.instantiate(opts.root);
     let config = EngineConfig::default();
+    if opts.shards > 1 {
+        if opts.durable.is_some() {
+            fail("--shards is in-memory only; it cannot be combined with --durable");
+        }
+        eprintln!(
+            "[serve] generating {} (scale {}) and computing the initial state \
+             ({} async shards)...",
+            opts.profile.name(),
+            opts.scale,
+            opts.shards
+        );
+        let graph = opts.profile.generate(opts.scale);
+        let mut engine = ShardedEngine::new(alg(), graph, config, opts.shards);
+        engine.set_execution_mode(ExecutionMode::Async);
+        engine.initial_compute();
+        return Backend::Sharded(Box::new(engine));
+    }
     let Some(dir) = &opts.durable else {
         eprintln!(
             "[serve] generating {} (scale {}) and computing the initial state...",
@@ -198,8 +220,8 @@ fn build_backend(opts: &ServeOpts) -> Backend {
 fn cmd_serve(args: &[String]) {
     let opts = parse_serve_opts(args);
     let backend = build_backend(&opts);
-    let algorithm = backend.engine().algorithm().name();
-    let num_vertices = backend.engine().graph().num_vertices();
+    let algorithm = backend.algorithm().name().to_string();
+    let num_vertices = backend.graph().num_vertices();
     let config = ServerConfig {
         flush: FlushPolicy {
             max_updates: opts.flush_updates,

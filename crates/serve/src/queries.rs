@@ -4,19 +4,55 @@
 //! moment it reads these answers the engine is converged; queries never
 //! force a flush (clients wanting read-your-writes send `Flush` first —
 //! DESIGN.md §15.3).
+//!
+//! Queries read a [`QueryState`] — a borrowed view of the converged
+//! values, dependency tree, and impacted set — so the same answer logic
+//! serves every backend: the sequential [`StreamingEngine`] and the
+//! [`ShardedEngine`] (superstep or async) convert into it for free.
 
-use jetstream_core::StreamingEngine;
+use jetstream_core::{ShardedEngine, StreamingEngine};
 use jetstream_graph::VertexId;
 
+/// Borrowed converged state, the common query surface of every engine.
+#[derive(Clone, Copy)]
+pub struct QueryState<'a> {
+    /// Converged per-vertex values.
+    pub values: &'a [f64],
+    /// Recorded `Leads-To` dependency parents (§5.2).
+    pub dependencies: &'a [Option<VertexId>],
+    /// Vertices reset by the most recent batch's delete recovery.
+    pub impacted: &'a [VertexId],
+}
+
+impl<'a> From<&'a StreamingEngine> for QueryState<'a> {
+    fn from(engine: &'a StreamingEngine) -> Self {
+        QueryState {
+            values: engine.values(),
+            dependencies: engine.dependencies(),
+            impacted: engine.last_impacted(),
+        }
+    }
+}
+
+impl<'a> From<&'a ShardedEngine> for QueryState<'a> {
+    fn from(engine: &'a ShardedEngine) -> Self {
+        QueryState {
+            values: engine.values(),
+            dependencies: engine.dependencies(),
+            impacted: engine.last_impacted(),
+        }
+    }
+}
+
 /// The converged value of `vertex`, or `None` when it is out of range.
-pub fn vertex_value(engine: &StreamingEngine, vertex: VertexId) -> Option<f64> {
-    engine.values().get(vertex as usize).copied()
+pub fn vertex_value<'a>(state: impl Into<QueryState<'a>>, vertex: VertexId) -> Option<f64> {
+    state.into().values.get(vertex as usize).copied()
 }
 
 /// The vertices impacted (reset during deletion recovery, Fig. 10) by the
 /// most recent batch, ascending. Insert-only batches impact no vertices.
-pub fn impacted(engine: &StreamingEngine) -> Vec<VertexId> {
-    let mut out = engine.last_impacted().to_vec();
+pub fn impacted<'a>(state: impl Into<QueryState<'a>>) -> Vec<VertexId> {
+    let mut out = state.into().impacted.to_vec();
     out.sort_unstable();
     out
 }
@@ -29,8 +65,8 @@ pub fn impacted(engine: &StreamingEngine) -> Vec<VertexId> {
 /// (never-expected) cycle in the recorded tree terminates instead of
 /// spinning. Returns an empty chain when the vertex is out of range or
 /// the algorithm records no dependency for it and is not its own root.
-pub fn dependence_path(engine: &StreamingEngine, vertex: VertexId) -> Vec<VertexId> {
-    let deps = engine.dependencies();
+pub fn dependence_path<'a>(state: impl Into<QueryState<'a>>, vertex: VertexId) -> Vec<VertexId> {
+    let deps = state.into().dependencies;
     if vertex as usize >= deps.len() {
         return Vec::new();
     }

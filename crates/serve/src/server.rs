@@ -419,9 +419,8 @@ impl EngineLoop {
         s.updates_applied += batch.len() as u64;
         s.safe_updates += class.safe() as u64;
         s.unsafe_updates += class.unsafe_total() as u64;
-        let engine = self.backend.engine();
-        let dap_selective = engine.config().delete_strategy == DeleteStrategy::Dap
-            && engine.algorithm().kind() == UpdateKind::Selective;
+        let dap_selective = self.backend.config().delete_strategy == DeleteStrategy::Dap
+            && self.backend.algorithm().kind() == UpdateKind::Selective;
         if dap_selective && class.all_deletes_safe() && !batch.deletions().is_empty() {
             s.fast_path_batches += 1;
         }
@@ -462,11 +461,10 @@ impl EngineLoop {
                 return;
             }
             rec.greeted = true;
-            let engine = self.backend.engine();
             let ack = Response::HelloAck {
                 version: PROTOCOL_VERSION,
-                num_vertices: engine.graph().num_vertices() as u64,
-                algorithm: engine.algorithm().name().to_string(),
+                num_vertices: self.backend.graph().num_vertices() as u64,
+                algorithm: self.backend.algorithm().name().to_string(),
             };
             self.send_to(client, ack);
             return;
@@ -479,7 +477,7 @@ impl EngineLoop {
             Request::Hello { .. } => {}
             Request::Update { token, updates } => {
                 let now = self.clock.now_ns();
-                let graph = self.backend.engine().graph();
+                let graph = self.backend.graph();
                 match self.admission.admit(client, token, &updates, graph, now) {
                     Ok(ok) => {
                         self.send_to(client, Response::Admitted { token, batch_id: ok.batch_id });
@@ -500,18 +498,18 @@ impl EngineLoop {
                 }
             }
             Request::QueryValue { vertex } => {
-                let resp = match queries::vertex_value(self.backend.engine(), vertex) {
+                let resp = match queries::vertex_value(self.backend.query_state(), vertex) {
                     Some(value) => Response::Value { vertex, value },
                     None => Response::Error { message: format!("vertex {vertex} out of range") },
                 };
                 self.send_to(client, resp);
             }
             Request::QueryImpacted => {
-                let vertices = queries::impacted(self.backend.engine());
+                let vertices = queries::impacted(self.backend.query_state());
                 self.send_to(client, Response::Impacted { vertices });
             }
             Request::QueryPath { vertex } => {
-                let vertices = queries::dependence_path(self.backend.engine(), vertex);
+                let vertices = queries::dependence_path(self.backend.query_state(), vertex);
                 self.send_to(client, Response::Path { vertices });
             }
             Request::Flush => {

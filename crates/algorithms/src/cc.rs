@@ -44,6 +44,11 @@ impl Algorithm for ConnectedComponents {
         }
     }
 
+    fn propagation_is_edge_invariant(&self) -> bool {
+        // Label floods ignore edge weights entirely.
+        true
+    }
+
     fn initial_events(&self, graph: &Csr) -> Vec<(VertexId, Value)> {
         (0..graph.num_vertices() as VertexId).map(|v| (v, Value::from(v))).collect()
     }

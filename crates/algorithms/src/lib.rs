@@ -108,6 +108,16 @@ pub trait Algorithm: std::fmt::Debug + Send + Sync {
     /// (Maiter-style delta forwarding).
     fn propagate(&self, state: Value, applied_delta: Value, ctx: &EdgeCtx) -> Option<Value>;
 
+    /// True when [`propagate`](Algorithm::propagate) ignores the per-edge
+    /// fields of [`EdgeCtx`] (`weight` and `weight_sum`), so every
+    /// out-edge of a vertex carries the *same* delta. Engines then
+    /// evaluate the propagation function once per processed event instead
+    /// of once per edge — a pure dispatch saving; the emitted events are
+    /// bit-identical either way.
+    fn propagation_is_edge_invariant(&self) -> bool {
+        false
+    }
+
     /// The initial event set placed in the queue before static evaluation
     /// (`InitialEvents()` in Algorithm 1).
     fn initial_events(&self, graph: &Csr) -> Vec<(VertexId, Value)>;

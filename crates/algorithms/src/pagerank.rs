@@ -99,6 +99,12 @@ impl Algorithm for PageRank {
         Some(applied_delta * self.damping / ctx.out_degree as Value)
     }
 
+    fn propagation_is_edge_invariant(&self) -> bool {
+        // `propagate` reads only `out_degree`; the delta is shared by
+        // every out-edge of the vertex.
+        true
+    }
+
     fn initial_events(&self, graph: &Csr) -> Vec<(VertexId, Value)> {
         let teleport = 1.0 - self.damping;
         (0..graph.num_vertices() as VertexId).map(|v| (v, teleport)).collect()

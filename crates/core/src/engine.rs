@@ -1,5 +1,3 @@
-use std::collections::BTreeSet;
-
 use jetstream_algorithms::{Algorithm, EdgeCtx, UpdateKind, Value};
 use jetstream_graph::{AdjacencyGraph, CsrPair, EdgeUpdate, GraphError, UpdateBatch, VertexId};
 
@@ -199,6 +197,17 @@ pub struct StreamingEngine {
     /// grows to the high-water event count once, then steady-state drains
     /// allocate nothing.
     round_scratch: Vec<Event>,
+    /// Reusable per-batch scratch (same lifetime story as `round_scratch`):
+    /// touched vertices of an accumulative batch, their captured old
+    /// out-edges (flattened, with prefix bounds), their value snapshot, a
+    /// neighbor buffer for phases that emit while reading the CSR, and the
+    /// request-phase source list. All empty between batches.
+    touched_scratch: Vec<VertexId>,
+    old_edge_scratch: Vec<(VertexId, Value)>,
+    old_edge_bounds: Vec<usize>,
+    state_scratch: Vec<Value>,
+    edge_scratch: Vec<(VertexId, Value)>,
+    source_scratch: Vec<VertexId>,
 }
 
 /// Why restored checkpoint state cannot be mounted on a graph.
@@ -302,6 +311,12 @@ impl StreamingEngine {
             stats: RunStats::default(),
             tracer: TraceBuilder::default(),
             round_scratch: Vec::new(),
+            touched_scratch: Vec::new(),
+            old_edge_scratch: Vec::new(),
+            old_edge_bounds: Vec::new(),
+            state_scratch: Vec::new(),
+            edge_scratch: Vec::new(),
+            source_scratch: Vec::new(),
         }
     }
 
@@ -345,6 +360,12 @@ impl StreamingEngine {
             stats: RunStats::default(),
             tracer: TraceBuilder::default(),
             round_scratch: Vec::new(),
+            touched_scratch: Vec::new(),
+            old_edge_scratch: Vec::new(),
+            old_edge_bounds: Vec::new(),
+            state_scratch: Vec::new(),
+            edge_scratch: Vec::new(),
+            source_scratch: Vec::new(),
         })
     }
 
@@ -602,9 +623,10 @@ impl StreamingEngine {
         // `apply_batch` validates the whole batch (missing deletions,
         // duplicate insertions, out-of-range ids) before mutating, so a
         // rejected batch leaves the engine untouched, exactly like the
-        // full path.
+        // full path. The CSR mirror is then maintained in place in
+        // O(batch · degree) instead of rebuilt in O(E).
         self.host.apply_batch(batch)?;
-        self.csr = self.host.snapshot_pair();
+        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
         self.impacted.clear();
         // Phase 4 of the selective flow: inserted edges become regular
         // events on the new graph; the delete phases are skipped because
@@ -626,7 +648,7 @@ impl StreamingEngine {
     /// Returns a [`GraphError`] when the batch is invalid.
     pub fn cold_restart(&mut self, batch: &UpdateBatch) -> Result<RunStats, GraphError> {
         self.host.apply_batch(batch)?;
-        self.csr = self.host.snapshot_pair();
+        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
         Ok(self.initial_compute())
     }
 
@@ -744,7 +766,6 @@ impl StreamingEngine {
             })
             .collect::<Result<_, _>>()?;
         self.host.apply_batch(batch)?;
-        let new_csr = self.host.snapshot_pair();
         self.impacted.clear();
 
         // DAP must keep per-source delete events distinct from the very
@@ -797,21 +818,24 @@ impl StreamingEngine {
         self.run_queue(Phase::DeletePropagation);
         self.queue.set_coalesce_deletes(true);
 
-        // Graph switches to the new version (§3.5).
-        self.csr = new_csr;
+        // Graph switches to the new version (§3.5): the mirror is
+        // maintained in place in O(batch · degree) instead of rebuilt.
+        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
 
         // Phase 3 — request events along each impacted vertex's incoming
         // edges (Algorithm 4, Reapproximate).
         self.tracer.begin_phase(Phase::RequestSetup);
         let impacted = std::mem::take(&mut self.impacted);
+        let mut sources = std::mem::take(&mut self.source_scratch);
         let identity = self.alg.identity();
         for &x in &impacted {
             let in_deg = self.csr.inc.degree(x);
             self.stats.edge_reads += in_deg as u64;
             let targets_start = self.tracer.targets_start();
-            let sources: Vec<VertexId> = self.csr.inc.neighbors(x).map(|e| e.other).collect();
+            sources.clear();
+            sources.extend(self.csr.inc.neighbors(x).map(|e| e.other));
             let mut count = sources.len() as u32; // cast-ok: count bounded by num_edges < 2^32, checked at graph construction
-            for u in sources {
+            for &u in &sources {
                 self.stats.request_events += 1;
                 self.emit(Event::request(u, identity));
                 self.tracer.push_target(u);
@@ -835,6 +859,8 @@ impl StreamingEngine {
             });
         }
         self.impacted = impacted;
+        sources.clear();
+        self.source_scratch = sources;
         self.tracer.end_round();
 
         // Phase 4 — stream inserted edges into regular events
@@ -885,45 +911,84 @@ impl StreamingEngine {
     // ------------------------------------------------------------------
 
     fn stream_accumulative(&mut self, batch: &UpdateBatch) -> Result<(), GraphError> {
+        // Per-batch scratch (sorted touched ids, flattened old out-edges
+        // with prefix bounds, value snapshot) is swapped out of `self` so
+        // the body can borrow it alongside `&mut self`; it goes back at
+        // the end, so steady-state streaming allocates nothing.
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        let mut old_edges = std::mem::take(&mut self.old_edge_scratch);
+        let mut bounds = std::mem::take(&mut self.old_edge_bounds);
+        let mut snapshot = std::mem::take(&mut self.state_scratch);
+        let result = self.stream_accumulative_with(
+            batch,
+            &mut touched,
+            &mut old_edges,
+            &mut bounds,
+            &mut snapshot,
+        );
+        touched.clear();
+        old_edges.clear();
+        bounds.clear();
+        snapshot.clear();
+        self.touched_scratch = touched;
+        self.old_edge_scratch = old_edges;
+        self.old_edge_bounds = bounds;
+        self.state_scratch = snapshot;
+        result
+    }
+
+    fn stream_accumulative_with(
+        &mut self,
+        batch: &UpdateBatch,
+        touched: &mut Vec<VertexId>,
+        old_edges: &mut Vec<(VertexId, Value)>,
+        bounds: &mut Vec<usize>,
+        snapshot: &mut Vec<Value>,
+    ) -> Result<(), GraphError> {
         // `touched` vertices have an out-edge added or deleted: their
         // per-edge contribution factor (1/deg or w/wsum) changes, so the
         // sink transform of Fig. 5 removes *all* their out-edges first.
-        let touched: BTreeSet<VertexId> = batch
-            .deletions()
-            .iter()
-            .map(|&(u, _)| u)
-            .chain(batch.insertions().iter().map(|&(u, _, _)| u))
-            .collect();
+        touched.extend(batch.deletions().iter().map(|&(u, _)| u));
+        touched.extend(batch.insertions().iter().map(|&(u, _, _)| u));
+        touched.sort_unstable();
+        touched.dedup();
         // Only the touched vertices' out-edge lists change when the batch
-        // applies, so capturing those slices replaces the former full
+        // applies, so capturing those slices (flattened; row `i` lives at
+        // `old_edges[bounds[i]..bounds[i+1]]`) replaces the former full
         // `self.host.clone()` (O(batch) instead of O(V + E) per batch).
-        let old_out_edges: Vec<Vec<(VertexId, Value)>> =
-            touched.iter().map(|&u| self.host.neighbors(u).collect()).collect();
+        bounds.push(0);
+        for &u in touched.iter() {
+            old_edges.extend(self.host.neighbors(u));
+            bounds.push(old_edges.len());
+        }
         self.host.apply_batch(batch)?;
         self.impacted.clear();
-        let new_csr = self.host.snapshot_pair();
+        // The CSR mirror advances to the new version in O(batch · degree);
+        // phases that need the *old* adjacency use the captured slices.
+        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
 
         // Phase 1 — negative events for every old out-edge of a touched
         // vertex, using the old degree/weight-sum (Algorithm 3).
         self.tracer.begin_phase(Phase::DeleteSetup);
-        let snapshot: Vec<Value> = touched.iter().map(|&u| self.values[u as usize]).collect(); // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
-        for ((&u, &state), old_edges) in touched.iter().zip(snapshot.iter()).zip(&old_out_edges) {
-            let deg = old_edges.len();
+        snapshot.extend(touched.iter().map(|&u| self.values[u as usize])); // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+        for (i, (&u, &state)) in touched.iter().zip(snapshot.iter()).enumerate() {
+            let row = &old_edges[bounds[i]..bounds[i + 1]];
+            let deg = row.len();
             let wsum: Value = if self.alg.needs_weight_sum() {
-                old_edges.iter().map(|&(_, w)| w).sum()
+                row.iter().map(|&(_, w)| w).sum()
             } else {
                 0.0
             };
             self.stats.vertex_reads += 1;
             let targets_start = self.tracer.targets_start();
             let mut generated = 0u32;
-            for (v, w) in old_edges {
+            for &(v, w) in row {
                 self.stats.stream_reads += 1;
-                let ctx = EdgeCtx { weight: *w, out_degree: deg, weight_sum: wsum };
+                let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
                 if let Some(c) = self.alg.cumulative_edge_contribution(state, &ctx) {
                     if self.alg.changes_state(0.0, c) {
-                        self.emit(Event::regular(*v, -c));
-                        self.tracer.push_target(*v);
+                        self.emit(Event::regular(v, -c));
+                        self.tracer.push_target(v);
                         generated += 1;
                     }
                 }
@@ -945,15 +1010,23 @@ impl StreamingEngine {
             // path through them (Fig. 5b). Untouched vertices' out-edges
             // are identical before and after the batch, so the new host
             // filtered by `touched` yields exactly the old graph's
-            // non-touched edges.
-            let intermediate_edges: Vec<(VertexId, VertexId, Value)> =
-                self.host.iter_edges().filter(|(u, _, _)| !touched.contains(u)).collect();
-            self.csr = CsrPair::new(jetstream_graph::Csr::from_edges(
-                self.host.num_vertices(),
-                &intermediate_edges,
-            ));
+            // non-touched edges. The maintained mirror is parked while the
+            // intermediate computation runs and restored for Phase 2.
+            let intermediate_edges: Vec<(VertexId, VertexId, Value)> = self
+                .host
+                .iter_edges()
+                .filter(|(u, _, _)| touched.binary_search(u).is_err())
+                .collect();
+            let maintained = std::mem::replace(
+                &mut self.csr,
+                CsrPair::new(jetstream_graph::Csr::from_edges(
+                    self.host.num_vertices(),
+                    &intermediate_edges,
+                )),
+            );
             self.tracer.begin_phase(Phase::IntermediateCompute);
             self.run_queue(Phase::IntermediateCompute);
+            self.csr = maintained;
         }
 
         // Phase 2 — re-insertion events for every *new* out-edge of a
@@ -961,10 +1034,11 @@ impl StreamingEngine {
         // coalesced recovery these merge in the queue with the pending
         // negative events, cancelling the rollback of kept edges.
         self.tracer.begin_phase(Phase::InsertSetup);
+        let mut edges = std::mem::take(&mut self.edge_scratch);
         for (&u, &old_state) in touched.iter().zip(snapshot.iter()) {
-            let deg = new_csr.out.degree(u);
+            let deg = self.csr.out.degree(u);
             let wsum: Value = if self.alg.needs_weight_sum() {
-                new_csr.out.neighbors(u).map(|e| e.weight).sum()
+                self.csr.out.neighbors(u).map(|e| e.weight).sum()
             } else {
                 0.0
             };
@@ -978,14 +1052,15 @@ impl StreamingEngine {
             self.stats.vertex_reads += 1;
             let targets_start = self.tracer.targets_start();
             let mut generated = 0u32;
-            let edges: Vec<_> = new_csr.out.neighbors(u).collect();
-            for e in edges {
+            edges.clear();
+            edges.extend(self.csr.out.neighbors(u).map(|e| (e.other, e.weight)));
+            for &(v, w) in &edges {
                 self.stats.stream_reads += 1;
-                let ctx = EdgeCtx { weight: e.weight, out_degree: deg, weight_sum: wsum };
+                let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
                 if let Some(c) = self.alg.cumulative_edge_contribution(state, &ctx) {
                     if self.alg.changes_state(0.0, c) {
-                        self.emit(Event::regular(e.other, c));
-                        self.tracer.push_target(e.other);
+                        self.emit(Event::regular(v, c));
+                        self.tracer.push_target(v);
                         generated += 1;
                     }
                 }
@@ -999,10 +1074,12 @@ impl StreamingEngine {
                 targets_len: generated,
             });
         }
+        edges.clear();
+        self.edge_scratch = edges;
         self.tracer.end_round();
 
-        // Phase 3 — recompute on the new graph version.
-        self.csr = new_csr;
+        // Phase 3 — recompute on the new graph version (the mirror already
+        // points at it).
         self.tracer.begin_phase(Phase::Recompute);
         self.run_queue(Phase::Recompute);
         Ok(())

@@ -125,12 +125,29 @@ fn propagate_regular(
     let state = st.value(u);
     let deg = cx.csr.out.degree(u);
     st.stats().edge_reads += deg as u64;
-    let wsum = cx.weight_sum(u);
+    let dap = cx.dap_active();
     let mut generated = 0u32;
+    if cx.alg.propagation_is_edge_invariant() {
+        // Every out-edge carries the same delta: one propagation-function
+        // dispatch per event, then a plain walk of the target ids. The
+        // per-edge fields are unread, so zeros produce the identical delta.
+        let ctx = EdgeCtx { weight: 0.0, out_degree: deg, weight_sum: 0.0 };
+        if let Some(delta) = cx.alg.propagate(state, applied_delta, &ctx) {
+            for &v in cx.csr.out.neighbor_targets(u) {
+                let event =
+                    if dap { Event::regular_from(u, v, delta) } else { Event::regular(v, delta) };
+                st.emit(cx.alg, event);
+                st.trace_push_target(v);
+                generated += 1;
+            }
+        }
+        return (generated, deg as u32); // cast-ok: count bounded by num_edges < 2^32, checked at graph construction
+    }
+    let wsum = cx.weight_sum(u);
     for e in cx.csr.out.neighbors(u) {
         let ctx = EdgeCtx { weight: e.weight, out_degree: deg, weight_sum: wsum };
         if let Some(delta) = cx.alg.propagate(state, applied_delta, &ctx) {
-            let event = if cx.dap_active() {
+            let event = if dap {
                 Event::regular_from(u, e.other, delta)
             } else {
                 Event::regular(e.other, delta)

@@ -455,6 +455,17 @@ pub struct ShardedEngine {
     model: ParallelModel,
     /// Trace sink for the race sanitizer (disabled by default).
     race_log: sync::RaceLog,
+    /// Reusable per-batch scratch mirroring the sequential engine's:
+    /// touched vertices of an accumulative batch, their captured old
+    /// out-edges (flattened, with prefix bounds), their value snapshot, a
+    /// neighbor buffer for phases that seed while reading the CSR, and the
+    /// request-phase source list. All empty between batches.
+    touched_scratch: Vec<VertexId>,
+    old_edge_scratch: Vec<(VertexId, Value)>,
+    old_edge_bounds: Vec<usize>,
+    state_scratch: Vec<Value>,
+    edge_scratch: Vec<(VertexId, Value)>,
+    source_scratch: Vec<VertexId>,
 }
 
 impl ShardedEngine {
@@ -546,6 +557,12 @@ impl ShardedEngine {
             chunk_plan: Vec::new(),
             model: ParallelModel::default(),
             race_log: sync::RaceLog::default(),
+            touched_scratch: Vec::new(),
+            old_edge_scratch: Vec::new(),
+            old_edge_bounds: Vec::new(),
+            state_scratch: Vec::new(),
+            edge_scratch: Vec::new(),
+            source_scratch: Vec::new(),
         }
     }
 
@@ -710,7 +727,7 @@ impl ShardedEngine {
     /// Returns a [`GraphError`] when the batch is invalid.
     pub fn cold_restart(&mut self, batch: &UpdateBatch) -> Result<RunStats, GraphError> {
         self.host.apply_batch(batch)?;
-        self.csr = self.host.snapshot_pair();
+        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
         Ok(self.initial_compute())
     }
 
@@ -786,7 +803,7 @@ impl ShardedEngine {
         }
         self.begin_run();
         self.host.apply_batch(batch)?;
-        self.csr = self.host.snapshot_pair();
+        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
         self.impacted.clear();
         // Phase 4 of the selective flow: inserted edges become regular
         // events on the new graph; the delete phases are skipped because
@@ -1166,7 +1183,6 @@ impl ShardedEngine {
             })
             .collect::<Result<_, _>>()?;
         self.host.apply_batch(batch)?;
-        let new_csr = self.host.snapshot_pair();
         self.impacted.clear();
         for sh in &mut self.shards {
             sh.impacted.clear();
@@ -1201,8 +1217,9 @@ impl ShardedEngine {
         self.run_queue();
         self.coalesce_deletes = true;
 
-        // Graph switches to the new version.
-        self.csr = new_csr;
+        // Graph switches to the new version: the mirror is maintained in
+        // place in O(batch · degree) instead of rebuilt.
+        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
 
         // Phase 3 — request events along each impacted vertex's incoming
         // edges. Workers tagged each reset with (round, emission key base);
@@ -1222,12 +1239,14 @@ impl ShardedEngine {
             ExecutionMode::Async => records.sort_unstable_by_key(|&(_, _, v)| v),
         }
         let impacted: Vec<VertexId> = records.into_iter().map(|(_, _, v)| v).collect();
+        let mut sources = std::mem::take(&mut self.source_scratch);
         let identity = self.alg.identity();
         for &x in &impacted {
             let in_deg = self.csr.inc.degree(x);
             self.stats.edge_reads += in_deg as u64;
-            let sources: Vec<VertexId> = self.csr.inc.neighbors(x).map(|e| e.other).collect();
-            for u in sources {
+            sources.clear();
+            sources.extend(self.csr.inc.neighbors(x).map(|e| e.other));
+            for &u in &sources {
                 self.stats.request_events += 1;
                 self.seed_emit(Event::request(u, identity));
             }
@@ -1237,6 +1256,8 @@ impl ShardedEngine {
             }
         }
         self.impacted = impacted;
+        sources.clear();
+        self.source_scratch = sources;
 
         // Phase 4 — stream inserted edges into regular events.
         self.stream_inserts(batch.insertions());
@@ -1266,42 +1287,80 @@ impl ShardedEngine {
     }
 
     fn stream_accumulative(&mut self, batch: &UpdateBatch) -> Result<(), GraphError> {
-        use std::collections::BTreeSet;
-        let touched: BTreeSet<VertexId> = batch
-            .deletions()
-            .iter()
-            .map(|&(u, _)| u)
-            .chain(batch.insertions().iter().map(|&(u, _, _)| u))
-            .collect();
-        // Capture only the touched vertices' old out-edge lists — the rest
-        // of the graph is unchanged by the batch (see the sequential
-        // engine's `stream_accumulative`).
-        let old_out_edges: Vec<Vec<(VertexId, Value)>> =
-            touched.iter().map(|&u| self.host.neighbors(u).collect()).collect();
+        // Per-batch scratch swapped out of `self` so the body can borrow
+        // it alongside `&mut self` (same pattern as the sequential
+        // engine); it goes back at the end, so steady-state streaming
+        // allocates nothing.
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        let mut old_edges = std::mem::take(&mut self.old_edge_scratch);
+        let mut bounds = std::mem::take(&mut self.old_edge_bounds);
+        let mut snapshot = std::mem::take(&mut self.state_scratch);
+        let result = self.stream_accumulative_with(
+            batch,
+            &mut touched,
+            &mut old_edges,
+            &mut bounds,
+            &mut snapshot,
+        );
+        touched.clear();
+        old_edges.clear();
+        bounds.clear();
+        snapshot.clear();
+        self.touched_scratch = touched;
+        self.old_edge_scratch = old_edges;
+        self.old_edge_bounds = bounds;
+        self.state_scratch = snapshot;
+        result
+    }
+
+    fn stream_accumulative_with(
+        &mut self,
+        batch: &UpdateBatch,
+        touched: &mut Vec<VertexId>,
+        old_edges: &mut Vec<(VertexId, Value)>,
+        bounds: &mut Vec<usize>,
+        snapshot: &mut Vec<Value>,
+    ) -> Result<(), GraphError> {
+        touched.extend(batch.deletions().iter().map(|&(u, _)| u));
+        touched.extend(batch.insertions().iter().map(|&(u, _, _)| u));
+        touched.sort_unstable();
+        touched.dedup();
+        // Capture only the touched vertices' old out-edge lists
+        // (flattened; row `i` lives at `old_edges[bounds[i]..bounds[i+1]]`)
+        // — the rest of the graph is unchanged by the batch (see the
+        // sequential engine's `stream_accumulative`).
+        bounds.push(0);
+        for &u in touched.iter() {
+            old_edges.extend(self.host.neighbors(u));
+            bounds.push(old_edges.len());
+        }
         self.host.apply_batch(batch)?;
         self.impacted.clear();
         for sh in &mut self.shards {
             sh.impacted.clear();
         }
-        let new_csr = self.host.snapshot_pair();
+        // The CSR mirror advances to the new version in O(batch · degree);
+        // phases that need the *old* adjacency use the captured slices.
+        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
 
         // Phase 1 — negative events for every old out-edge of a touched
         // vertex, using the old degree/weight-sum.
-        let snapshot: Vec<Value> = touched.iter().map(|&u| self.values[u as usize]).collect(); // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
-        for ((_, &state), old_edges) in touched.iter().zip(snapshot.iter()).zip(&old_out_edges) {
-            let deg = old_edges.len();
+        snapshot.extend(touched.iter().map(|&u| self.values[u as usize])); // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+        for (i, &state) in snapshot.iter().enumerate() {
+            let row = &old_edges[bounds[i]..bounds[i + 1]];
+            let deg = row.len();
             let wsum: Value = if self.alg.needs_weight_sum() {
-                old_edges.iter().map(|&(_, w)| w).sum()
+                row.iter().map(|&(_, w)| w).sum()
             } else {
                 0.0
             };
             self.stats.vertex_reads += 1;
-            for (v, w) in old_edges {
+            for &(v, w) in row {
                 self.stats.stream_reads += 1;
-                let ctx = EdgeCtx { weight: *w, out_degree: deg, weight_sum: wsum };
+                let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
                 if let Some(c) = self.alg.cumulative_edge_contribution(state, &ctx) {
                     if self.alg.changes_state(0.0, c) {
-                        self.seed_emit(Event::regular(*v, -c));
+                        self.seed_emit(Event::regular(v, -c));
                     }
                 }
             }
@@ -1311,21 +1370,31 @@ impl ShardedEngine {
             // Converge on the intermediate sink-transformed graph first.
             // Untouched vertices' out-edges are identical before and after
             // the batch, so filtering the new host by `touched` yields
-            // exactly the old graph's non-touched edges.
-            let intermediate_edges: Vec<(VertexId, VertexId, Value)> =
-                self.host.iter_edges().filter(|(u, _, _)| !touched.contains(u)).collect();
-            self.csr = CsrPair::new(jetstream_graph::Csr::from_edges(
-                self.host.num_vertices(),
-                &intermediate_edges,
-            ));
+            // exactly the old graph's non-touched edges. The maintained
+            // mirror is parked while the intermediate computation runs and
+            // restored for Phase 2.
+            let intermediate_edges: Vec<(VertexId, VertexId, Value)> = self
+                .host
+                .iter_edges()
+                .filter(|(u, _, _)| touched.binary_search(u).is_err())
+                .collect();
+            let maintained = std::mem::replace(
+                &mut self.csr,
+                CsrPair::new(jetstream_graph::Csr::from_edges(
+                    self.host.num_vertices(),
+                    &intermediate_edges,
+                )),
+            );
             self.run_queue();
+            self.csr = maintained;
         }
 
         // Phase 2 — re-insertion events over the new out-edges.
+        let mut edges = std::mem::take(&mut self.edge_scratch);
         for (&u, &old_state) in touched.iter().zip(snapshot.iter()) {
-            let deg = new_csr.out.degree(u);
+            let deg = self.csr.out.degree(u);
             let wsum: Value = if self.alg.needs_weight_sum() {
-                new_csr.out.neighbors(u).map(|e| e.weight).sum()
+                self.csr.out.neighbors(u).map(|e| e.weight).sum()
             } else {
                 0.0
             };
@@ -1334,20 +1403,23 @@ impl ShardedEngine {
                 AccumulativeRecovery::Coalesced => old_state,
             };
             self.stats.vertex_reads += 1;
-            let edges: Vec<_> = new_csr.out.neighbors(u).collect();
-            for e in edges {
+            edges.clear();
+            edges.extend(self.csr.out.neighbors(u).map(|e| (e.other, e.weight)));
+            for &(v, w) in &edges {
                 self.stats.stream_reads += 1;
-                let ctx = EdgeCtx { weight: e.weight, out_degree: deg, weight_sum: wsum };
+                let ctx = EdgeCtx { weight: w, out_degree: deg, weight_sum: wsum };
                 if let Some(c) = self.alg.cumulative_edge_contribution(state, &ctx) {
                     if self.alg.changes_state(0.0, c) {
-                        self.seed_emit(Event::regular(e.other, c));
+                        self.seed_emit(Event::regular(v, c));
                     }
                 }
             }
         }
+        edges.clear();
+        self.edge_scratch = edges;
 
-        // Phase 3 — recompute on the new graph version.
-        self.csr = new_csr;
+        // Phase 3 — recompute on the new graph version (the mirror already
+        // points at it).
         self.run_queue();
         Ok(())
     }

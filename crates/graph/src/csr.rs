@@ -10,25 +10,58 @@ pub struct EdgeRef {
     pub weight: Weight,
 }
 
-/// Compressed Sparse Row adjacency structure.
+/// Compressed Sparse Row adjacency structure with per-row slack.
 ///
 /// This is the on-device graph representation of GraphPulse and JetStream
-/// (§4.7): a row-pointer array of `num_vertices + 1` offsets plus contiguous
-/// target and weight arrays. Edges within a row are sorted by target id so
-/// lookups are `O(log degree)` and iteration order is deterministic.
+/// (§4.7), laid out as a *gapped* (slotted) CSR so the host can maintain it
+/// in place between batches instead of rebuilding it from scratch
+/// (DESIGN.md §17):
 ///
-/// A `Csr` is immutable; the host builds a fresh snapshot from an
-/// [`AdjacencyGraph`](crate::AdjacencyGraph) after every update batch and
-/// swaps the pointer, exactly as the paper assumes.
-#[derive(Debug, Clone, PartialEq)]
+/// * `starts[v]` / `lens[v]` / `caps[v]` describe vertex `v`'s row: the
+///   live entries occupy `targets[starts[v] .. starts[v] + lens[v]]`
+///   (sorted by target id), and `caps[v] - lens[v]` spare slots follow so
+///   a small insertion shifts `O(degree(v))` entries instead of `O(E)`.
+/// * A row that outgrows its slots is relocated to the arena tail with
+///   fresh PMA-style slack; the abandoned extent becomes a tombstoned hole
+///   reclaimed by the next compaction (see `dcsr`).
+///
+/// Readers never observe any of this: `degree`, `neighbors`, `edge_weight`,
+/// and `iter_edges` present exactly the dense-CSR contract — ascending
+/// neighbor order per row, deterministic iteration — that the kernel's
+/// traversal and the differential test matrix rely on. The in-place
+/// maintenance entry points live in the [`dcsr`](crate::dcsr) module.
+#[derive(Debug, Clone)]
 pub struct Csr {
-    offsets: Vec<usize>,
-    targets: Vec<VertexId>,
-    weights: Vec<Weight>,
+    pub(crate) starts: Vec<usize>,
+    pub(crate) lens: Vec<usize>,
+    pub(crate) caps: Vec<usize>,
+    pub(crate) targets: Vec<VertexId>,
+    pub(crate) weights: Vec<Weight>,
+    pub(crate) live: usize,
+}
+
+/// Two CSRs are equal when they describe the same graph: identical vertex
+/// counts and identical per-row live edges. The physical layout (slack
+/// distribution, tombstoned holes, arena order) is maintenance state and
+/// does not affect equality — an incrementally maintained CSR equals its
+/// from-scratch rebuild.
+impl PartialEq for Csr {
+    fn eq(&self, other: &Self) -> bool {
+        if self.num_vertices() != other.num_vertices() || self.live != other.live {
+            return false;
+        }
+        (0..self.num_vertices()).all(|v| {
+            // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
+            let v = v as VertexId;
+            self.row_targets(v) == other.row_targets(v)
+                && self.row_weights(v) == other.row_weights(v)
+        })
+    }
 }
 
 impl Csr {
-    /// Builds a CSR from an unsorted edge list.
+    /// Builds a CSR from an unsorted edge list (dense: every row starts
+    /// with zero slack).
     ///
     /// Duplicate `(source, target)` pairs are kept as parallel edges; use
     /// [`AdjacencyGraph`](crate::AdjacencyGraph) if you need simple-graph
@@ -44,36 +77,43 @@ impl Csr {
             assert!((v as usize) < num_vertices, "target {v} out of range"); // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
             degree[u as usize] += 1; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
         }
-        let mut offsets = Vec::with_capacity(num_vertices + 1);
-        offsets.push(0);
+        let mut starts = Vec::with_capacity(num_vertices);
         let mut total = 0usize;
         for d in &degree {
+            starts.push(total);
             total += d;
-            offsets.push(total);
         }
         let num_edges = edges.len();
         let mut targets = vec![0 as VertexId; num_edges]; // cast-ok: the literal 0 fits every vertex-id width
         let mut weights = vec![0.0 as Weight; num_edges];
-        let mut cursor = offsets[..num_vertices].to_vec();
+        let mut cursor = starts.clone();
         for &(u, v, w) in edges {
             let at = cursor[u as usize]; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
             targets[at] = v;
             weights[at] = w;
             cursor[u as usize] += 1; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
         }
-        let mut csr = Csr { offsets, targets, weights };
+        let caps = degree.clone();
+        let mut csr = Csr { starts, lens: degree, caps, targets, weights, live: num_edges };
         csr.sort_rows();
         csr
     }
 
     /// Builds an empty graph with `num_vertices` vertices and no edges.
     pub fn empty(num_vertices: usize) -> Self {
-        Csr { offsets: vec![0; num_vertices + 1], targets: Vec::new(), weights: Vec::new() }
+        Csr {
+            starts: vec![0; num_vertices],
+            lens: vec![0; num_vertices],
+            caps: vec![0; num_vertices],
+            targets: Vec::new(),
+            weights: Vec::new(),
+            live: 0,
+        }
     }
 
     fn sort_rows(&mut self) {
         for v in 0..self.num_vertices() {
-            let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
+            let (lo, hi) = (self.starts[v], self.starts[v] + self.lens[v]);
             let mut row: Vec<(VertexId, Weight)> = self.targets[lo..hi]
                 .iter()
                 .copied()
@@ -89,12 +129,31 @@ impl Csr {
 
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        self.offsets.len() - 1
+        self.starts.len()
     }
 
-    /// Number of directed edges.
+    /// Number of live directed edges (tombstoned slots excluded).
     pub fn num_edges(&self) -> usize {
+        self.live
+    }
+
+    /// Physical arena slots, live or not — `arena_slots() - num_edges()`
+    /// is the dead + slack space the compaction policy bounds (DESIGN.md
+    /// §17).
+    pub fn arena_slots(&self) -> usize {
         self.targets.len()
+    }
+
+    pub(crate) fn row_targets(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+        let lo = self.starts[v]; // panic-ok: documented contract: panics if v is out of range; engines only pass construction-checked ids
+        &self.targets[lo..lo + self.lens[v]]
+    }
+
+    pub(crate) fn row_weights(&self, v: VertexId) -> &[Weight] {
+        let v = v as usize; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+        let lo = self.starts[v]; // panic-ok: documented contract: panics if v is out of range; engines only pass construction-checked ids
+        &self.weights[lo..lo + self.lens[v]]
     }
 
     /// Out-degree of `v` (or in-degree, if this is an in-edge CSR).
@@ -103,8 +162,18 @@ impl Csr {
     ///
     /// Panics if `v` is out of range.
     pub fn degree(&self, v: VertexId) -> usize {
-        let v = v as usize; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
-        self.offsets[v + 1] - self.offsets[v] // panic-ok: documented contract: panics if v is out of range; engines only pass construction-checked ids
+        // panic-ok: documented contract: panics if v is out of range; engines only pass construction-checked ids
+        self.lens[v as usize] // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+    }
+
+    /// The targets of `v`'s edges in ascending order, without weights —
+    /// the cheap traversal for weight-oblivious propagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbor_targets(&self, v: VertexId) -> &[VertexId] {
+        self.row_targets(v)
     }
 
     /// Iterates over the edges of vertex `v` in ascending target order.
@@ -113,36 +182,26 @@ impl Csr {
     ///
     /// Panics if `v` is out of range.
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = EdgeRef> + '_ {
-        let v = v as usize; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
-        let (lo, hi) = (self.offsets[v], self.offsets[v + 1]); // panic-ok: documented contract: panics if v is out of range; engines only pass construction-checked ids
-        self.targets[lo..hi] // panic-ok: documented contract: panics if v is out of range; engines only pass construction-checked ids
+        self.row_targets(v)
             .iter()
-            .zip(self.weights[lo..hi].iter()) // panic-ok: documented contract: panics if v is out of range; engines only pass construction-checked ids
+            .zip(self.row_weights(v).iter())
             .map(|(&other, &weight)| EdgeRef { other, weight })
     }
 
     /// Returns the weight of edge `u -> v`, or `None` if absent.
     pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
         let ui = u as usize; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
-        if ui + 1 >= self.offsets.len() {
+        if ui >= self.starts.len() {
             return None;
         }
-        let (lo, hi) = (self.offsets[ui], self.offsets[ui + 1]);
-        let row = &self.targets[lo..hi];
-        row.binary_search(&v).ok().map(|i| self.weights[lo + i])
+        let row = self.row_targets(u);
+        // panic-ok: i is a binary_search hit in row_targets, and row_weights spans the same extent
+        row.binary_search(&v).ok().map(|i| self.row_weights(u)[i])
     }
 
     /// True if the edge `u -> v` exists.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         self.edge_weight(u, v).is_some()
-    }
-
-    /// The raw row-offset array (`num_vertices + 1` entries).
-    ///
-    /// Exposed so the hardware simulator can compute edge-pointer addresses
-    /// the way the real accelerator would.
-    pub fn offsets(&self) -> &[usize] {
-        &self.offsets
     }
 
     /// Iterates all edges as `(source, target, weight)` triples.
@@ -156,31 +215,26 @@ impl Csr {
     /// Checks the CSR's structural invariants, returning a description of
     /// the first violation found:
     ///
-    /// * the offset array starts at 0, is monotonically non-decreasing, and
-    ///   ends at the edge count;
-    /// * target and weight arrays have the same length;
-    /// * every target id is in range;
+    /// * descriptor arrays (`starts`/`lens`/`caps`) agree on the vertex
+    ///   count, and target and weight arenas have the same length;
+    /// * every row's live length fits its capacity and its extent fits the
+    ///   arena;
+    /// * row extents do not overlap (relocation must abandon, never alias);
+    /// * the live-edge count equals the sum of row lengths;
+    /// * every live target id is in range;
     /// * every row is sorted by target id (the deterministic-iteration
     ///   guarantee lookups and the simulator's address streams rely on).
     ///
     /// Always compiled; callers wire it into debug assertions under the
     /// `strict-invariants` feature.
     pub fn validate(&self) -> Result<(), String> {
-        if self.offsets.first() != Some(&0) {
-            return Err("offset array must start at 0".into());
-        }
-        if let Some(w) = self.offsets.windows(2).position(|w| w[0] > w[1]) {
+        let n = self.starts.len();
+        if self.lens.len() != n || self.caps.len() != n {
             return Err(format!(
-                "offsets decrease at vertex {w}: {} > {}",
-                self.offsets[w],
-                self.offsets[w + 1]
-            ));
-        }
-        if self.offsets.last() != Some(&self.targets.len()) {
-            return Err(format!(
-                "final offset {:?} != edge count {}",
-                self.offsets.last(),
-                self.targets.len()
+                "descriptor lengths disagree: {} starts, {} lens, {} caps",
+                n,
+                self.lens.len(),
+                self.caps.len()
             ));
         }
         if self.targets.len() != self.weights.len() {
@@ -190,12 +244,47 @@ impl Csr {
                 self.weights.len()
             ));
         }
-        let n = self.num_vertices() as u64;
-        if let Some(i) = self.targets.iter().position(|&t| t as u64 >= n) {
-            return Err(format!("target {} at edge {i} out of range (n = {n})", self.targets[i]));
+        let mut live = 0usize;
+        for v in 0..n {
+            if self.lens[v] > self.caps[v] {
+                return Err(format!(
+                    "row {v} holds {} live entries in {} slots",
+                    self.lens[v], self.caps[v]
+                ));
+            }
+            if self.starts[v] + self.caps[v] > self.targets.len() {
+                return Err(format!(
+                    "row {v} extent [{}, {}) exceeds the arena ({} slots)",
+                    self.starts[v],
+                    self.starts[v] + self.caps[v],
+                    self.targets.len()
+                ));
+            }
+            live += self.lens[v];
         }
-        for v in 0..self.num_vertices() {
-            let row = &self.targets[self.offsets[v]..self.offsets[v + 1]];
+        if live != self.live {
+            return Err(format!("live counter {} but rows sum to {live}", self.live));
+        }
+        // Occupied extents must be pairwise disjoint: sort them by start
+        // and check adjacent pairs.
+        let mut extents: Vec<(usize, usize)> =
+            (0..n).filter(|&v| self.caps[v] > 0).map(|v| (self.starts[v], self.caps[v])).collect();
+        extents.sort_unstable();
+        if let Some(w) = extents.windows(2).find(|w| w[0].0 + w[0].1 > w[1].0) {
+            return Err(format!(
+                "row extents overlap: [{}, {}) and [{}, ..)",
+                w[0].0,
+                w[0].0 + w[0].1,
+                w[1].0
+            ));
+        }
+        let nv = n as u64;
+        for v in 0..n {
+            // cast-ok: index < num_vertices <= u32::MAX, enforced at graph construction
+            let row = self.row_targets(v as VertexId);
+            if let Some(i) = row.iter().position(|&t| t as u64 >= nv) {
+                return Err(format!("target {} in row {v} out of range (n = {nv})", row[i]));
+            }
             if !row.is_sorted() {
                 return Err(format!("row of vertex {v} is not sorted by target"));
             }
@@ -216,7 +305,8 @@ impl Csr {
 ///
 /// JetStream reads outgoing edges during propagation and incoming edges when
 /// issuing *request* events in the re-approximation phase (§3.4), so the host
-/// maintains both structures (§4.7).
+/// maintains both structures (§4.7). Both views are delta-maintainable in
+/// place via [`CsrPair::apply_batch`](crate::CsrPair::apply_batch).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrPair {
     /// Outgoing-edge CSR.
@@ -365,6 +455,34 @@ mod tests {
         for (u, v, w) in pair.out.iter_edges() {
             assert_eq!(pair.inc.edge_weight(v, u), Some(w));
         }
+    }
+
+    #[test]
+    fn equality_ignores_physical_layout() {
+        // Same rows, different arena: a padded layout equals the dense one.
+        let dense = diamond();
+        let mut padded = dense.clone();
+        // Relocate row 0 to the tail with slack, leaving a tombstoned hole.
+        let row0: Vec<_> = padded.row_targets(0).to_vec();
+        let w0: Vec<_> = padded.row_weights(0).to_vec();
+        let new_start = padded.targets.len();
+        padded.targets.extend_from_slice(&row0);
+        padded.weights.extend_from_slice(&w0);
+        padded.targets.extend_from_slice(&[0, 0]); // slack slots
+        padded.weights.extend_from_slice(&[0.0, 0.0]);
+        padded.starts[0] = new_start;
+        padded.caps[0] = row0.len() + 2;
+        assert_eq!(padded.validate(), Ok(()));
+        assert_eq!(padded, dense);
+        assert_ne!(padded.arena_slots(), dense.arena_slots());
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_extents() {
+        let mut g = Csr::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        g.caps[0] = 2; // row 0's extent now covers row 1's slot
+        let err = g.validate().expect_err("overlapping extents must be rejected");
+        assert!(err.contains("overlap"));
     }
 
     #[test]

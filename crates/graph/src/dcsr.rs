@@ -1,0 +1,320 @@
+//! Delta maintenance for the gapped CSR (DESIGN.md §17).
+//!
+//! The paper's host loop (§4.7) conceptually writes a *fresh* CSR after
+//! every batch; rebuilding is `O(E)` even when the batch touches a handful
+//! of rows. This module makes the [`Csr`] of `csr.rs` *delta-maintainable*
+//! instead: [`CsrPair::apply_batch`] edits both the out- and in-edge views
+//! in place in `O(Σ degree(touched) · log degree)` — binary-search each
+//! touched row, shift within the row's slack, and only relocate a row to
+//! the arena tail when it outgrows its slots (PMA-style amortized growth).
+//! Deletes shift within the row and leave the freed slot as reusable
+//! slack; relocation abandons the old extent as a tombstoned hole. When
+//! dead + slack space exceeds the live edge count (plus a fixed slop so
+//! tiny graphs never thrash), the arena is compacted back to dense in
+//! `O(V + E)` — amortized over the ≥ `E` maintenance operations it took
+//! to create that much garbage, so the per-update cost stays `O(degree)`.
+//!
+//! # Contract
+//!
+//! Maintenance assumes a *simple* graph (no parallel edges), which is what
+//! [`AdjacencyGraph`](crate::AdjacencyGraph) enforces before any engine
+//! calls in here; rows with parallel edges (possible via
+//! [`Csr::from_edges`]) remain readable but must not be maintained. On
+//! `Err` the pair may be partially updated and must be discarded — the
+//! engines only apply batches the host graph has already validated, so
+//! they never hit this path.
+
+use crate::{Csr, CsrPair, GraphError, UpdateBatch, VertexId, Weight};
+
+/// Smallest slot count a relocated row receives: rows that grow once tend
+/// to grow again, so even degree-1 rows get room for a few more edges.
+const MIN_ROW_CAP: usize = 4;
+
+/// Fixed compaction slop: dead + slack space below this never triggers a
+/// compaction, so small graphs keep their slack instead of re-densifying
+/// after every batch.
+const COMPACT_SLOP: usize = 64;
+
+impl Csr {
+    /// Inserts `u -> v` with weight `w`, keeping row `u` sorted.
+    ///
+    /// `O(degree(u))`: binary search plus an in-row shift; amortized the
+    /// same when the row relocates for growth.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::DuplicateEdge`] if the edge exists,
+    /// [`GraphError::VertexOutOfRange`] for bad endpoints.
+    pub fn insert_sorted(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<(), GraphError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let ui = u as usize; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+        let start = self.starts[ui];
+        let len = self.lens[ui];
+        match self.targets[start..start + len].binary_search(&v) {
+            Ok(_) => Err(GraphError::DuplicateEdge { source: u, target: v }),
+            Err(pos) => {
+                if len < self.caps[ui] {
+                    // Room in the row's slack: shift the tail one slot right.
+                    self.targets.copy_within(start + pos..start + len, start + pos + 1);
+                    self.weights.copy_within(start + pos..start + len, start + pos + 1);
+                    self.targets[start + pos] = v;
+                    self.weights[start + pos] = w;
+                } else {
+                    self.relocate_insert(ui, pos, v, w);
+                }
+                self.lens[ui] += 1;
+                self.live += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes `u -> v`, returning its weight. The freed slot becomes
+    /// slack at the row's tail; `O(degree(u))`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::MissingEdge`] if absent,
+    /// [`GraphError::VertexOutOfRange`] for bad endpoints.
+    pub fn remove_sorted(&mut self, u: VertexId, v: VertexId) -> Result<Weight, GraphError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let ui = u as usize; // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+        let start = self.starts[ui];
+        let len = self.lens[ui];
+        match self.targets[start..start + len].binary_search(&v) {
+            Ok(pos) => {
+                let w = self.weights[start + pos];
+                self.targets.copy_within(start + pos + 1..start + len, start + pos);
+                self.weights.copy_within(start + pos + 1..start + len, start + pos);
+                self.lens[ui] -= 1;
+                self.live -= 1;
+                Ok(w)
+            }
+            Err(_) => Err(GraphError::MissingEdge { source: u, target: v }),
+        }
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<(), GraphError> {
+        // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
+        if (v as usize) < self.starts.len() {
+            Ok(())
+        } else {
+            Err(GraphError::VertexOutOfRange { vertex: v, num_vertices: self.starts.len() })
+        }
+    }
+
+    /// Moves row `ui` to the arena tail with fresh slack (1.5x growth, at
+    /// least [`MIN_ROW_CAP`] slots), inserting `(v, w)` at `pos` on the
+    /// way. The old extent is abandoned as a tombstoned hole for the next
+    /// compaction.
+    fn relocate_insert(&mut self, ui: usize, pos: usize, v: VertexId, w: Weight) {
+        let old_start = self.starts[ui];
+        let len = self.lens[ui];
+        let new_cap = (len + len / 2 + 1).max(MIN_ROW_CAP);
+        let new_start = self.targets.len();
+        self.targets.resize(new_start + new_cap, 0);
+        self.weights.resize(new_start + new_cap, 0.0);
+        self.targets.copy_within(old_start..old_start + pos, new_start);
+        self.weights.copy_within(old_start..old_start + pos, new_start);
+        self.targets[new_start + pos] = v;
+        self.weights[new_start + pos] = w;
+        self.targets.copy_within(old_start + pos..old_start + len, new_start + pos + 1);
+        self.weights.copy_within(old_start + pos..old_start + len, new_start + pos + 1);
+        self.starts[ui] = new_start;
+        self.caps[ui] = new_cap;
+    }
+
+    /// Compacts the arena back to dense layout (zero slack, no holes) when
+    /// dead + slack space exceeds the live edge count plus a fixed slop.
+    /// `O(V + E)`, amortized over the maintenance that produced the
+    /// garbage.
+    pub fn maybe_compact(&mut self) -> bool {
+        if self.targets.len() > self.live * 2 + COMPACT_SLOP {
+            self.compact();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn compact(&mut self) {
+        let mut targets = Vec::with_capacity(self.live);
+        let mut weights = Vec::with_capacity(self.live);
+        for ui in 0..self.starts.len() {
+            let start = self.starts[ui];
+            let len = self.lens[ui];
+            self.starts[ui] = targets.len();
+            self.caps[ui] = len;
+            targets.extend_from_slice(&self.targets[start..start + len]);
+            weights.extend_from_slice(&self.weights[start..start + len]);
+        }
+        self.targets = targets;
+        self.weights = weights;
+    }
+}
+
+impl CsrPair {
+    /// Applies an update batch to both views in place: deletions first,
+    /// then insertions, mirroring
+    /// [`AdjacencyGraph::apply_batch`](crate::AdjacencyGraph::apply_batch)
+    /// so the maintained pair stays bit-identical to a from-scratch
+    /// rebuild of the mutated host graph — rows, iteration order, weights,
+    /// and out/in duality.
+    ///
+    /// Cost: `O(Σ degree(touched) · log degree)` plus an amortized
+    /// compaction; compare `O(E)` for `snapshot_pair()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] hit (missing deletion, duplicate
+    /// insertion, out-of-range endpoint). **On error the pair may be
+    /// partially updated and must be discarded** — validate batches
+    /// against the host graph first, as the engines do.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<(), GraphError> {
+        for &(u, v) in batch.deletions() {
+            self.out.remove_sorted(u, v)?;
+            self.inc.remove_sorted(v, u)?;
+        }
+        for &(u, v, w) in batch.insertions() {
+            if u == v {
+                return Err(GraphError::SelfLoop { vertex: u });
+            }
+            self.out.insert_sorted(u, v, w)?;
+            self.inc.insert_sorted(v, u, w)?;
+        }
+        self.out.maybe_compact();
+        self.inc.maybe_compact();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair_of(edges: &[(VertexId, VertexId, Weight)], n: usize) -> CsrPair {
+        CsrPair::new(Csr::from_edges(n, edges))
+    }
+
+    #[test]
+    fn insert_into_slack_and_relocation() {
+        let mut g = Csr::from_edges(4, &[(0, 1, 1.0)]);
+        // Dense build: row 0 has no slack, first insert relocates.
+        assert_eq!(g.caps[0], 1);
+        g.insert_sorted(0, 3, 3.0).expect("insert of a new edge succeeds");
+        assert!(g.caps[0] >= MIN_ROW_CAP);
+        // Second insert lands in the fresh slack, sorted into place.
+        g.insert_sorted(0, 2, 2.0).expect("insert of a new edge succeeds");
+        let ns: Vec<_> = g.neighbors(0).map(|e| e.other).collect();
+        assert_eq!(ns, vec![1, 2, 3]);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn remove_leaves_reusable_slack() {
+        let mut g = Csr::from_edges(3, &[(0, 1, 1.0), (0, 2, 2.0)]);
+        assert_eq!(g.remove_sorted(0, 1).expect("edge exists"), 1.0);
+        let before = g.arena_slots();
+        // Re-inserting reuses the freed slot: no arena growth.
+        g.insert_sorted(0, 1, 9.0).expect("insert of a new edge succeeds");
+        assert_eq!(g.arena_slots(), before);
+        assert_eq!(g.edge_weight(0, 1), Some(9.0));
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_and_missing_are_typed_errors() {
+        let mut g = Csr::from_edges(3, &[(0, 1, 1.0)]);
+        assert_eq!(
+            g.insert_sorted(0, 1, 2.0),
+            Err(GraphError::DuplicateEdge { source: 0, target: 1 })
+        );
+        assert_eq!(g.remove_sorted(1, 0), Err(GraphError::MissingEdge { source: 1, target: 0 }));
+        assert!(matches!(
+            g.insert_sorted(0, 9, 1.0),
+            Err(GraphError::VertexOutOfRange { vertex: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn pair_apply_batch_matches_rebuild() {
+        let mut pair = pair_of(&[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)], 4);
+        let mut batch = UpdateBatch::new();
+        batch.delete(1, 2);
+        batch.insert(1, 3, 4.0);
+        batch.insert(3, 0, 5.0);
+        pair.apply_batch(&batch).expect("valid batch applies");
+        let rebuilt = pair_of(&[(0, 1, 1.0), (2, 0, 3.0), (1, 3, 4.0), (3, 0, 5.0)], 4);
+        assert_eq!(pair, rebuilt);
+        assert_eq!(pair.validate(), Ok(()));
+    }
+
+    #[test]
+    fn compaction_restores_dense_arena() {
+        let mut g = Csr::empty(8);
+        // Grow rows enough to force relocations, then delete everything:
+        // the arena is now mostly garbage and must compact.
+        for u in 0..8u32 {
+            for v in 0..8u32 {
+                if u != v {
+                    g.insert_sorted(u, v, 1.0).expect("insert of a new edge succeeds");
+                }
+            }
+        }
+        for u in 0..8u32 {
+            for v in 0..8u32 {
+                if u != v && v % 2 == 0 {
+                    g.remove_sorted(u, v).expect("edge exists");
+                }
+            }
+        }
+        assert_eq!(g.validate(), Ok(()));
+        let live = g.num_edges();
+        while !g.maybe_compact() {
+            // Keep shrinking until the policy fires (small graphs sit
+            // under the slop; force it by dropping the slop's worth).
+            let before = g.num_edges();
+            'outer: for u in 0..8u32 {
+                for v in 0..8u32 {
+                    if g.has_edge(u, v) {
+                        g.remove_sorted(u, v).expect("edge exists");
+                        break 'outer;
+                    }
+                }
+            }
+            if g.num_edges() == before {
+                break;
+            }
+        }
+        let _ = live;
+        assert_eq!(g.validate(), Ok(()));
+        // After a compaction (or a fully-drained graph) the arena is tight.
+        if g.num_edges() == 0 {
+            g.compact();
+        }
+        assert!(g.arena_slots() <= g.num_edges() * 2 + 64);
+    }
+
+    #[test]
+    fn pair_rejects_self_loop_insertion() {
+        let mut pair = pair_of(&[(0, 1, 1.0)], 3);
+        let mut batch = UpdateBatch::new();
+        batch.insert(2, 2, 1.0);
+        assert_eq!(pair.apply_batch(&batch), Err(GraphError::SelfLoop { vertex: 2 }));
+    }
+
+    #[test]
+    fn delete_then_reinsert_same_batch_is_a_weight_change() {
+        let mut pair = pair_of(&[(0, 1, 1.0), (1, 0, 2.0)], 2);
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, 1);
+        batch.insert(0, 1, 7.5);
+        pair.apply_batch(&batch).expect("valid batch applies");
+        assert_eq!(pair.out.edge_weight(0, 1), Some(7.5));
+        assert_eq!(pair.inc.edge_weight(1, 0), Some(7.5));
+        assert_eq!(pair.num_edges(), 2);
+    }
+}

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod csr;
+mod dcsr;
 mod error;
 mod mutable;
 mod update;

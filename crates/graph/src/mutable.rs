@@ -20,6 +20,11 @@ pub struct AdjacencyGraph {
     rows: Vec<BTreeMap<VertexId, Weight>>,
     num_edges: usize,
     version: u64,
+    // Reusable validation scratch for `apply_batch`: sorted probe slices
+    // that replace the two per-batch `BTreeSet` allocations. Always empty
+    // between calls; excluded from equality.
+    scratch_deleted: Vec<(VertexId, VertexId)>,
+    scratch_pending: Vec<(VertexId, VertexId)>,
 }
 
 /// Two graphs are equal when they have the same vertices and edges; the
@@ -33,7 +38,13 @@ impl PartialEq for AdjacencyGraph {
 impl AdjacencyGraph {
     /// Creates a graph with `num_vertices` vertices and no edges.
     pub fn new(num_vertices: usize) -> Self {
-        AdjacencyGraph { rows: vec![BTreeMap::new(); num_vertices], num_edges: 0, version: 0 }
+        AdjacencyGraph {
+            rows: vec![BTreeMap::new(); num_vertices],
+            num_edges: 0,
+            version: 0,
+            scratch_deleted: Vec::new(),
+            scratch_pending: Vec::new(),
+        }
     }
 
     /// Builds a graph from an edge list, ignoring duplicate edges and
@@ -155,13 +166,41 @@ impl AdjacencyGraph {
     ///
     /// Deletions are validated against the pre-batch graph and insertions
     /// must not duplicate surviving edges. A batch may delete an edge and
-    /// re-insert it (a weight change).
+    /// re-insert it (a weight change), but may delete each edge at most
+    /// once.
     ///
     /// # Errors
     ///
     /// Returns the first validation error found; the graph is left untouched.
+    // hot-path
     pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<(), GraphError> {
-        // Validate deletions.
+        let mut deleted = std::mem::take(&mut self.scratch_deleted);
+        let mut pending = std::mem::take(&mut self.scratch_pending);
+        let result = self.apply_batch_with(batch, &mut deleted, &mut pending);
+        deleted.clear();
+        pending.clear();
+        self.scratch_deleted = deleted;
+        self.scratch_pending = pending;
+        result
+    }
+
+    // hot-path
+    fn apply_batch_with(
+        &mut self,
+        batch: &UpdateBatch,
+        deleted: &mut Vec<(VertexId, VertexId)>,
+        pending: &mut Vec<(VertexId, VertexId)>,
+    ) -> Result<(), GraphError> {
+        // Validate deletions against the pre-batch graph. A batch may
+        // delete each edge at most once; a repeat is deleting an edge the
+        // batch already removed.
+        deleted.extend_from_slice(batch.deletions());
+        deleted.sort_unstable();
+        for (a, b) in deleted.iter().zip(deleted.iter().skip(1)) {
+            if a == b {
+                return Err(GraphError::MissingEdge { source: a.0, target: a.1 });
+            }
+        }
         for &(u, v) in batch.deletions() {
             self.check_vertex(u)?;
             self.check_vertex(v)?;
@@ -169,28 +208,33 @@ impl AdjacencyGraph {
                 return Err(GraphError::MissingEdge { source: u, target: v });
             }
         }
-        // Validate insertions against the graph state after deletions.
-        let deleted: std::collections::BTreeSet<(VertexId, VertexId)> =
-            batch.deletions().iter().copied().collect();
-        let mut pending: std::collections::BTreeSet<(VertexId, VertexId)> =
-            std::collections::BTreeSet::new();
+        // Validate insertions against the graph state after deletions,
+        // probing the sorted scratch slices instead of allocating sets.
+        pending.extend(batch.insertions().iter().map(|&(u, v, _)| (u, v)));
+        pending.sort_unstable();
+        for (a, b) in pending.iter().zip(pending.iter().skip(1)) {
+            if a == b {
+                return Err(GraphError::DuplicateEdge { source: a.0, target: a.1 });
+            }
+        }
         for &(u, v, _) in batch.insertions() {
             self.check_vertex(u)?;
             self.check_vertex(v)?;
             if u == v {
                 return Err(GraphError::SelfLoop { vertex: u });
             }
-            let survives = self.has_edge(u, v) && !deleted.contains(&(u, v));
-            if survives || !pending.insert((u, v)) {
+            if self.has_edge(u, v) && deleted.binary_search(&(u, v)).is_err() {
                 return Err(GraphError::DuplicateEdge { source: u, target: v });
             }
         }
         // Commit.
         for &(u, v) in batch.deletions() {
+            // panic-ok: u passed check_vertex during the validation pass above
             self.rows[u as usize].remove(&v); // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
             self.num_edges -= 1;
         }
         for &(u, v, w) in batch.insertions() {
+            // panic-ok: u passed check_vertex during the validation pass above
             self.rows[u as usize].insert(v, w); // cast-ok: VertexId is u32 -> usize is lossless on the >=32-bit targets we support
             self.num_edges += 1;
         }
@@ -321,6 +365,19 @@ mod tests {
         batch.insert(0, 1, 2.0);
         batch.insert(0, 1, 3.0);
         assert!(g.apply_batch(&batch).is_err());
+    }
+
+    #[test]
+    fn batch_double_delete_same_edge_rejected() {
+        let mut g = AdjacencyGraph::new(3);
+        g.insert_edge(0, 1, 1.0).expect("insert of an in-range edge should succeed");
+        let before = g.clone();
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, 1);
+        batch.delete(0, 1); // would corrupt num_edges if committed
+        assert!(g.apply_batch(&batch).is_err());
+        assert_eq!(g, before);
+        assert_eq!(g.num_edges(), 1);
     }
 
     #[test]

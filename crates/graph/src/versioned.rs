@@ -7,9 +7,12 @@
 //!
 //! [`VersionedGraph`] is that storage: it keeps the evolving adjacency, the
 //! delta (the [`UpdateBatch`]) between consecutive versions, and a bounded
-//! window of materialized CSR snapshots. Committing a batch is `O(batch +
-//! snapshot)`; *activating* a retained version for the accelerator is the
-//! O(1) pointer swap the paper assumes. Old versions can be reconstructed
+//! window of materialized CSR snapshots. Committing a batch maintains the
+//! active [`CsrPair`] *incrementally* (`O(Σ degree(touched))`, DESIGN.md
+//! §17) — in place when nothing else holds the active `Arc`, via a flat
+//! copy-on-write otherwise, so retained old versions and external readers
+//! never observe the mutation; *activating* a retained version for the
+//! accelerator is the O(1) pointer swap the paper assumes. Old versions can be reconstructed
 //! from the delta chain as long as their deltas are retained — the
 //! Version-Traveler style time travel that lets analyses re-run queries
 //! against past graph states.
@@ -57,6 +60,22 @@ impl<E: std::error::Error + 'static> std::error::Error for CommitError<E> {
             CommitError::Hook(e) => Some(e),
         }
     }
+}
+
+/// How commits have maintained the active snapshot — the regression
+/// surface for the incremental-maintenance guarantee (a full `O(E)`
+/// rebuild happens exactly once, at construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Commits that edited the active snapshot in place (nothing else held
+    /// the `Arc`; retention had already dropped it).
+    pub in_place: u64,
+    /// Commits that flat-copied the snapshot before maintaining it
+    /// (copy-on-write: a retained version or external reader still holds
+    /// the old `Arc`).
+    pub cow_copies: u64,
+    /// Full `O(E)` CSR rebuilds. Pinned at 1 — construction only.
+    pub full_rebuilds: u64,
 }
 
 /// Multi-version graph store with O(1) snapshot activation.
@@ -109,6 +128,7 @@ pub struct VersionedGraph {
     history: VecDeque<VersionRecord>,
     retain: usize,
     version: u64,
+    stats: MaintenanceStats,
 }
 
 impl VersionedGraph {
@@ -122,7 +142,20 @@ impl VersionedGraph {
             delta: UpdateBatch::new(),
             snapshot: Some(Arc::clone(&active)),
         });
-        VersionedGraph { head: base, active, history, retain: retain.max(1), version: 0 }
+        VersionedGraph {
+            head: base,
+            active,
+            history,
+            retain: retain.max(1),
+            version: 0,
+            stats: MaintenanceStats { in_place: 0, cow_copies: 0, full_rebuilds: 1 },
+        }
+    }
+
+    /// Counters describing how commits have maintained the active
+    /// snapshot; see [`MaintenanceStats`].
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        self.stats
     }
 
     /// The current version id (0 for the base version).
@@ -145,6 +178,11 @@ impl VersionedGraph {
     /// Commits a batch, producing and activating a new version; returns the
     /// new version id.
     ///
+    /// The active [`CsrPair`] is maintained incrementally in
+    /// `O(Σ degree(touched))`: in place when retention has already dropped
+    /// every other reference to it, otherwise through a flat copy-on-write
+    /// so retained versions and external readers keep the old image.
+    ///
     /// # Errors
     ///
     /// Returns a [`GraphError`] when the batch is invalid against the head
@@ -152,18 +190,14 @@ impl VersionedGraph {
     pub fn commit(&mut self, batch: &UpdateBatch) -> Result<u64, GraphError> {
         self.head.apply_batch(batch)?;
         self.version += 1;
-        let snapshot = Arc::new(self.head.snapshot_pair());
-        self.active = Arc::clone(&snapshot);
-        self.history.push_back(VersionRecord {
-            version: self.version,
-            delta: batch.clone(),
-            snapshot: Some(snapshot),
-        });
-        // Evict the oldest materialized snapshots beyond the retention
-        // window; their deltas stay for provenance.
+        // Evict *before* materializing the new version: a snapshot the
+        // retention policy would drop on this same commit is never
+        // created, and dropping the oldest Arc now can leave `active`
+        // uniquely held so maintenance happens in place. Deltas stay for
+        // provenance.
         let materialized = self.history.iter().filter(|r| r.snapshot.is_some()).count();
-        if materialized > self.retain {
-            let mut to_unmaterialize = materialized - self.retain;
+        if materialized + 1 > self.retain {
+            let mut to_unmaterialize = materialized + 1 - self.retain;
             for record in self.history.iter_mut() {
                 if to_unmaterialize == 0 {
                     break;
@@ -174,6 +208,23 @@ impl VersionedGraph {
                 }
             }
         }
+        match Arc::get_mut(&mut self.active) {
+            Some(pair) => {
+                pair.apply_batch(batch).expect("invariant: head-validated batch applies to the mirror");
+                self.stats.in_place += 1;
+            }
+            None => {
+                let mut copy = CsrPair::clone(&self.active);
+                copy.apply_batch(batch).expect("invariant: head-validated batch applies to the mirror");
+                self.active = Arc::new(copy);
+                self.stats.cow_copies += 1;
+            }
+        }
+        self.history.push_back(VersionRecord {
+            version: self.version,
+            delta: batch.clone(),
+            snapshot: Some(Arc::clone(&self.active)),
+        });
         Ok(self.version)
     }
 
@@ -410,6 +461,51 @@ mod tests {
                 "version {v}"
             );
         }
+    }
+
+    #[test]
+    fn maintenance_counts_are_pinned() {
+        // retain = 1: eviction precedes materialization, so the active
+        // pair is uniquely held and every commit maintains it in place —
+        // zero snapshot copies, zero full rebuilds after construction.
+        let mut s = VersionedGraph::new(gen::erdos_renyi(30, 100, 9), 1);
+        for i in 0..4u64 {
+            let batch = gen::random_batch(s.head(), 3, 1, 80 + i);
+            s.commit(&batch).expect("commit of an in-range batch should succeed");
+        }
+        assert_eq!(
+            s.maintenance_stats(),
+            MaintenanceStats { in_place: 4, cow_copies: 0, full_rebuilds: 1 }
+        );
+        // The maintained mirror is exactly the from-scratch snapshot.
+        assert_eq!(*s.active(), s.head().snapshot_pair());
+
+        // retain = 3: the newest history record pins the active Arc, so
+        // each commit takes exactly one flat copy — still never a rebuild.
+        let mut s = VersionedGraph::new(gen::erdos_renyi(30, 100, 9), 3);
+        for i in 0..4u64 {
+            let batch = gen::random_batch(s.head(), 3, 1, 90 + i);
+            s.commit(&batch).expect("commit of an in-range batch should succeed");
+        }
+        assert_eq!(
+            s.maintenance_stats(),
+            MaintenanceStats { in_place: 0, cow_copies: 4, full_rebuilds: 1 }
+        );
+        assert_eq!(*s.active(), s.head().snapshot_pair());
+
+        // An external reader (the accelerator mid-computation) forces COW
+        // even at retain = 1, and its image stays frozen.
+        let mut s = VersionedGraph::new(gen::erdos_renyi(30, 100, 9), 1);
+        let held = s.active();
+        let frozen_edges = held.num_edges();
+        let batch = gen::random_batch(s.head(), 5, 0, 99);
+        s.commit(&batch).expect("commit of an in-range batch should succeed");
+        assert_eq!(held.num_edges(), frozen_edges);
+        assert_eq!(s.active().num_edges(), frozen_edges + 5);
+        assert_eq!(
+            s.maintenance_stats(),
+            MaintenanceStats { in_place: 0, cow_copies: 1, full_rebuilds: 1 }
+        );
     }
 
     #[test]

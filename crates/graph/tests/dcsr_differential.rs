@@ -1,0 +1,248 @@
+//! Differential fuzz suite for the delta-maintained CSR (DESIGN.md §17).
+//!
+//! The contract of `CsrPair::apply_batch` is that incremental maintenance
+//! is *bit-identical* to a from-scratch `Csr::from_edges` rebuild of the
+//! mutated host graph: same rows, same ascending neighbor order, same
+//! weights, and exact out/in duality. Every test here drives a maintained
+//! pair and an `AdjacencyGraph` oracle through the same batch sequence and
+//! compares full traversals after every batch — through slack growth, row
+//! relocations, tombstoned deletes, and compaction.
+
+use jetstream_graph::rng::DetRng;
+use jetstream_graph::{gen, AdjacencyGraph, CsrPair, UpdateBatch, VertexId};
+
+/// Compares the maintained pair against a from-scratch rebuild of `host`:
+/// structural equality, exact traversal sequences, and internal validity.
+fn assert_identical(maintained: &CsrPair, host: &AdjacencyGraph, ctx: &str) {
+    assert_eq!(maintained.validate(), Ok(()), "{ctx}: maintained pair must validate");
+    let rebuilt = host.snapshot_pair();
+    assert_eq!(maintained.out, rebuilt.out, "{ctx}: out view differs from rebuild");
+    assert_eq!(maintained.inc, rebuilt.inc, "{ctx}: in view differs from rebuild");
+    // Traversal is the contract: the exact edge sequence the kernel would
+    // dereference, not just set equality.
+    let a: Vec<_> = maintained.out.iter_edges().collect();
+    let b: Vec<_> = rebuilt.out.iter_edges().collect();
+    assert_eq!(a, b, "{ctx}: out traversal sequence");
+    let a: Vec<_> = maintained.inc.iter_edges().collect();
+    let b: Vec<_> = rebuilt.inc.iter_edges().collect();
+    assert_eq!(a, b, "{ctx}: in traversal sequence");
+}
+
+fn vid(rng: &mut DetRng, n: usize) -> VertexId {
+    rng.gen_index(n) as VertexId // cast-ok: test graphs have far fewer than 2^32 vertices
+}
+
+/// A churn batch: deletes a random subset of existing edges, re-inserts
+/// some of them with fresh weights in the *same* batch (weight changes),
+/// and inserts fresh edges — the full shape `AdjacencyGraph::apply_batch`
+/// accepts.
+fn churn_batch(
+    host: &AdjacencyGraph,
+    rng: &mut DetRng,
+    max_inserts: usize,
+    max_deletes: usize,
+) -> UpdateBatch {
+    let n = host.num_vertices();
+    let mut batch = UpdateBatch::new();
+    let edges: Vec<(VertexId, VertexId, f64)> = host.iter_edges().collect();
+    let deletes = max_deletes.min(edges.len());
+    let mut picked: Vec<usize> = Vec::new();
+    while picked.len() < deletes {
+        let i = rng.gen_index(edges.len());
+        if !picked.contains(&i) {
+            picked.push(i);
+        }
+    }
+    let mut deleted: Vec<(VertexId, VertexId)> = Vec::new();
+    for &i in &picked {
+        let (u, v, _) = edges[i];
+        batch.delete(u, v);
+        deleted.push((u, v));
+    }
+    let mut pending: Vec<(VertexId, VertexId)> = Vec::new();
+    for _ in 0..max_inserts {
+        // ~30% of insertions re-insert an edge deleted earlier in this
+        // batch — the delete-then-reinsert weight-change path.
+        if !deleted.is_empty() && rng.gen_bool(0.3) {
+            let (u, v) = deleted[rng.gen_index(deleted.len())];
+            if !pending.contains(&(u, v)) {
+                pending.push((u, v));
+                batch.insert(u, v, rng.gen_f64() * 4.0 + 0.5);
+            }
+            continue;
+        }
+        for _ in 0..32 {
+            let u = vid(rng, n);
+            let v = vid(rng, n);
+            let survives = host.has_edge(u, v) && !deleted.contains(&(u, v));
+            if u != v && !survives && !pending.contains(&(u, v)) {
+                pending.push((u, v));
+                batch.insert(u, v, rng.gen_f64() * 4.0 + 0.5);
+                break;
+            }
+        }
+    }
+    batch
+}
+
+/// Drives `batches` churn batches over an R-MAT-ish start graph, checking
+/// the maintained pair against the oracle after every batch. Returns how
+/// many times the arena visibly shrank (compactions observed).
+fn run_differential(seed: u64, num_vertices: usize, start_edges: usize, batches: usize) -> usize {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut host = gen::erdos_renyi(num_vertices, start_edges, seed ^ 0x9e37);
+    let mut maintained = host.snapshot_pair();
+    let mut compactions = 0;
+    for step in 0..batches {
+        let inserts = rng.gen_range(1, 9);
+        let deletes = rng.gen_range(0, 7);
+        let batch = churn_batch(&host, &mut rng, inserts, deletes);
+        let before = maintained.out.arena_slots() + maintained.inc.arena_slots();
+        host.apply_batch(&batch).expect("churn batches are valid by construction");
+        maintained.apply_batch(&batch).expect("host-validated batch applies to the mirror");
+        if maintained.out.arena_slots() + maintained.inc.arena_slots() < before {
+            compactions += 1;
+        }
+        // The compaction policy bounds garbage: after every batch each
+        // view's arena is at most twice the live edges plus the slop.
+        assert!(
+            maintained.out.arena_slots() <= 2 * maintained.out.num_edges() + 64,
+            "seed {seed} step {step}: out arena exceeds the compaction bound"
+        );
+        assert!(
+            maintained.inc.arena_slots() <= 2 * maintained.inc.num_edges() + 64,
+            "seed {seed} step {step}: in arena exceeds the compaction bound"
+        );
+        assert_identical(&maintained, &host, &format!("seed {seed} step {step}"));
+    }
+    compactions
+}
+
+#[test]
+fn fuzzed_maintenance_matches_rebuild_across_seeds() {
+    // 4 seeds x 300 batches = 1200 random insert/delete/reinsert batches,
+    // each checked edge-for-edge against the from-scratch rebuild.
+    let mut total_compactions = 0;
+    for seed in [11, 23, 47, 91] {
+        total_compactions += run_differential(seed, 48, 180, 300);
+    }
+    // The churn is heavy enough that the compaction path must have fired;
+    // otherwise the suite is not exercising relocation garbage at all.
+    assert!(total_compactions > 0, "no compaction ever triggered — fuzz too gentle");
+}
+
+#[test]
+fn dense_graph_heavy_delete_churn() {
+    // Small dense graph, deletion-heavy batches: rows shrink to empty and
+    // grow back, keeping lots of slack and tombstoned extents in play.
+    let mut rng = DetRng::seed_from_u64(7);
+    let mut host = gen::erdos_renyi(16, 120, 3);
+    let mut maintained = host.snapshot_pair();
+    for step in 0..200 {
+        let batch = churn_batch(&host, &mut rng, 3, 8);
+        host.apply_batch(&batch).expect("churn batches are valid by construction");
+        maintained.apply_batch(&batch).expect("host-validated batch applies to the mirror");
+        assert_identical(&maintained, &host, &format!("dense step {step}"));
+    }
+}
+
+#[test]
+fn empty_rows_stay_empty_and_reusable() {
+    // Vertices 8..16 start isolated (empty rows in both views); edges are
+    // later attached to them and removed again.
+    let mut host = AdjacencyGraph::new(16);
+    for v in 1..8u32 {
+        host.insert_edge(0, v, v as f64).expect("insert of an in-range edge should succeed");
+    }
+    let mut maintained = host.snapshot_pair();
+    assert_identical(&maintained, &host, "isolated start");
+
+    let mut batch = UpdateBatch::new();
+    for v in 8..16u32 {
+        batch.insert(v, 0, 1.0);
+        batch.insert(0, v, 2.0);
+    }
+    host.apply_batch(&batch).expect("batch touches only in-range vertices");
+    maintained.apply_batch(&batch).expect("host-validated batch applies to the mirror");
+    assert_identical(&maintained, &host, "attach isolated");
+
+    let mut batch = UpdateBatch::new();
+    for v in 8..16u32 {
+        batch.delete(v, 0);
+        batch.delete(0, v);
+    }
+    host.apply_batch(&batch).expect("batch touches only in-range vertices");
+    maintained.apply_batch(&batch).expect("host-validated batch applies to the mirror");
+    assert_identical(&maintained, &host, "detach isolated");
+    for v in 8..16u32 {
+        assert_eq!(maintained.out.degree(v), 0);
+        assert_eq!(maintained.inc.degree(v), 0);
+    }
+}
+
+#[test]
+fn max_degree_hub_grows_and_shrinks() {
+    // A hub with an out-edge to every other vertex: the maximum-degree row
+    // relocates repeatedly as it grows one edge at a time, then shrinks
+    // back through single deletes.
+    let n = 256usize;
+    let mut host = AdjacencyGraph::new(n);
+    let mut maintained = host.snapshot_pair();
+    for v in 1..n as u32 {
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, v, f64::from(v));
+        host.apply_batch(&batch).expect("batch touches only in-range vertices");
+        maintained.apply_batch(&batch).expect("host-validated batch applies to the mirror");
+    }
+    assert_eq!(maintained.out.degree(0), n - 1);
+    assert_identical(&maintained, &host, "hub fully grown");
+    // Delete every other spoke, then reinsert them with new weights.
+    let mut batch = UpdateBatch::new();
+    for v in (1..n as u32).step_by(2) {
+        batch.delete(0, v);
+    }
+    host.apply_batch(&batch).expect("batch touches only in-range vertices");
+    maintained.apply_batch(&batch).expect("host-validated batch applies to the mirror");
+    assert_identical(&maintained, &host, "hub half drained");
+    let mut batch = UpdateBatch::new();
+    for v in (1..n as u32).step_by(2) {
+        batch.insert(0, v, 0.25);
+    }
+    host.apply_batch(&batch).expect("batch touches only in-range vertices");
+    maintained.apply_batch(&batch).expect("host-validated batch applies to the mirror");
+    assert_identical(&maintained, &host, "hub refilled");
+}
+
+#[test]
+fn delete_then_reinsert_same_batch_matches_oracle() {
+    let mut host = gen::erdos_renyi(20, 60, 13);
+    let mut maintained = host.snapshot_pair();
+    let edges: Vec<_> = host.iter_edges().collect();
+    let mut batch = UpdateBatch::new();
+    // Reweight the first five edges in a single batch.
+    for &(u, v, w) in edges.iter().take(5) {
+        batch.delete(u, v);
+        batch.insert(u, v, w + 10.0);
+    }
+    host.apply_batch(&batch).expect("batch touches only in-range vertices");
+    maintained.apply_batch(&batch).expect("host-validated batch applies to the mirror");
+    assert_identical(&maintained, &host, "same-batch reweight");
+    for &(u, v, w) in edges.iter().take(5) {
+        assert_eq!(maintained.out.edge_weight(u, v), Some(w + 10.0));
+        assert_eq!(maintained.inc.edge_weight(v, u), Some(w + 10.0));
+    }
+}
+
+#[test]
+fn generator_batches_also_round_trip() {
+    // `gen::random_batch` is what the engines and benches feed through the
+    // maintenance path; make sure its shape is covered too.
+    let mut host = gen::erdos_renyi(64, 400, 29);
+    let mut maintained = host.snapshot_pair();
+    for i in 0..100u64 {
+        let batch = gen::random_batch(&host, 6, 3, 1000 + i);
+        host.apply_batch(&batch).expect("generated batches are valid against the graph");
+        maintained.apply_batch(&batch).expect("host-validated batch applies to the mirror");
+        assert_identical(&maintained, &host, &format!("generator step {i}"));
+    }
+}

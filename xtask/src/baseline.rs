@@ -87,7 +87,8 @@ fn check_file(rel: &Path, raw: &str, sections: &[String], findings: &mut Vec<Fin
 
 /// True for files covered by the hot-path allocation lint.
 fn is_hot_path_crate(rel: &Path) -> bool {
-    rel.to_string_lossy().starts_with("crates/core/src")
+    let rel = rel.to_string_lossy();
+    rel.starts_with("crates/core/src") || rel.starts_with("crates/graph/src")
 }
 
 fn check_hot_path_allocs(rel: &Path, raw: &str, views: &Views, findings: &mut Vec<Finding>) {

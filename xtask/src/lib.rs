@@ -106,7 +106,7 @@ pub enum Lint {
     /// A `§x.y` reference that is in neither PAPER.md nor DESIGN.md.
     PaperRef,
     /// An allocation (`Vec::new()` / `vec![..]` / `.clone()`) inside a
-    /// `// hot-path`-marked function in `crates/core`.
+    /// `// hot-path`-marked function in `crates/core` or `crates/graph`.
     HotPathAlloc,
     /// A nondeterminism source (clock, entropy, unordered collection) in
     /// the bit-determinism-critical crates.
@@ -212,7 +212,8 @@ impl Lint {
             }
             Lint::HotPathAlloc => {
                 "hot-path-alloc: no `Vec::new()`, `vec![..]`, or `.clone()` inside a \
-                 `// hot-path`-marked function in `crates/core`, nor in any function such a \
+                 `// hot-path`-marked function in `crates/core` or `crates/graph`, nor in \
+                 any function such a \
                  function transitively calls (the call-graph upgrade, DESIGN.md §14).\n\n\
                  DESIGN.md §12 commits the steady state to zero allocations: scratch \
                  buffers are preallocated and reused across rounds. Move the allocation to \
@@ -837,7 +838,7 @@ fn check_file(
     if in_scope(file.rel, &CONCURRENCY_SCOPE) && !in_scope(file.rel, &CONCURRENCY_APPROVED) {
         check_concurrency(file, findings);
     }
-    if in_scope(file.rel, &["crates/core/src"]) {
+    if in_scope(file.rel, &["crates/core/src", "crates/graph/src"]) {
         check_hot_path_allocs(file, findings);
     }
 }

@@ -180,6 +180,7 @@ impl ExecState for AsyncState<'_> {
     }
 
     fn impacted(&mut self, v: VertexId) {
+        // mutation-ok: the middle element is a constant sort key, uniform across every async record — any constant orders them identically
         self.impacted.push((self.pass, 0, v));
     }
 
@@ -302,6 +303,7 @@ impl WorkerLoop<'_> {
             self.shard.queue.take_all_into(&mut events);
             usize::MAX
         } else {
+            // mutation-ok: any bound draining at least one bin is a valid pass size — results are chunking-independent under the async equivalence contract
             for i in 0..self.chunk.min(nb) {
                 self.shard.queue.take_bin_into((self.bin_cursor + i) % nb, &mut events);
             }
@@ -315,6 +317,7 @@ impl WorkerLoop<'_> {
         }
 
         let work_before = self.shard.stats.events_processed + self.shard.stats.edge_reads;
+        // mutation-ok: processed only paces maybe_yield; its starting point shifts yield timing, never results
         let mut processed = 0usize;
         let mut st = AsyncState {
             lo: self.lo,
@@ -654,4 +657,123 @@ pub(crate) fn run_to_quiescence(
     // Keep the unused import warning-free: TraceEvent is part of this
     // module's documented protocol surface.
     let _ = std::mem::size_of::<TraceEvent>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueStats;
+    use jetstream_algorithms::Sssp;
+    use jetstream_graph::Csr;
+
+    // kills jm-3a60197c (async_mode.rs logic-swap in Detector::run:
+    // `a == b && sent == recvd` -> `||`): balanced sums alone must not
+    // confirm quiescence while consecutive probe rounds still observe
+    // different counters.
+    #[test]
+    fn quiescence_needs_two_identical_probe_rounds_not_just_balanced_sums() {
+        let log = RaceLog::default();
+        let (worker_factory, worker_rx) = sync::logged_hub::<ToWorker>(&log, 1);
+        let (status_factory, status_rx) = sync::logged_hub::<FromWorker>(&log, 0);
+        let mut det = Detector {
+            txs: vec![worker_factory.route(1, 0)],
+            rx: status_rx,
+            latest: vec![Some((0, 0))],
+            coord_sent: 0,
+            probe_id: 0,
+            aborted: false,
+        };
+        let status = status_factory.route(2, 1);
+        let worker = std::thread::spawn(move || {
+            let mut probes = 0u64;
+            // Scripted counters: the first probe answers (1, 1), every
+            // later one (2, 2). Sums balance in every round, but rounds
+            // one and two observe different counters, so the detector
+            // must run a second double-probe before declaring quiescence.
+            while let Ok(ToWorker::Probe(id)) = worker_rx.recv() {
+                probes += 1;
+                let c = if probes == 1 { 1 } else { 2 };
+                let idle = FromWorker::Idle { worker: 0, probe: id, sent: c, recvd: c };
+                if status.send(idle).is_err() {
+                    break;
+                }
+            }
+            probes
+        });
+        det.run();
+        assert!(!det.aborted);
+        // Close the probe channel — both sender handles — so the
+        // scripted worker's recv errors out and it exits.
+        drop(det);
+        drop(worker_factory);
+        let probes = worker.join().expect("scripted worker exits cleanly");
+        assert_eq!(probes, 4, "changed-but-balanced counters must force a second double-probe");
+    }
+
+    // kills jm-908d18ec (async_mode.rs const-01 in report_idle): the
+    // unsolicited-idle probe id must be 0 — any nonzero value could
+    // collide with a live probe id and satisfy a round the worker never
+    // actually answered at.
+    #[test]
+    fn unsolicited_idle_reports_carry_probe_id_zero() {
+        let log = RaceLog::default();
+        let (_to_factory, rx) = sync::logged_hub::<ToWorker>(&log, 1);
+        let (status_factory, status_rx) = sync::logged_hub::<FromWorker>(&log, 0);
+        let alg = Sssp::new(0);
+        let csr = CsrPair::new(Csr::from_edges(1, &[]));
+        let bounds = [0usize, 1];
+        let route_table = [0u8];
+        let mut shard = Shard {
+            lo: 0,
+            queue: CoalescingQueue::new(1, 1),
+            extra: QueueStats::default(),
+            stats: RunStats::default(),
+            rounds: 0,
+            impacted: Vec::new(),
+            overflow: Vec::new(),
+            round_costs: Vec::new(),
+            drain_scratch: Vec::new(),
+        };
+        let mut values = [0.0];
+        let mut dependency = [None];
+        let mut w = WorkerLoop {
+            worker: 0,
+            thread: 1,
+            lo: 0,
+            hi: 1,
+            cx: KernelCtx { alg: &alg, csr: &csr, delete_strategy: DeleteStrategy::Tag },
+            coalesce_deletes: true,
+            yield_every: None,
+            chunk: 0,
+            bounds: &bounds,
+            shard: &mut shard,
+            values: &mut values,
+            dependency: &mut dependency,
+            rx,
+            peers: vec![None],
+            status: status_factory.route(2, 1),
+            outfolds: vec![CoalescingQueue::new(1, 1)],
+            sent: 3,
+            recvd: 5,
+            pending_probe: Some(7),
+            stopped: false,
+            bin_cursor: 0,
+            log: log.clone(),
+            route_table: &route_table,
+        };
+        w.report_idle(); // answers the outstanding probe and clears it
+        w.report_idle(); // nothing pending: unsolicited
+        match status_rx.recv().expect("first report") {
+            FromWorker::Idle { worker, probe, sent, recvd } => {
+                assert_eq!((worker, probe, sent, recvd), (0, 7, 3, 5));
+            }
+            _ => panic!("expected an idle status"),
+        }
+        match status_rx.recv().expect("second report") {
+            FromWorker::Idle { probe, .. } => {
+                assert_eq!(probe, 0, "unsolicited reports must carry probe id 0");
+            }
+            _ => panic!("expected an idle status"),
+        }
+    }
 }

@@ -626,7 +626,10 @@ impl StreamingEngine {
         // full path. The CSR mirror is then maintained in place in
         // O(batch · degree) instead of rebuilt in O(E).
         self.host.apply_batch(batch)?;
-        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
+        #[allow(clippy::expect_used)] // invariant: `host` validated the batch above
+        self.csr
+            .apply_batch(batch)
+            .expect("invariant: host-validated batch applies to the CSR mirror");
         self.impacted.clear();
         // Phase 4 of the selective flow: inserted edges become regular
         // events on the new graph; the delete phases are skipped because
@@ -648,7 +651,10 @@ impl StreamingEngine {
     /// Returns a [`GraphError`] when the batch is invalid.
     pub fn cold_restart(&mut self, batch: &UpdateBatch) -> Result<RunStats, GraphError> {
         self.host.apply_batch(batch)?;
-        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
+        #[allow(clippy::expect_used)] // invariant: `host` validated the batch above
+        self.csr
+            .apply_batch(batch)
+            .expect("invariant: host-validated batch applies to the CSR mirror");
         Ok(self.initial_compute())
     }
 
@@ -820,7 +826,10 @@ impl StreamingEngine {
 
         // Graph switches to the new version (§3.5): the mirror is
         // maintained in place in O(batch · degree) instead of rebuilt.
-        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
+        #[allow(clippy::expect_used)] // invariant: `host` validated the batch above
+        self.csr
+            .apply_batch(batch)
+            .expect("invariant: host-validated batch applies to the CSR mirror");
 
         // Phase 3 — request events along each impacted vertex's incoming
         // edges (Algorithm 4, Reapproximate).
@@ -965,7 +974,10 @@ impl StreamingEngine {
         self.impacted.clear();
         // The CSR mirror advances to the new version in O(batch · degree);
         // phases that need the *old* adjacency use the captured slices.
-        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
+        #[allow(clippy::expect_used)] // invariant: `host` validated the batch above
+        self.csr
+            .apply_batch(batch)
+            .expect("invariant: host-validated batch applies to the CSR mirror");
 
         // Phase 1 — negative events for every old out-edge of a touched
         // vertex, using the old degree/weight-sum (Algorithm 3).
@@ -974,11 +986,8 @@ impl StreamingEngine {
         for (i, (&u, &state)) in touched.iter().zip(snapshot.iter()).enumerate() {
             let row = &old_edges[bounds[i]..bounds[i + 1]];
             let deg = row.len();
-            let wsum: Value = if self.alg.needs_weight_sum() {
-                row.iter().map(|&(_, w)| w).sum()
-            } else {
-                0.0
-            };
+            let wsum: Value =
+                if self.alg.needs_weight_sum() { row.iter().map(|&(_, w)| w).sum() } else { 0.0 };
             self.stats.vertex_reads += 1;
             let targets_start = self.tracer.targets_start();
             let mut generated = 0u32;
@@ -1181,6 +1190,18 @@ mod tests {
     fn strategy_labels_match_figure12() {
         let labels: Vec<_> = DeleteStrategy::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(labels, vec!["Base", "+VAP", "+DAP"]);
+    }
+
+    // Kills mutant jm-c20f8248 (`cap > 0` -> `cap >= 0` in `num_slices`):
+    // a zero capacity must fall back to a single slice, never reach the
+    // `div_ceil(0)` division.
+    #[test]
+    fn zero_queue_capacity_means_a_single_slice() {
+        let config = EngineConfig { queue_capacity: Some(0), ..EngineConfig::default() };
+        let mut e = StreamingEngine::new(Box::new(Sssp::new(0)), chain(), config);
+        assert_eq!(e.num_slices(), 1);
+        e.initial_compute();
+        assert_eq!(e.values(), &[0.0, 1.0, 3.0, 6.0]);
     }
 
     #[test]

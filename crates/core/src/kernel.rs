@@ -287,3 +287,27 @@ pub(crate) fn validate_converged_values(
     }
     Ok(())
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jetstream_algorithms::{PageRank, Sssp};
+    use jetstream_graph::Csr;
+
+    // kills jm-6dbecaba (kernel.rs logic-swap in dap_active): DAP needs
+    // *both* the Dap strategy and a selective algorithm — PageRank under
+    // Dap and Sssp under Tag must each fall back to plain propagation.
+    #[test]
+    fn dap_requires_both_the_strategy_and_a_selective_algorithm() {
+        let csr = CsrPair::new(Csr::from_edges(2, &[(0, 1, 1.0)]));
+        let sssp = Sssp::new(0);
+        let pr = PageRank::default();
+        let active = |alg: &dyn Algorithm, delete_strategy| {
+            KernelCtx { alg, csr: &csr, delete_strategy }.dap_active()
+        };
+        assert!(active(&sssp, DeleteStrategy::Dap));
+        assert!(!active(&sssp, DeleteStrategy::Tag));
+        assert!(!active(&pr, DeleteStrategy::Dap));
+        assert!(!active(&pr, DeleteStrategy::Tag));
+    }
+}

@@ -798,4 +798,47 @@ mod tests {
         let mut q = CoalescingQueue::new(2, 1);
         q.insert(Event::regular(5, 1.0), &sssp());
     }
+
+    // kills jm-25b10b98 (queue.rs cmp-boundary `num_bins > 0` -> `>= 0`):
+    // the mutant admits zero bins and dies in div_ceil instead of the
+    // documented panic.
+    #[test]
+    #[should_panic(expected = "need at least one bin")]
+    fn zero_bins_is_rejected_with_the_documented_panic() {
+        let _ = CoalescingQueue::new(4, 0);
+    }
+
+    // kills jm-85c14553 (queue.rs cmp-boundary `target < num_vertices` ->
+    // `<=`): the first out-of-range id is exactly num_vertices, and the
+    // mutant lets it through to a raw index-out-of-bounds on `payload`.
+    #[test]
+    #[should_panic(expected = "event target 10 out of range")]
+    fn target_equal_to_vertex_count_is_out_of_range() {
+        let mut q = CoalescingQueue::new(10, 2);
+        q.insert(Event::regular(10, 1.0), &sssp());
+    }
+
+    // kills jm-272071bc (queue.rs cmp-boundary `lo >= hi` -> `>`): the
+    // lo == hi == 0 guard is load-bearing — without it `(hi - 1) / 64`
+    // underflows.
+    #[test]
+    fn draining_an_empty_bit_range_is_a_no_op() {
+        let mut q = CoalescingQueue::new(8, 2);
+        q.insert(Event::regular(0, 1.0), &sssp());
+        let mut out = Vec::new();
+        assert_eq!(q.drain_bits(0, 0, &mut out), 0);
+        assert!(out.is_empty());
+        assert_eq!(q.len(), 1, "an empty range must not touch queued events");
+    }
+
+    // kills jm-85c15fe9 (queue.rs cmp-boundary `bin < num_bins` -> `<=`):
+    // the first out-of-range bin is exactly num_bins, and the mutant lets
+    // it through to a raw index-out-of-bounds on `bin_len`.
+    #[test]
+    #[should_panic(expected = "bin 2 out of range")]
+    fn bin_equal_to_bin_count_is_out_of_range() {
+        let mut q = CoalescingQueue::new(10, 2);
+        let mut out = Vec::new();
+        q.take_bin_into(2, &mut out);
+    }
 }

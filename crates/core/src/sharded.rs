@@ -727,7 +727,10 @@ impl ShardedEngine {
     /// Returns a [`GraphError`] when the batch is invalid.
     pub fn cold_restart(&mut self, batch: &UpdateBatch) -> Result<RunStats, GraphError> {
         self.host.apply_batch(batch)?;
-        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
+        #[allow(clippy::expect_used)] // invariant: `host` validated the batch above
+        self.csr
+            .apply_batch(batch)
+            .expect("invariant: host-validated batch applies to the CSR mirror");
         Ok(self.initial_compute())
     }
 
@@ -803,7 +806,10 @@ impl ShardedEngine {
         }
         self.begin_run();
         self.host.apply_batch(batch)?;
-        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
+        #[allow(clippy::expect_used)] // invariant: `host` validated the batch above
+        self.csr
+            .apply_batch(batch)
+            .expect("invariant: host-validated batch applies to the CSR mirror");
         self.impacted.clear();
         // Phase 4 of the selective flow: inserted edges become regular
         // events on the new graph; the delete phases are skipped because
@@ -1219,7 +1225,10 @@ impl ShardedEngine {
 
         // Graph switches to the new version: the mirror is maintained in
         // place in O(batch · degree) instead of rebuilt.
-        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
+        #[allow(clippy::expect_used)] // invariant: `host` validated the batch above
+        self.csr
+            .apply_batch(batch)
+            .expect("invariant: host-validated batch applies to the CSR mirror");
 
         // Phase 3 — request events along each impacted vertex's incoming
         // edges. Workers tagged each reset with (round, emission key base);
@@ -1341,7 +1350,10 @@ impl ShardedEngine {
         }
         // The CSR mirror advances to the new version in O(batch · degree);
         // phases that need the *old* adjacency use the captured slices.
-        self.csr.apply_batch(batch).expect("invariant: host-validated batch applies to the CSR mirror");
+        #[allow(clippy::expect_used)] // invariant: `host` validated the batch above
+        self.csr
+            .apply_batch(batch)
+            .expect("invariant: host-validated batch applies to the CSR mirror");
 
         // Phase 1 — negative events for every old out-edge of a touched
         // vertex, using the old degree/weight-sum.
@@ -1349,11 +1361,8 @@ impl ShardedEngine {
         for (i, &state) in snapshot.iter().enumerate() {
             let row = &old_edges[bounds[i]..bounds[i + 1]];
             let deg = row.len();
-            let wsum: Value = if self.alg.needs_weight_sum() {
-                row.iter().map(|&(_, w)| w).sum()
-            } else {
-                0.0
-            };
+            let wsum: Value =
+                if self.alg.needs_weight_sum() { row.iter().map(|&(_, w)| w).sum() } else { 0.0 };
             self.stats.vertex_reads += 1;
             for &(v, w) in row {
                 self.stats.stream_reads += 1;
@@ -1743,6 +1752,39 @@ mod tests {
         assert_eq!(seq.dependencies(), sh.dependencies());
         assert_eq!(seq.last_impacted(), sh.last_impacted());
         assert_eq!(seq.queue_stats(), sh.queue_stats());
+    }
+
+    // Kills mutant jm-b7b8e6e1 (`.max(1)` -> `.min(1)` in
+    // `modeled_speedup`): the clamp only guards the empty model's zero
+    // denominator — a real critical path must divide through untouched.
+    #[test]
+    fn modeled_speedup_divides_by_the_real_critical_path() {
+        let m = ParallelModel { total_work: 12, critical_path: 4 };
+        assert_eq!(m.modeled_speedup(), 3.0);
+        assert_eq!(ParallelModel::default().modeled_speedup(), 0.0);
+    }
+
+    // Kills mutant jm-99fde555 (`&&` -> `||` at the superstep inbox fold):
+    // with delete coalescing on (the default), a cross-shard tag-delete
+    // cascade must fold into the bins like every other event, not detour
+    // through the FIFO overflow lane. Only `Tag` re-emits delete events
+    // during propagation, so the cascade is driven under that strategy.
+    #[test]
+    fn cross_shard_tag_deletes_coalesce_instead_of_overflowing() {
+        let config =
+            EngineConfig { delete_strategy: DeleteStrategy::Tag, ..EngineConfig::default() };
+        let mut seq = StreamingEngine::new(Box::new(Sssp::new(0)), chain(), config);
+        let mut sh = ShardedEngine::new(Box::new(Sssp::new(0)), chain(), config, 2);
+        seq.initial_compute();
+        sh.initial_compute();
+        let mut batch = UpdateBatch::new();
+        batch.delete(0, 1);
+        batch.insert(0, 2, 0.5); // keep the tail reachable through recovery
+        seq.apply_update_batch(&batch).unwrap();
+        sh.apply_update_batch(&batch).unwrap();
+        assert_eq!(seq.values(), sh.values());
+        assert_eq!(sh.queue_stats().overflowed, seq.queue_stats().overflowed);
+        assert_eq!(sh.queue_stats().overflowed, 0, "nothing may spill with coalescing on");
     }
 
     #[test]

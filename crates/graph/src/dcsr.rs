@@ -306,6 +306,78 @@ mod tests {
         assert_eq!(pair.apply_batch(&batch), Err(GraphError::SelfLoop { vertex: 2 }));
     }
 
+    // kills jm-0fa5ac00 (dcsr.rs len-off-by-one in check_vertex): the
+    // error must report the true vertex-set size, not an off-by-one.
+    #[test]
+    fn out_of_range_error_reports_the_exact_vertex_count() {
+        let mut g = Csr::from_edges(3, &[(0, 1, 1.0)]);
+        assert_eq!(
+            g.insert_sorted(0, 9, 1.0),
+            Err(GraphError::VertexOutOfRange { vertex: 9, num_vertices: 3 })
+        );
+        assert_eq!(
+            g.remove_sorted(7, 0),
+            Err(GraphError::VertexOutOfRange { vertex: 7, num_vertices: 3 })
+        );
+    }
+
+    // Kills jm-713f6271 (`<` -> `<=` in check_vertex) and jm-0fa5accf
+    // (len-off-by-one on the same bound): id == num_vertices is the first
+    // out-of-range id — it must be rejected, not index one past the rows.
+    #[test]
+    fn vertex_equal_to_the_count_is_the_first_rejected_id() {
+        let mut g = Csr::from_edges(3, &[(0, 1, 1.0)]);
+        assert_eq!(
+            g.insert_sorted(0, 3, 1.0),
+            Err(GraphError::VertexOutOfRange { vertex: 3, num_vertices: 3 })
+        );
+        assert_eq!(
+            g.remove_sorted(3, 0),
+            Err(GraphError::VertexOutOfRange { vertex: 3, num_vertices: 3 })
+        );
+    }
+
+    // Kills jm-ac86c58b (`>` -> `>=` in maybe_compact): the compaction
+    // trigger is strict — at exactly `2*live + slop` arena slots the arena
+    // is left alone; one more dead slot compacts.
+    #[test]
+    fn compaction_triggers_strictly_above_the_garbage_bound() {
+        let edges: Vec<(VertexId, VertexId, Weight)> = (1..=76u32).map(|v| (0, v, 1.0)).collect();
+        let mut g = Csr::from_edges(77, &edges);
+        assert_eq!(g.arena_slots(), 76, "from_edges lays rows out dense");
+        let mut compactions = 0;
+        for v in 1..=71u32 {
+            g.remove_sorted(0, v).expect("edge (0, v) was inserted above");
+            let over_bound = g.arena_slots() > 2 * g.num_edges() + COMPACT_SLOP;
+            assert_eq!(g.maybe_compact(), over_bound, "after removing target {v}");
+            if over_bound {
+                compactions += 1;
+            }
+        }
+        assert_eq!(compactions, 1, "exactly one removal crosses the bound");
+    }
+
+    // kills jm-0fa5ad55 (dcsr.rs len-off-by-one: relocation start past the
+    // tail would leak a permanent one-slot hole per relocation) and
+    // jm-93cee4d3 (dcsr.rs const-01: slack must be zero-filled, the value
+    // compaction and debug dumps rely on).
+    #[test]
+    fn relocation_appends_exactly_at_the_arena_tail() {
+        let mut g = Csr::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0)]);
+        // Dense build: row 0 (start 0, len 1, cap 1) relocates on insert.
+        g.insert_sorted(0, 3, 3.0).expect("insert of a new edge succeeds");
+        assert_eq!(g.starts[0], 2, "relocated row must start at the old arena tail");
+        assert_eq!(g.caps[0], MIN_ROW_CAP);
+        assert_eq!(g.targets.len(), 2 + MIN_ROW_CAP, "no hole between old tail and new row");
+        let (start, len, cap) = (g.starts[0], g.lens[0], g.caps[0]);
+        assert_eq!(&g.targets[start..start + len], &[1, 3]);
+        assert!(
+            g.targets[start + len..start + cap].iter().all(|&t| t == 0),
+            "slack slots must be zero-filled"
+        );
+        assert_eq!(g.validate(), Ok(()));
+    }
+
     #[test]
     fn delete_then_reinsert_same_batch_is_a_weight_change() {
         let mut pair = pair_of(&[(0, 1, 1.0), (1, 0, 2.0)], 2);

@@ -208,14 +208,17 @@ impl VersionedGraph {
                 }
             }
         }
+        #[allow(clippy::expect_used)] // invariant: `head` validated the batch above
         match Arc::get_mut(&mut self.active) {
             Some(pair) => {
-                pair.apply_batch(batch).expect("invariant: head-validated batch applies to the mirror");
+                pair.apply_batch(batch)
+                    .expect("invariant: head-validated batch applies to the mirror");
                 self.stats.in_place += 1;
             }
             None => {
                 let mut copy = CsrPair::clone(&self.active);
-                copy.apply_batch(batch).expect("invariant: head-validated batch applies to the mirror");
+                copy.apply_batch(batch)
+                    .expect("invariant: head-validated batch applies to the mirror");
                 self.active = Arc::new(copy);
                 self.stats.cow_copies += 1;
             }

@@ -8,6 +8,9 @@
 //! compares full traversals after every batch — through slack growth, row
 //! relocations, tombstoned deletes, and compaction.
 
+// Demo/test code: aborting on setup failure is the right behavior here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use jetstream_graph::rng::DetRng;
 use jetstream_graph::{gen, AdjacencyGraph, CsrPair, UpdateBatch, VertexId};
 

@@ -82,6 +82,7 @@
 
 pub mod baseline;
 pub mod lex;
+pub mod mutate;
 pub mod parse;
 
 use std::collections::BTreeSet;
@@ -248,8 +249,8 @@ impl Lint {
             }
             Lint::PragmaJustified => {
                 "pragma-justified: every `#[allow(..)]` attribute and every waiver pragma \
-                 (`// cast-ok:`, `// nondeterminism-ok:`, `// panic-ok:`, `// lint: \
-                 allow-unordered`) must carry a written reason.\n\nA waiver is a claim \
+                 (`// cast-ok:`, `// nondeterminism-ok:`, `// panic-ok:`, `// mutation-ok:`, \
+                 `// lint: allow-unordered`) must carry a written reason.\n\nA waiver is a claim \
                  about an invariant; an unexplained claim cannot be reviewed or retired. \
                  Append the reason on the same line (or the line above for attributes)."
             }
@@ -270,12 +271,15 @@ impl Lint {
             }
             Lint::DeadWaiver => {
                 "dead-waiver: a waiver pragma (`// cast-ok:`, `// nondeterminism-ok:`, \
-                 `// panic-ok:`, `// lint: allow-unordered`) that no longer suppresses any \
-                 diagnostic, or an `#[allow(dead_code)]` on a function the call graph sees \
-                 called from non-test code, is itself an error.\n\nA stale waiver is wrong \
-                 documentation: it asserts an invariant about code that has moved or been \
-                 fixed, and it will silently excuse the *next* violation that lands on its \
-                 line. Delete it, or move it next to the operation it is meant to cover."
+                 `// panic-ok:`, `// mutation-ok:`, `// lint: allow-unordered`) that no \
+                 longer suppresses any diagnostic, or an `#[allow(dead_code)]` on a function \
+                 the call graph sees called from non-test code, is itself an error.\n\nA \
+                 stale waiver is wrong documentation: it asserts an invariant about code \
+                 that has moved or been fixed, and it will silently excuse the *next* \
+                 violation that lands on its line. Delete it, or move it next to the \
+                 operation it is meant to cover. A `// mutation-ok:` waiver counts as used \
+                 when it covers a jetmut mutation site (`cargo xtask explain \
+                 MUTATION-WAIVER`)."
             }
         }
     }
@@ -409,6 +413,9 @@ fn run_check_opts(root: &Path, interprocedural: bool) -> io::Result<Vec<Finding>
         check_file(&file, &sections, &mut findings, &mut waivers);
         if interprocedural && !is_test_path(rel) {
             waivers.collect_present(&file);
+            if in_scope(rel, &mutate::MUTATION_SCOPE) {
+                mutate::sites::mark_mutation_waivers(&file, &mut waivers);
+            }
             parsed.push(parse::parse_file(&file));
         }
     }
@@ -439,7 +446,11 @@ pub(crate) struct WaiverLog {
 }
 
 /// The waiver pragma keys `dead-waiver` audits, as spelled in comments.
-const WAIVER_KEYS: [&str; 3] = ["cast-ok", "nondeterminism-ok", "panic-ok"];
+/// `mutation-ok` waives a surviving jetmut mutant (DESIGN.md §18); it is
+/// "used" when it covers a discovered mutation site, so a waiver whose
+/// site moved or was fixed rots into a `dead-waiver` finding like the
+/// others.
+const WAIVER_KEYS: [&str; 4] = ["cast-ok", "nondeterminism-ok", "panic-ok", "mutation-ok"];
 
 impl WaiverLog {
     /// Records that the waiver on `line` of `file` suppressed a finding.
@@ -497,14 +508,19 @@ impl WaiverLog {
 
 /// Serializes findings as the stable machine-readable report consumed by
 /// CI (`cargo xtask check --json`). The schema is versioned: bump
-/// `version` on any incompatible change.
+/// `version` on any incompatible change. Version 2 adds the `tool`
+/// header and the per-entry stable `id`, shared with jetmut's
+/// MUTATION.json (`mutate::report`) so downstream tooling parses one
+/// envelope for lints and mutants.
 pub fn findings_to_json(findings: &[Finding]) -> String {
-    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    let mut out = String::from("{\n  \"version\": 2,\n  \"tool\": \"jetlint\",\n  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str("\n    {\"lint\": \"");
+        out.push_str("\n    {\"id\": \"");
+        out.push_str(f.lint.id());
+        out.push_str("\", \"lint\": \"");
         out.push_str(f.lint.id());
         out.push_str("\", \"file\": \"");
         json_escape_into(&f.file.to_string_lossy().replace('\\', "/"), &mut out);
@@ -523,7 +539,7 @@ pub fn findings_to_json(findings: &[Finding]) -> String {
     out
 }
 
-fn json_escape_into(s: &str, out: &mut String) {
+pub(crate) fn json_escape_into(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -612,7 +628,7 @@ pub(crate) fn is_crate_root(rel: &Path) -> bool {
     in_src && (name == "lib.rs" || name == "main.rs")
 }
 
-fn in_scope(rel: &Path, scope: &[&str]) -> bool {
+pub(crate) fn in_scope(rel: &Path, scope: &[&str]) -> bool {
     let s = rel.to_string_lossy().replace('\\', "/");
     scope.iter().any(|p| s.starts_with(p))
 }

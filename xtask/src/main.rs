@@ -7,8 +7,13 @@
 //! cargo xtask check --sanitize   # lints + schedule/race sanitizers
 //! cargo xtask check --self-test  # verify each lint against its fixtures
 //! cargo xtask explain <LINT>     # what a lint means and how to satisfy it
+//!                                # (also the MUTATION-WAIVER topic)
 //! cargo xtask self-test          # same as `check --self-test`
 //! cargo xtask bench [--iters N]  # v3 analysis vs token engine vs line walker
+//! cargo xtask mutate --list      # discover jetmut mutation sites
+//! cargo xtask mutate [--check] [--all] [--shard i/N] [--out FILE]
+//!                                # run the kill suite over the pinned
+//!                                # corpus (--check gates CI)
 //! ```
 
 #![forbid(unsafe_code)]
@@ -19,6 +24,8 @@ use std::process::{Command, ExitCode};
 use std::time::Instant;
 
 use xtask::baseline::run_check_baseline;
+use xtask::mutate::runner::{run_mutate, MutateOpts};
+use xtask::mutate::sites::discover_workspace;
 use xtask::{findings_to_json, run_check, run_check_token_only, run_self_test, Lint};
 
 fn workspace_root() -> PathBuf {
@@ -30,9 +37,10 @@ fn workspace_root() -> PathBuf {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask check [--root DIR] [--json] [--self-test] [--sanitize]\n       \
-         cargo xtask explain <LINT>\n       \
+         cargo xtask explain <LINT|MUTATION-WAIVER>\n       \
          cargo xtask self-test\n       \
-         cargo xtask bench [--iters N]"
+         cargo xtask bench [--iters N]\n       \
+         cargo xtask mutate [--list] [--all] [--check] [--shard i/N] [--out FILE] [--root DIR]"
     );
     ExitCode::from(2)
 }
@@ -71,6 +79,7 @@ fn main() -> ExitCode {
             }
             return bench(iters);
         }
+        Some("mutate") => return mutate(words),
         _ => return usage(),
     }
 
@@ -130,7 +139,30 @@ fn main() -> ExitCode {
     sanitize()
 }
 
+/// Long-form explanation of the `// mutation-ok:` waiver for
+/// `cargo xtask explain MUTATION-WAIVER`.
+const MUTATION_WAIVER_EXPLAIN: &str =
+    "MUTATION-WAIVER: `// mutation-ok: <reason>` waives a surviving jetmut mutant.\n\n\
+     `cargo xtask mutate` injects small source edits (boundary flips, operator swaps, \
+     off-by-ones — see DESIGN.md §18) and expects the kill suite to fail on each. A mutant \
+     that survives marks a coverage hole; the triage contract for `crates/core` is that \
+     every survivor either gets a new killing test or a `// mutation-ok: <reason>` waiver \
+     on the mutated line (or the line above) stating why the mutation is unobservable \
+     (e.g. a pure performance heuristic where both operand orders converge to the same \
+     fixed point).\n\n\
+     The waiver is policed like every other pragma: `pragma-justified` rejects an empty \
+     reason, and `dead-waiver` fires when the comment no longer covers any discovered \
+     mutation site — a waived line that was since rewritten cannot silently keep excusing \
+     new code. `cargo xtask mutate --check` fails CI on any un-waived survivor in \
+     `crates/core`, on a mutation score below 90%, and whenever the seeded known-killable \
+     mutant (the `!`-marked corpus entry) is not killed, so the harness itself can never \
+     go vacuous.";
+
 fn explain(id: &str) -> ExitCode {
+    if id == "MUTATION-WAIVER" {
+        println!("{MUTATION_WAIVER_EXPLAIN}");
+        return ExitCode::SUCCESS;
+    }
     match Lint::from_id(id) {
         Some(lint) => {
             println!("{}", lint.explain());
@@ -141,7 +173,60 @@ fn explain(id: &str) -> ExitCode {
             for lint in Lint::ALL {
                 eprintln!("  {}", lint.id());
             }
+            eprintln!("  MUTATION-WAIVER");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses `mutate` flags and runs the jetmut pipeline.
+fn mutate(mut words: std::slice::Iter<'_, String>) -> ExitCode {
+    let mut root = workspace_root();
+    let mut opts = MutateOpts::default();
+    while let Some(arg) = words.next() {
+        match arg.as_str() {
+            "--list" => opts.list = true,
+            "--all" => opts.all = true,
+            "--check" => opts.check = true,
+            "--shard" => {
+                let parsed = words.next().and_then(|s| {
+                    let (i, n) = s.split_once('/')?;
+                    Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?))
+                });
+                match parsed {
+                    Some((i, n)) if i >= 1 && i <= n => opts.shard = Some((i, n)),
+                    _ => {
+                        eprintln!("--shard needs i/N with 1 <= i <= N");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--out" => match words.next() {
+                Some(path) => opts.out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match words.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match run_mutate(&root, &opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask mutate failed to run: {e}");
+            ExitCode::FAILURE
         }
     }
 }
@@ -222,12 +307,24 @@ fn bench(iters: usize) -> ExitCode {
     let full = time(&|| run_check(&root).is_ok());
     let jetlint = time(&|| run_check_token_only(&root).is_ok());
     let walker = time(&|| run_check_baseline(&root).is_ok());
-    match (full, jetlint, walker) {
-        (Some(full_ms), Some(new_ms), Some(old_ms)) => {
+    let site_count = std::cell::Cell::new(0usize);
+    let jetmut = time(&|| match discover_workspace(&root) {
+        Ok(sites) => {
+            site_count.set(sites.len());
+            true
+        }
+        Err(_) => false,
+    });
+    match (full, jetlint, walker, jetmut) {
+        (Some(full_ms), Some(new_ms), Some(old_ms), Some(mut_ms)) => {
             println!("xtask bench ({iters} iters, median, full workspace):");
             println!("  jetlint v3 (tokens + call graph, 11 lints): {full_ms:.1} ms");
             println!("  jetlint (token engine, 9 lints):            {new_ms:.1} ms");
             println!("  baseline (line walker, 5 lints):            {old_ms:.1} ms");
+            println!(
+                "  jetmut site discovery ({} sites):          {mut_ms:.1} ms",
+                site_count.get()
+            );
             println!(
                 "  v3/token ratio: {:.2}x   token/walker ratio: {:.2}x",
                 full_ms / new_ms.max(1e-9),

@@ -1,0 +1,63 @@
+//! Applying one mutant to the source tree and restoring it afterwards.
+//!
+//! A mutant is a single byte-span splice in a single file. [`PatchGuard`]
+//! holds the original file contents and rewrites them on drop, so the
+//! tree is restored on every exit path — including a panic in the runner
+//! or a test subprocess wedging until its timeout. One mutant is applied
+//! at a time; the runner never holds two guards.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use super::sites::MutationSite;
+
+/// Restores the patched file to its pre-mutation contents on drop.
+pub struct PatchGuard {
+    path: PathBuf,
+    original: String,
+}
+
+impl PatchGuard {
+    /// Splices `site.repl` over `site`'s byte span in the file under
+    /// `root` and returns the guard that undoes it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be read or written, or if the span no
+    /// longer matches `site.orig` (the tree changed since discovery —
+    /// applying the patch anyway could corrupt an unrelated expression).
+    pub fn apply(root: &std::path::Path, site: &MutationSite) -> io::Result<PatchGuard> {
+        let path = root.join(&site.file);
+        let original = fs::read_to_string(&path)?;
+        let found = original.get(site.start..site.end);
+        if found != Some(site.orig.as_str()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: span {}..{} is {:?}, expected {:?} — stale discovery",
+                    site.file.display(),
+                    site.start,
+                    site.end,
+                    found.unwrap_or("<out of bounds>"),
+                    site.orig
+                ),
+            ));
+        }
+        let mut mutated = String::with_capacity(original.len() + site.repl.len());
+        mutated.push_str(&original[..site.start]);
+        mutated.push_str(&site.repl);
+        mutated.push_str(&original[site.end..]);
+        fs::write(&path, mutated)?;
+        Ok(PatchGuard { path, original })
+    }
+}
+
+impl Drop for PatchGuard {
+    fn drop(&mut self) {
+        // Last-resort restore. If this write fails the next apply() on
+        // the same file fails its span check loudly instead of stacking
+        // mutants.
+        let _ = fs::write(&self.path, &self.original);
+    }
+}

@@ -1,0 +1,134 @@
+//! Mutation-site discovery: walks the jetlint token stream of every
+//! non-test source file in [`MUTATION_SCOPE`] and runs the operator
+//! matchers from [`ops`] (DESIGN.md §18).
+//!
+//! Ids are content-derived and deterministic: `jm-<hash>` over the
+//! relative path, operator, original text, replacement text, and the
+//! site's occurrence index among identical `(file, op, orig, repl)`
+//! tuples. A site's id therefore survives edits elsewhere in the file
+//! (line shifts do not churn the pinned corpus); it changes only when
+//! the mutated code itself changes — exactly when re-triage is due.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use super::ops::{self, Candidate};
+use super::MUTATION_SCOPE;
+use crate::{collect_rust_files, in_scope, is_test_path, SourceFile, WaiverLog};
+
+/// One discovered mutation site, id assigned.
+pub struct MutationSite {
+    /// Stable mutant id (`jm-xxxxxxxx`).
+    pub id: String,
+    /// Operator family (see [`ops::OPERATORS`]).
+    pub op: &'static str,
+    /// File the site is in, relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based source line.
+    pub line: usize,
+    /// Byte offset of the first mutated byte.
+    pub start: usize,
+    /// Byte offset one past the last mutated byte.
+    pub end: usize,
+    /// Original text of the span.
+    pub orig: String,
+    /// Replacement text (empty for deletions).
+    pub repl: String,
+    /// Line of a covering `// mutation-ok: <reason>` waiver, if any.
+    pub waived: Option<usize>,
+}
+
+impl MutationSite {
+    /// `orig -> repl` rendered for reports (deletions shown explicitly).
+    pub fn edit(&self) -> String {
+        let repl: &str = if self.repl.is_empty() { "<deleted>" } else { &self.repl };
+        format!("`{}` -> `{}`", self.orig, repl)
+    }
+}
+
+/// Discovers every mutation site in the workspace at `root`, in
+/// deterministic (file, byte-offset) order.
+///
+/// # Errors
+///
+/// Returns any I/O error raised while walking the tree or reading files.
+pub fn discover_workspace(root: &Path) -> io::Result<Vec<MutationSite>> {
+    let mut files = Vec::new();
+    collect_rust_files(root, root, &mut files)?;
+    files.sort();
+    let mut sites = Vec::new();
+    for rel in &files {
+        if !in_scope(rel, &MUTATION_SCOPE) || is_test_path(rel) {
+            continue;
+        }
+        let text = fs::read_to_string(root.join(rel))?;
+        let file = SourceFile::new(rel, &text);
+        sites.extend(discover_file(&file));
+    }
+    Ok(sites)
+}
+
+/// Discovers the mutation sites of one lexed file, in byte order.
+pub(crate) fn discover_file(file: &SourceFile<'_>) -> Vec<MutationSite> {
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for ci in 0..file.code.len() {
+        if file.in_test(file.ct(ci).start) {
+            continue;
+        }
+        ops::match_at(file, ci, &mut candidates);
+    }
+    let mut occurrence: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+    let mut sites = Vec::with_capacity(candidates.len());
+    for c in &candidates {
+        let k = occurrence.entry((c.op, c.orig.as_str(), c.repl.as_str())).or_insert(0);
+        let id = site_id(file.rel, c, *k);
+        *k += 1;
+        let waived = file.waiver_at(c.line, "mutation-ok").map(|(wline, _)| wline);
+        sites.push(MutationSite {
+            id,
+            op: c.op,
+            file: file.rel.to_path_buf(),
+            line: c.line,
+            start: c.start,
+            end: c.end,
+            orig: c.orig.clone(),
+            repl: c.repl.clone(),
+            waived,
+        });
+    }
+    sites
+}
+
+/// Marks every `// mutation-ok:` waiver that covers a discovered mutation
+/// site as used, so `dead-waiver` flags the stale ones (a waiver whose
+/// site moved or was fixed). Called by `run_check` for in-scope files.
+pub(crate) fn mark_mutation_waivers(file: &SourceFile<'_>, waivers: &mut WaiverLog) {
+    for site in discover_file(file) {
+        if let Some(wline) = site.waived {
+            waivers.mark_used(file.rel, wline, "mutation-ok");
+        }
+    }
+}
+
+/// FNV-1a over the identity tuple, folded to 32 bits for a short id.
+fn site_id(rel: &Path, c: &Candidate, k: usize) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(rel.to_string_lossy().replace('\\', "/").as_bytes());
+    eat(&[0]);
+    eat(c.op.as_bytes());
+    eat(&[0]);
+    eat(c.orig.as_bytes());
+    eat(&[0]);
+    eat(c.repl.as_bytes());
+    eat(&[0]);
+    eat(k.to_string().as_bytes());
+    format!("jm-{:08x}", (h ^ (h >> 32)) as u32)
+}

@@ -33,6 +33,9 @@ fn every_fixture_behaves_as_expected() {
         "hot-path-alloc-interproc",
         "dead-waiver",
         "strings-and-comments",
+        "mutation-waiver",
+        "mutation-waiver-clean",
+        "mutation-waiver-stale",
         "clean",
     ] {
         assert!(names.contains(&lint), "missing fixture {lint}");
@@ -57,6 +60,8 @@ fn each_fixture_fires_its_own_lint() {
         ("panic-reachability", Lint::PanicReachability),
         ("hot-path-alloc-interproc", Lint::HotPathAlloc),
         ("dead-waiver", Lint::DeadWaiver),
+        ("mutation-waiver", Lint::PragmaJustified),
+        ("mutation-waiver-stale", Lint::DeadWaiver),
     ] {
         let findings = run_check(&xtask_dir().join("fixtures").join(dir)).unwrap();
         assert!(!findings.is_empty(), "{dir} produced no findings");
@@ -77,6 +82,7 @@ fn clean_fixtures_are_clean() {
         "pragma-justified-clean",
         "panic-reachability-clean",
         "strings-and-comments",
+        "mutation-waiver-clean",
     ] {
         let findings = run_check(&xtask_dir().join("fixtures").join(dir)).unwrap();
         assert!(findings.is_empty(), "{dir}: {findings:?}");
@@ -187,6 +193,82 @@ fn the_serve_crate_is_covered_by_the_walker() {
         in_serve(Lint::Determinism),
         "determinism did not fire on a bare Instant in crates/serve: {findings:?}"
     );
+}
+
+/// Static half of the kill-suite self-test: the manifest must parse,
+/// and every entry must name a package and test target that exist on
+/// disk, so a renamed test file cannot silently hollow out the jetmut
+/// kill pipeline. (The dynamic half is the runner's baseline, which
+/// replays each suite green and under budget before any mutant runs.)
+#[test]
+fn the_kill_suite_manifest_names_real_targets() {
+    let xtask = xtask_dir();
+    let root = xtask.parent().unwrap();
+    let suites = xtask::mutate::runner::load_kill_suite(&xtask.join("kill_suite.toml")).unwrap();
+    assert!(!suites.is_empty(), "empty kill suite");
+
+    // Map workspace package names to their crate directories.
+    let crates_dir = root.join("crates");
+    let mut dirs: Vec<(String, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir).unwrap() {
+        let dir = entry.unwrap().path();
+        let Ok(manifest) = std::fs::read_to_string(dir.join("Cargo.toml")) else { continue };
+        if let Some(line) = manifest.lines().find(|l| l.trim_start().starts_with("name")) {
+            if let Some(name) = line.split('"').nth(1) {
+                dirs.push((name.to_string(), dir));
+            }
+        }
+    }
+
+    for s in &suites {
+        let (_, dir) = dirs
+            .iter()
+            .find(|(name, _)| *name == s.package)
+            .unwrap_or_else(|| panic!("suite {}: package {} is not in crates/", s.name, s.package));
+        let target = if s.target == "lib" {
+            dir.join("src").join("lib.rs")
+        } else {
+            dir.join("tests").join(format!("{}.rs", s.target))
+        };
+        assert!(target.is_file(), "suite {}: missing test target {}", s.name, target.display());
+        assert!(s.median_ms > 0, "suite {}: zero median", s.name);
+    }
+}
+
+/// The pinned mutation corpus must resolve: every id matches a site the
+/// current tree discovers (ids are content-hashed, so touched code rots
+/// them loudly here instead of at mutate time), and exactly one entry
+/// is the `!`-seeded vacuity mutant.
+#[test]
+fn the_mutation_corpus_resolves_against_discovery() {
+    let xtask = xtask_dir();
+    let root = xtask.parent().unwrap();
+    let sites = xtask::mutate::sites::discover_workspace(root).unwrap();
+    let ids: std::collections::BTreeSet<&str> = sites.iter().map(|s| s.id.as_str()).collect();
+    let corpus = std::fs::read_to_string(xtask.join("mutation_corpus.txt")).unwrap();
+    let mut seeded = 0;
+    let mut pinned = 0;
+    for line in corpus.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let word = line.split_whitespace().next().unwrap();
+        let id = match word.strip_prefix('!') {
+            Some(rest) => {
+                seeded += 1;
+                rest
+            }
+            None => word,
+        };
+        pinned += 1;
+        assert!(
+            ids.contains(id),
+            "corpus id {id} matches no discovered site — re-pin with `cargo xtask mutate --list`"
+        );
+    }
+    assert!(pinned >= 40, "corpus shrank to {pinned} mutants");
+    assert_eq!(seeded, 1, "exactly one seeded (`!`) mutant expected, found {seeded}");
 }
 
 #[test]
